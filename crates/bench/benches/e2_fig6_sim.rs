@@ -1,0 +1,85 @@
+//! E2 — Fig. 6: per-thread speedup distributions on simulated data.
+//!
+//! Paper protocol (§IV-B): 4,997 simulated instances (50–300 taxa, 5–30
+//! loci, 30–50% missing); run at 16 threads, keep fully-enumerated
+//! instances; re-run at {12,8,4,2,1} threads; drop instances with serial
+//! execution time below 1 s / 10 s / 50 s (panels a/b/c). Result: linear
+//! mean speedups in the thread count.
+//!
+//! Scaled reproduction (DESIGN.md substitution 3): a seeded sweep of the
+//! same generator regime, speedups in virtual time, with the serial-cost
+//! thresholds scaled to the instance sizes. The real-thread engine is
+//! cross-checked at the host's core count at the end.
+
+use gentrius_bench::{
+    banner, bench_config, filter_pipeline, print_distribution_table, speedups_by_threads,
+    PAPER_THREADS,
+};
+use gentrius_datagen::{simulated_dataset, SimulatedParams};
+use gentrius_parallel::{run_parallel, ParallelConfig};
+
+fn main() {
+    banner(
+        "E2",
+        "Fig. 6 (a–c): speedup distributions, simulated data",
+        "mean speedup grows ~linearly with threads; tighter distributions \
+         at higher serial-cost thresholds",
+    );
+    // The scaled regime of SimulatedParams::scaled(), nudged toward larger
+    // instances so the survivor pool mirrors the paper's "non-small" cut.
+    let params = SimulatedParams {
+        taxa: (16, 32),
+        loci: (4, 8),
+        missing: (0.35, 0.55),
+        ..SimulatedParams::scaled()
+    };
+    let sweep_size = 96;
+    let datasets: Vec<_> = (0..sweep_size)
+        .map(|i| simulated_dataset(&params, 61, i))
+        .collect();
+    let config = bench_config(120_000, 120_000);
+
+    // Panel thresholds: the paper's 1 s / 10 s / 50 s map to virtual
+    // serial costs (1 tick = 1 state visit).
+    for (panel, min_ticks) in [("(a)", 1_000u64), ("(b)", 5_000), ("(c)", 20_000)] {
+        let runs = filter_pipeline(datasets.iter().cloned(), &config, 16, min_ticks);
+        let rows = speedups_by_threads(&runs, &config, &PAPER_THREADS);
+        print_distribution_table(
+            &format!(
+                "\nFig.6{panel}: simulated data, serial cost >= {min_ticks} ticks \
+                 ({} of {sweep_size} datasets)",
+                runs.len()
+            ),
+            &rows,
+        );
+    }
+
+    // Wall-clock cross-check with the real thread-pool engine at the
+    // host's core count (speedups cap at the hardware parallelism).
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!("\nreal-thread cross-check at {hw} hardware threads (wall clock):");
+    let runs = filter_pipeline(datasets.iter().cloned(), &config, 16, 10_000);
+    println!(
+        "{:<14} {:>12} {:>12} {:>9}",
+        "dataset", "serial (s)", "parallel (s)", "speedup"
+    );
+    for run in runs.iter().take(5) {
+        let problem = run.dataset.problem().expect("valid");
+        let t1 = run_parallel(&problem, &config, &ParallelConfig::with_threads(1))
+            .expect("run")
+            .elapsed
+            .as_secs_f64();
+        let tn = run_parallel(&problem, &config, &ParallelConfig::with_threads(hw))
+            .expect("run")
+            .elapsed
+            .as_secs_f64();
+        println!(
+            "{:<14} {:>12.4} {:>12.4} {:>9.2}",
+            run.dataset.name,
+            t1,
+            tn,
+            t1 / tn.max(1e-9)
+        );
+    }
+    println!("\npaper: mean speedups ~2/4/8/12/16 at 2/4/8/12/16 threads (panel c).");
+}

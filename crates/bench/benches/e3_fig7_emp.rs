@@ -1,0 +1,55 @@
+//! E3 — Fig. 7: per-thread speedup distributions on empirical data.
+//!
+//! Paper protocol (§IV-C): 3,097 RAxML-Grove datasets, same pipeline as
+//! Fig. 6, 162 survivors; linear speedups once serial time exceeds 50 s.
+//! Here the Grove extraction is replaced by the seeded empirical-like
+//! generator (DESIGN.md substitution 2).
+
+use gentrius_bench::{
+    banner, bench_config, filter_pipeline, print_distribution_table, speedups_by_threads,
+    PAPER_THREADS,
+};
+use gentrius_datagen::{empirical_dataset, EmpiricalParams};
+
+fn main() {
+    banner(
+        "E3",
+        "Fig. 7 (a–c): speedup distributions, empirical-like data",
+        "same linear trend as Fig. 6, wider spread at low serial-cost \
+         thresholds (empirical coverage is blockier)",
+    );
+    // Scaled Grove-like regime, nudged toward larger instances (see E2).
+    let params = EmpiricalParams {
+        taxa: (14, 36),
+        loci: (3, 9),
+        ..EmpiricalParams::scaled()
+    };
+    let sweep_size = 96;
+    let datasets: Vec<_> = (0..sweep_size)
+        .map(|i| empirical_dataset(&params, 62, i))
+        .collect();
+    let with_missing = datasets
+        .iter()
+        .filter(|d| d.missing_fraction() > 0.01)
+        .count();
+    println!(
+        "sweep: {sweep_size} datasets, {with_missing} with missing data \
+         ({:.0}%; RAxML Grove: 68%)\n",
+        100.0 * with_missing as f64 / sweep_size as f64
+    );
+    let config = bench_config(120_000, 120_000);
+
+    for (panel, min_ticks) in [("(a)", 1_000u64), ("(b)", 5_000), ("(c)", 20_000)] {
+        let runs = filter_pipeline(datasets.iter().cloned(), &config, 16, min_ticks);
+        let rows = speedups_by_threads(&runs, &config, &PAPER_THREADS);
+        print_distribution_table(
+            &format!(
+                "\nFig.7{panel}: empirical-like data, serial cost >= {min_ticks} ticks \
+                 ({} of {sweep_size} datasets)",
+                runs.len()
+            ),
+            &rows,
+        );
+    }
+    println!("\npaper: linear in threads for serial time > 50 s (panel c).");
+}

@@ -1,0 +1,101 @@
+//! E7 — Fig. 5 (a,b) and the §IV-A pathology narratives.
+//!
+//! (a) **Plateau**: an unbalanced workflow tree where the §III-A task
+//! creation conditions (≥2 pending branches, ≥3 remaining taxa) never hold
+//! inside the heavy regions — the paper saw plateaus of ~3× and ~5× on
+//! sim-data-1511/1792/1795 (serial < 10 s). Our crafted `plateau-craft`
+//! instance has ~5 unstealable chunks and must saturate near 5×.
+//!
+//! (b) **Stopping-rule trap**: serial descends into a dead-end-rich desert
+//! and burns the rule-2 budget; the parallel descent reaches tree-dense
+//! regions concurrently (sim-data-5001: serial 113 s / 0 trees vs 2
+//! threads 1M trees in 5 s — 22.6× and, with a 100M budget, 220×). Our
+//! trap scenario shows the same mechanism: adapted speedups well above the
+//! thread count.
+
+use gentrius_bench::{banner, PAPER_THREADS};
+use gentrius_core::{GentriusConfig, StoppingRules};
+use gentrius_datagen::scenario::{plateau_showcase, plateau_showcase_3, trap_showcase};
+use gentrius_sim::{simulate, CostModel, SimConfig};
+
+fn main() {
+    banner(
+        "E7",
+        "Fig. 5 (a,b): plateau and super-linear pathologies",
+        "(a) speedup saturates near the chunk count (~5) however many \
+         threads; (b) adapted speedup exceeds the thread count",
+    );
+
+    // ----------------------- (a) plateaus -----------------------
+    let cfg = GentriusConfig {
+        stopping: StoppingRules::unlimited(),
+        ..GentriusConfig::default()
+    };
+    for plateau in [plateau_showcase_3(), plateau_showcase()] {
+        let problem = plateau.problem().expect("valid crafted instance");
+        let ideal = |threads: usize| {
+            let mut sc = SimConfig::with_threads(threads);
+            sc.cost = CostModel::ideal();
+            simulate(&problem, &cfg, &sc).expect("sim")
+        };
+        let serial = ideal(1);
+        println!(
+            "\nFig.5(a) — {}: {} taxa, {} constraints, serial cost {} ticks,",
+            plateau.name,
+            plateau.num_taxa(),
+            plateau.num_loci(),
+            serial.makespan
+        );
+        println!("stand = {} trees (fully enumerated)\n", serial.stats.stand_trees);
+        println!("{:>8} {:>9} {:>8}", "threads", "speedup", "stolen");
+        for t in [1usize, 2, 4, 8, 12, 16, 32] {
+            let r = ideal(t);
+            println!(
+                "{:>8} {:>9.2} {:>8}",
+                t,
+                r.speedup_vs(&serial),
+                r.tasks_stolen
+            );
+        }
+    }
+    println!("\npaper: plateaus at ~3x / ~5x irrespective of the thread count —");
+    println!("the two crafted instances reproduce exactly those two levels.");
+
+    // ----------------------- (b) trap -----------------------
+    let (trap, stopping) = trap_showcase();
+    let problem = trap.problem().expect("valid dataset");
+    let cfg = GentriusConfig {
+        stopping,
+        ..GentriusConfig::default()
+    };
+    println!(
+        "\nFig.5(b) — {}: {} taxa, {} loci, {:.1}% missing; rule-2 budget = 50k states\n",
+        trap.name,
+        trap.num_taxa(),
+        trap.num_loci(),
+        100.0 * trap.missing_fraction()
+    );
+    let serial = simulate(&problem, &cfg, &SimConfig::with_threads(1)).expect("sim");
+    println!(
+        "serial: {} ticks, {} trees, {} dead ends, stop={:?}",
+        serial.makespan, serial.stats.stand_trees, serial.stats.dead_ends, serial.stop
+    );
+    println!(
+        "\n{:>8} {:>10} {:>10} {:>9} {:>9}",
+        "threads", "ticks", "trees", "speedup", "adapted"
+    );
+    for &t in PAPER_THREADS.iter() {
+        let r = simulate(&problem, &cfg, &SimConfig::with_threads(t)).expect("sim");
+        println!(
+            "{:>8} {:>10} {:>10} {:>9.2} {:>9.2}",
+            t,
+            r.makespan,
+            r.stats.stand_trees,
+            r.speedup_vs(&serial),
+            r.adapted_speedup_vs(&serial)
+        );
+    }
+    println!("\npaper: sim-data-5001 gave 22.6x at 2 threads (220x with a 10x budget);");
+    println!("the mechanism — parallel descent finds trees the serial run never reaches");
+    println!("before the stopping rule fires — is what the adapted column shows.");
+}

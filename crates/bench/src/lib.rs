@@ -1,0 +1,159 @@
+//! Shared harness code for the experiment benches.
+//!
+//! Every table and figure of the paper has a bench target under
+//! `benches/` (cargo bench targets with `harness = false`); this library
+//! holds the common pipeline: seeded dataset sweeps, the paper's filtering
+//! protocol (§IV-B), speedup measurement in virtual time, and table
+//! rendering. EXPERIMENTS.md records paper-vs-measured for each target.
+
+#![warn(missing_docs)]
+
+use gentrius_core::{GentriusConfig, StoppingRules};
+use gentrius_datagen::Dataset;
+use gentrius_sim::{simulate, SimConfig, SimResult, Summary};
+
+/// The thread counts of the paper's main evaluation (Figs. 6–7, Table I).
+pub const PAPER_THREADS: [usize; 5] = [2, 4, 8, 12, 16];
+
+/// One dataset that survived the filter pipeline, with its serial baseline.
+pub struct FilteredRun {
+    /// The dataset.
+    pub dataset: Dataset,
+    /// Serial (1-thread) simulation result.
+    pub serial: SimResult,
+}
+
+/// The paper's dataset-filtering protocol (§IV-B), in virtual time:
+///
+/// 1. run every instance at `max_threads` and keep those that complete
+///    without triggering a stopping rule;
+/// 2. re-run serially (the baseline for speedups);
+/// 3. drop "small" instances below `min_serial_ticks` (the paper drops
+///    serial execution times under 1 s).
+pub fn filter_pipeline(
+    datasets: impl IntoIterator<Item = Dataset>,
+    config: &GentriusConfig,
+    max_threads: usize,
+    min_serial_ticks: u64,
+) -> Vec<FilteredRun> {
+    let mut out = Vec::new();
+    for dataset in datasets {
+        let Ok(problem) = dataset.problem() else {
+            continue;
+        };
+        let wide = simulate(&problem, config, &SimConfig::with_threads(max_threads))
+            .expect("simulation runs");
+        if !wide.complete() {
+            continue;
+        }
+        let serial =
+            simulate(&problem, config, &SimConfig::with_threads(1)).expect("simulation runs");
+        if !serial.complete() || serial.makespan < min_serial_ticks {
+            continue;
+        }
+        out.push(FilteredRun { dataset, serial });
+    }
+    out
+}
+
+/// Measures per-thread speedups (virtual time) for every filtered dataset;
+/// returns, for each thread count, the vector of speedups across datasets.
+pub fn speedups_by_threads(
+    runs: &[FilteredRun],
+    config: &GentriusConfig,
+    threads: &[usize],
+) -> Vec<(usize, Vec<f64>)> {
+    threads
+        .iter()
+        .map(|&t| {
+            let mut v = Vec::with_capacity(runs.len());
+            for run in runs {
+                let problem = run.dataset.problem().expect("valid dataset");
+                let r = simulate(&problem, config, &SimConfig::with_threads(t))
+                    .expect("simulation runs");
+                v.push(r.speedup_vs(&run.serial));
+            }
+            (t, v)
+        })
+        .collect()
+}
+
+/// Renders a per-thread speedup-distribution table (the text analogue of
+/// the violin plots in Figs. 6–8).
+pub fn print_distribution_table(title: &str, rows: &[(usize, Vec<f64>)]) {
+    println!("{title}");
+    println!(
+        "{:>8} {:>5} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "threads", "n", "mean", "min", "q1", "median", "q3", "max"
+    );
+    for (t, v) in rows {
+        if let Some(s) = Summary::of(v) {
+            println!(
+                "{:>8} {:>5} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
+                t, s.n, s.mean, s.min, s.q1, s.median, s.q3, s.max
+            );
+        } else {
+            println!("{t:>8}   (no datasets survived the filter)");
+        }
+    }
+}
+
+/// A bounded-stopping config for bench-scale experiments.
+pub fn bench_config(max_trees: u64, max_states: u64) -> GentriusConfig {
+    GentriusConfig {
+        stopping: StoppingRules::counts(max_trees, max_states),
+        ..GentriusConfig::default()
+    }
+}
+
+/// Standard bench header: experiment id, paper artifact, what to expect.
+pub fn banner(id: &str, artifact: &str, expectation: &str) {
+    println!("================================================================");
+    println!("{id} — reproduces {artifact}");
+    println!("expected shape: {expectation}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gentrius_datagen::{simulated_dataset, SimulatedParams};
+
+    #[test]
+    fn pipeline_filters_small_and_incomplete() {
+        let params = SimulatedParams {
+            taxa: (10, 14),
+            loci: (3, 4),
+            missing: (0.3, 0.4),
+            pattern: gentrius_datagen::MissingPattern::Uniform,
+            shape: phylo::generate::ShapeModel::Uniform,
+        };
+        let datasets: Vec<_> = (0..10).map(|i| simulated_dataset(&params, 9, i)).collect();
+        let cfg = bench_config(50_000, 50_000);
+        let all = filter_pipeline(datasets.clone(), &cfg, 4, 0);
+        let strict = filter_pipeline(datasets, &cfg, 4, 10_000);
+        assert!(strict.len() <= all.len());
+        for r in &strict {
+            assert!(r.serial.makespan >= 10_000);
+            assert!(r.serial.complete());
+        }
+    }
+
+    #[test]
+    fn speedup_rows_align_with_thread_list() {
+        let params = SimulatedParams {
+            taxa: (10, 14),
+            loci: (3, 4),
+            missing: (0.35, 0.45),
+            pattern: gentrius_datagen::MissingPattern::Uniform,
+            shape: phylo::generate::ShapeModel::Uniform,
+        };
+        let datasets: Vec<_> = (0..8).map(|i| simulated_dataset(&params, 19, i)).collect();
+        let cfg = bench_config(20_000, 20_000);
+        let runs = filter_pipeline(datasets, &cfg, 4, 50);
+        let rows = speedups_by_threads(&runs, &cfg, &[2, 4]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 2);
+        assert!(rows.iter().all(|(_, v)| v.len() == runs.len()));
+    }
+}

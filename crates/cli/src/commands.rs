@@ -1,0 +1,826 @@
+//! Subcommand implementations. Everything returns its output as a string
+//! (plus optional file side effects) so the logic is directly testable.
+
+use crate::args::ParsedArgs;
+use gentrius_core::{
+    CollectNewick, GentriusConfig, InitialTreeRule, MappingMode, StandProblem, StopCause,
+    StoppingRules, TaxonOrderRule,
+};
+use gentrius_datagen::{empirical_dataset, simulated_dataset, Dataset, EmpiricalParams, SimulatedParams};
+use gentrius_parallel::{run_parallel_with_sinks, ParallelConfig};
+use gentrius_sim::{simulate, SimConfig};
+use phylo::newick::{parse_forest, to_newick};
+use phylo::pam::Pam;
+use phylo::taxa::TaxonSet;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Top-level error type for the CLI.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError(s)
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+gentrius — phylogenetic stand enumeration (Rust reproduction of parallel Gentrius)
+
+USAGE:
+  gentrius stand   --trees FILE | (--species FILE --pam FILE)
+                   [--threads N] [--max-trees N] [--max-states N] [--max-hours H]
+                   [--no-dynamic] [--initial-tree IDX] [--incremental]
+                   [--print-trees] [--output FILE]
+  gentrius induced --species FILE --pam FILE
+  gentrius gen     --kind sim|emp [--seed S] [--index I] [--scale paper|scaled]
+                   [--output FILE]  |  gen --scenario NAME [--output FILE]
+                   (--scenario list prints the scenario registry)
+  gentrius sim     (--dataset FILE | --trees FILE) [--threads 1,2,4,8,16]
+                   [--max-trees N] [--max-states N] [--max-ticks T] [--no-steal]
+                   [--trace]
+  gentrius consensus (--trees FILE | --dataset FILE | --species FILE --pam FILE)
+                   [--max-trees N] [--max-states N] [--min-support F]
+  gentrius verify  (--trees FILE | --dataset FILE | --species FILE --pam FILE)
+                   [--threads N] [--max-trees N] [--max-states N]
+  gentrius superb  (--trees FILE | --dataset FILE | --species FILE --pam FILE)
+  gentrius score   --matrix FILE --partitions FILE --trees FILE
+                   [--branch-len T] [--likelihood]
+  gentrius help
+
+Input formats: tree files hold one Newick per line; PAM files hold
+'<taxon> <0/1 row>' lines; dataset files use the gentrius dataset v1 format.
+";
+
+/// Dispatches a full command line (without the program name).
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let parsed = ParsedArgs::parse(
+        args,
+        &[
+            "no-dynamic",
+            "incremental",
+            "print-trees",
+            "no-steal",
+            "trace",
+            "likelihood",
+            "help",
+        ],
+    )
+    .map_err(|e| CliError(e.to_string()))?;
+    if parsed.has("help") {
+        return Ok(USAGE.to_string());
+    }
+    match parsed.positional.first().map(|s| s.as_str()) {
+        Some("stand") => cmd_stand(&parsed),
+        Some("induced") => cmd_induced(&parsed),
+        Some("gen") => cmd_gen(&parsed),
+        Some("sim") => cmd_sim(&parsed),
+        Some("consensus") => cmd_consensus(&parsed),
+        Some("verify") => cmd_verify(&parsed),
+        Some("superb") => cmd_superb(&parsed),
+        Some("score") => cmd_score(&parsed),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    }
+}
+
+/// Loads the problem (and taxa) from `--trees`, `--dataset`, or
+/// `--species`+`--pam`.
+fn load_problem(a: &ParsedArgs) -> Result<(TaxonSet, StandProblem), CliError> {
+    if let Some(path) = a.get("dataset") {
+        let d = Dataset::load(std::path::Path::new(path))?;
+        let p = d.problem().map_err(|e| CliError(e.to_string()))?;
+        return Ok((d.taxa, p));
+    }
+    if let Some(path) = a.get("trees") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+        // NEXUS tree files are auto-detected by their header; anything
+        // else is treated as one Newick per line.
+        let (taxa, trees) = if text.trim_start().to_ascii_uppercase().starts_with("#NEXUS") {
+            let data = phylo::nexus::parse_nexus(&text).map_err(|e| CliError(e.to_string()))?;
+            (data.taxa, data.trees.into_iter().map(|(_, t)| t).collect())
+        } else {
+            parse_forest(text.lines()).map_err(|e| CliError(e.to_string()))?
+        };
+        let p = StandProblem::from_constraints(trees).map_err(|e| CliError(e.to_string()))?;
+        return Ok((taxa, p));
+    }
+    if let (Some(sp), Some(pp)) = (a.get("species"), a.get("pam")) {
+        let sp_text =
+            std::fs::read_to_string(sp).map_err(|e| CliError(format!("{sp}: {e}")))?;
+        let pam_text =
+            std::fs::read_to_string(pp).map_err(|e| CliError(format!("{pp}: {e}")))?;
+        let (mut taxa, mut trees) = parse_forest(
+            sp_text.lines().take(1),
+        )
+        .map_err(|e| CliError(e.to_string()))?;
+        let pam = Pam::parse_text(&pam_text, &mut taxa)?;
+        if trees[0].universe() != taxa.len() {
+            // PAM introduced extra labels: re-parse the tree over the
+            // enlarged universe.
+            let line = sp_text.lines().next().unwrap_or_default();
+            trees[0] = phylo::newick::parse_newick(line, &taxa)
+                .map_err(|e| CliError(e.to_string()))?;
+        }
+        let p = StandProblem::from_species_tree_and_pam(&trees[0], &pam)
+            .map_err(|e| CliError(e.to_string()))?;
+        return Ok((taxa, p));
+    }
+    err("provide --trees FILE, --dataset FILE, or --species FILE with --pam FILE")
+}
+
+fn config_from(a: &ParsedArgs) -> Result<GentriusConfig, CliError> {
+    let defaults = StoppingRules::paper_defaults();
+    let max_trees = a
+        .get_parsed("max-trees", defaults.max_stand_trees.unwrap())
+        .map_err(|e| CliError(e.to_string()))?;
+    let max_states = a
+        .get_parsed("max-states", defaults.max_intermediate_states.unwrap())
+        .map_err(|e| CliError(e.to_string()))?;
+    let max_hours: f64 = a
+        .get_parsed("max-hours", 168.0)
+        .map_err(|e| CliError(e.to_string()))?;
+    let initial_tree = match a.get("initial-tree") {
+        None => InitialTreeRule::MaxOverlap,
+        Some(v) => InitialTreeRule::Index(
+            v.parse()
+                .map_err(|_| CliError(format!("--initial-tree: bad index '{v}'")))?,
+        ),
+    };
+    Ok(GentriusConfig {
+        initial_tree,
+        taxon_order: if a.has("no-dynamic") {
+            TaxonOrderRule::ById
+        } else {
+            TaxonOrderRule::Dynamic
+        },
+        stopping: StoppingRules {
+            max_stand_trees: Some(max_trees),
+            max_intermediate_states: Some(max_states),
+            max_time: Some(Duration::from_secs_f64(max_hours * 3600.0)),
+        },
+        mapping: if a.has("incremental") {
+            MappingMode::Incremental
+        } else {
+            MappingMode::Recompute
+        },
+    })
+}
+
+fn stop_str(stop: Option<StopCause>) -> &'static str {
+    match stop {
+        None => "complete enumeration",
+        Some(StopCause::StandTreeLimit) => "stopped: stand-tree limit (rule 1)",
+        Some(StopCause::StateLimit) => "stopped: intermediate-state limit (rule 2)",
+        Some(StopCause::TimeLimit) => "stopped: time limit (rule 3)",
+    }
+}
+
+fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
+    let (taxa, problem) = load_problem(a)?;
+    let config = config_from(a)?;
+    let threads: usize = a
+        .get_parsed("threads", 1usize)
+        .map_err(|e| CliError(e.to_string()))?;
+    let want_trees = a.has("print-trees") || a.get("output").is_some();
+    let cap = if want_trees { 10_000_000 } else { 0 };
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "input: {} constraint trees, {} taxa",
+        problem.constraints().len(),
+        problem.num_taxa()
+    )
+    .unwrap();
+
+    let (stats, stop, elapsed, mut newicks) = if threads <= 1 {
+        let mut sink = CollectNewick::with_cap(&taxa, cap);
+        let r = problem_run_serial(&problem, &config, &mut sink)?;
+        (r.stats, r.stop, r.elapsed, sink.out)
+    } else {
+        let pcfg = ParallelConfig::with_threads(threads);
+        let (r, sinks) =
+            run_parallel_with_sinks(&problem, &config, &pcfg, |_| CollectNewick::with_cap(&taxa, cap))
+                .map_err(|e| CliError(e.to_string()))?;
+        let mut merged: Vec<String> = sinks.into_iter().flat_map(|s| s.out).collect();
+        merged.sort();
+        (r.stats, r.stop, r.elapsed, merged)
+    };
+
+    writeln!(out, "threads: {threads}").unwrap();
+    writeln!(out, "stand trees: {}", stats.stand_trees).unwrap();
+    writeln!(out, "intermediate states: {}", stats.intermediate_states).unwrap();
+    writeln!(out, "dead ends: {}", stats.dead_ends).unwrap();
+    writeln!(out, "status: {}", stop_str(stop)).unwrap();
+    writeln!(out, "time: {:.3}s", elapsed.as_secs_f64()).unwrap();
+
+    if want_trees {
+        newicks.sort();
+        if let Some(path) = a.get("output") {
+            std::fs::write(path, newicks.join("\n") + "\n")
+                .map_err(|e| CliError(format!("{path}: {e}")))?;
+            writeln!(out, "wrote {} trees to {path}", newicks.len()).unwrap();
+        }
+        if a.has("print-trees") {
+            for t in &newicks {
+                writeln!(out, "{t}").unwrap();
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn problem_run_serial(
+    problem: &StandProblem,
+    config: &GentriusConfig,
+    sink: &mut CollectNewick<'_>,
+) -> Result<gentrius_core::RunResult, CliError> {
+    gentrius_core::run_serial(problem, config, sink).map_err(|e| CliError(e.to_string()))
+}
+
+fn cmd_induced(a: &ParsedArgs) -> Result<String, CliError> {
+    let (Some(sp), Some(pp)) = (a.get("species"), a.get("pam")) else {
+        return err("induced requires --species FILE and --pam FILE");
+    };
+    let sp_text = std::fs::read_to_string(sp).map_err(|e| CliError(format!("{sp}: {e}")))?;
+    let pam_text = std::fs::read_to_string(pp).map_err(|e| CliError(format!("{pp}: {e}")))?;
+    let (mut taxa, _) =
+        parse_forest(sp_text.lines().take(1)).map_err(|e| CliError(e.to_string()))?;
+    let pam = Pam::parse_text(&pam_text, &mut taxa)?;
+    let line = sp_text.lines().next().unwrap_or_default();
+    let species =
+        phylo::newick::parse_newick(line, &taxa).map_err(|e| CliError(e.to_string()))?;
+    let mut out = String::new();
+    for sub in pam.induced_subtrees(&species) {
+        writeln!(out, "{}", to_newick(&sub, &taxa)).unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_gen(a: &ParsedArgs) -> Result<String, CliError> {
+    if let Some(name) = a.get("scenario") {
+        if name == "list" {
+            let mut out = String::from("available scenarios:\n");
+            for s in gentrius_datagen::scenario::REGISTRY {
+                writeln!(out, "  {:<20} {}", s.key, s.role).unwrap();
+            }
+            return Ok(out);
+        }
+        let dataset = gentrius_datagen::scenario::scenario_by_key(name)
+            .ok_or_else(|| CliError(format!("unknown scenario '{name}' (try --scenario list)")))?;
+        let text = dataset.to_text();
+        return if let Some(path) = a.get("output") {
+            std::fs::write(path, &text).map_err(|e| CliError(format!("{path}: {e}")))?;
+            Ok(format!(
+                "wrote scenario {} ({} taxa, {} loci) to {path}\n",
+                dataset.name,
+                dataset.num_taxa(),
+                dataset.num_loci()
+            ))
+        } else {
+            Ok(text)
+        };
+    }
+    let kind = a.get("kind").unwrap_or("sim");
+    let seed: u64 = a
+        .get_parsed("seed", 42u64)
+        .map_err(|e| CliError(e.to_string()))?;
+    let index: u64 = a
+        .get_parsed("index", 0u64)
+        .map_err(|e| CliError(e.to_string()))?;
+    let scale = a.get("scale").unwrap_or("scaled");
+    let dataset = match (kind, scale) {
+        ("sim", "paper") => simulated_dataset(&SimulatedParams::paper(), seed, index),
+        ("sim", _) => simulated_dataset(&SimulatedParams::scaled(), seed, index),
+        ("emp", "paper") => empirical_dataset(&EmpiricalParams::paper(), seed, index),
+        ("emp", _) => empirical_dataset(&EmpiricalParams::scaled(), seed, index),
+        _ => return err(format!("unknown --kind '{kind}' (sim|emp)")),
+    };
+    let text = dataset.to_text();
+    if let Some(path) = a.get("output") {
+        std::fs::write(path, &text).map_err(|e| CliError(format!("{path}: {e}")))?;
+        Ok(format!(
+            "wrote {} ({} taxa, {} loci, {:.1}% missing) to {path}\n",
+            dataset.name,
+            dataset.num_taxa(),
+            dataset.num_loci(),
+            100.0 * dataset.missing_fraction()
+        ))
+    } else {
+        Ok(text)
+    }
+}
+
+fn cmd_sim(a: &ParsedArgs) -> Result<String, CliError> {
+    let (_taxa, problem) = load_problem(a)?;
+    let config = config_from(a)?;
+    let threads = a
+        .get_list("threads")
+        .map_err(|e| CliError(e.to_string()))?
+        .unwrap_or_else(|| vec![1, 2, 4, 8, 12, 16]);
+    let max_ticks = match a.get("max-ticks") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| CliError(format!("--max-ticks: bad number '{v}'")))?,
+        ),
+    };
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "virtual-time simulation ({} constraints, {} taxa)",
+        problem.constraints().len(),
+        problem.num_taxa()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>7} {:>12} {:>10} {:>10} {:>8} {:>9} {:>7}",
+        "threads", "ticks", "trees", "states", "stolen", "speedup", "asp"
+    )
+    .unwrap();
+    let mut serial = None;
+    for &t in &threads {
+        let mut sc = SimConfig::with_threads(t as usize);
+        sc.stealing = !a.has("no-steal");
+        sc.max_ticks = max_ticks;
+        sc.trace = a.has("trace");
+        let r = simulate(&problem, &config, &sc).map_err(|e| CliError(e.to_string()))?;
+        let (sp, asp) = match &serial {
+            None => (1.0, 1.0),
+            Some(s) => (r.speedup_vs(s), r.adapted_speedup_vs(s)),
+        };
+        writeln!(
+            out,
+            "{:>7} {:>12} {:>10} {:>10} {:>8} {:>9.2} {:>7.2}",
+            t, r.makespan, r.stats.stand_trees, r.stats.intermediate_states, r.tasks_stolen, sp, asp
+        )
+        .unwrap();
+        if let Some(tl) = &r.timeline {
+            out.push_str(&tl.render(r.makespan, 64));
+        }
+        if serial.is_none() {
+            serial = Some(r);
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_consensus(a: &ParsedArgs) -> Result<String, CliError> {
+    let (taxa, problem) = load_problem(a)?;
+    let config = config_from(a)?;
+    let min_support: f64 = a
+        .get_parsed("min-support", 0.5f64)
+        .map_err(|e| CliError(e.to_string()))?;
+    let mut sink = gentrius_core::SplitSupportSink::new();
+    let r = gentrius_core::run_serial(&problem, &config, &mut sink)
+        .map_err(|e| CliError(e.to_string()))?;
+    let summary = sink.finish();
+    let mut out = String::new();
+    writeln!(out, "stand trees analysed: {}", summary.num_trees()).unwrap();
+    writeln!(out, "status: {}", stop_str(r.stop)).unwrap();
+    if summary.num_trees() == 0 {
+        writeln!(out, "empty stand: no consensus").unwrap();
+        return Ok(out);
+    }
+    if let Some(strict) = summary.strict_consensus() {
+        writeln!(out, "strict consensus:   {}", to_newick(&strict, &taxa)).unwrap();
+    }
+    if let Some(maj) = summary.majority_consensus() {
+        writeln!(out, "majority consensus: {}", to_newick(&maj, &taxa)).unwrap();
+    }
+    writeln!(out, "splits with support >= {min_support:.2}:").unwrap();
+    for (split, support) in summary.frequencies().supports() {
+        if support < min_support {
+            break;
+        }
+        let names: Vec<&str> = split
+            .side()
+            .iter()
+            .map(|t| taxa.name(phylo::TaxonId(t as u32)))
+            .collect();
+        writeln!(out, "  {:>6.1}%  {{{}}}", 100.0 * support, names.join(",")).unwrap();
+    }
+    Ok(out)
+}
+
+/// The §IV verification protocol as a command: serial, threaded and
+/// simulated engines must produce identical counters (and, for small
+/// inputs, the stand must equal the brute-force ground truth).
+fn cmd_verify(a: &ParsedArgs) -> Result<String, CliError> {
+    let (taxa, problem) = load_problem(a)?;
+    let config = config_from(a)?;
+    let threads: usize = a
+        .get_parsed("threads", 2usize)
+        .map_err(|e| CliError(e.to_string()))?;
+    let mut out = String::new();
+
+    let mut serial_sink = CollectNewick::with_cap(&taxa, 2_000_000);
+    let serial = gentrius_core::run_serial(&problem, &config, &mut serial_sink)
+        .map_err(|e| CliError(e.to_string()))?;
+    writeln!(
+        out,
+        "serial:    trees={} states={} dead_ends={} ({})",
+        serial.stats.stand_trees,
+        serial.stats.intermediate_states,
+        serial.stats.dead_ends,
+        stop_str(serial.stop)
+    )
+    .unwrap();
+
+    let pcfg = ParallelConfig::with_threads(threads.max(2));
+    let (par, par_sinks) = run_parallel_with_sinks(&problem, &config, &pcfg, |_| {
+        CollectNewick::with_cap(&taxa, 2_000_000)
+    })
+    .map_err(|e| CliError(e.to_string()))?;
+    writeln!(
+        out,
+        "parallel:  trees={} states={} dead_ends={} ({} threads)",
+        par.stats.stand_trees, par.stats.intermediate_states, par.stats.dead_ends, pcfg.threads
+    )
+    .unwrap();
+
+    let sim = simulate(&problem, &config, &SimConfig::with_threads(16))
+        .map_err(|e| CliError(e.to_string()))?;
+    writeln!(
+        out,
+        "simulated: trees={} states={} dead_ends={} (16 virtual threads)",
+        sim.stats.stand_trees, sim.stats.intermediate_states, sim.stats.dead_ends
+    )
+    .unwrap();
+
+    if !serial.complete() {
+        writeln!(
+            out,
+            "verdict: SKIPPED — a stopping rule fired; counters are only              comparable for complete enumerations (raise the limits)"
+        )
+        .unwrap();
+        return Ok(out);
+    }
+
+    let counters_ok = serial.stats == par.stats && serial.stats == sim.stats;
+    let mut serial_set = serial_sink.out;
+    serial_set.sort();
+    let mut par_set: Vec<String> = par_sinks.into_iter().flat_map(|s| s.out).collect();
+    par_set.sort();
+    let stands_ok = serial_set == par_set;
+    writeln!(out, "counters identical: {counters_ok}").unwrap();
+    writeln!(out, "stand sets identical (serial vs parallel): {stands_ok}").unwrap();
+
+    let mut oracle_ok = true;
+    if problem.num_taxa() <= gentrius_core::oracle::MAX_BRUTE_FORCE_TAXA {
+        let brute = gentrius_core::oracle::brute_force_stand(&problem, &taxa);
+        oracle_ok = brute == serial_set;
+        writeln!(out, "brute-force ground truth identical: {oracle_ok}").unwrap();
+    } else {
+        writeln!(
+            out,
+            "brute-force check skipped ({} taxa > {} limit)",
+            problem.num_taxa(),
+            gentrius_core::oracle::MAX_BRUTE_FORCE_TAXA
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "verdict: {}",
+        if counters_ok && stands_ok && oracle_ok {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// The SUPERB baseline: count the terrace without enumerating (requires a
+/// comprehensive taxon — the §I prior-art limitation Gentrius removes).
+fn cmd_superb(a: &ParsedArgs) -> Result<String, CliError> {
+    let (taxa, problem) = load_problem(a)?;
+    let mut out = String::new();
+    match gentrius_superb::comprehensive_taxon(&problem) {
+        Some(r) => writeln!(out, "comprehensive taxon: {}", taxa.name(r)).unwrap(),
+        None => {
+            writeln!(
+                out,
+                "no comprehensive taxon: SUPERB cannot root this input                  (use 'gentrius stand' — Gentrius has no such requirement)"
+            )
+            .unwrap();
+            return Ok(out);
+        }
+    }
+    match gentrius_superb::superb_count(&problem) {
+        Ok(n) => writeln!(out, "terrace size (SUPERB): {n}").unwrap(),
+        Err(e) => writeln!(out, "SUPERB failed: {e}").unwrap(),
+    }
+    Ok(out)
+}
+
+/// Scores trees against a partitioned supermatrix: per-partition Fitch
+/// parsimony (default) or JC69 log-likelihood (`--likelihood`). Trees on
+/// one stand print identical rows — the terrace, on the command line.
+fn cmd_score(a: &ParsedArgs) -> Result<String, CliError> {
+    let (Some(mp), Some(pp), Some(tp)) = (a.get("matrix"), a.get("partitions"), a.get("trees"))
+    else {
+        return err("score requires --matrix FILE --partitions FILE --trees FILE");
+    };
+    let matrix_text =
+        std::fs::read_to_string(mp).map_err(|e| CliError(format!("{mp}: {e}")))?;
+    let parts_text =
+        std::fs::read_to_string(pp).map_err(|e| CliError(format!("{pp}: {e}")))?;
+    let trees_text =
+        std::fs::read_to_string(tp).map_err(|e| CliError(format!("{tp}: {e}")))?;
+    let mut taxa = TaxonSet::new();
+    let matrix = gentrius_msa::Supermatrix::parse_phylip(&matrix_text, &parts_text, &mut taxa)?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "supermatrix: {} taxa x {} sites, {} partitions",
+        matrix.universe(),
+        matrix.sites(),
+        matrix.partitions().len()
+    )
+    .unwrap();
+    let branch_len: f64 = a
+        .get_parsed("branch-len", 0.1f64)
+        .map_err(|e| CliError(e.to_string()))?;
+    let use_lik = a.has("likelihood");
+    writeln!(
+        out,
+        "{:<8} {:>40} {:>14}",
+        "tree",
+        if use_lik {
+            "per-partition log-likelihood"
+        } else {
+            "per-partition parsimony"
+        },
+        "total"
+    )
+    .unwrap();
+    for (i, line) in trees_text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tree = phylo::newick::parse_newick(line, &taxa)
+            .map_err(|e| CliError(format!("tree {}: {e}", i + 1)))?;
+        if use_lik {
+            let ll = gentrius_msa::log_likelihood(
+                &tree,
+                &matrix,
+                branch_len,
+                gentrius_msa::MissingMode::Restrict,
+            );
+            let total: f64 = ll.iter().sum();
+            let cells: Vec<String> = ll.iter().map(|x| format!("{x:.2}")).collect();
+            writeln!(out, "#{:<7} {:>40} {:>14.2}", i + 1, cells.join(" "), total).unwrap();
+        } else {
+            let s = gentrius_msa::score(&tree, &matrix, gentrius_msa::MissingMode::Restrict);
+            let cells: Vec<String> =
+                s.per_partition.iter().map(|x| x.to_string()).collect();
+            writeln!(out, "#{:<7} {:>40} {:>14}", i + 1, cells.join(" "), s.total()).unwrap();
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_strs(args: &[&str]) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&owned)
+    }
+
+    fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::write(&p, content).unwrap();
+        p
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run_strs(&["help"]).unwrap().contains("USAGE"));
+        assert!(run_strs(&[]).unwrap().contains("USAGE"));
+        assert!(run_strs(&["bogus"]).is_err());
+    }
+
+    #[test]
+    fn stand_from_trees_file() {
+        let p = write_tmp("quartets.nwk", "((A,B),(C,D));\n((C,D),(E,F));\n");
+        let out = run_strs(&["stand", "--trees", p.to_str().unwrap()]).unwrap();
+        assert!(out.contains("stand trees:"), "{out}");
+        assert!(out.contains("complete enumeration"), "{out}");
+    }
+
+    #[test]
+    fn stand_parallel_matches_serial() {
+        let p = write_tmp("par.nwk", "((A,B),(C,D));\n((A,E),(F,G));\n");
+        let s1 = run_strs(&["stand", "--trees", p.to_str().unwrap()]).unwrap();
+        let s2 = run_strs(&["stand", "--trees", p.to_str().unwrap(), "--threads", "2"]).unwrap();
+        let grab = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("stand trees:"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(grab(&s1), grab(&s2));
+    }
+
+    #[test]
+    fn stand_with_species_and_pam() {
+        let sp = write_tmp("species.nwk", "((A,B),((C,D),(E,F)));\n");
+        let pam = write_tmp("matrix.pam", "A 11\nB 11\nC 11\nD 11\nE 01\nF 01\n");
+        let out = run_strs(&[
+            "stand",
+            "--species",
+            sp.to_str().unwrap(),
+            "--pam",
+            pam.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("stand trees:"), "{out}");
+    }
+
+    #[test]
+    fn induced_prints_per_locus_trees() {
+        let sp = write_tmp("species2.nwk", "((A,B),((C,D),(E,F)));\n");
+        let pam = write_tmp("matrix2.pam", "A 11\nB 11\nC 11\nD 10\nE 01\nF 11\n");
+        let out = run_strs(&[
+            "induced",
+            "--species",
+            sp.to_str().unwrap(),
+            "--pam",
+            pam.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.lines().all(|l| l.ends_with(';')));
+    }
+
+    #[test]
+    fn gen_roundtrips_through_stand() {
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = dir.join("gen1.dataset");
+        let msg = run_strs(&[
+            "gen",
+            "--kind",
+            "sim",
+            "--seed",
+            "5",
+            "--index",
+            "1",
+            "--output",
+            ds.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("wrote sim-data-1"), "{msg}");
+        let out = run_strs(&[
+            "stand",
+            "--dataset",
+            ds.to_str().unwrap(),
+            "--max-states",
+            "200000",
+            "--max-trees",
+            "100000",
+        ])
+        .unwrap();
+        assert!(out.contains("stand trees:"), "{out}");
+    }
+
+    #[test]
+    fn sim_prints_speedup_table() {
+        let p = write_tmp("simtab.nwk", "((A,B),(C,D));\n((A,E),(F,G));\n((C,F),(H,I));\n");
+        let out = run_strs(&[
+            "sim",
+            "--trees",
+            p.to_str().unwrap(),
+            "--threads",
+            "1,2,4",
+        ])
+        .unwrap();
+        assert!(out.contains("speedup"), "{out}");
+        assert_eq!(
+            out.lines().filter(|l| l.trim().starts_with(char::is_numeric)).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn consensus_subcommand_reports_supports() {
+        let p = write_tmp("cons.nwk", "((A,B),(C,D));\n((C,D),(E,F));\n");
+        let out = run_strs(&["consensus", "--trees", p.to_str().unwrap(), "--min-support", "0.3"]).unwrap();
+        assert!(out.contains("strict consensus:"), "{out}");
+        assert!(out.contains("majority consensus:"), "{out}");
+        assert!(out.contains('%'), "{out}");
+    }
+
+    #[test]
+    fn verify_subcommand_passes_on_small_instance() {
+        let p = write_tmp("verify.nwk", "((A,B),(C,D));\n((C,D),(E,F));\n");
+        let out = run_strs(&["verify", "--trees", p.to_str().unwrap()]).unwrap();
+        assert!(out.contains("counters identical: true"), "{out}");
+        assert!(out.contains("brute-force ground truth identical: true"), "{out}");
+        assert!(out.contains("verdict: PASS"), "{out}");
+    }
+
+    #[test]
+    fn score_subcommand_parsimony_and_likelihood() {
+        let m = write_tmp(
+            "sc.phy",
+            "4 6\nA AACCAA\nB AACCAC\nC CCAAGA\nD CCAAGC\n",
+        );
+        let parts = write_tmp("sc.part", "DNA, g1 = 1-3\nDNA, g2 = 4-6\n");
+        let trees = write_tmp("sc.nwk", "((A,B),(C,D));\n((A,C),(B,D));\n");
+        let out = run_strs(&[
+            "score", "--matrix", m.to_str().unwrap(), "--partitions",
+            parts.to_str().unwrap(), "--trees", trees.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("per-partition parsimony"), "{out}");
+        assert_eq!(out.lines().filter(|l| l.starts_with('#')).count(), 2);
+        let ll = run_strs(&[
+            "score", "--matrix", m.to_str().unwrap(), "--partitions",
+            parts.to_str().unwrap(), "--trees", trees.to_str().unwrap(),
+            "--likelihood",
+        ])
+        .unwrap();
+        assert!(ll.contains("log-likelihood"), "{ll}");
+    }
+
+    #[test]
+    fn gen_scenario_registry() {
+        let out = run_strs(&["gen", "--scenario", "list"]).unwrap();
+        assert!(out.contains("plateau-5"), "{out}");
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = dir.join("trap.dataset");
+        let msg = run_strs(&["gen", "--scenario", "trap", "--output", ds.to_str().unwrap()]).unwrap();
+        assert!(msg.contains("wrote scenario"), "{msg}");
+        assert!(run_strs(&["gen", "--scenario", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn sim_trace_prints_schedule() {
+        let p = write_tmp("trace.nwk", "((A,B),(C,D));\n((A,E),(F,G));\n");
+        let out = run_strs(&["sim", "--trees", p.to_str().unwrap(), "--threads", "1,4", "--trace"]).unwrap();
+        assert!(out.contains("w00 ["), "{out}");
+        assert!(out.contains('%'), "{out}");
+    }
+
+    #[test]
+    fn nexus_tree_files_are_autodetected() {
+        let p = write_tmp(
+            "in.nex",
+            "#NEXUS\nBEGIN TREES;\nTREE a = ((A,B),(C,D));\nTREE b = ((C,D),(E,F));\nEND;\n",
+        );
+        let out = run_strs(&["stand", "--trees", p.to_str().unwrap()]).unwrap();
+        assert!(out.contains("2 constraint trees, 6 taxa"), "{out}");
+        assert!(out.contains("complete enumeration"), "{out}");
+    }
+
+    #[test]
+    fn superb_subcommand_counts_and_reports_boundary() {
+        let p = write_tmp("superb1.nwk", "((R,A),(B,C));\n((R,B),(C,D));\n");
+        let out = run_strs(&["superb", "--trees", p.to_str().unwrap()]).unwrap();
+        assert!(out.contains("comprehensive taxon: R"), "{out}");
+        assert!(out.contains("terrace size (SUPERB):"), "{out}");
+        let q = write_tmp("superb2.nwk", "((A,B),(C,D));\n((E,F),(G,H));\n");
+        let out2 = run_strs(&["superb", "--trees", q.to_str().unwrap()]).unwrap();
+        assert!(out2.contains("no comprehensive taxon"), "{out2}");
+    }
+
+    #[test]
+    fn print_trees_outputs_sorted_unique_stand() {
+        let p = write_tmp("pt.nwk", "((A,B),(C,D));\n((C,D),(E,F));\n");
+        let out = run_strs(&["stand", "--trees", p.to_str().unwrap(), "--print-trees"]).unwrap();
+        let trees: Vec<&str> = out.lines().filter(|l| l.ends_with(';')).collect();
+        assert!(!trees.is_empty());
+        let mut sorted = trees.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(trees.len(), sorted.len());
+    }
+}

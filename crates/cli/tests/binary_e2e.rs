@@ -1,0 +1,124 @@
+//! True end-to-end tests: drive the compiled `gentrius` binary through a
+//! realistic session — generate a dataset, enumerate its stand serially
+//! and in parallel, extract induced trees, run the consensus and the
+//! engine verification — checking observable behaviour only (stdout, exit
+//! codes, files).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn gentrius() -> Command {
+    // Cargo builds and exposes the package's binaries to its integration
+    // tests via CARGO_BIN_EXE_<name>.
+    Command::new(env!("CARGO_BIN_EXE_gentrius"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = gentrius().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "gentrius {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("gentrius-e2e");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+#[test]
+fn full_session() {
+    // 1. Generate a dataset.
+    let ds = tmp("session.dataset");
+    let msg = run_ok(&[
+        "gen", "--kind", "sim", "--seed", "11", "--index", "2", "--output",
+        ds.to_str().unwrap(),
+    ]);
+    assert!(msg.contains("wrote sim-data-2"), "{msg}");
+
+    // 2. Serial stand enumeration with bounded rules.
+    let serial = run_ok(&[
+        "stand", "--dataset", ds.to_str().unwrap(), "--max-trees", "200000",
+        "--max-states", "500000",
+    ]);
+    let grab = |out: &str, key: &str| -> String {
+        out.lines()
+            .find(|l| l.starts_with(key))
+            .unwrap_or_else(|| panic!("missing '{key}' in {out}"))
+            .to_string()
+    };
+    let serial_trees = grab(&serial, "stand trees:");
+
+    // 3. Parallel run must report the same count.
+    let par = run_ok(&[
+        "stand", "--dataset", ds.to_str().unwrap(), "--threads", "2",
+        "--max-trees", "200000", "--max-states", "500000",
+    ]);
+    assert_eq!(serial_trees, grab(&par, "stand trees:"));
+
+    // 4. Write the stand to a file and re-load it as constraints — the
+    //    stand of a single complete tree is itself.
+    let trees_out = tmp("stand.nwk");
+    let _ = run_ok(&[
+        "stand", "--dataset", ds.to_str().unwrap(), "--max-trees", "200000",
+        "--max-states", "500000", "--output", trees_out.to_str().unwrap(),
+    ]);
+    let content = std::fs::read_to_string(&trees_out).expect("stand file");
+    assert!(content.lines().filter(|l| l.ends_with(';')).count() >= 1);
+
+    // 5. Engine verification on a small instance.
+    let small = tmp("small.nwk");
+    std::fs::write(&small, "((A,B),(C,D));\n((C,D),(E,F));\n").unwrap();
+    let verify = run_ok(&["verify", "--trees", small.to_str().unwrap()]);
+    assert!(verify.contains("verdict: PASS"), "{verify}");
+
+    // 6. Consensus on the same instance.
+    let cons = run_ok(&["consensus", "--trees", small.to_str().unwrap()]);
+    assert!(cons.contains("majority consensus:"), "{cons}");
+
+    // 7. Virtual-time speedup table.
+    let sim = run_ok(&[
+        "sim", "--trees", small.to_str().unwrap(), "--threads", "1,2,4",
+    ]);
+    assert!(sim.lines().count() >= 5, "{sim}");
+}
+
+#[test]
+fn error_paths_exit_nonzero() {
+    let out = gentrius()
+        .args(["stand", "--trees", "/nonexistent/file.nwk"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+
+    let out = gentrius().args(["frobnicate"]).output().expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn induced_pipes_into_stand() {
+    let sp = tmp("species.nwk");
+    let pam = tmp("matrix.pam");
+    std::fs::write(&sp, "((A,B),((C,D),(E,F)));\n").unwrap();
+    std::fs::write(&pam, "A 11\nB 11\nC 11\nD 10\nE 01\nF 11\n").unwrap();
+    let induced = run_ok(&[
+        "induced", "--species", sp.to_str().unwrap(), "--pam", pam.to_str().unwrap(),
+    ]);
+    let induced_file = tmp("induced.nwk");
+    std::fs::write(&induced_file, &induced).unwrap();
+    let stand = run_ok(&["stand", "--trees", induced_file.to_str().unwrap()]);
+    assert!(stand.contains("stand trees:"), "{stand}");
+    // Species tree is on its own stand → at least 1.
+    let n: u64 = stand
+        .lines()
+        .find(|l| l.starts_with("stand trees:"))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("count parses");
+    assert!(n >= 1);
+}

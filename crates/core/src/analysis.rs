@@ -1,0 +1,205 @@
+//! Stand post-analysis: branch support across the enumerated stand.
+//!
+//! Enumerating a stand answers "how many equally-scoring trees are there";
+//! the follow-up question — central to the paper's motivation (§I) — is
+//! *which parts of the inferred tree survive across the whole stand*. This
+//! module provides a streaming sink that accumulates split frequencies
+//! while Gentrius enumerates, plus a summary with strict / majority-rule
+//! consensus trees and per-branch support for a reference tree.
+
+use crate::sink::StandSink;
+use phylo::consensus::SplitFrequencies;
+use phylo::split::{nontrivial_splits, Split};
+use phylo::tree::Tree;
+
+/// A [`StandSink`] that accumulates split frequencies over the stand
+/// without storing the trees (memory stays O(#distinct splits)).
+#[derive(Default)]
+pub struct SplitSupportSink {
+    freqs: SplitFrequencies,
+}
+
+impl SplitSupportSink {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes the accumulation and produces the summary.
+    pub fn finish(self) -> StandSummary {
+        StandSummary { freqs: self.freqs }
+    }
+
+    /// Read access to the running frequencies.
+    pub fn frequencies(&self) -> &SplitFrequencies {
+        &self.freqs
+    }
+}
+
+impl StandSink for SplitSupportSink {
+    fn stand_tree(&mut self, tree: &Tree) {
+        self.freqs.add(tree);
+    }
+}
+
+/// Summary of a (possibly partially) enumerated stand.
+pub struct StandSummary {
+    freqs: SplitFrequencies,
+}
+
+impl StandSummary {
+    /// Number of stand trees accumulated.
+    pub fn num_trees(&self) -> u64 {
+        self.freqs.num_trees()
+    }
+
+    /// The underlying split frequencies.
+    pub fn frequencies(&self) -> &SplitFrequencies {
+        &self.freqs
+    }
+
+    /// The strict consensus of the accumulated stand.
+    pub fn strict_consensus(&self) -> Option<Tree> {
+        self.freqs.strict_consensus()
+    }
+
+    /// The majority-rule consensus of the accumulated stand.
+    pub fn majority_consensus(&self) -> Option<Tree> {
+        self.freqs.majority_consensus()
+    }
+
+    /// For each non-trivial split of `reference`, the fraction of stand
+    /// trees containing it — the per-branch support annotation. Returns
+    /// `(split, support)` in descending support order.
+    pub fn branch_support(&self, reference: &Tree) -> Vec<(Split, f64)> {
+        let total = self.freqs.num_trees().max(1) as f64;
+        let mut out: Vec<(Split, f64)> = nontrivial_splits(reference)
+            .into_iter()
+            .map(|s| {
+                let count = self
+                    .freqs
+                    .iter()
+                    .find(|(fs, _)| **fs == s)
+                    .map(|(_, c)| c)
+                    .unwrap_or(0);
+                (s, count as f64 / total)
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite support"));
+        out
+    }
+
+    /// Fraction of the reference tree's internal branches that appear in
+    /// *every* stand tree (fully resolved despite the missing data).
+    pub fn resolved_fraction(&self, reference: &Tree) -> f64 {
+        let support = self.branch_support(reference);
+        if support.is_empty() {
+            return 1.0;
+        }
+        let resolved = support
+            .iter()
+            .filter(|(_, s)| (*s - 1.0).abs() < 1e-12)
+            .count();
+        resolved as f64 / support.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GentriusConfig;
+    use crate::driver::run_serial;
+    use crate::problem::StandProblem;
+    use phylo::newick::parse_forest;
+    use phylo::ops::displays;
+    use phylo::split::topo_eq;
+
+    fn analyse(newicks: &[&str]) -> (Vec<Tree>, StandSummary) {
+        let (_, trees) = parse_forest(newicks.iter().copied()).unwrap();
+        let problem = StandProblem::from_constraints(trees.clone()).unwrap();
+        let mut sink = SplitSupportSink::new();
+        let r = run_serial(&problem, &GentriusConfig::exhaustive(), &mut sink).unwrap();
+        assert!(r.complete());
+        (trees, sink.finish())
+    }
+
+    #[test]
+    fn summary_counts_match_run() {
+        let (_, summary) = analyse(&["((A,B),(C,D));", "((C,D),(E,F));"]);
+        assert!(summary.num_trees() > 1);
+        let strict = summary.strict_consensus().unwrap();
+        let maj = summary.majority_consensus().unwrap();
+        assert_eq!(strict.leaf_count(), 6);
+        assert_eq!(maj.leaf_count(), 6);
+    }
+
+    #[test]
+    fn consensus_never_conflicts_with_constraints() {
+        // Every stand tree displays every constraint, so a split present
+        // in >50% (or 100%) of them cannot conflict with a constraint:
+        // the consensus restricted to a constraint's taxa must be pairwise
+        // compatible with that constraint's splits (it may be less
+        // resolved, never differently resolved).
+        let (constraints, summary) = analyse(&["((A,B),(C,D));", "((C,D),(E,F));"]);
+        for cons_tree in [summary.strict_consensus(), summary.majority_consensus()] {
+            let cons_tree = cons_tree.unwrap();
+            for c in &constraints {
+                let r = phylo::ops::restrict(&cons_tree, c.taxa());
+                for s in phylo::split::nontrivial_splits(&r) {
+                    assert!(phylo::split::nontrivial_splits(c)
+                        .iter()
+                        .all(|cs| cs.compatible_with(&s, r.taxa())));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branch_support_of_a_stand_member() {
+        let (_, trees) = parse_forest(["((A,B),(C,D));", "((C,D),(E,F));"]).unwrap();
+        let problem = StandProblem::from_constraints(trees).unwrap();
+        let mut collect = crate::sink::CollectTrees::with_cap(10_000);
+        let mut support = SplitSupportSink::new();
+        struct Both<'a>(&'a mut crate::sink::CollectTrees, &'a mut SplitSupportSink);
+        impl StandSink for Both<'_> {
+            fn stand_tree(&mut self, t: &Tree) {
+                self.0.stand_tree(t);
+                self.1.stand_tree(t);
+            }
+        }
+        let r = run_serial(
+            &problem,
+            &GentriusConfig::exhaustive(),
+            &mut Both(&mut collect, &mut support),
+        )
+        .unwrap();
+        assert!(r.complete());
+        let summary = support.finish();
+        let member = &collect.trees[0];
+        let sup = summary.branch_support(member);
+        assert_eq!(sup.len(), member.leaf_count() - 3);
+        for (_, s) in &sup {
+            assert!(*s > 0.0 && *s <= 1.0);
+        }
+        // Note: no split is *forced* on this stand — the missing taxa E,F
+        // can invade any cherry of the first constraint, so even AB|rest
+        // is below 1.0. Supports must simply be consistent frequencies.
+        let rf = summary.resolved_fraction(member);
+        assert!((0.0..=1.0).contains(&rf));
+    }
+
+    #[test]
+    fn single_tree_stand_fully_resolved() {
+        let (_, trees) = parse_forest(["((A,B),((C,D),E));"]).unwrap();
+        let species = trees[0].clone();
+        let problem = StandProblem::from_constraints(trees).unwrap();
+        let mut sink = SplitSupportSink::new();
+        let r = run_serial(&problem, &GentriusConfig::exhaustive(), &mut sink).unwrap();
+        assert_eq!(r.stats.stand_trees, 1);
+        let summary = sink.finish();
+        let strict = summary.strict_consensus().unwrap();
+        assert!(topo_eq(&strict, &species));
+        assert_eq!(summary.resolved_fraction(&species), 1.0);
+        assert!(displays(&strict, &species));
+    }
+}

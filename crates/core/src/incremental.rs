@@ -1,0 +1,222 @@
+//! Incrementally-maintained attachment projections.
+//!
+//! The paper's implementation keeps the double-edge mappings alive across
+//! taxon insertions/removals and patches them ("After each taxon insertion
+//! or removal, these mappings are updated", §II-A; §V measures this
+//! maintenance at 15–30% of total runtime). This module is the equivalent
+//! engine for our projection representation:
+//!
+//! * Inserting taxon `t` on edge `e` splits `e` into a near half (keeps the
+//!   id), a far half and a pendant. For a constraint **not containing**
+//!   `t`, the common taxa `C` are unchanged and all three edges project to
+//!   whatever `e` projected to — an O(1) patch, and a no-op to undo
+//!   (the stale entries for freed edge ids are never read and are always
+//!   overwritten before reuse).
+//! * For a constraint **containing** `t`, `C` gains a taxon and the whole
+//!   projection changes; we recompute it and push the previous maps on an
+//!   undo stack.
+//!
+//! Net effect: per state, only the constraints containing the inserted
+//! taxon pay a recomputation, instead of every constraint at every state.
+
+use crate::mapping::{attachment_map, missing_taxon_targets, AttachMap};
+use crate::problem::StandProblem;
+use phylo::bitset::BitSet;
+use phylo::split::Split;
+use phylo::tree::{Insertion, Tree};
+
+struct ConstraintMaps {
+    /// `C = W ∩ Y_i`, kept in sync with the agile tree's taxa.
+    c: BitSet,
+    /// Projection of agile edges onto the common subtree.
+    map: AttachMap,
+    /// `b̂(t)` for each taxon of `Y_i \ W` (indexed by taxon id).
+    targets: Vec<Option<Split>>,
+}
+
+struct UndoEntry {
+    constraint: usize,
+    map: AttachMap,
+    targets: Vec<Option<Split>>,
+}
+
+/// The live projections for every constraint plus the undo stack.
+pub struct IncrementalMaps {
+    per: Vec<ConstraintMaps>,
+    undo: Vec<Vec<UndoEntry>>,
+}
+
+impl IncrementalMaps {
+    /// Builds the projections for the root state.
+    pub fn new(problem: &StandProblem, agile: &Tree) -> Self {
+        let per = problem
+            .constraints()
+            .iter()
+            .map(|cons| {
+                let c = agile.taxa().intersection(cons.taxa());
+                ConstraintMaps {
+                    map: attachment_map(agile, &c),
+                    targets: missing_taxon_targets(cons, &c),
+                    c,
+                }
+            })
+            .collect();
+        IncrementalMaps {
+            per,
+            undo: Vec::new(),
+        }
+    }
+
+    /// The agile-edge projection for constraint `ci`.
+    pub fn agile_map(&self, ci: usize) -> &AttachMap {
+        &self.per[ci].map
+    }
+
+    /// The per-taxon attachment targets for constraint `ci`.
+    pub fn targets(&self, ci: usize) -> &[Option<Split>] {
+        &self.per[ci].targets
+    }
+
+    /// Records a no-op frame for an insertion whose maps will never be
+    /// queried (the completion of the agile tree: the search emits the
+    /// stand tree and immediately backtracks, so updating projections
+    /// would be pure waste — completions dominate tree-rich runs).
+    pub fn after_insert_unqueried(&mut self) {
+        self.undo.push(Vec::new());
+    }
+
+    /// Patches the maps after `agile` gained the insertion `ins`.
+    pub fn after_insert(&mut self, problem: &StandProblem, agile: &Tree, ins: &Insertion) {
+        let t = ins.taxon.index();
+        let mut frame = Vec::new();
+        for (ci, cm) in self.per.iter_mut().enumerate() {
+            let cons = &problem.constraints()[ci];
+            if cons.taxa().contains(t) {
+                // C grows: full recomputation, with undo.
+                let new_c = {
+                    let mut c = cm.c.clone();
+                    c.insert(t);
+                    c
+                };
+                let new_map = attachment_map(agile, &new_c);
+                let new_targets = missing_taxon_targets(cons, &new_c);
+                let old_map = std::mem::replace(&mut cm.map, new_map);
+                let old_targets = std::mem::replace(&mut cm.targets, new_targets);
+                cm.c = new_c;
+                frame.push(UndoEntry {
+                    constraint: ci,
+                    map: old_map,
+                    targets: old_targets,
+                });
+            } else if let AttachMap::Projected(map) = &mut cm.map {
+                // C unchanged: the three edges around the subdivision all
+                // project to whatever the subdivided edge projected to.
+                let hi = ins.far_half.index().max(ins.pendant.index());
+                if map.len() <= hi {
+                    map.resize(hi + 1, None);
+                }
+                let split = map[ins.edge.index()].clone();
+                map[ins.far_half.index()] = split.clone();
+                map[ins.pendant.index()] = split;
+            }
+        }
+        self.undo.push(frame);
+    }
+
+    /// Reverts the most recent [`IncrementalMaps::after_insert`]. Call
+    /// *before* removing the insertion from the tree (LIFO discipline).
+    pub fn before_remove(&mut self, ins: &Insertion) {
+        let frame = self.undo.pop().expect("undo stack underflow");
+        for entry in frame {
+            let cm = &mut self.per[entry.constraint];
+            cm.c.remove(ins.taxon.index());
+            cm.map = entry.map;
+            cm.targets = entry.targets;
+        }
+        // Constraints without the taxon need no repair: the entries for the
+        // freed edge ids are never read while dead and are rewritten by the
+        // patch of whichever insertion reuses the ids.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::newick::parse_forest;
+    use phylo::taxa::TaxonId;
+
+    fn problem(newicks: &[&str]) -> StandProblem {
+        let (_, trees) = parse_forest(newicks.iter().copied()).unwrap();
+        StandProblem::from_constraints(trees).unwrap()
+    }
+
+    /// Compares the incremental maps against freshly recomputed ones.
+    fn assert_matches_recompute(inc: &IncrementalMaps, problem: &StandProblem, agile: &Tree) {
+        for (ci, cons) in problem.constraints().iter().enumerate() {
+            let c = agile.taxa().intersection(cons.taxa());
+            let fresh_map = attachment_map(agile, &c);
+            let fresh_targets = missing_taxon_targets(cons, &c);
+            assert_eq!(inc.targets(ci), fresh_targets.as_slice(), "targets of {ci}");
+            // Compare projections on live edges only.
+            for e in agile.edges() {
+                assert_eq!(
+                    inc.agile_map(ci).get(e),
+                    fresh_map.get(e),
+                    "constraint {ci}, edge {e:?}"
+                );
+            }
+            assert_eq!(
+                inc.agile_map(ci).all_admissible(),
+                fresh_map.all_admissible(),
+                "all_admissible flag of {ci}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_remove_tracks_recompute() {
+        let p = problem(&["((A,B),(C,D));", "((C,D),(E,F));", "((A,F),(G,B));"]);
+        let mut agile = p.constraints()[0].clone();
+        let mut inc = IncrementalMaps::new(&p, &agile);
+        assert_matches_recompute(&inc, &p, &agile);
+
+        // Insert E (in constraint 1), then G (in constraint 2) on various
+        // edges, checking the maps after every edit.
+        let e_taxon = TaxonId(4);
+        let g_taxon = TaxonId(6);
+        let edges: Vec<_> = agile.edges().collect();
+        let ins1 = agile.insert_leaf_on_edge(e_taxon, edges[2]);
+        inc.after_insert(&p, &agile, &ins1);
+        assert_matches_recompute(&inc, &p, &agile);
+
+        let edges: Vec<_> = agile.edges().collect();
+        let ins2 = agile.insert_leaf_on_edge(g_taxon, edges[5]);
+        inc.after_insert(&p, &agile, &ins2);
+        assert_matches_recompute(&inc, &p, &agile);
+
+        inc.before_remove(&ins2);
+        agile.remove_insertion(&ins2);
+        assert_matches_recompute(&inc, &p, &agile);
+
+        inc.before_remove(&ins1);
+        agile.remove_insertion(&ins1);
+        assert_matches_recompute(&inc, &p, &agile);
+    }
+
+    #[test]
+    fn reinsertion_after_undo_is_consistent() {
+        let p = problem(&["((A,B),(C,D));", "((C,D),(E,F));"]);
+        let mut agile = p.constraints()[0].clone();
+        let mut inc = IncrementalMaps::new(&p, &agile);
+        let e_taxon = TaxonId(4);
+        let edges: Vec<_> = agile.edges().collect();
+        for &edge in &edges {
+            let ins = agile.insert_leaf_on_edge(e_taxon, edge);
+            inc.after_insert(&p, &agile, &ins);
+            assert_matches_recompute(&inc, &p, &agile);
+            inc.before_remove(&ins);
+            agile.remove_insertion(&ins);
+            assert_matches_recompute(&inc, &p, &agile);
+        }
+    }
+}

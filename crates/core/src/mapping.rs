@@ -1,0 +1,279 @@
+//! Attachment projections — our realization of the paper's *double-edge
+//! mapping* (§II-A and the Gentrius supplement).
+//!
+//! For an agile tree `A` on taxa `W` and a constraint tree `T` on `Y`, let
+//! `C = W ∩ Y` be the common taxa. The invariant maintained by the search is
+//! `A|C = T|C` (the *common subtree*). Every edge of `A` *projects* onto the
+//! edge of the common subtree that a leaf inserted on it would subdivide;
+//! the same projection computed on `T` tells, for each taxon `t ∈ Y \ W`,
+//! which common-subtree edge `b̂(t)` it must subdivide. A branch of `A` is
+//! then admissible for `t` (w.r.t. this constraint) iff it projects onto
+//! `b̂(t)`.
+//!
+//! We identify common-subtree edges canonically by their **split of `C`**,
+//! so projections computed independently on `A` and `T` are directly
+//! comparable.
+//!
+//! ### Why the projection is total and single-valued
+//!
+//! Root the tree at a `C`-leaf and consider the Steiner (minimal spanning)
+//! subtree of the `C`-leaves. An edge whose below-set of `C`-taxa is
+//! non-empty lies on a path of the Steiner tree and projects to that path's
+//! common-subtree edge (its split). An edge with an empty below-set hangs
+//! off the Steiner tree; in a **binary** tree nothing can hang off a Steiner
+//! *branching* vertex (it already has degree 3 inside the Steiner tree), so
+//! the hanging point is always interior to exactly one path — the edge
+//! inherits that path's split. Hence for `|C| ≥ 2` every edge of the tree
+//! projects to exactly one common-subtree edge; for `|C| ≤ 1` the common
+//! subtree has no edges and every branch is admissible.
+
+use phylo::bitset::BitSet;
+use phylo::split::Split;
+use phylo::taxa::TaxonId;
+use phylo::tree::{EdgeId, Tree};
+use std::sync::Arc;
+
+/// The attachment projection of every edge of a tree onto the common
+/// subtree with taxon set `C`.
+#[derive(Clone, Debug)]
+pub enum AttachMap {
+    /// `|C| ≤ 1`: the common subtree has no edges; every branch of the
+    /// tree is admissible for any taxon of this constraint.
+    AllAdmissible,
+    /// `|C| ≥ 2`: `map[e]` is the canonical `C`-split of the common-subtree
+    /// edge that edge `e` projects onto (`None` for dead edge ids). Splits
+    /// are shared (`Arc`) across the many edges projecting onto the same
+    /// common-subtree edge — building the map allocates one split per
+    /// *Steiner* edge instead of one per tree edge.
+    Projected(Vec<Option<Arc<Split>>>),
+}
+
+impl AttachMap {
+    /// Looks up the projection of a live edge. Returns `None` in the
+    /// `AllAdmissible` case (no projection exists / not needed).
+    pub fn get(&self, e: EdgeId) -> Option<&Split> {
+        match self {
+            AttachMap::AllAdmissible => None,
+            AttachMap::Projected(v) => v[e.index()].as_deref(),
+        }
+    }
+
+    /// True if the map is the degenerate all-admissible case.
+    pub fn all_admissible(&self) -> bool {
+        matches!(self, AttachMap::AllAdmissible)
+    }
+}
+
+/// Computes the attachment projection of `tree` w.r.t. the common taxon set
+/// `c` (which must be a subset of `tree`'s leaf set).
+pub fn attachment_map(tree: &Tree, c: &BitSet) -> AttachMap {
+    debug_assert!(c.is_subset(tree.taxa()), "C must be common taxa");
+    if c.count() < 2 {
+        return AttachMap::AllAdmissible;
+    }
+    // Root at the C-leaf with the smallest taxon id (deterministic).
+    let root_taxon = TaxonId(c.min_member().unwrap() as u32);
+    let root = tree.leaf(root_taxon).expect("C-taxon missing from tree");
+    let order = tree.preorder(root);
+
+    // Bottom-up: C-taxa below each node's parent edge.
+    let mut below: Vec<BitSet> = (0..tree.node_id_bound())
+        .map(|_| BitSet::new(tree.universe()))
+        .collect();
+    for &(v, _) in &order {
+        if let Some(t) = tree.taxon(v) {
+            if c.contains(t.index()) {
+                below[v.index()].insert(t.index());
+            }
+        }
+    }
+    for &(v, pe) in order.iter().rev() {
+        if let Some(pe) = pe {
+            let parent = tree.opposite(pe, v);
+            let child_set = below[v.index()].clone();
+            below[parent.index()].union_with(&child_set);
+        }
+    }
+
+    // Top-down: Steiner edges get their own split; hanging edges inherit
+    // (and share) the split of the nearest ancestor Steiner edge.
+    let mut map: Vec<Option<Arc<Split>>> = vec![None; tree.edge_id_bound()];
+    let mut inherit: Vec<Option<Arc<Split>>> = vec![None; tree.node_id_bound()];
+    for &(v, pe) in &order {
+        let Some(pe) = pe else { continue };
+        let parent = tree.opposite(pe, v);
+        let split = if below[v.index()].is_empty() {
+            inherit[parent.index()]
+                .clone()
+                .expect("hanging edge with no Steiner ancestor")
+        } else {
+            Arc::new(Split::canonical(below[v.index()].clone(), c))
+        };
+        map[pe.index()] = Some(Arc::clone(&split));
+        inherit[v.index()] = Some(split);
+    }
+    AttachMap::Projected(map)
+}
+
+/// For a constraint tree `T` and common taxa `c`, returns for each taxon in
+/// `T`'s leaf set *outside* `c` the common-subtree edge (as a `C`-split) it
+/// attaches to — the `b̂(t)` of the admissibility test. Output is indexed by
+/// taxon id (`None` for taxa that are in `c`, absent, or when `|c| ≤ 1`).
+pub fn missing_taxon_targets(tree: &Tree, c: &BitSet) -> Vec<Option<Split>> {
+    let mut out: Vec<Option<Split>> = vec![None; tree.universe()];
+    let map = attachment_map(tree, c);
+    let AttachMap::Projected(map) = map else {
+        return out;
+    };
+    for (leaf, taxon) in tree.leaves() {
+        if c.contains(taxon.index()) {
+            continue;
+        }
+        let pendant = tree.adjacent_edges(leaf)[0];
+        out[taxon.index()] = map[pendant.index()].as_deref().cloned();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::newick::parse_forest;
+    use phylo::ops::{displays, restrict};
+    use phylo::split::topo_eq;
+
+    /// Reference implementation of admissibility by definition: insert `t`
+    /// on edge `e` of `agile` and check `A'|(C∪{t}) = T|(C∪{t})`.
+    fn admissible_by_definition(
+        agile: &Tree,
+        constraint: &Tree,
+        t: TaxonId,
+        e: EdgeId,
+    ) -> bool {
+        let mut a = agile.clone();
+        a.insert_leaf_on_edge(t, e);
+        let mut cu = agile.taxa().intersection(constraint.taxa());
+        cu.insert(t.index());
+        topo_eq(&restrict(&a, &cu), &restrict(constraint, &cu))
+    }
+
+    /// Admissibility via the projection machinery.
+    fn admissible_by_projection(
+        agile: &Tree,
+        constraint: &Tree,
+        t: TaxonId,
+        e: EdgeId,
+    ) -> bool {
+        let c = agile.taxa().intersection(constraint.taxa());
+        let targets = missing_taxon_targets(constraint, &c);
+        let Some(target) = &targets[t.index()] else {
+            return true; // |C| <= 1 → every edge admissible
+        };
+        let map = attachment_map(agile, &c);
+        map.get(e) == Some(target)
+    }
+
+    #[test]
+    fn projection_matches_definition_small() {
+        // Agile on {A,B,C,D}; constraint on {A,B,C,E}; insert E.
+        let (taxa, trees) =
+            parse_forest(["((A,B),(C,D));", "((A,B),(C,E));"]).unwrap();
+        let agile = &trees[0];
+        let cons = &trees[1];
+        let e_id = taxa.get("E").unwrap();
+        let mut n_adm = 0;
+        for e in agile.edges() {
+            let d = admissible_by_definition(agile, cons, e_id, e);
+            let p = admissible_by_projection(agile, cons, e_id, e);
+            assert_eq!(d, p, "mismatch on edge {e:?}");
+            n_adm += usize::from(d);
+        }
+        // E must end up sister to C among {A,B,C}: admissible are C's
+        // pendant edge, the internal edge, and D's pendant (D is not in the
+        // constraint, so (C,(D,E)) also restricts to (C,E)).
+        assert_eq!(n_adm, 3);
+    }
+
+    #[test]
+    fn hanging_subtree_edges_inherit() {
+        // Agile has a whole subtree with no common taxa; all of its edges
+        // plus the path edges they hang off must be admissible together.
+        let (taxa, trees) = parse_forest([
+            "((A,B),((X,Y),(C,D)));", // agile; X,Y not in constraint
+            "((A,B),(C,E));",         // constraint: E next to C
+        ])
+        .unwrap();
+        let agile = &trees[0];
+        let cons = &trees[1];
+        let e_id = taxa.get("E").unwrap();
+        for e in agile.edges() {
+            assert_eq!(
+                admissible_by_definition(agile, cons, e_id, e),
+                admissible_by_projection(agile, cons, e_id, e),
+                "mismatch on edge {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_admissible_when_overlap_tiny() {
+        let (taxa, trees) = parse_forest(["((A,B),(C,D));", "((E,F),(G,A));"]).unwrap();
+        let agile = &trees[0];
+        let cons = &trees[1];
+        // Common taxa = {A} → |C| = 1 → every edge admissible for E/F/G.
+        let c = agile.taxa().intersection(cons.taxa());
+        assert_eq!(c.count(), 1);
+        assert!(attachment_map(agile, &c).all_admissible());
+        let e_id = taxa.get("E").unwrap();
+        for e in agile.edges() {
+            assert!(admissible_by_projection(agile, cons, e_id, e));
+        }
+    }
+
+    #[test]
+    fn projection_randomized_against_definition() {
+        use phylo::generate::{random_tree, ShapeModel};
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let universe = 12usize;
+        for trial in 0..40 {
+            // Source tree on all taxa; agile = restriction to a subset W;
+            // constraint = restriction to a subset Y; test every missing
+            // taxon of Y on every agile edge.
+            let ids: Vec<TaxonId> = (0..universe as u32).map(TaxonId).collect();
+            let source = random_tree(universe, &ids, ShapeModel::Uniform, &mut rng);
+            use rand::seq::SliceRandom;
+            use rand::Rng;
+            let mut shuffled = ids.clone();
+            shuffled.shuffle(&mut rng);
+            let w_size = rng.gen_range(3..=8);
+            let y_size = rng.gen_range(4..=9);
+            let w = BitSet::from_iter(universe, shuffled[..w_size].iter().map(|t| t.index()));
+            shuffled.shuffle(&mut rng);
+            let y = BitSet::from_iter(universe, shuffled[..y_size].iter().map(|t| t.index()));
+            let agile = restrict(&source, &w);
+            let cons = restrict(&source, &y);
+            debug_assert!(displays(&source, &agile));
+            for t in y.difference(&w).iter() {
+                let t = TaxonId(t as u32);
+                for e in agile.edges() {
+                    assert_eq!(
+                        admissible_by_definition(&agile, &cons, t, e),
+                        admissible_by_projection(&agile, &cons, t, e),
+                        "trial {trial}: taxon {t:?} edge {e:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn targets_only_for_missing_taxa() {
+        let (taxa, trees) = parse_forest(["((A,B),(C,D));", "((A,B),(C,E));"]).unwrap();
+        let c = trees[0].taxa().intersection(trees[1].taxa());
+        let targets = missing_taxon_targets(&trees[1], &c);
+        assert!(targets[taxa.get("A").unwrap().index()].is_none());
+        assert!(targets[taxa.get("E").unwrap().index()].is_some());
+        assert!(targets[taxa.get("D").unwrap().index()].is_none()); // not in constraint
+    }
+}

@@ -1,0 +1,120 @@
+//! Brute-force ground truth for small instances.
+//!
+//! For up to ~9 taxa the full space of unrooted binary topologies is
+//! enumerable (`(2n-5)!!`), so the stand can be computed by definition:
+//! filter every topology by "displays every constraint tree". The paper's
+//! authors "thoroughly verified that the sequential and parallel versions
+//! yield the exact same results" (§IV); this module is the stronger form
+//! of that verification — results are checked against the definition, not
+//! just against each other. It is exposed as a public API (rather than
+//! test-only code) so downstream users can validate their own inputs.
+
+use crate::problem::StandProblem;
+use phylo::enumerate::{for_each_topology, num_unrooted_topologies};
+use phylo::newick::to_newick;
+use phylo::ops::displays;
+use phylo::taxa::{TaxonId, TaxonSet};
+use phylo::tree::Tree;
+
+/// Upper bound on taxa for which brute force is reasonable (`n = 10` is
+/// already 2,027,025 topologies).
+pub const MAX_BRUTE_FORCE_TAXA: usize = 10;
+
+/// Counts the stand by enumerating every unrooted binary topology on the
+/// problem's taxa and testing the display condition directly.
+///
+/// Panics if the problem has more than [`MAX_BRUTE_FORCE_TAXA`] taxa.
+pub fn brute_force_count(problem: &StandProblem) -> u64 {
+    let mut count = 0u64;
+    brute_force_visit(problem, |_| count += 1);
+    count
+}
+
+/// Collects the stand as canonical Newick strings, sorted — the exact set
+/// Gentrius must produce for a full enumeration.
+pub fn brute_force_stand(problem: &StandProblem, taxa: &TaxonSet) -> Vec<String> {
+    let mut out = Vec::new();
+    brute_force_visit(problem, |t| out.push(to_newick(t, taxa)));
+    out.sort();
+    out
+}
+
+/// Calls `visit` for every tree on the stand, in enumeration order.
+pub fn brute_force_visit<F: FnMut(&Tree)>(problem: &StandProblem, mut visit: F) {
+    let n = problem.num_taxa();
+    assert!(
+        n <= MAX_BRUTE_FORCE_TAXA,
+        "brute force on {n} taxa would enumerate {} topologies",
+        num_unrooted_topologies(n)
+    );
+    let ids: Vec<TaxonId> = problem
+        .all_taxa()
+        .iter()
+        .map(|t| TaxonId(t as u32))
+        .collect();
+    for_each_topology(problem.universe(), &ids, |t| {
+        if problem.constraints().iter().all(|c| displays(t, c)) {
+            visit(t);
+        }
+    });
+}
+
+/// Convenience: runs Gentrius (serial, with the given config) *and* the
+/// brute force, returning `(gentrius_stand, brute_force_stand)` as sorted
+/// canonical Newick sets for comparison. The run must complete (no
+/// stopping rule) for the comparison to be meaningful; this is asserted.
+pub fn verify_against_brute_force(
+    problem: &StandProblem,
+    taxa: &TaxonSet,
+    config: &crate::config::GentriusConfig,
+) -> (Vec<String>, Vec<String>) {
+    let mut sink = crate::sink::CollectNewick::with_cap(taxa, usize::MAX);
+    let r = crate::driver::run_serial(problem, config, &mut sink).expect("valid problem");
+    assert!(
+        r.complete(),
+        "verification requires a complete enumeration; raise the stopping rules"
+    );
+    sink.out.sort();
+    (sink.out, brute_force_stand(problem, taxa))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GentriusConfig;
+    use phylo::newick::parse_forest;
+
+    fn setup(newicks: &[&str]) -> (TaxonSet, StandProblem) {
+        let (taxa, trees) = parse_forest(newicks.iter().copied()).unwrap();
+        (taxa, StandProblem::from_constraints(trees).unwrap())
+    }
+
+    #[test]
+    fn count_matches_stand_len() {
+        let (taxa, p) = setup(&["((A,B),(C,D));", "((C,D),(E,F));"]);
+        let stand = brute_force_stand(&p, &taxa);
+        assert_eq!(brute_force_count(&p) as usize, stand.len());
+        assert!(!stand.is_empty());
+    }
+
+    #[test]
+    fn verify_helper_agrees() {
+        let (taxa, p) = setup(&["((A,B),(C,D));", "((A,E),(F,G));"]);
+        let (gentrius, brute) = verify_against_brute_force(&p, &taxa, &GentriusConfig::exhaustive());
+        assert_eq!(gentrius, brute);
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force on")]
+    fn refuses_large_instances() {
+        use phylo::generate::{random_tree_on_n, ShapeModel};
+        use rand::SeedableRng;
+        let t = random_tree_on_n(
+            12,
+            ShapeModel::Uniform,
+            &mut rand_chacha::ChaCha8Rng::seed_from_u64(1),
+        );
+        let p = StandProblem::from_constraints(vec![t]).unwrap();
+        brute_force_count(&p);
+    }
+}

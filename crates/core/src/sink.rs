@@ -1,0 +1,120 @@
+//! Output sinks for enumerated stand trees.
+//!
+//! Gentrius's standard output is "the number of trees on the stand and
+//! their topologies in the Newick tree format" (§II-A). Counting is always
+//! done by the driver; sinks decide what to do with each complete topology.
+
+use phylo::newick::to_newick;
+use phylo::taxa::TaxonSet;
+use phylo::tree::Tree;
+
+/// Receives each complete stand tree as it is generated. The tree reference
+/// is only valid during the call (the search immediately backtracks), so
+/// implementations must copy whatever they keep.
+pub trait StandSink {
+    /// Called once per generated stand tree.
+    fn stand_tree(&mut self, tree: &Tree);
+}
+
+/// Counting-only sink (the driver counts; this stores nothing).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountOnly;
+
+impl StandSink for CountOnly {
+    fn stand_tree(&mut self, _tree: &Tree) {}
+}
+
+/// Collects owned copies of the stand trees, up to a cap (stands can be
+/// exponentially large; an uncapped collector is a footgun).
+#[derive(Debug)]
+pub struct CollectTrees {
+    /// Collected trees, in generation order.
+    pub trees: Vec<Tree>,
+    cap: usize,
+}
+
+impl CollectTrees {
+    /// Collector keeping at most `cap` trees.
+    pub fn with_cap(cap: usize) -> Self {
+        CollectTrees {
+            trees: Vec::new(),
+            cap,
+        }
+    }
+}
+
+impl StandSink for CollectTrees {
+    fn stand_tree(&mut self, tree: &Tree) {
+        if self.trees.len() < self.cap {
+            self.trees.push(tree.clone());
+        }
+    }
+}
+
+/// Collects canonical Newick strings (cheap to compare across runs — the
+/// serial/parallel stand-identity verification of §IV uses these).
+pub struct CollectNewick<'a> {
+    taxa: &'a TaxonSet,
+    /// Canonical Newick strings, in generation order.
+    pub out: Vec<String>,
+    cap: usize,
+}
+
+impl<'a> CollectNewick<'a> {
+    /// Collector keeping at most `cap` canonical strings.
+    pub fn with_cap(taxa: &'a TaxonSet, cap: usize) -> Self {
+        CollectNewick {
+            taxa,
+            out: Vec::new(),
+            cap,
+        }
+    }
+}
+
+impl StandSink for CollectNewick<'_> {
+    fn stand_tree(&mut self, tree: &Tree) {
+        if self.out.len() < self.cap {
+            self.out.push(to_newick(tree, self.taxa));
+        }
+    }
+}
+
+impl<F: FnMut(&Tree)> StandSink for F {
+    fn stand_tree(&mut self, tree: &Tree) {
+        self(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collectors_respect_caps() {
+        let taxa = TaxonSet::with_synthetic(4);
+        let t = Tree::two_leaf(4, phylo::TaxonId(0), phylo::TaxonId(1));
+        let mut c = CollectTrees::with_cap(2);
+        for _ in 0..5 {
+            c.stand_tree(&t);
+        }
+        assert_eq!(c.trees.len(), 2);
+        let mut n = CollectNewick::with_cap(&taxa, 3);
+        for _ in 0..5 {
+            n.stand_tree(&t);
+        }
+        assert_eq!(n.out.len(), 3);
+        assert_eq!(n.out[0], "(T0,T1);");
+    }
+
+    #[test]
+    fn closure_sink() {
+        let t = Tree::two_leaf(4, phylo::TaxonId(0), phylo::TaxonId(1));
+        let mut count = 0usize;
+        {
+            let mut sink = |_: &Tree| count += 1;
+            sink.stand_tree(&t);
+            sink.stand_tree(&t);
+        }
+        assert_eq!(count, 2);
+    }
+}

@@ -1,0 +1,440 @@
+//! The mutable search state of Algorithm 1: the agile tree, the set of
+//! remaining taxa, and the admissibility queries against every constraint.
+//!
+//! This is the paper's *state*: "the current agile tree, together with the
+//! set of constraint trees, the common subtrees, and the corresponding
+//! mappings at a given point in time" (§II-A). In the reference
+//! [`MappingMode::Recompute`](crate::config::MappingMode) engine the
+//! projections are recomputed per state; the incremental engine patches
+//! them on insert/remove.
+
+use crate::config::TaxonOrderRule;
+use crate::incremental::IncrementalMaps;
+use crate::mapping::{attachment_map, missing_taxon_targets, AttachMap};
+use crate::problem::StandProblem;
+use phylo::split::Split;
+use phylo::taxa::TaxonId;
+use phylo::tree::{EdgeId, Insertion, Tree};
+
+/// Undo record for one taxon insertion (tree edit + taxon bookkeeping).
+#[derive(Clone, Debug)]
+pub struct AppliedStep {
+    /// The tree edit.
+    pub ins: Insertion,
+    /// Where in the remaining list the taxon sat (restored on undo).
+    remaining_idx: usize,
+}
+
+impl AppliedStep {
+    /// The inserted taxon.
+    pub fn taxon(&self) -> TaxonId {
+        self.ins.taxon
+    }
+
+    /// The edge that was subdivided.
+    pub fn edge(&self) -> EdgeId {
+        self.ins.edge
+    }
+}
+
+/// The choice produced by [`SearchState::select_next`].
+#[derive(Clone, Debug)]
+pub struct NextTaxon {
+    /// The taxon to insert at this state.
+    pub taxon: TaxonId,
+    /// Its admissible branches, in increasing edge-id order.
+    pub branches: Vec<EdgeId>,
+}
+
+/// Tie-breaking policy of the dynamic selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DynamicTie {
+    SmallestId,
+    MostConstraints,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OrderEngine {
+    Dynamic(DynamicTie),
+    Static,
+}
+
+/// Mutable Gentrius search state over a borrowed problem.
+pub struct SearchState<'p> {
+    problem: &'p StandProblem,
+    /// The growing agile tree.
+    pub agile: Tree,
+    /// Taxa not yet inserted, in selection-rule order.
+    remaining: Vec<TaxonId>,
+    order: OrderEngine,
+    /// Incrementally maintained projections, if enabled.
+    incremental: Option<IncrementalMaps>,
+}
+
+impl<'p> SearchState<'p> {
+    /// Creates the root state: the agile tree is (a copy of) constraint
+    /// `initial_idx`; the remaining taxa are ordered per `order`.
+    ///
+    /// Returns `Err` if a [`TaxonOrderRule::Fixed`] order does not cover
+    /// exactly the missing taxa.
+    pub fn new(
+        problem: &'p StandProblem,
+        initial_idx: usize,
+        order: &TaxonOrderRule,
+    ) -> Result<Self, String> {
+        let agile = problem.constraints()[initial_idx].clone();
+        let missing = problem.all_taxa().difference(agile.taxa());
+        let remaining: Vec<TaxonId> = match order {
+            TaxonOrderRule::Dynamic
+            | TaxonOrderRule::DynamicByConstraints
+            | TaxonOrderRule::ById => missing.iter().map(|t| TaxonId(t as u32)).collect(),
+            TaxonOrderRule::MostConstrainedFirst => {
+                let mut v: Vec<TaxonId> = missing.iter().map(|t| TaxonId(t as u32)).collect();
+                v.sort_by_key(|t| {
+                    (
+                        std::cmp::Reverse(problem.constraints_of_taxon(t.index()).len()),
+                        t.index(),
+                    )
+                });
+                v
+            }
+            TaxonOrderRule::Fixed(seq) => {
+                let given: Vec<TaxonId> = seq
+                    .iter()
+                    .copied()
+                    .filter(|t| missing.contains(t.index()))
+                    .collect();
+                if given.len() != missing.count() {
+                    return Err(format!(
+                        "fixed order covers {} of {} missing taxa",
+                        given.len(),
+                        missing.count()
+                    ));
+                }
+                given
+            }
+        };
+        let engine = match order {
+            TaxonOrderRule::Dynamic => OrderEngine::Dynamic(DynamicTie::SmallestId),
+            TaxonOrderRule::DynamicByConstraints => {
+                OrderEngine::Dynamic(DynamicTie::MostConstraints)
+            }
+            _ => OrderEngine::Static,
+        };
+        Ok(SearchState {
+            problem,
+            agile,
+            remaining,
+            order: engine,
+            incremental: None,
+        })
+    }
+
+    /// Switches this state to the incremental mapping engine (must be
+    /// called on the root state, before any insertion).
+    pub fn enable_incremental(&mut self) {
+        self.incremental = Some(IncrementalMaps::new(self.problem, &self.agile));
+    }
+
+    /// The problem this state explores.
+    pub fn problem(&self) -> &'p StandProblem {
+        self.problem
+    }
+
+    /// True when the agile tree contains every taxon of `X`.
+    pub fn is_complete(&self) -> bool {
+        self.remaining.is_empty()
+    }
+
+    /// Number of taxa still to insert.
+    pub fn remaining_count(&self) -> usize {
+        self.remaining.len()
+    }
+
+    /// The remaining taxa in selection order (mostly for diagnostics).
+    pub fn remaining(&self) -> &[TaxonId] {
+        &self.remaining
+    }
+
+    /// Inserts `taxon` on `edge` and removes it from the remaining list.
+    pub fn apply(&mut self, taxon: TaxonId, edge: EdgeId) -> AppliedStep {
+        let remaining_idx = self
+            .remaining
+            .iter()
+            .position(|&t| t == taxon)
+            .expect("inserting a taxon that is not remaining");
+        self.remaining.remove(remaining_idx);
+        let ins = self.agile.insert_leaf_on_edge(taxon, edge);
+        if let Some(inc) = &mut self.incremental {
+            if self.remaining.is_empty() {
+                // Completion: the state is emitted and undone without any
+                // admissibility query — skip the (expensive) map update.
+                inc.after_insert_unqueried();
+            } else {
+                inc.after_insert(self.problem, &self.agile, &ins);
+            }
+        }
+        AppliedStep { ins, remaining_idx }
+    }
+
+    /// Exactly undoes [`SearchState::apply`] (LIFO discipline required).
+    pub fn undo(&mut self, step: &AppliedStep) {
+        if let Some(inc) = &mut self.incremental {
+            inc.before_remove(&step.ins);
+        }
+        self.agile.remove_insertion(&step.ins);
+        self.remaining.insert(step.remaining_idx, step.ins.taxon);
+    }
+
+    /// The admissible branches of `taxon` at the current state, in
+    /// increasing edge-id order (the canonical branch enumeration order).
+    pub fn admissible_branches(&self, taxon: TaxonId) -> Vec<EdgeId> {
+        let mut scratch = ConstraintScratch::new(self.problem.constraints().len());
+        self.admissible_with_scratch(taxon, &mut scratch)
+    }
+
+    fn admissible_with_scratch(
+        &self,
+        taxon: TaxonId,
+        scratch: &mut ConstraintScratch,
+    ) -> Vec<EdgeId> {
+        let cis = self.problem.constraints_of_taxon(taxon.index());
+        // Recompute mode fills the per-state scratch lazily; the
+        // incremental engine already holds live maps.
+        if self.incremental.is_none() {
+            for &ci in cis {
+                let ci = ci as usize;
+                if scratch.agile_maps[ci].is_none() {
+                    let cons = &self.problem.constraints()[ci];
+                    let c = self.agile.taxa().intersection(cons.taxa());
+                    scratch.agile_maps[ci] = Some(attachment_map(&self.agile, &c));
+                    scratch.targets[ci] = Some(missing_taxon_targets(cons, &c));
+                }
+            }
+        }
+        // Collect (agile map, target split) for each constraint containing
+        // the taxon whose common-taxa overlap is >= 2; a constraint with
+        // |C| <= 1 has no target and admits every branch.
+        let mut checks: Vec<(&AttachMap, &Split)> = Vec::new();
+        for &ci in cis {
+            let ci = ci as usize;
+            let (map, targets): (&AttachMap, &[Option<Split>]) = match &self.incremental {
+                Some(inc) => (inc.agile_map(ci), inc.targets(ci)),
+                None => (
+                    scratch.agile_maps[ci].as_ref().expect("ensured above"),
+                    scratch.targets[ci].as_ref().expect("ensured above"),
+                ),
+            };
+            if let Some(target) = &targets[taxon.index()] {
+                checks.push((map, target));
+            }
+        }
+        let mut out = Vec::new();
+        'edges: for e in self.agile.edges() {
+            for &(map, target) in &checks {
+                if map.get(e) != Some(target) {
+                    continue 'edges;
+                }
+            }
+            out.push(e);
+        }
+        out
+    }
+
+    /// Selects the next taxon per the configured order rule and returns it
+    /// with its admissible branches. `None` when the tree is complete.
+    ///
+    /// Under the dynamic rule this is the paper's *dynamic taxon
+    /// insertion*: the remaining taxon with the fewest admissible branches
+    /// (ties → smallest taxon id; a zero-branch taxon short-circuits, which
+    /// is what makes dead ends detectable immediately).
+    pub fn select_next(&self) -> Option<NextTaxon> {
+        if self.remaining.is_empty() {
+            return None;
+        }
+        let mut scratch = ConstraintScratch::new(self.problem.constraints().len());
+        let OrderEngine::Dynamic(tie) = self.order else {
+            let taxon = self.remaining[0];
+            let branches = self.admissible_with_scratch(taxon, &mut scratch);
+            return Some(NextTaxon { taxon, branches });
+        };
+        let rank = |t: TaxonId| match tie {
+            // Lower rank wins on branch-count ties.
+            DynamicTie::SmallestId => (0usize, t.index()),
+            DynamicTie::MostConstraints => (
+                usize::MAX - self.problem.constraints_of_taxon(t.index()).len(),
+                t.index(),
+            ),
+        };
+        let mut best: Option<NextTaxon> = None;
+        for &taxon in &self.remaining {
+            let branches = self.admissible_with_scratch(taxon, &mut scratch);
+            if branches.is_empty() {
+                return Some(NextTaxon { taxon, branches });
+            }
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    branches.len() < b.branches.len()
+                        || (branches.len() == b.branches.len() && rank(taxon) < rank(b.taxon))
+                }
+            };
+            if better {
+                best = Some(NextTaxon { taxon, branches });
+            }
+        }
+        best
+    }
+}
+
+/// Per-state lazily-filled projection caches, one slot per constraint.
+struct ConstraintScratch {
+    agile_maps: Vec<Option<AttachMap>>,
+    targets: Vec<Option<Vec<Option<Split>>>>,
+}
+
+impl ConstraintScratch {
+    fn new(n: usize) -> Self {
+        ConstraintScratch {
+            agile_maps: vec![None; n],
+            targets: vec![None; n],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InitialTreeRule;
+    use phylo::newick::parse_forest;
+
+    fn problem(newicks: &[&str]) -> StandProblem {
+        let (_, trees) = parse_forest(newicks.iter().copied()).unwrap();
+        StandProblem::from_constraints(trees).unwrap()
+    }
+
+    #[test]
+    fn root_state_setup() {
+        let p = problem(&["((A,B),(C,D));", "((C,D),(E,F));"]);
+        let idx = p.initial_tree_index(&InitialTreeRule::Index(0)).unwrap();
+        let s = SearchState::new(&p, idx, &TaxonOrderRule::Dynamic).unwrap();
+        assert_eq!(s.remaining_count(), 2); // E, F
+        assert!(!s.is_complete());
+    }
+
+    #[test]
+    fn fixed_order_validation() {
+        let p = problem(&["((A,B),(C,D));", "((C,D),(E,F));"]);
+        let e = TaxonId(4);
+        let f = TaxonId(5);
+        assert!(SearchState::new(&p, 0, &TaxonOrderRule::Fixed(vec![f, e])).is_ok());
+        assert!(SearchState::new(&p, 0, &TaxonOrderRule::Fixed(vec![e])).is_err());
+    }
+
+    #[test]
+    fn apply_undo_roundtrip() {
+        let p = problem(&["((A,B),(C,D));", "((C,D),(E,F));"]);
+        let mut s = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let fp = s.agile.arena_fingerprint();
+        let next = s.select_next().unwrap();
+        assert!(!next.branches.is_empty());
+        let step = s.apply(next.taxon, next.branches[0]);
+        assert_eq!(s.remaining_count(), 1);
+        s.undo(&step);
+        assert_eq!(s.remaining_count(), 2);
+        assert_eq!(s.agile.arena_fingerprint(), fp);
+        assert_eq!(s.remaining(), &[TaxonId(4), TaxonId(5)]);
+    }
+
+    #[test]
+    fn admissible_respects_constraints() {
+        // Agile = ((A,B),(C,D)); constraint ((A,B),(C,E)) pins E next to C.
+        let p = problem(&["((A,B),(C,D));", "((A,B),(C,E));"]);
+        let s = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let branches = s.admissible_branches(TaxonId(4));
+        // E must be sister to C w.r.t. {A,B}: C's pendant, the internal
+        // edge, and D's pendant all satisfy the restriction (D is not in
+        // the constraint); A's and B's pendant edges do not.
+        assert_eq!(branches.len(), 3);
+        let leaf_c = s.agile.leaf(TaxonId(2)).unwrap();
+        assert!(branches.contains(&s.agile.adjacent_edges(leaf_c)[0]));
+        for bad in [TaxonId(0), TaxonId(1)] {
+            let leaf = s.agile.leaf(bad).unwrap();
+            assert!(!branches.contains(&s.agile.adjacent_edges(leaf)[0]));
+        }
+    }
+
+    #[test]
+    fn unconstrained_taxon_admits_every_branch() {
+        // F appears only in the second constraint, which shares just one
+        // taxon (C) with the agile tree → all 5 branches admissible.
+        let p = problem(&["((A,B),(C,D));", "((F,G),(H,C));"]);
+        let s = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let branches = s.admissible_branches(TaxonId(4));
+        assert_eq!(branches.len(), s.agile.edge_count());
+    }
+
+    #[test]
+    fn dynamic_selection_prefers_fewest_branches() {
+        // E is pinned to one branch; the taxa of the weakly-overlapping
+        // constraint are free → dynamic must pick E first.
+        let p = problem(&["((A,B),(C,D));", "((A,B),(C,E));", "((F,G),(H,A));"]);
+        let s = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let next = s.select_next().unwrap();
+        assert_eq!(next.taxon, TaxonId(4)); // E: 3 branches vs 5 for F,G,H
+        assert_eq!(next.branches.len(), 3);
+    }
+
+    #[test]
+    fn by_id_order_ignores_branch_counts() {
+        let p = problem(&["((A,B),(C,D));", "((A,B),(C,E));", "((F,G),(H,A));"]);
+        let s = SearchState::new(&p, 0, &TaxonOrderRule::ById).unwrap();
+        let next = s.select_next().unwrap();
+        assert_eq!(next.taxon, TaxonId(4)); // smallest missing id happens to be E
+        let s2 = SearchState::new(
+            &p,
+            0,
+            &TaxonOrderRule::Fixed(vec![TaxonId(5), TaxonId(6), TaxonId(7), TaxonId(4)]),
+        )
+        .unwrap();
+        let next2 = s2.select_next().unwrap();
+        assert_eq!(next2.taxon, TaxonId(5)); // F first per fixed order
+    }
+
+    #[test]
+    fn most_constrained_first_orders_by_constraint_count() {
+        // E appears in two constraints, F/G/H in one → E first.
+        let p = problem(&["((A,B),(C,D));", "((A,B),(C,E));", "((F,G),(H,E));"]);
+        let s = SearchState::new(&p, 0, &TaxonOrderRule::MostConstrainedFirst).unwrap();
+        assert_eq!(s.remaining()[0], TaxonId(4)); // E
+        let next = s.select_next().unwrap();
+        assert_eq!(next.taxon, TaxonId(4));
+    }
+
+    #[test]
+    fn dynamic_by_constraints_breaks_ties_differently() {
+        // F and G are both unconstrained w.r.t. the agile tree (5 branches
+        // each), but G appears in two constraints vs F's one → the
+        // constraint-count tie-break prefers G while the id tie-break
+        // prefers F.
+        let p = problem(&["((A,B),(C,D));", "((F,G),(H,A));", "((G,B),(I,J));"]);
+        let by_id = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let by_cons = SearchState::new(&p, 0, &TaxonOrderRule::DynamicByConstraints).unwrap();
+        let a = by_id.select_next().unwrap();
+        let b = by_cons.select_next().unwrap();
+        assert_eq!(a.branches.len(), b.branches.len());
+        assert!(a.taxon < b.taxon, "id tie-break picks the smaller id");
+        let g = TaxonId(5);
+        assert_eq!(b.taxon, g);
+    }
+
+    #[test]
+    fn conflicting_constraint_yields_zero_branches() {
+        // Constraints force E both next to C and next to A — impossible.
+        let p = problem(&["((A,B),(C,D));", "((A,B),(C,E));", "((E,A),(B,C));"]);
+        let s = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let next = s.select_next().unwrap();
+        assert_eq!(next.taxon, TaxonId(4));
+        assert!(next.branches.is_empty());
+    }
+}

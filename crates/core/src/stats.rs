@@ -1,0 +1,87 @@
+//! Run counters: stand trees, intermediate states, dead ends.
+//!
+//! These are the three quantities the paper reports for every run and uses
+//! to verify that serial and parallel executions traverse the exact same
+//! branch-and-bound tree (§IV, preamble).
+
+/// Counter snapshot for one (partial) exploration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Complete stand trees generated.
+    pub stand_trees: u64,
+    /// Intermediate states visited (incomplete agile trees created).
+    pub intermediate_states: u64,
+    /// Dead ends: intermediate states where some remaining taxon has no
+    /// admissible branch.
+    pub dead_ends: u64,
+}
+
+impl RunStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Element-wise sum — used to merge per-thread / per-task counters.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.stand_trees += other.stand_trees;
+        self.intermediate_states += other.intermediate_states;
+        self.dead_ends += other.dead_ends;
+    }
+}
+
+impl std::ops::Add for RunStats {
+    type Output = RunStats;
+    fn add(mut self, rhs: RunStats) -> RunStats {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stand trees: {}, intermediate states: {}, dead ends: {}",
+            self.stand_trees, self.intermediate_states, self.dead_ends
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = RunStats {
+            stand_trees: 1,
+            intermediate_states: 10,
+            dead_ends: 2,
+        };
+        let b = RunStats {
+            stand_trees: 4,
+            intermediate_states: 5,
+            dead_ends: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.stand_trees, 5);
+        assert_eq!(a.intermediate_states, 15);
+        assert_eq!(a.dead_ends, 2);
+        let c = a + b;
+        assert_eq!(c.stand_trees, 9);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = RunStats {
+            stand_trees: 3,
+            intermediate_states: 7,
+            dead_ends: 1,
+        };
+        assert_eq!(
+            s.to_string(),
+            "stand trees: 3, intermediate states: 7, dead ends: 1"
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Path-replay equivalence: the property the parallel engine's tasks rely
+//! on, tested directly at the Explorer level on randomized instances.
+//!
+//! At a random point of a random exploration we split off half of the top
+//! frame's branches, record the path, and hand both halves to *fresh*
+//! explorers (replaying the recorded path). The union of the work done by
+//! the two halves must exactly equal the work the donor would have done
+//! alone — trees, states and dead ends.
+
+use gentrius_core::config::TaxonOrderRule;
+use gentrius_core::explore::{Explorer, StepEvent};
+use gentrius_core::problem::StandProblem;
+use gentrius_core::sink::CollectNewick;
+use gentrius_core::state::SearchState;
+use phylo::bitset::BitSet;
+use phylo::generate::{random_tree_on_n, ShapeModel};
+use phylo::ops::restrict;
+use phylo::taxa::TaxonSet;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn random_problem(seed: u64) -> (TaxonSet, StandProblem) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = rng.gen_range(8..=12);
+    let taxa = TaxonSet::with_synthetic(n);
+    loop {
+        let source = random_tree_on_n(n, ShapeModel::Uniform, &mut rng);
+        let m = rng.gen_range(2..=4);
+        let mut covered = BitSet::new(n);
+        let mut cols = Vec::new();
+        for _ in 0..m {
+            let k = rng.gen_range(4..=n.min(7));
+            let mut s = BitSet::new(n);
+            while s.count() < k {
+                s.insert(rng.gen_range(0..n));
+            }
+            covered.union_with(&s);
+            cols.push(s);
+        }
+        if covered.count() != n {
+            continue;
+        }
+        let constraints: Vec<_> = cols.iter().map(|c| restrict(&source, c)).collect();
+        if let Ok(p) = StandProblem::from_constraints(constraints) {
+            return (taxa, p);
+        }
+    }
+}
+
+fn drain(ex: &mut Explorer<'_>, sink: &mut CollectNewick<'_>) -> (u64, u64, u64) {
+    let (mut t, mut s, mut d) = (0, 0, 0);
+    loop {
+        match ex.step(sink) {
+            StepEvent::Entered => s += 1,
+            StepEvent::StandTree => t += 1,
+            StepEvent::DeadEnd => {
+                s += 1;
+                d += 1;
+            }
+            StepEvent::Backtracked => {}
+            StepEvent::Finished => return (t, s, d),
+        }
+    }
+}
+
+#[test]
+fn random_split_points_partition_the_work_exactly() {
+    let mut validated = 0;
+    for seed in 0..30u64 {
+        let (taxa, problem) = random_problem(seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xABCD);
+
+        // Donor run: walk a random number of steps, then try to split.
+        let state = SearchState::new(&problem, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let mut donor = Explorer::new_root(state);
+        let mut donor_sink = CollectNewick::with_cap(&taxa, 1_000_000);
+        let warmup = rng.gen_range(0..60);
+        let mut donor_pre = (0u64, 0u64, 0u64);
+        for _ in 0..warmup {
+            match donor.step(&mut donor_sink) {
+                StepEvent::Entered => donor_pre.1 += 1,
+                StepEvent::StandTree => donor_pre.0 += 1,
+                StepEvent::DeadEnd => {
+                    donor_pre.1 += 1;
+                    donor_pre.2 += 1;
+                }
+                StepEvent::Backtracked => {}
+                StepEvent::Finished => break,
+            }
+        }
+        if donor.finished() {
+            continue; // instance exhausted during warm-up; try another seed
+        }
+        let Some(stolen) = donor.split_top() else {
+            continue; // top frame not splittable right now
+        };
+        let path = donor.path_from_base();
+        let taxon = donor.top().unwrap().taxon;
+
+        // Thief run: fresh state, replay path, work the stolen half.
+        let thief_state = SearchState::new(&problem, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let mut thief = Explorer::new_idle(thief_state);
+        thief.begin_task(&path, taxon, stolen);
+        let mut thief_sink = CollectNewick::with_cap(&taxa, 1_000_000);
+        let thief_work = drain(&mut thief, &mut thief_sink);
+        thief.end_task();
+        assert_eq!(thief.remaining_taxa(), problem.num_taxa() - problem.constraints()[0].taxa().count());
+
+        // Donor finishes the rest.
+        let donor_rest = drain(&mut donor, &mut donor_sink);
+
+        // Reference: an undisturbed full run.
+        let ref_state = SearchState::new(&problem, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let mut reference = Explorer::new_root(ref_state);
+        let mut ref_sink = CollectNewick::with_cap(&taxa, 1_000_000);
+        let full = drain(&mut reference, &mut ref_sink);
+
+        let combined = (
+            donor_pre.0 + donor_rest.0 + thief_work.0,
+            donor_pre.1 + donor_rest.1 + thief_work.1,
+            donor_pre.2 + donor_rest.2 + thief_work.2,
+        );
+        assert_eq!(combined, full, "seed {seed}: counter partition broken");
+
+        let mut split_set: Vec<String> = donor_sink.out;
+        split_set.extend(thief_sink.out);
+        split_set.sort();
+        let mut ref_set = ref_sink.out;
+        ref_set.sort();
+        assert_eq!(split_set, ref_set, "seed {seed}: stand set broken");
+        validated += 1;
+    }
+    assert!(validated >= 10, "only {validated} split points validated");
+}
+
+#[test]
+fn nested_steals_still_partition_exactly() {
+    // A steal from a stolen task (the thief becomes a donor): paths must
+    // compose — task 2's path includes task 1's replayed base.
+    let mut validated = 0;
+    for seed in 100..140u64 {
+        let (taxa, problem) = random_problem(seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        let state = SearchState::new(&problem, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let mut donor = Explorer::new_root(state);
+        let mut sink_a = CollectNewick::with_cap(&taxa, 1_000_000);
+        for _ in 0..rng.gen_range(0..40) {
+            if donor.step(&mut sink_a) == StepEvent::Finished {
+                break;
+            }
+        }
+        if donor.finished() {
+            continue;
+        }
+        let Some(stolen1) = donor.split_top() else { continue };
+        let path1 = donor.path_from_base();
+        let taxon1 = donor.top().unwrap().taxon;
+
+        // Thief 1 replays, walks a bit, then is robbed itself.
+        let s1 = SearchState::new(&problem, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let mut thief1 = Explorer::new_idle(s1);
+        thief1.begin_task(&path1, taxon1, stolen1);
+        let mut sink_b = CollectNewick::with_cap(&taxa, 1_000_000);
+        for _ in 0..rng.gen_range(0..20) {
+            if thief1.step(&mut sink_b) == StepEvent::Finished {
+                break;
+            }
+        }
+        let second = if !thief1.finished() {
+            if let Some(stolen2) = thief1.split_top() {
+                let path2 = thief1.path_from_base();
+                let taxon2 = thief1.top().unwrap().taxon;
+                // path2 must extend path1 (it contains the replayed base).
+                assert!(path2.len() >= path1.len(), "seed {seed}: path did not compose");
+                assert_eq!(&path2[..path1.len()], &path1[..], "seed {seed}");
+                Some((path2, taxon2, stolen2))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        // Drain everything and merge the three stand fragments.
+        let mut all: Vec<String> = Vec::new();
+        let _ = drain(&mut thief1, &mut sink_b);
+        thief1.end_task();
+        if let Some((path2, taxon2, stolen2)) = second {
+            let s2 = SearchState::new(&problem, 0, &TaxonOrderRule::Dynamic).unwrap();
+            let mut thief2 = Explorer::new_idle(s2);
+            thief2.begin_task(&path2, taxon2, stolen2);
+            let mut sink_c = CollectNewick::with_cap(&taxa, 1_000_000);
+            let _ = drain(&mut thief2, &mut sink_c);
+            thief2.end_task();
+            all.extend(sink_c.out);
+        }
+        let _ = drain(&mut donor, &mut sink_a);
+        all.extend(sink_a.out);
+        all.extend(sink_b.out);
+
+        // Reference run: sink_a already includes the pre-steal trees, so
+        // the merged stand set is the complete comparison (counters are
+        // covered by the single-steal test above).
+        let ref_state = SearchState::new(&problem, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let mut reference = Explorer::new_root(ref_state);
+        let mut ref_sink = CollectNewick::with_cap(&taxa, 1_000_000);
+        drain(&mut reference, &mut ref_sink);
+        all.sort();
+        let mut expect = ref_sink.out;
+        expect.sort();
+        assert_eq!(all, expect, "seed {seed}: nested-steal stand set broken");
+        validated += 1;
+    }
+    assert!(validated >= 10, "only {validated} nested steals validated");
+}

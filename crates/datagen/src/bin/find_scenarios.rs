@@ -1,0 +1,30 @@
+//! Maintenance tool: re-searches the hardcoded scenario indices in
+//! `gentrius_datagen::scenario`. Run after changing the generators, the
+//! scenario seed or the search predicates, and update the constants.
+
+use gentrius_datagen::scenario::{
+    find_heuristics_showcase, find_trap_instance, SCENARIO_SEED,
+};
+
+fn main() {
+    println!("searching heuristics showcase (seed {SCENARIO_SEED})...");
+    match find_heuristics_showcase(SCENARIO_SEED, 0, 200, 100, 500) {
+        Some((i, d)) => println!(
+            "  HEURISTICS_INDEX = {i}  ({}, {} taxa, {} loci)",
+            d.name,
+            d.num_taxa(),
+            d.num_loci()
+        ),
+        None => println!("  not found in budget"),
+    }
+    println!("searching trap instance (seed {SCENARIO_SEED})...");
+    match find_trap_instance(SCENARIO_SEED, 0, 50, 2.2) {
+        Some((i, d)) => println!(
+            "  TRAP_INDEX = {i}  ({}, {} taxa, {} loci)",
+            d.name,
+            d.num_taxa(),
+            d.num_loci()
+        ),
+        None => println!("  not found in budget"),
+    }
+}

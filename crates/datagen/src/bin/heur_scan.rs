@@ -1,0 +1,60 @@
+//! Maintenance tool: searches for the emp-data-42370-role instance where
+//! both §II-B heuristics visibly matter (states inflate when either is
+//! disabled), to pin `HEURISTICS_INDEX`.
+
+use gentrius_core::{
+    CountOnly, GentriusConfig, InitialTreeRule, StoppingRules, TaxonOrderRule,
+};
+use gentrius_datagen::scenario::{scenario_params, SCENARIO_SEED};
+use gentrius_datagen::simulated_dataset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let start: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let budget: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let params = scenario_params();
+    for i in start..start + budget {
+        let d = simulated_dataset(&params, SCENARIO_SEED, i);
+        let Ok(p) = d.problem() else { continue };
+        let run = |cfg: GentriusConfig| {
+            gentrius_core::run_serial(&p, &cfg, &mut CountOnly).unwrap()
+        };
+        let both = run(GentriusConfig {
+            stopping: StoppingRules::counts(300_000, 600_000),
+            ..GentriusConfig::default()
+        });
+        if !both.complete() || both.stats.stand_trees < 500 || both.stats.intermediate_states < 200 {
+            continue;
+        }
+        let best = p.initial_tree_index(&InitialTreeRule::MaxOverlap).unwrap();
+        let other = (0..p.constraints().len()).rev().find(|&x| x != best).unwrap();
+        let noinit = run(GentriusConfig {
+            initial_tree: InitialTreeRule::Index(other),
+            stopping: StoppingRules::counts(300_000, 600_000),
+            ..GentriusConfig::default()
+        });
+        let nodyn = run(GentriusConfig {
+            taxon_order: TaxonOrderRule::ById,
+            stopping: StoppingRules::counts(300_000, 600_000),
+            ..GentriusConfig::default()
+        });
+        if !noinit.complete() || !nodyn.complete() {
+            continue;
+        }
+        let r1 = noinit.stats.intermediate_states as f64 / both.stats.intermediate_states as f64;
+        let r2 = nodyn.stats.intermediate_states as f64 / both.stats.intermediate_states as f64;
+        if r1 > 1.5 && r2 > 3.0 && r2 > r1 {
+            println!(
+                "i={i:4} trees={} states both={} noinit={} ({r1:.1}x) nodyn={} ({r2:.1}x) dead={}/{}/{}",
+                both.stats.stand_trees,
+                both.stats.intermediate_states,
+                noinit.stats.intermediate_states,
+                nodyn.stats.intermediate_states,
+                both.stats.dead_ends,
+                noinit.stats.dead_ends,
+                nodyn.stats.dead_ends,
+            );
+        }
+    }
+    println!("scan done");
+}

@@ -1,0 +1,44 @@
+//! Maintenance tool: finds generator indices for the "long runner"
+//! scenario family (Table I / Table II roles) — instances whose serial
+//! virtual cost is large enough to exercise 16–48 threads.
+
+use gentrius_core::{GentriusConfig, StoppingRules};
+use gentrius_datagen::scenario::SCENARIO_SEED;
+use gentrius_datagen::{simulated_dataset, MissingPattern, SimulatedParams};
+use gentrius_sim::{simulate, SimConfig};
+use phylo::generate::ShapeModel;
+
+fn main() {
+    let params = SimulatedParams {
+        taxa: (24, 40),
+        loci: (5, 9),
+        missing: (0.4, 0.6),
+        pattern: MissingPattern::Uniform,
+        shape: ShapeModel::Uniform,
+    };
+    let cfg = GentriusConfig {
+        stopping: StoppingRules::counts(400_000, 400_000),
+        ..GentriusConfig::default()
+    };
+    let mut found = 0;
+    for i in 0..400u64 {
+        if found >= 8 {
+            break;
+        }
+        let d = simulated_dataset(&params, SCENARIO_SEED.wrapping_add(77), i);
+        let Ok(p) = d.problem() else { continue };
+        let s1 = simulate(&p, &cfg, &SimConfig::with_threads(1)).unwrap();
+        if s1.makespan >= 50_000 {
+            let s16 = simulate(&p, &cfg, &SimConfig::with_threads(16)).unwrap();
+            println!(
+                "idx={i:4} t1={:8} trees={:8} complete={} sp16={:.2}",
+                s1.makespan,
+                s1.stats.stand_trees,
+                s1.complete(),
+                s1.makespan as f64 / s16.makespan.max(1) as f64
+            );
+            found += 1;
+        }
+    }
+    println!("scan done");
+}

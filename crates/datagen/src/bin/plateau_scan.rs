@@ -1,0 +1,46 @@
+//! Maintenance tool: searches for Fig. 5a "plateau" instances — serial
+//! cost large enough to matter, but speedup saturating far below the
+//! thread count because the workflow tree is a chain.
+
+use gentrius_core::{GentriusConfig, StoppingRules};
+use gentrius_datagen::{simulated_dataset, MissingPattern, SimulatedParams};
+use gentrius_sim::{simulate, SimConfig};
+use phylo::generate::ShapeModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let start: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let budget: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let lo: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let hi: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(0.40);
+    let params = SimulatedParams {
+        taxa: (16, 30),
+        loci: (5, 9),
+        missing: (lo, hi),
+        pattern: MissingPattern::Uniform,
+        shape: ShapeModel::Uniform,
+    };
+    let cfg = GentriusConfig {
+        stopping: StoppingRules::counts(500_000, 500_000),
+        ..GentriusConfig::default()
+    };
+    for i in start..start + budget {
+        let d = simulated_dataset(&params, 20230512, i);
+        let Ok(p) = d.problem() else { continue };
+        let s1 = simulate(&p, &cfg, &SimConfig::with_threads(1)).unwrap();
+        if !s1.complete() || s1.makespan < 2000 {
+            continue;
+        }
+        let s8 = simulate(&p, &cfg, &SimConfig::with_threads(8)).unwrap();
+        let sp8 = s1.makespan as f64 / s8.makespan.max(1) as f64;
+        if sp8 < 3.0 {
+            let s16 = simulate(&p, &cfg, &SimConfig::with_threads(16)).unwrap();
+            let sp16 = s1.makespan as f64 / s16.makespan.max(1) as f64;
+            println!(
+                "i={i:4} n={:3} m={} t1={:8} trees={:8} sp8={sp8:5.2} sp16={sp16:5.2}",
+                d.num_taxa(), d.num_loci(), s1.makespan, s1.stats.stand_trees
+            );
+        }
+    }
+    println!("scan done");
+}

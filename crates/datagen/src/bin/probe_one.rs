@@ -1,0 +1,43 @@
+//! Maintenance tool: probes one scan candidate at several thread counts
+//! and stopping-rule settings to qualify it as a scenario instance.
+
+use gentrius_core::{GentriusConfig, StoppingRules};
+use gentrius_datagen::scenario::SCENARIO_SEED;
+use gentrius_datagen::{simulated_dataset, MissingPattern, SimulatedParams};
+use gentrius_sim::{simulate, SimConfig};
+use phylo::generate::ShapeModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let index: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(17);
+    let max_trees: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(u64::MAX);
+    let max_states: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let params = SimulatedParams {
+        taxa: (22, 36),
+        loci: (5, 9),
+        missing: (0.45, 0.65),
+        pattern: MissingPattern::Clustered,
+        shape: ShapeModel::Uniform,
+    };
+    let d = simulated_dataset(&params, SCENARIO_SEED, index);
+    println!("{}: {} taxa, {} loci, {:.1}% missing", d.name, d.num_taxa(), d.num_loci(), 100.0*d.missing_fraction());
+    let p = d.problem().unwrap();
+    let cfg = GentriusConfig {
+        stopping: StoppingRules::counts(max_trees, max_states),
+        ..GentriusConfig::default()
+    };
+    let mut serial = None;
+    for t in [1usize, 2, 4, 8, 12, 16] {
+        let r = simulate(&p, &cfg, &SimConfig::with_threads(t)).unwrap();
+        let (sp, asp) = match &serial {
+            None => (1.0, 1.0),
+            Some(s) => (r.speedup_vs(s), r.adapted_speedup_vs(s)),
+        };
+        println!(
+            "t={t:2} ticks={:9} trees={:9} states={:9} dead={:8} stop={:?} sp={sp:7.2} asp={asp:7.2}",
+            r.makespan, r.stats.stand_trees, r.stats.intermediate_states, r.stats.dead_ends,
+            r.stop.map(|c| format!("{c:?}")).unwrap_or_else(|| "-".into())
+        );
+        if serial.is_none() { serial = Some(r); }
+    }
+}

@@ -1,0 +1,61 @@
+//! Maintenance tool: scans for paper-role scenario instances (the
+//! sim-data-5001 "trap" and the Fig. 5a "plateau") and prints per-instance
+//! statistics under reduced stopping rules so the hardcoded scenario
+//! indices in `gentrius_datagen::scenario` can be chosen.
+
+use gentrius_core::{GentriusConfig, StoppingRules};
+use gentrius_datagen::scenario::SCENARIO_SEED;
+use gentrius_datagen::{simulated_dataset, MissingPattern, SimulatedParams};
+use gentrius_sim::{simulate, SimConfig};
+use phylo::generate::ShapeModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let start: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let budget: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let pattern = match args.get(3).map(|s| s.as_str()) {
+        Some("clustered") => MissingPattern::Clustered,
+        Some("core") => MissingPattern::ComprehensiveCore,
+        _ => MissingPattern::Uniform,
+    };
+    let max_trees: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let max_states: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let params = SimulatedParams {
+        taxa: (22, 36),
+        loci: (5, 9),
+        missing: (0.45, 0.65),
+        pattern,
+        shape: ShapeModel::Uniform,
+    };
+    let cfg = GentriusConfig {
+        stopping: StoppingRules::counts(max_trees, max_states),
+        ..GentriusConfig::default()
+    };
+    for i in start..start + budget {
+        let d = simulated_dataset(&params, SCENARIO_SEED, i);
+        let p = match d.problem() {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        let s1 = simulate(&p, &cfg, &SimConfig::with_threads(1)).unwrap();
+        if s1.makespan < 2000 {
+            continue; // "small dataset" — the paper filters these out too
+        }
+        let s2 = simulate(&p, &cfg, &SimConfig::with_threads(2)).unwrap();
+        let s8 = simulate(&p, &cfg, &SimConfig::with_threads(8)).unwrap();
+        let sp2 = s1.makespan as f64 / s2.makespan.max(1) as f64;
+        let sp8 = s1.makespan as f64 / s8.makespan.max(1) as f64;
+        println!(
+            "i={i:4} n={:3} m={} stop={} t1={:9} trees1={:8} dead1={:7} | sp2={sp2:6.2} sp8={sp8:6.2} trees2={:8} trees8={:8}",
+            d.num_taxa(),
+            d.num_loci(),
+            s1.stop.map(|c| format!("{c:?}")).unwrap_or_else(|| "-".into()),
+            s1.makespan,
+            s1.stats.stand_trees,
+            s1.stats.dead_ends,
+            s2.stats.stand_trees,
+            s8.stats.stand_trees,
+        );
+    }
+    println!("scan done");
+}

@@ -1,0 +1,268 @@
+//! A generated dataset: taxa, optional source species tree, PAM and the
+//! induced constraint trees, plus simple text-file persistence.
+
+use gentrius_core::{ProblemError, StandProblem};
+use phylo::newick::{parse_forest, parse_newick, to_newick};
+use phylo::pam::Pam;
+use phylo::taxa::TaxonSet;
+use phylo::tree::Tree;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One stand-enumeration dataset.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Identifier (e.g. `sim-data-17`, mirroring the paper's naming).
+    pub name: String,
+    /// The taxon universe (labels).
+    pub taxa: TaxonSet,
+    /// The species tree the constraints were induced from, when generated
+    /// that way (`None` for datasets built directly from subtrees).
+    pub species_tree: Option<Tree>,
+    /// The presence–absence matrix, when known.
+    pub pam: Option<Pam>,
+    /// The constraint trees (the Gentrius input).
+    pub constraints: Vec<Tree>,
+}
+
+impl Dataset {
+    /// Builds the [`StandProblem`] for this dataset.
+    pub fn problem(&self) -> Result<StandProblem, ProblemError> {
+        StandProblem::from_constraints(self.constraints.clone())
+    }
+
+    /// Number of taxa in the universe.
+    pub fn num_taxa(&self) -> usize {
+        self.taxa.len()
+    }
+
+    /// Number of loci / constraint trees.
+    pub fn num_loci(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Fraction of missing entries in the PAM (0 when unknown).
+    pub fn missing_fraction(&self) -> f64 {
+        self.pam.as_ref().map(|p| p.missing_fraction()).unwrap_or(0.0)
+    }
+
+    /// Serializes to the simple multi-section text format used by the CLI:
+    ///
+    /// ```text
+    /// # gentrius dataset v1
+    /// name <name>
+    /// [species <newick>]
+    /// constraint <newick>      (one per locus)
+    /// [pam]
+    /// <taxon> <0/1 row>
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str("# gentrius dataset v1\n");
+        writeln!(s, "name {}", self.name).unwrap();
+        if let Some(t) = &self.species_tree {
+            writeln!(s, "species {}", to_newick(t, &self.taxa)).unwrap();
+        }
+        for c in &self.constraints {
+            writeln!(s, "constraint {}", to_newick(c, &self.taxa)).unwrap();
+        }
+        if let Some(pam) = &self.pam {
+            s.push_str("pam\n");
+            s.push_str(&pam.to_text(&self.taxa));
+        }
+        s
+    }
+
+    /// Parses the format produced by [`Dataset::to_text`].
+    pub fn from_text(input: &str) -> Result<Dataset, String> {
+        let mut name = String::from("unnamed");
+        let mut species_src: Option<String> = None;
+        let mut constraint_srcs: Vec<String> = Vec::new();
+        let mut pam_lines: Vec<&str> = Vec::new();
+        let mut in_pam = false;
+        for line in input.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if in_pam {
+                pam_lines.push(line);
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("name ") {
+                name = rest.trim().to_string();
+            } else if let Some(rest) = line.strip_prefix("species ") {
+                species_src = Some(rest.trim().to_string());
+            } else if let Some(rest) = line.strip_prefix("constraint ") {
+                constraint_srcs.push(rest.trim().to_string());
+            } else if line == "pam" {
+                in_pam = true;
+            } else {
+                return Err(format!("unrecognized dataset line: {line}"));
+            }
+        }
+        if constraint_srcs.is_empty() {
+            return Err("dataset has no constraint trees".into());
+        }
+        // Build a shared universe across species + constraints.
+        let mut all: Vec<&str> = Vec::new();
+        if let Some(s) = &species_src {
+            all.push(s);
+        }
+        all.extend(constraint_srcs.iter().map(|s| s.as_str()));
+        let (mut taxa, mut trees) =
+            parse_forest(all.iter().copied()).map_err(|e| e.to_string())?;
+        let species_tree = species_src.is_some().then(|| trees.remove(0));
+
+        let pam = if pam_lines.is_empty() {
+            None
+        } else {
+            let joined = pam_lines.join("\n");
+            let pam = Pam::parse_text(&joined, &mut taxa)?;
+            if pam.universe() != taxa.len() {
+                // PAM may have introduced taxa unseen in trees; rebuild the
+                // trees against the enlarged universe.
+                let mut all2: Vec<String> = Vec::new();
+                if let Some(t) = &species_tree {
+                    all2.push(to_newick(t, &taxa));
+                }
+                trees = Vec::new();
+                for src in &constraint_srcs {
+                    trees.push(parse_newick(src, &taxa).map_err(|e| e.to_string())?);
+                }
+                let species_tree2 = species_src
+                    .as_ref()
+                    .map(|s| parse_newick(s, &taxa).map_err(|e| e.to_string()))
+                    .transpose()?;
+                return Ok(Dataset {
+                    name,
+                    taxa,
+                    species_tree: species_tree2,
+                    pam: Some(pam),
+                    constraints: trees,
+                });
+            }
+            Some(pam)
+        };
+        Ok(Dataset {
+            name,
+            taxa,
+            species_tree,
+            pam,
+            constraints: trees,
+        })
+    }
+
+    /// Writes the dataset to a file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Loads a dataset from a file.
+    pub fn load(path: &Path) -> Result<Dataset, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Dataset::from_text(&text)
+    }
+
+    /// Loads every `*.dataset` file in a directory (the layout written by
+    /// the `make_suite` tool), sorted by file name for determinism.
+    pub fn load_suite(dir: &Path) -> Result<Vec<Dataset>, String> {
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "dataset"))
+            .collect();
+        paths.sort();
+        paths.iter().map(|p| Dataset::load(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::split::topo_eq;
+
+    fn sample() -> Dataset {
+        let (taxa, mut trees) = parse_forest([
+            "((A,B),((C,D),(E,F)));",
+            "((A,B),(C,D));",
+            "((C,D),(E,F));",
+        ])
+        .unwrap();
+        let species = trees.remove(0);
+        let mut pam = Pam::new(6, 2);
+        for t in [0, 1, 2, 3] {
+            pam.set(phylo::TaxonId(t), 0, true);
+        }
+        for t in [2, 3, 4, 5] {
+            pam.set(phylo::TaxonId(t), 1, true);
+        }
+        Dataset {
+            name: "toy-1".into(),
+            taxa,
+            species_tree: Some(species),
+            pam: Some(pam),
+            constraints: trees,
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_everything() {
+        let d = sample();
+        let text = d.to_text();
+        let d2 = Dataset::from_text(&text).unwrap();
+        assert_eq!(d2.name, d.name);
+        assert_eq!(d2.num_taxa(), d.num_taxa());
+        assert_eq!(d2.num_loci(), d.num_loci());
+        assert!(topo_eq(
+            d2.species_tree.as_ref().unwrap(),
+            d.species_tree.as_ref().unwrap()
+        ));
+        for (a, b) in d2.constraints.iter().zip(&d.constraints) {
+            assert!(topo_eq(a, b));
+        }
+        assert_eq!(d2.pam, d.pam);
+    }
+
+    #[test]
+    fn problem_construction() {
+        let d = sample();
+        let p = d.problem().unwrap();
+        assert_eq!(p.num_taxa(), 6);
+        assert!((d.missing_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Dataset::from_text("name x\nnonsense line\n").is_err());
+        assert!(Dataset::from_text("name x\n").is_err()); // no constraints
+    }
+
+    #[test]
+    fn suite_roundtrip_through_directory() {
+        let dir = std::env::temp_dir().join("gentrius-datagen-suite-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = sample();
+        d.save(&dir.join("a.dataset")).unwrap();
+        let mut d2 = sample();
+        d2.name = "toy-2".into();
+        d2.save(&dir.join("b.dataset")).unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not a dataset").unwrap();
+        let suite = Dataset::load_suite(&dir).unwrap();
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite[0].name, "toy-1");
+        assert_eq!(suite[1].name, "toy-2");
+    }
+
+    #[test]
+    fn minimal_dataset_without_pam() {
+        let text = "name mini\nconstraint ((A,B),(C,D));\nconstraint ((C,D),(E,F));\n";
+        let d = Dataset::from_text(text).unwrap();
+        assert!(d.pam.is_none());
+        assert!(d.species_tree.is_none());
+        assert_eq!(d.num_loci(), 2);
+        assert_eq!(d.num_taxa(), 6);
+        d.problem().unwrap();
+    }
+}

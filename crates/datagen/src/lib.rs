@@ -1,0 +1,31 @@
+//! # gentrius-datagen — seeded dataset generators
+//!
+//! Generates the workloads of the paper's evaluation (§IV):
+//!
+//! * [`simulated`] — the simulated suite of the original Gentrius
+//!   manuscript (50–300 taxa, 5–30 loci, 30–50% missing data, several
+//!   missingness patterns), with the ranges as parameters so laptop-scale
+//!   sweeps preserve the regime;
+//! * [`empirical`] — an "empirical-like" generator whose distributions
+//!   follow what the paper reports about the RAxML Grove database (68% of
+//!   datasets with missing data, 19% above 30% missing; clade-correlated
+//!   blocky coverage, Yule-like tree shapes) — the offline substitute for
+//!   the Grove extraction, documented in DESIGN.md;
+//! * [`scenario`] — deterministic instances reproducing the *roles* of
+//!   datasets named in the paper (`emp-data-42370`, `sim-data-5001`, the
+//!   Table I/II long runners);
+//! * [`dataset`] — the dataset container plus text-file persistence.
+//!
+//! Everything is a pure function of (parameters, seed, index): any
+//! instance from any sweep can be regenerated in isolation.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod empirical;
+pub mod scenario;
+pub mod simulated;
+
+pub use dataset::Dataset;
+pub use empirical::{empirical_dataset, EmpiricalParams};
+pub use simulated::{sample_pam, simulated_dataset, MissingPattern, SimulatedParams};

@@ -1,0 +1,337 @@
+//! Partitioned multiple sequence alignments (supermatrices).
+//!
+//! The supermatrix approach of the paper's §I: per-gene alignments are
+//! concatenated into one matrix divided into disjoint partitions, and a
+//! missing species×locus cell means the species' whole row within that
+//! partition is gaps. DNA states are stored as 4-bit sets (the natural
+//! representation for Fitch parsimony): `A=1, C=2, G=4, T=8`, and a gap /
+//! missing character is the full set `15`.
+
+use phylo::bitset::BitSet;
+use phylo::pam::Pam;
+use phylo::taxa::{TaxonId, TaxonSet};
+use std::fmt::Write as _;
+
+/// Bit encoding of `A`.
+pub const A: u8 = 1;
+/// Bit encoding of `C`.
+pub const C: u8 = 2;
+/// Bit encoding of `G`.
+pub const G: u8 = 4;
+/// Bit encoding of `T`.
+pub const T: u8 = 8;
+/// Gap / missing data: the full state set.
+pub const MISSING: u8 = 15;
+
+/// Converts a character to its state-set encoding.
+pub fn encode(c: char) -> Option<u8> {
+    match c.to_ascii_uppercase() {
+        'A' => Some(A),
+        'C' => Some(C),
+        'G' => Some(G),
+        'T' | 'U' => Some(T),
+        '-' | '?' | 'N' | 'X' => Some(MISSING),
+        'R' => Some(A | G),
+        'Y' => Some(C | T),
+        _ => None,
+    }
+}
+
+/// Converts a state set back to a character (ambiguity → IUPAC-ish).
+pub fn decode(s: u8) -> char {
+    match s {
+        x if x == A => 'A',
+        x if x == C => 'C',
+        x if x == G => 'G',
+        x if x == T => 'T',
+        x if x == MISSING => '-',
+        x if x == (A | G) => 'R',
+        x if x == (C | T) => 'Y',
+        _ => '?',
+    }
+}
+
+/// One partition (gene/locus): a name and a half-open site range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Partition label (e.g. the gene name).
+    pub name: String,
+    /// First site (0-based).
+    pub start: usize,
+    /// One past the last site.
+    pub end: usize,
+}
+
+impl Partition {
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True for an empty range.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// A partitioned supermatrix over a taxon universe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Supermatrix {
+    universe: usize,
+    /// `rows[taxon][site]` as state sets; every row has `sites` entries.
+    rows: Vec<Vec<u8>>,
+    sites: usize,
+    partitions: Vec<Partition>,
+}
+
+impl Supermatrix {
+    /// An all-missing matrix with the given shape.
+    pub fn new(universe: usize, sites: usize, partitions: Vec<Partition>) -> Self {
+        debug_assert!(partitions.iter().all(|p| p.end <= sites && !p.is_empty()));
+        Supermatrix {
+            universe,
+            rows: vec![vec![MISSING; sites]; universe],
+            sites,
+            partitions,
+        }
+    }
+
+    /// The taxon universe size.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Total number of sites.
+    pub fn sites(&self) -> usize {
+        self.sites
+    }
+
+    /// The partitions.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// State set at `(taxon, site)`.
+    pub fn get(&self, t: TaxonId, site: usize) -> u8 {
+        self.rows[t.index()][site]
+    }
+
+    /// Sets the state at `(taxon, site)`.
+    pub fn set(&mut self, t: TaxonId, site: usize, state: u8) {
+        debug_assert!(state > 0 && state <= 15);
+        self.rows[t.index()][site] = state;
+    }
+
+    /// The taxa with at least one non-missing site inside partition `p` —
+    /// the PAM column this matrix implies for that partition.
+    pub fn partition_taxa(&self, p: usize) -> BitSet {
+        let part = &self.partitions[p];
+        let mut s = BitSet::new(self.universe);
+        for (t, row) in self.rows.iter().enumerate() {
+            if row[part.start..part.end].iter().any(|&x| x != MISSING) {
+                s.insert(t);
+            }
+        }
+        s
+    }
+
+    /// The presence–absence matrix implied by the partitions.
+    pub fn implied_pam(&self) -> Pam {
+        let cols = (0..self.partitions.len())
+            .map(|p| self.partition_taxa(p))
+            .collect();
+        Pam::from_columns(self.universe, cols)
+    }
+
+    /// Blanks every cell that the PAM marks absent (whole partition rows).
+    pub fn apply_pam(&mut self, pam: &Pam) {
+        assert_eq!(pam.loci(), self.partitions.len());
+        for (p, part) in self.partitions.clone().iter().enumerate() {
+            for t in 0..self.universe {
+                if !pam.get(TaxonId(t as u32), p) {
+                    for site in part.start..part.end {
+                        self.rows[t][site] = MISSING;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders a relaxed-PHYLIP supermatrix plus a RAxML-style partition
+    /// file (`DNA, name = start-end` with 1-based inclusive coordinates).
+    pub fn to_phylip(&self, taxa: &TaxonSet) -> (String, String) {
+        let mut matrix = String::new();
+        writeln!(matrix, "{} {}", self.universe, self.sites).unwrap();
+        for (id, name) in taxa.iter() {
+            let seq: String = self.rows[id.index()].iter().map(|&s| decode(s)).collect();
+            writeln!(matrix, "{name} {seq}").unwrap();
+        }
+        let mut parts = String::new();
+        for p in &self.partitions {
+            writeln!(parts, "DNA, {} = {}-{}", p.name, p.start + 1, p.end).unwrap();
+        }
+        (matrix, parts)
+    }
+
+    /// Parses the pair of files produced by [`Supermatrix::to_phylip`],
+    /// interning taxa.
+    pub fn parse_phylip(
+        matrix: &str,
+        partitions: &str,
+        taxa: &mut TaxonSet,
+    ) -> Result<Supermatrix, String> {
+        let mut lines = matrix.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty matrix file")?;
+        let mut it = header.split_whitespace();
+        let n: usize = it
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or("bad taxon count")?;
+        let sites: usize = it
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or("bad site count")?;
+
+        let mut parts = Vec::new();
+        for line in partitions.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let rest = line
+                .split_once(',')
+                .map(|(_, r)| r)
+                .ok_or_else(|| format!("bad partition line: {line}"))?;
+            let (name, range) = rest
+                .split_once('=')
+                .ok_or_else(|| format!("bad partition line: {line}"))?;
+            let (a, b) = range
+                .trim()
+                .split_once('-')
+                .ok_or_else(|| format!("bad partition range: {line}"))?;
+            let start: usize = a.trim().parse().map_err(|_| "bad range start")?;
+            let end: usize = b.trim().parse().map_err(|_| "bad range end")?;
+            if start < 1 || end > sites || start > end {
+                return Err(format!("partition out of bounds: {line}"));
+            }
+            parts.push(Partition {
+                name: name.trim().to_string(),
+                start: start - 1,
+                end,
+            });
+        }
+        if parts.is_empty() {
+            return Err("no partitions".into());
+        }
+
+        let mut rows: Vec<(TaxonId, Vec<u8>)> = Vec::new();
+        for line in lines.take(n) {
+            let (name, seq) = line
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| format!("bad matrix row: {line}"))?;
+            let states: Vec<u8> = seq
+                .trim()
+                .chars()
+                .filter(|c| !c.is_whitespace())
+                .map(|c| encode(c).ok_or_else(|| format!("bad character '{c}'")))
+                .collect::<Result<_, _>>()?;
+            if states.len() != sites {
+                return Err(format!(
+                    "row {name} has {} sites, expected {sites}",
+                    states.len()
+                ));
+            }
+            rows.push((taxa.intern(name), states));
+        }
+        if rows.len() != n {
+            return Err(format!("expected {n} rows, found {}", rows.len()));
+        }
+        let mut sm = Supermatrix::new(taxa.len(), sites, parts);
+        for (t, states) in rows {
+            sm.rows[t.index()] = states;
+        }
+        Ok(sm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (TaxonSet, Supermatrix) {
+        let taxa = TaxonSet::with_synthetic(3);
+        let parts = vec![
+            Partition {
+                name: "g1".into(),
+                start: 0,
+                end: 3,
+            },
+            Partition {
+                name: "g2".into(),
+                start: 3,
+                end: 5,
+            },
+        ];
+        let mut sm = Supermatrix::new(3, 5, parts);
+        for (t, seq) in [(0u32, "ACGTA"), (1, "ACGTC"), (2, "AC---")] {
+            for (i, ch) in seq.chars().enumerate() {
+                sm.set(TaxonId(t), i, encode(ch).unwrap());
+            }
+        }
+        (taxa, sm)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for c in ['A', 'C', 'G', 'T', '-'] {
+            assert_eq!(decode(encode(c).unwrap()), c);
+        }
+        assert_eq!(encode('u'), Some(T));
+        assert_eq!(encode('N'), Some(MISSING));
+        assert_eq!(encode('Z'), None);
+    }
+
+    #[test]
+    fn partition_taxa_and_implied_pam() {
+        let (_, sm) = toy();
+        assert_eq!(sm.partition_taxa(0).count(), 3);
+        assert_eq!(sm.partition_taxa(1).count(), 2); // taxon 2 is all gaps in g2
+        let pam = sm.implied_pam();
+        assert!(pam.get(TaxonId(2), 0));
+        assert!(!pam.get(TaxonId(2), 1));
+    }
+
+    #[test]
+    fn apply_pam_blanks_rows() {
+        let (_, mut sm) = toy();
+        let mut pam = sm.implied_pam();
+        pam.set(TaxonId(0), 0, false);
+        sm.apply_pam(&pam);
+        assert_eq!(sm.get(TaxonId(0), 0), MISSING);
+        assert_eq!(sm.get(TaxonId(0), 2), MISSING);
+        assert_ne!(sm.get(TaxonId(0), 3), MISSING); // g2 untouched
+    }
+
+    #[test]
+    fn phylip_roundtrip() {
+        let (taxa, sm) = toy();
+        let (matrix, parts) = sm.to_phylip(&taxa);
+        let mut taxa2 = TaxonSet::new();
+        let sm2 = Supermatrix::parse_phylip(&matrix, &parts, &mut taxa2).unwrap();
+        assert_eq!(sm, sm2);
+        assert_eq!(taxa2.len(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        let mut taxa = TaxonSet::new();
+        assert!(Supermatrix::parse_phylip("", "DNA, a = 1-2", &mut taxa).is_err());
+        assert!(Supermatrix::parse_phylip("1 3\nA ACG\n", "", &mut taxa).is_err());
+        assert!(
+            Supermatrix::parse_phylip("1 3\nA ACG\n", "DNA, a = 1-9", &mut taxa).is_err()
+        );
+        assert!(
+            Supermatrix::parse_phylip("1 3\nA ACZ\n", "DNA, a = 1-3", &mut taxa).is_err()
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Fitch parsimony on unrooted trees, with both missing-data policies.
+//!
+//! Sanderson et al.'s terrace result (the paper's refs 6 and 7): when the
+//! per-partition score is computed on the tree *restricted to the taxa
+//! with data in that partition*, every tree on a stand scores identically
+//! — because the restrictions are identical trees. For parsimony the
+//! naive policy ([`MissingMode::Wildcard`], missing cells as wildcards on
+//! the full tree) is provably *score-equivalent*: a wildcard state set is
+//! absorbing in the Fitch fold (`a ∩ full = a`), so wildcard subtrees are
+//! transparent. Both policies are implemented and their equivalence is a
+//! property test — which is exactly why parsimony terraces are unavoidable
+//! rather than an artifact of one scoring convention.
+
+use crate::alignment::{Supermatrix, MISSING};
+use phylo::ops::restrict;
+use phylo::taxa::TaxonId;
+use phylo::tree::Tree;
+
+/// How a taxon without data in a partition is handled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MissingMode {
+    /// Score each partition on `T|Y_p` (the terrace-inducing convention
+    /// used by supermatrix tools; refs 6 and 7 of the paper).
+    Restrict,
+    /// Keep the full tree and let missing cells be wildcards. For Fitch
+    /// parsimony this is score-equivalent to [`MissingMode::Restrict`]
+    /// (wildcards absorb in the fold), at a higher per-site cost on trees
+    /// with many data-less taxa.
+    Wildcard,
+}
+
+/// Fitch parsimony score of a single site pattern on `tree`. `states[t]`
+/// is the 4-bit state set of taxon `t` (use [`MISSING`] for absent taxa —
+/// wildcards never force a mutation).
+pub fn fitch_site(tree: &Tree, states: &[u8]) -> u64 {
+    if tree.leaf_count() < 2 {
+        return 0;
+    }
+    let root = tree.any_leaf().expect("non-empty tree");
+    let order = tree.preorder(root);
+    let mut set = vec![0u8; tree.node_id_bound()];
+    let mut cost = 0u64;
+    for &(v, pe) in order.iter().rev() {
+        if let Some(t) = tree.taxon(v) {
+            set[v.index()] = states[t.index()];
+        } else {
+            // Fold the children's sets (all neighbours except the parent).
+            let mut acc: Option<u8> = None;
+            for &e in tree.adjacent_edges(v) {
+                if Some(e) == pe {
+                    continue;
+                }
+                let c = set[tree.opposite(e, v).index()];
+                acc = Some(match acc {
+                    None => c,
+                    Some(a) => {
+                        if a & c != 0 {
+                            a & c
+                        } else {
+                            cost += 1;
+                            a | c
+                        }
+                    }
+                });
+            }
+            set[v.index()] = acc.expect("internal node has children");
+        }
+        let _ = pe;
+    }
+    // Close the cycle at the root leaf: one more intersection step with
+    // its single subtree.
+    let root_edge = tree.adjacent_edges(root)[0];
+    let below = set[tree.opposite(root_edge, root).index()];
+    if below & set[root.index()] == 0 {
+        cost += 1;
+    }
+    cost
+}
+
+/// Per-partition and total parsimony scores.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsimonyScore {
+    /// Score per partition, in partition order.
+    pub per_partition: Vec<u64>,
+}
+
+impl ParsimonyScore {
+    /// Sum over partitions.
+    pub fn total(&self) -> u64 {
+        self.per_partition.iter().sum()
+    }
+}
+
+/// Scores `tree` against the supermatrix under the given missing-data
+/// policy. The tree must contain every taxon that has data (extra taxa in
+/// the tree without data are fine — they are wildcards or restricted away).
+pub fn score(tree: &Tree, matrix: &Supermatrix, mode: MissingMode) -> ParsimonyScore {
+    let mut per_partition = Vec::with_capacity(matrix.partitions().len());
+    for (p, part) in matrix.partitions().iter().enumerate() {
+        let taxa_p = matrix.partition_taxa(p);
+        let scored_tree: Tree;
+        let t = match mode {
+            MissingMode::Restrict => {
+                scored_tree = restrict(tree, &taxa_p);
+                &scored_tree
+            }
+            MissingMode::Wildcard => tree,
+        };
+        let mut total = 0u64;
+        let mut states = vec![MISSING; matrix.universe()];
+        for site in part.start..part.end {
+            for tx in t.taxa().iter() {
+                states[tx] = matrix.get(TaxonId(tx as u32), site);
+            }
+            total += fitch_site(t, &states);
+        }
+        per_partition.push(total);
+    }
+    ParsimonyScore { per_partition }
+}
+
+/// Convenience for tests: scores a site given explicit `(taxon, state)`
+/// pairs (everything else missing).
+pub fn fitch_site_sparse(tree: &Tree, pairs: &[(TaxonId, u8)]) -> u64 {
+    let mut states = vec![MISSING; tree.universe()];
+    for &(t, s) in pairs {
+        states[t.index()] = s;
+    }
+    fitch_site(tree, &states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::{encode, Partition, A, C, G, T};
+    use phylo::newick::parse_forest;
+
+    fn quartet(newick: &str) -> (phylo::TaxonSet, Tree) {
+        let (taxa, trees) = parse_forest([newick]).unwrap();
+        (taxa, trees.into_iter().next().unwrap())
+    }
+
+    /// `(taxon-name, state)` pairs resolved against the parsed taxon set.
+    fn sparse(taxa: &phylo::TaxonSet, tree: &Tree, pairs: &[(&str, u8)]) -> u64 {
+        let resolved: Vec<(TaxonId, u8)> = pairs
+            .iter()
+            .map(|&(n, s)| (taxa.get(n).expect("known taxon"), s))
+            .collect();
+        fitch_site_sparse(tree, &resolved)
+    }
+
+    #[test]
+    fn constant_site_costs_zero() {
+        let (taxa, t) = quartet("((A,B),(C,D));");
+        assert_eq!(
+            sparse(&taxa, &t, &[("A", A), ("B", A), ("C", A), ("D", A)]),
+            0
+        );
+    }
+
+    #[test]
+    fn concordant_and_discordant_quartet_sites() {
+        // Pattern {A,B}=x, {C,D}=y matches the ((A,B),(C,D)) grouping → 1.
+        let (taxa, t) = quartet("((A,B),(C,D));");
+        assert_eq!(
+            sparse(&taxa, &t, &[("A", A), ("B", A), ("C", C), ("D", C)]),
+            1
+        );
+        // Pattern {A,C} vs {B,D} conflicts with that tree → 2 changes.
+        assert_eq!(
+            sparse(&taxa, &t, &[("A", A), ("B", C), ("C", A), ("D", C)]),
+            2
+        );
+        // …but costs 1 on ((A,C),(B,D)), which groups the pattern.
+        let (taxa2, t2) = quartet("((A,C),(B,D));");
+        assert_eq!(
+            sparse(&taxa2, &t2, &[("A", A), ("B", C), ("C", A), ("D", C)]),
+            1
+        );
+    }
+
+    #[test]
+    fn all_different_states() {
+        let (taxa, t) = quartet("((A,B),(C,D));");
+        assert_eq!(
+            sparse(&taxa, &t, &[("A", A), ("B", C), ("C", G), ("D", T)]),
+            3
+        );
+    }
+
+    #[test]
+    fn wildcards_never_add_cost() {
+        let (taxa, t) = quartet("((A,B),(C,D));");
+        assert_eq!(sparse(&taxa, &t, &[("A", A), ("B", C)]), 1);
+        assert_eq!(fitch_site_sparse(&t, &[]), 0);
+    }
+
+    #[test]
+    fn score_modes_agree_without_missing_data() {
+        let (_, t) = quartet("((A,B),(C,D));");
+        let parts = vec![Partition {
+            name: "g".into(),
+            start: 0,
+            end: 4,
+        }];
+        let mut m = Supermatrix::new(4, 4, parts);
+        for (tx, seq) in [(0u32, "AACA"), (1, "AACC"), (2, "CAGA"), (3, "CAGC")] {
+            for (i, ch) in seq.chars().enumerate() {
+                m.set(TaxonId(tx), i, encode(ch).unwrap());
+            }
+        }
+        let r = score(&t, &m, MissingMode::Restrict);
+        let w = score(&t, &m, MissingMode::Wildcard);
+        assert_eq!(r, w);
+        assert_eq!(r.total(), r.per_partition.iter().sum::<u64>());
+    }
+}

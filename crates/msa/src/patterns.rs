@@ -1,0 +1,221 @@
+//! Site-pattern compression.
+//!
+//! Alignments contain many repeated columns (constant sites, shared
+//! substitution patterns). Every phylogenetic scorer worth shipping
+//! deduplicates columns into `(pattern, weight)` pairs once and scores
+//! each distinct pattern a single time — typically a several-fold speedup
+//! on real data. Compression is per partition (patterns from different
+//! partitions must not merge: they are scored on different restricted
+//! trees).
+
+use crate::alignment::{Supermatrix, MISSING};
+use crate::fitch::{fitch_site, MissingMode};
+use crate::likelihood::site_log_likelihood;
+use crate::ParsimonyScore;
+use phylo::ops::restrict;
+use phylo::taxa::TaxonId;
+use phylo::tree::Tree;
+use std::collections::HashMap;
+
+/// One partition's deduplicated site patterns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionPatterns {
+    /// Distinct column patterns (each `universe` bytes long).
+    pub patterns: Vec<Vec<u8>>,
+    /// `weights[i]` = number of original sites with `patterns[i]`.
+    pub weights: Vec<u64>,
+}
+
+impl PartitionPatterns {
+    /// Number of distinct patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True if the partition had no sites.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Total original sites represented.
+    pub fn total_sites(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+}
+
+/// All partitions' compressed patterns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompressedMatrix {
+    /// Per-partition patterns, in partition order.
+    pub partitions: Vec<PartitionPatterns>,
+    universe: usize,
+}
+
+/// Compresses the supermatrix column-wise within each partition.
+pub fn compress(matrix: &Supermatrix) -> CompressedMatrix {
+    let universe = matrix.universe();
+    let mut partitions = Vec::with_capacity(matrix.partitions().len());
+    for part in matrix.partitions() {
+        let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+        let mut patterns = Vec::new();
+        let mut weights: Vec<u64> = Vec::new();
+        for site in part.start..part.end {
+            let col: Vec<u8> = (0..universe)
+                .map(|t| matrix.get(TaxonId(t as u32), site))
+                .collect();
+            match index.get(&col) {
+                Some(&i) => weights[i] += 1,
+                None => {
+                    index.insert(col.clone(), patterns.len());
+                    patterns.push(col);
+                    weights.push(1);
+                }
+            }
+        }
+        partitions.push(PartitionPatterns { patterns, weights });
+    }
+    CompressedMatrix {
+        partitions,
+        universe,
+    }
+}
+
+impl CompressedMatrix {
+    /// Parsimony score of `tree` from the compressed patterns — identical
+    /// to `fitch::score(tree, matrix, mode)` on the source matrix, faster
+    /// when columns repeat.
+    pub fn parsimony(&self, tree: &Tree, matrix: &Supermatrix, mode: MissingMode) -> ParsimonyScore {
+        let mut per_partition = Vec::with_capacity(self.partitions.len());
+        for (p, pats) in self.partitions.iter().enumerate() {
+            let taxa_p = matrix.partition_taxa(p);
+            let scored: Tree;
+            let t = match mode {
+                MissingMode::Restrict => {
+                    scored = restrict(tree, &taxa_p);
+                    &scored
+                }
+                MissingMode::Wildcard => tree,
+            };
+            let mut total = 0u64;
+            let mut states = vec![MISSING; self.universe];
+            for (pattern, &w) in pats.patterns.iter().zip(&pats.weights) {
+                for tx in t.taxa().iter() {
+                    states[tx] = pattern[tx];
+                }
+                total += w * fitch_site(t, &states);
+            }
+            per_partition.push(total);
+        }
+        ParsimonyScore { per_partition }
+    }
+
+    /// JC69 log-likelihood from the compressed patterns — identical to
+    /// `likelihood::log_likelihood` on the source matrix.
+    pub fn log_likelihood(
+        &self,
+        tree: &Tree,
+        matrix: &Supermatrix,
+        branch_len: f64,
+        mode: MissingMode,
+    ) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.partitions.len());
+        for (p, pats) in self.partitions.iter().enumerate() {
+            let taxa_p = matrix.partition_taxa(p);
+            let scored: Tree;
+            let t = match mode {
+                MissingMode::Restrict => {
+                    scored = restrict(tree, &taxa_p);
+                    &scored
+                }
+                MissingMode::Wildcard => tree,
+            };
+            let mut total = 0.0;
+            let mut states = vec![MISSING; self.universe];
+            for (pattern, &w) in pats.patterns.iter().zip(&pats.weights) {
+                for tx in t.taxa().iter() {
+                    states[tx] = pattern[tx];
+                }
+                total += w as f64 * site_log_likelihood(t, &states, branch_len);
+            }
+            out.push(total);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitch::score;
+    use crate::likelihood::log_likelihood;
+    use crate::simulate::{simulate_supermatrix, SimulateParams};
+    use phylo::generate::{random_tree_on_n, ShapeModel};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn compression_preserves_site_counts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let tree = random_tree_on_n(8, ShapeModel::Uniform, &mut rng);
+        let m = simulate_supermatrix(&tree, 3, &SimulateParams::default(), None, &mut rng);
+        let c = compress(&m);
+        assert_eq!(c.partitions.len(), 3);
+        for (p, pats) in c.partitions.iter().enumerate() {
+            assert_eq!(pats.total_sites() as usize, m.partitions()[p].len());
+            assert!(pats.len() <= m.partitions()[p].len());
+            assert!(!pats.is_empty());
+        }
+    }
+
+    #[test]
+    fn compressed_scores_equal_uncompressed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let tree = random_tree_on_n(10, ShapeModel::Uniform, &mut rng);
+        let m = simulate_supermatrix(
+            &tree,
+            2,
+            &SimulateParams {
+                sites_per_partition: 100,
+                mutation_prob: 0.05, // low rate → many repeated columns
+            },
+            None,
+            &mut rng,
+        );
+        let c = compress(&m);
+        // Compression actually compresses at this rate.
+        assert!(c.partitions.iter().any(|p| p.len() < 100));
+        for mode in [MissingMode::Restrict, MissingMode::Wildcard] {
+            for _ in 0..3 {
+                let cand = random_tree_on_n(10, ShapeModel::Uniform, &mut rng);
+                assert_eq!(c.parsimony(&cand, &m, mode), score(&cand, &m, mode));
+                let a = c.log_likelihood(&cand, &m, 0.1, mode);
+                let b = log_likelihood(&cand, &m, 0.1, mode);
+                for (x, y) in a.iter().zip(&b) {
+                    assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_alignment_compresses_to_one_pattern_per_partition() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let tree = random_tree_on_n(6, ShapeModel::Uniform, &mut rng);
+        let m = simulate_supermatrix(
+            &tree,
+            2,
+            &SimulateParams {
+                sites_per_partition: 50,
+                mutation_prob: 0.0, // no mutations → all sites constant
+            },
+            None,
+            &mut rng,
+        );
+        let c = compress(&m);
+        for pats in &c.partitions {
+            // One pattern per distinct root draw — constant per site, but
+            // the root base varies per site, so at most 4 patterns.
+            assert!(pats.len() <= 4, "{}", pats.len());
+        }
+    }
+}

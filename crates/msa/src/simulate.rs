@@ -1,0 +1,197 @@
+//! Sequence simulation along a tree (Jukes–Cantor-style), producing the
+//! partitioned supermatrices the paper's datasets come from.
+//!
+//! Each partition evolves independently down the species tree: the root
+//! sequence is uniform random, and along every branch each site mutates
+//! with a fixed probability to a uniformly chosen different base. Applying
+//! a PAM afterwards blanks the missing species×locus blocks — giving a
+//! supermatrix whose induced per-partition trees are exactly the Gentrius
+//! constraint trees.
+
+use crate::alignment::{Partition, Supermatrix, A, C, G, T};
+use phylo::pam::Pam;
+use phylo::tree::{NodeId, Tree};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Simulation parameters for one supermatrix.
+#[derive(Clone, Debug)]
+pub struct SimulateParams {
+    /// Sites per partition.
+    pub sites_per_partition: usize,
+    /// Per-branch, per-site substitution probability.
+    pub mutation_prob: f64,
+}
+
+impl Default for SimulateParams {
+    fn default() -> Self {
+        SimulateParams {
+            sites_per_partition: 60,
+            mutation_prob: 0.12,
+        }
+    }
+}
+
+const BASES: [u8; 4] = [A, C, G, T];
+
+fn random_base<R: Rng + ?Sized>(rng: &mut R) -> u8 {
+    BASES[rng.gen_range(0..4)]
+}
+
+fn mutate<R: Rng + ?Sized>(state: u8, rng: &mut R) -> u8 {
+    loop {
+        let b = random_base(rng);
+        if b != state {
+            return b;
+        }
+    }
+}
+
+/// Simulates a supermatrix with `loci` partitions on `tree` (which must be
+/// a complete binary species tree over its universe), then blanks cells
+/// per `pam` if given.
+pub fn simulate_supermatrix(
+    tree: &Tree,
+    loci: usize,
+    params: &SimulateParams,
+    pam: Option<&Pam>,
+    rng: &mut ChaCha8Rng,
+) -> Supermatrix {
+    let universe = tree.universe();
+    let l = params.sites_per_partition;
+    let partitions: Vec<Partition> = (0..loci)
+        .map(|p| Partition {
+            name: format!("gene{p}"),
+            start: p * l,
+            end: (p + 1) * l,
+        })
+        .collect();
+    let mut matrix = Supermatrix::new(universe, loci * l, partitions);
+
+    let root = tree.any_leaf().expect("non-empty species tree");
+    let order = tree.preorder(root);
+    for p in 0..loci {
+        // Evolve this partition site-block down the tree: seq[node] known
+        // once its parent's is (preorder guarantees that).
+        let mut seqs: Vec<Option<Vec<u8>>> = vec![None; tree.node_id_bound()];
+        for &(v, pe) in &order {
+            let seq = match pe {
+                None => (0..l).map(|_| random_base(rng)).collect::<Vec<u8>>(),
+                Some(pe) => {
+                    let parent: NodeId = tree.opposite(pe, v);
+                    let parent_seq = seqs[parent.index()]
+                        .as_ref()
+                        .expect("preorder: parent before child");
+                    parent_seq
+                        .iter()
+                        .map(|&s| {
+                            if rng.gen::<f64>() < params.mutation_prob {
+                                mutate(s, rng)
+                            } else {
+                                s
+                            }
+                        })
+                        .collect()
+                }
+            };
+            if let Some(t) = tree.taxon(v) {
+                for (i, &s) in seq.iter().enumerate() {
+                    matrix.set(t, p * l + i, s);
+                }
+            }
+            seqs[v.index()] = Some(seq);
+        }
+    }
+    if let Some(pam) = pam {
+        matrix.apply_pam(pam);
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::MISSING;
+    use crate::fitch::{score, MissingMode};
+    use phylo::generate::{random_tree_on_n, ShapeModel};
+    use phylo::taxa::TaxonId;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simulated_matrix_is_complete_without_pam() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let tree = random_tree_on_n(10, ShapeModel::Uniform, &mut rng);
+        let m = simulate_supermatrix(&tree, 3, &SimulateParams::default(), None, &mut rng);
+        assert_eq!(m.partitions().len(), 3);
+        assert_eq!(m.sites(), 180);
+        for t in 0..10 {
+            for s in 0..m.sites() {
+                assert_ne!(m.get(TaxonId(t), s), MISSING);
+            }
+        }
+        assert_eq!(m.implied_pam().missing_fraction(), 0.0);
+    }
+
+    #[test]
+    fn pam_blanks_the_right_blocks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let tree = random_tree_on_n(8, ShapeModel::Uniform, &mut rng);
+        let mut pam = Pam::new(8, 2);
+        for t in 0..8 {
+            pam.set(TaxonId(t), 0, true);
+        }
+        for t in 0..5 {
+            pam.set(TaxonId(t), 1, true);
+        }
+        let m = simulate_supermatrix(
+            &tree,
+            2,
+            &SimulateParams::default(),
+            Some(&pam),
+            &mut rng,
+        );
+        assert_eq!(m.implied_pam(), pam);
+    }
+
+    #[test]
+    fn true_tree_scores_no_worse_than_random_trees() {
+        // Parsimony is consistent-ish on clean simulated data: the
+        // generating tree should score <= most random trees.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let tree = random_tree_on_n(12, ShapeModel::Uniform, &mut rng);
+        let params = SimulateParams {
+            sites_per_partition: 120,
+            mutation_prob: 0.08,
+        };
+        let m = simulate_supermatrix(&tree, 2, &params, None, &mut rng);
+        let true_score = score(&tree, &m, MissingMode::Restrict).total();
+        let mut better = 0;
+        for _ in 0..12 {
+            let other = random_tree_on_n(12, ShapeModel::Uniform, &mut rng);
+            if score(&other, &m, MissingMode::Restrict).total() < true_score {
+                better += 1;
+            }
+        }
+        assert!(better <= 2, "{better} random trees beat the generating tree");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = random_tree_on_n(8, ShapeModel::Uniform, &mut ChaCha8Rng::seed_from_u64(9));
+        let a = simulate_supermatrix(
+            &t,
+            2,
+            &SimulateParams::default(),
+            None,
+            &mut ChaCha8Rng::seed_from_u64(5),
+        );
+        let b = simulate_supermatrix(
+            &t,
+            2,
+            &SimulateParams::default(),
+            None,
+            &mut ChaCha8Rng::seed_from_u64(5),
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,311 @@
+//! Global atomic counters with per-thread batched flushing (§III-B).
+//!
+//! The paper protects the stand-tree / intermediate-state / dead-end
+//! counters with `std::atomic` and, to avoid contention at high thread
+//! counts, lets each thread update the globals only every 2^10 stand trees,
+//! 2^13 states and 2^10 dead ends respectively (empirically tuned there to
+//! a 2–5% speedup at 16 threads). Each flush also evaluates the stopping
+//! rules and, if one fires, raises a global stop flag that all workers poll.
+//! As in the paper, this means limits can be overshot by up to one batch per
+//! thread — the final counts are exact for the work actually performed.
+
+use gentrius_core::config::{StopCause, StoppingRules};
+use gentrius_core::stats::RunStats;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::time::Instant;
+
+/// Flush thresholds for the three local counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlushThresholds {
+    /// Stand trees per flush (paper: 2^10).
+    pub stand_trees: u64,
+    /// Intermediate states per flush (paper: 2^13).
+    pub intermediate_states: u64,
+    /// Dead ends per flush (paper: 2^10).
+    pub dead_ends: u64,
+}
+
+impl FlushThresholds {
+    /// The paper's empirically determined values.
+    pub fn paper_defaults() -> Self {
+        FlushThresholds {
+            stand_trees: 1 << 10,
+            intermediate_states: 1 << 13,
+            dead_ends: 1 << 10,
+        }
+    }
+
+    /// Flush on every increment — the unbatched baseline of the §III-B
+    /// ablation.
+    pub fn unbatched() -> Self {
+        FlushThresholds {
+            stand_trees: 1,
+            intermediate_states: 1,
+            dead_ends: 1,
+        }
+    }
+}
+
+impl Default for FlushThresholds {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+const CAUSE_NONE: u8 = 0;
+const CAUSE_TREES: u8 = 1;
+const CAUSE_STATES: u8 = 2;
+const CAUSE_TIME: u8 = 3;
+
+/// The shared counters, stop flag and stopping rules.
+pub struct GlobalCounters {
+    stand_trees: AtomicU64,
+    intermediate_states: AtomicU64,
+    dead_ends: AtomicU64,
+    stop: AtomicBool,
+    cause: AtomicU8,
+    rules: StoppingRules,
+    started: Instant,
+}
+
+impl GlobalCounters {
+    /// Fresh counters with the given stopping rules; the wall clock for
+    /// rule 3 starts now.
+    pub fn new(rules: StoppingRules) -> Self {
+        GlobalCounters {
+            stand_trees: AtomicU64::new(0),
+            intermediate_states: AtomicU64::new(0),
+            dead_ends: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            cause: AtomicU8::new(CAUSE_NONE),
+            rules,
+            started: Instant::now(),
+        }
+    }
+
+    /// True once any stopping rule has fired (polled by every worker).
+    #[inline]
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// The first stopping rule that fired, if any.
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        match self.cause.load(Ordering::Acquire) {
+            CAUSE_TREES => Some(StopCause::StandTreeLimit),
+            CAUSE_STATES => Some(StopCause::StateLimit),
+            CAUSE_TIME => Some(StopCause::TimeLimit),
+            _ => None,
+        }
+    }
+
+    /// Raises the stop flag with `cause` (first writer wins).
+    pub fn raise_stop(&self, cause: StopCause) {
+        let c = match cause {
+            StopCause::StandTreeLimit => CAUSE_TREES,
+            StopCause::StateLimit => CAUSE_STATES,
+            StopCause::TimeLimit => CAUSE_TIME,
+        };
+        let _ = self
+            .cause
+            .compare_exchange(CAUSE_NONE, c, Ordering::AcqRel, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Snapshot of the flushed totals.
+    pub fn snapshot(&self) -> RunStats {
+        RunStats {
+            stand_trees: self.stand_trees.load(Ordering::Acquire),
+            intermediate_states: self.intermediate_states.load(Ordering::Acquire),
+            dead_ends: self.dead_ends.load(Ordering::Acquire),
+        }
+    }
+
+    /// Adds a batch to the globals and evaluates the stopping rules.
+    fn add_and_check(&self, trees: u64, states: u64, dead: u64) {
+        if dead > 0 {
+            self.dead_ends.fetch_add(dead, Ordering::AcqRel);
+        }
+        if trees > 0 {
+            let total = self.stand_trees.fetch_add(trees, Ordering::AcqRel) + trees;
+            if let Some(max) = self.rules.max_stand_trees {
+                if total >= max {
+                    self.raise_stop(StopCause::StandTreeLimit);
+                }
+            }
+        }
+        if states > 0 {
+            let total = self.intermediate_states.fetch_add(states, Ordering::AcqRel) + states;
+            if let Some(max) = self.rules.max_intermediate_states {
+                if total >= max {
+                    self.raise_stop(StopCause::StateLimit);
+                }
+            }
+        }
+        if let Some(max) = self.rules.max_time {
+            if self.started.elapsed() >= max {
+                self.raise_stop(StopCause::TimeLimit);
+            }
+        }
+    }
+}
+
+/// Per-thread counter buffer; flushes into a [`GlobalCounters`] when a
+/// threshold is crossed and unconditionally on [`LocalCounters::flush`].
+pub struct LocalCounters<'g> {
+    global: &'g GlobalCounters,
+    thresholds: FlushThresholds,
+    pending: RunStats,
+    /// Lifetime totals recorded through this local buffer (for per-thread
+    /// load-balance diagnostics).
+    total: RunStats,
+}
+
+impl<'g> LocalCounters<'g> {
+    /// A new empty buffer bound to `global`.
+    pub fn new(global: &'g GlobalCounters, thresholds: FlushThresholds) -> Self {
+        LocalCounters {
+            global,
+            thresholds,
+            pending: RunStats::new(),
+            total: RunStats::new(),
+        }
+    }
+
+    /// Records one stand tree.
+    #[inline]
+    pub fn stand_tree(&mut self) {
+        self.pending.stand_trees += 1;
+        self.total.stand_trees += 1;
+        if self.pending.stand_trees >= self.thresholds.stand_trees {
+            self.flush();
+        }
+    }
+
+    /// Records one intermediate state.
+    #[inline]
+    pub fn intermediate_state(&mut self) {
+        self.pending.intermediate_states += 1;
+        self.total.intermediate_states += 1;
+        if self.pending.intermediate_states >= self.thresholds.intermediate_states {
+            self.flush();
+        }
+    }
+
+    /// Records one dead end (the accompanying intermediate state must be
+    /// recorded separately, mirroring the driver's convention).
+    #[inline]
+    pub fn dead_end(&mut self) {
+        self.pending.dead_ends += 1;
+        self.total.dead_ends += 1;
+        if self.pending.dead_ends >= self.thresholds.dead_ends {
+            self.flush();
+        }
+    }
+
+    /// Pushes all pending counts to the globals and checks stopping rules.
+    pub fn flush(&mut self) {
+        let p = std::mem::take(&mut self.pending);
+        self.global
+            .add_and_check(p.stand_trees, p.intermediate_states, p.dead_ends);
+    }
+
+    /// Lifetime totals recorded by this thread.
+    pub fn totals(&self) -> RunStats {
+        self.total
+    }
+}
+
+impl Drop for LocalCounters<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_flush_defers_global_visibility() {
+        let g = GlobalCounters::new(StoppingRules::unlimited());
+        let mut l = LocalCounters::new(&g, FlushThresholds::paper_defaults());
+        for _ in 0..100 {
+            l.intermediate_state();
+        }
+        assert_eq!(g.snapshot().intermediate_states, 0); // below 2^13
+        l.flush();
+        assert_eq!(g.snapshot().intermediate_states, 100);
+        assert_eq!(l.totals().intermediate_states, 100);
+    }
+
+    #[test]
+    fn threshold_crossing_flushes() {
+        let g = GlobalCounters::new(StoppingRules::unlimited());
+        let t = FlushThresholds {
+            stand_trees: 4,
+            intermediate_states: 4,
+            dead_ends: 4,
+        };
+        let mut l = LocalCounters::new(&g, t);
+        for _ in 0..4 {
+            l.stand_tree();
+        }
+        assert_eq!(g.snapshot().stand_trees, 4);
+    }
+
+    #[test]
+    fn stopping_rule_raises_stop_on_flush() {
+        let g = GlobalCounters::new(StoppingRules::counts(10, u64::MAX));
+        let mut l = LocalCounters::new(&g, FlushThresholds::unbatched());
+        for _ in 0..9 {
+            l.stand_tree();
+        }
+        assert!(!g.stopped());
+        l.stand_tree();
+        assert!(g.stopped());
+        assert_eq!(g.stop_cause(), Some(StopCause::StandTreeLimit));
+    }
+
+    #[test]
+    fn first_cause_wins() {
+        let g = GlobalCounters::new(StoppingRules::unlimited());
+        g.raise_stop(StopCause::StateLimit);
+        g.raise_stop(StopCause::StandTreeLimit);
+        assert_eq!(g.stop_cause(), Some(StopCause::StateLimit));
+    }
+
+    #[test]
+    fn drop_flushes_pending() {
+        let g = GlobalCounters::new(StoppingRules::unlimited());
+        {
+            let mut l = LocalCounters::new(&g, FlushThresholds::paper_defaults());
+            l.dead_end();
+            l.dead_end();
+        }
+        assert_eq!(g.snapshot().dead_ends, 2);
+    }
+
+    #[test]
+    fn concurrent_flushes_sum_correctly() {
+        let g = GlobalCounters::new(StoppingRules::unlimited());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut l = LocalCounters::new(&g, FlushThresholds {
+                        stand_trees: 7,
+                        intermediate_states: 7,
+                        dead_ends: 7,
+                    });
+                    for _ in 0..1000 {
+                        l.stand_tree();
+                        l.intermediate_state();
+                    }
+                });
+            }
+        });
+        let s = g.snapshot();
+        assert_eq!(s.stand_trees, 4000);
+        assert_eq!(s.intermediate_states, 4000);
+    }
+}

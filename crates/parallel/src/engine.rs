@@ -1,0 +1,550 @@
+//! The parallel Gentrius engine (§III): deterministic serial prefix up to
+//! the initial-split state `I_0`, uniform distribution of the split
+//! branches over the workers, and thread-pool work stealing with
+//! path-replay tasks thereafter.
+
+use crate::counters::{FlushThresholds, GlobalCounters, LocalCounters};
+use crate::pool::TaskPool;
+use crate::task::{paper_queue_capacity, partition_branches, Task};
+use gentrius_core::config::{GentriusConfig, MappingMode, StopCause};
+use gentrius_core::explore::{Explorer, StepEvent};
+use gentrius_core::problem::{ProblemError, StandProblem};
+use gentrius_core::sink::{CountOnly, StandSink};
+use gentrius_core::state::SearchState;
+use gentrius_core::stats::RunStats;
+use phylo::ops::compatible;
+use phylo::taxa::TaxonId;
+use phylo::tree::EdgeId;
+use std::time::{Duration, Instant};
+
+/// Parallel-engine knobs on top of the algorithmic [`GentriusConfig`].
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// Number of worker threads (`N_t`).
+    pub threads: usize,
+    /// Counter-flush batching (§III-B; `unbatched()` for the ablation).
+    pub flush: FlushThresholds,
+    /// Task-queue capacity; `None` applies the paper rule
+    /// (`N_t + 1` if `N_t < 8`, else `N_t / 2`).
+    pub queue_capacity: Option<usize>,
+    /// Minimum remaining taxa for a thread to submit a task (§III-A: deep
+    /// threads, with fewer than three taxa left, may not submit).
+    pub min_remaining_for_split: usize,
+    /// Record per-worker task spans (wall-clock seconds since engine
+    /// start) in the [`WorkerReport`]s.
+    pub trace: bool,
+}
+
+impl ParallelConfig {
+    /// Paper-faithful settings for `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads,
+            flush: FlushThresholds::paper_defaults(),
+            queue_capacity: None,
+            min_remaining_for_split: 3,
+            trace: false,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.queue_capacity
+            .unwrap_or_else(|| paper_queue_capacity(self.threads))
+    }
+}
+
+/// One executed task on one worker, in wall-clock seconds since engine
+/// start (recorded only with [`ParallelConfig::trace`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaskSpan {
+    /// Seconds from engine start when the task began (replay included).
+    pub start: f64,
+    /// Seconds from engine start when the worker went idle again.
+    pub end: f64,
+    /// Length of the replayed path (steal depth diagnostics).
+    pub path_len: usize,
+}
+
+/// Per-worker diagnostics (load balance, §III's motivation).
+#[derive(Clone, Debug, Default)]
+pub struct WorkerReport {
+    /// Tasks this worker executed (initial chunk included).
+    pub tasks_executed: usize,
+    /// Work counted by this worker.
+    pub stats: RunStats,
+    /// Wall-clock task spans (empty unless tracing was enabled).
+    pub spans: Vec<TaskSpan>,
+}
+
+/// Outcome of a parallel run.
+#[derive(Clone, Debug)]
+pub struct ParallelRunResult {
+    /// Global counters (exact totals of the work performed; stopping-rule
+    /// limits may be overshot by up to one flush batch per thread, as in
+    /// the paper).
+    pub stats: RunStats,
+    /// The stopping rule that fired, if any.
+    pub stop: Option<StopCause>,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Index of the initial agile tree.
+    pub initial_tree: usize,
+    /// Counters accumulated by the serial prefix (root → `I_0`).
+    pub prefix: RunStats,
+    /// Tasks submitted through the queue (excludes the initial chunks).
+    pub stolen_tasks: usize,
+    /// Per-worker reports, in thread order.
+    pub workers: Vec<WorkerReport>,
+}
+
+impl ParallelRunResult {
+    /// True if the stand was fully enumerated.
+    pub fn complete(&self) -> bool {
+        self.stop.is_none()
+    }
+}
+
+/// Counts the stand in parallel (no topology output).
+pub fn run_parallel(
+    problem: &StandProblem,
+    config: &GentriusConfig,
+    pcfg: &ParallelConfig,
+) -> Result<ParallelRunResult, ProblemError> {
+    let (r, _sinks) = run_parallel_with_sinks(problem, config, pcfg, |_| CountOnly)?;
+    Ok(r)
+}
+
+/// Runs the parallel engine, giving each execution context its own sink:
+/// index 0 belongs to the serial prefix (main thread), index `1 + t` to
+/// worker `t`. Returned in that order for merging.
+pub fn run_parallel_with_sinks<S, F>(
+    problem: &StandProblem,
+    config: &GentriusConfig,
+    pcfg: &ParallelConfig,
+    make_sink: F,
+) -> Result<(ParallelRunResult, Vec<S>), ProblemError>
+where
+    S: StandSink + Send,
+    F: Fn(usize) -> S,
+{
+    assert!(pcfg.threads >= 1, "need at least one worker thread");
+    let initial = problem.initial_tree_index(&config.initial_tree)?;
+    // Surface order-rule problems before any thread is spawned (workers
+    // construct their states with expect()).
+    SearchState::new(problem, initial, &config.taxon_order)
+        .map_err(ProblemError::BadTaxonOrder)?;
+    let started = Instant::now();
+
+    // Root invariant check (same as the serial driver).
+    let agile0 = &problem.constraints()[initial];
+    let mut sinks = Vec::new();
+    let mut prefix_sink = make_sink(0);
+    if problem.constraints().iter().any(|c| !compatible(agile0, c)) {
+        sinks.push(prefix_sink);
+        return Ok((
+            ParallelRunResult {
+                stats: RunStats::new(),
+                stop: None,
+                elapsed: started.elapsed(),
+                threads: pcfg.threads,
+                initial_tree: initial,
+                prefix: RunStats::new(),
+                stolen_tasks: 0,
+                workers: vec![WorkerReport::default(); pcfg.threads],
+            },
+            sinks,
+        ));
+    }
+
+    let global = GlobalCounters::new(config.stopping.clone());
+
+    // ------------------------------------------------------------------
+    // Phase 1 — serial prefix: identical across all threads (the paper has
+    // every thread redo it; we run it once on the main thread and count it
+    // once, so totals match the serial run exactly).
+    // ------------------------------------------------------------------
+    let state = new_state(problem, initial, config);
+    let mut prefix_ex = Explorer::new_root(state);
+    let mut prefix_local = LocalCounters::new(&global, pcfg.flush);
+    loop {
+        if global.stopped() {
+            break;
+        }
+        if prefix_ex.finished() {
+            break;
+        }
+        if prefix_ex.top().map(|f| f.pending()).unwrap_or(0) >= 2 {
+            break; // reached the initial-split state I_0
+        }
+        count_event(prefix_ex.step(&mut prefix_sink), &mut prefix_local);
+    }
+    let prefix_stats = prefix_local.totals();
+    prefix_local.flush();
+    drop(prefix_local);
+
+    if prefix_ex.finished() || global.stopped() {
+        // The whole search (or the stopping budget) fit in the prefix.
+        sinks.push(prefix_sink);
+        let stats = global.snapshot();
+        return Ok((
+            ParallelRunResult {
+                stats,
+                stop: global.stop_cause(),
+                elapsed: started.elapsed(),
+                threads: pcfg.threads,
+                initial_tree: initial,
+                prefix: prefix_stats,
+                stolen_tasks: 0,
+                workers: vec![WorkerReport::default(); pcfg.threads],
+            },
+            sinks,
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2 — initial split: distribute the admissible branches of I_0's
+    // next taxon over the threads as uniformly as possible (Fig. 2a; with
+    // fewer branches than threads the surplus threads start parked and are
+    // fed by work stealing, the queue-based equivalent of Fig. 2b).
+    // ------------------------------------------------------------------
+    let split_frame = prefix_ex.top().expect("I_0 has a frame");
+    let split_taxon = split_frame.taxon;
+    let split_branches: Vec<EdgeId> = split_frame.branches[split_frame.cursor..].to_vec();
+    let prefix_path: Vec<(TaxonId, EdgeId)> = prefix_ex.path_from_base();
+    drop(prefix_ex);
+
+    let chunks = partition_branches(&split_branches, pcfg.threads);
+    let pool = TaskPool::new(pcfg.capacity());
+    pool.preregister_active(chunks.len());
+
+    // ------------------------------------------------------------------
+    // Phase 3 — thread pool with work stealing.
+    // ------------------------------------------------------------------
+    let mut worker_sinks: Vec<Option<S>> = (0..pcfg.threads).map(|t| Some(make_sink(1 + t))).collect();
+    let results: Vec<(WorkerReport, S)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(pcfg.threads);
+        for (tid, sink_slot) in worker_sinks.iter_mut().enumerate() {
+            let init_task = chunks
+                .get(tid)
+                .map(|b| Task::at_split(split_taxon, b.clone()));
+            let sink = sink_slot.take().expect("sink prepared per worker");
+            let pool = &pool;
+            let global = &global;
+            let prefix_path = &prefix_path;
+            let started_at = started;
+            handles.push(scope.spawn(move || {
+                worker_loop(
+                    problem,
+                    config,
+                    pcfg,
+                    initial,
+                    prefix_path,
+                    init_task,
+                    pool,
+                    global,
+                    sink,
+                    started_at,
+                )
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut workers = Vec::with_capacity(pcfg.threads);
+    sinks.push(prefix_sink);
+    for (report, sink) in results {
+        workers.push(report);
+        sinks.push(sink);
+    }
+
+    Ok((
+        ParallelRunResult {
+            stats: global.snapshot(),
+            stop: global.stop_cause(),
+            elapsed: started.elapsed(),
+            threads: pcfg.threads,
+            initial_tree: initial,
+            prefix: prefix_stats,
+            stolen_tasks: pool.total_submitted(),
+            workers,
+        },
+        sinks,
+    ))
+}
+
+fn new_state<'p>(
+    problem: &'p StandProblem,
+    initial: usize,
+    config: &GentriusConfig,
+) -> SearchState<'p> {
+    let mut state = SearchState::new(problem, initial, &config.taxon_order)
+        .expect("validated problem must build a state");
+    if config.mapping == MappingMode::Incremental {
+        state.enable_incremental();
+    }
+    state
+}
+
+#[inline]
+fn count_event(ev: StepEvent, local: &mut LocalCounters<'_>) {
+    match ev {
+        StepEvent::Entered => local.intermediate_state(),
+        StepEvent::StandTree => local.stand_tree(),
+        StepEvent::DeadEnd => {
+            local.intermediate_state();
+            local.dead_end();
+        }
+        StepEvent::Backtracked | StepEvent::Finished => {}
+    }
+}
+
+/// Attempts to carve a task out of the explorer's current state and submit
+/// it (paper §III-A task-creation conditions: ≥2 pending branches, queue
+/// below capacity, enough remaining taxa to be worth stealing).
+fn maybe_submit(ex: &mut Explorer<'_>, pool: &TaskPool, min_remaining: usize) {
+    if ex.remaining_taxa() < min_remaining {
+        return;
+    }
+    if !pool.has_room_hint() {
+        return;
+    }
+    if ex.top().map(|f| f.pending()).unwrap_or(0) < 2 {
+        return;
+    }
+    let Some(branches) = ex.split_top() else {
+        return;
+    };
+    let task = Task {
+        path: ex.path_from_base(),
+        taxon: ex.top().expect("split implies a frame").taxon,
+        branches,
+    };
+    if let Err(task) = pool.try_push(task) {
+        // Raced to a full queue: keep the branches ourselves.
+        ex.unsplit_top(task.branches);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<S: StandSink>(
+    problem: &StandProblem,
+    config: &GentriusConfig,
+    pcfg: &ParallelConfig,
+    initial: usize,
+    prefix_path: &[(TaxonId, EdgeId)],
+    init_task: Option<Task>,
+    pool: &TaskPool,
+    global: &GlobalCounters,
+    mut sink: S,
+    started: Instant,
+) -> (WorkerReport, S) {
+    // If this worker panics (a bug, not a control path), make sure the
+    // rest of the pool is released instead of parking forever.
+    struct PanicGuard<'a>(&'a TaskPool);
+    impl Drop for PanicGuard<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.shutdown();
+            }
+        }
+    }
+    let _guard = PanicGuard(pool);
+
+    // Private copy of the search state, advanced to I_0 once; the anchor
+    // steps stay applied for the whole worker lifetime.
+    let mut state = new_state(problem, initial, config);
+    let mut anchor = Vec::with_capacity(prefix_path.len());
+    for &(t, e) in prefix_path {
+        anchor.push(state.apply(t, e));
+    }
+    let mut ex = Explorer::new_idle(state);
+    let mut local = LocalCounters::new(global, pcfg.flush);
+    let mut tasks_executed = 0usize;
+    let mut spans: Vec<TaskSpan> = Vec::new();
+    let mut pending_initial = init_task;
+
+    loop {
+        let task = match pending_initial.take() {
+            // Initial chunks were pre-registered as active in the pool.
+            Some(t) => t,
+            None => match pool.next_task() {
+                Some(t) => t,
+                None => break,
+            },
+        };
+        tasks_executed += 1;
+        let span_start = pcfg.trace.then(|| started.elapsed().as_secs_f64());
+        let span_path_len = task.path.len();
+        ex.begin_task(&task.path, task.taxon, task.branches);
+        // The received frame itself may be splittable (Fig. 2b's group
+        // separation happens via the queue).
+        maybe_submit(&mut ex, pool, pcfg.min_remaining_for_split);
+        loop {
+            if global.stopped() {
+                break;
+            }
+            let ev = ex.step(&mut sink);
+            if ev == StepEvent::Finished {
+                break;
+            }
+            count_event(ev, &mut local);
+            if ev == StepEvent::Entered {
+                maybe_submit(&mut ex, pool, pcfg.min_remaining_for_split);
+            }
+        }
+        if let Some(start) = span_start {
+            spans.push(TaskSpan {
+                start,
+                end: started.elapsed().as_secs_f64(),
+                path_len: span_path_len,
+            });
+        }
+        if global.stopped() {
+            ex.abort_frames();
+            ex.end_task();
+            pool.task_done();
+            pool.shutdown();
+            break;
+        }
+        ex.end_task();
+        pool.task_done();
+    }
+
+    let totals = local.totals();
+    local.flush();
+    (
+        WorkerReport {
+            tasks_executed,
+            stats: totals,
+            spans,
+        },
+        sink,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gentrius_core::driver::run_serial;
+    use gentrius_core::sink::CountOnly;
+    use phylo::newick::parse_forest;
+
+    fn problem(newicks: &[&str]) -> StandProblem {
+        let (_, trees) = parse_forest(newicks.iter().copied()).unwrap();
+        StandProblem::from_constraints(trees).unwrap()
+    }
+
+    fn exhaustive() -> GentriusConfig {
+        GentriusConfig::exhaustive()
+    }
+
+    #[test]
+    fn parallel_equals_serial_counts() {
+        let p = problem(&["((A,B),(C,D));", "((A,E),(F,G));", "((C,F),(H,I));"]);
+        let serial = run_serial(&p, &exhaustive(), &mut CountOnly).unwrap();
+        for threads in [1, 2, 3, 4] {
+            let r = run_parallel(&p, &exhaustive(), &ParallelConfig::with_threads(threads))
+                .unwrap();
+            assert!(r.complete());
+            assert_eq!(r.stats, serial.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_reports_partition_the_work() {
+        let p = problem(&["((A,B),(C,D));", "((A,E),(F,G));", "((C,F),(H,I));"]);
+        let r = run_parallel(&p, &exhaustive(), &ParallelConfig::with_threads(3)).unwrap();
+        let mut merged = r.prefix;
+        for w in &r.workers {
+            merged.merge(&w.stats);
+        }
+        assert_eq!(merged, r.stats);
+        let total_tasks: usize = r.workers.iter().map(|w| w.tasks_executed).sum();
+        assert!(total_tasks >= 1);
+    }
+
+    #[test]
+    fn incompatible_input_returns_empty() {
+        let p = problem(&["((A,B),(C,D));", "((A,C),(B,D));"]);
+        let r = run_parallel(&p, &exhaustive(), &ParallelConfig::with_threads(2)).unwrap();
+        assert_eq!(r.stats.stand_trees, 0);
+        assert!(r.complete());
+    }
+
+    #[test]
+    fn stand_tree_limit_stops_parallel_run() {
+        let p = problem(&["((A,B),(C,D));", "((A,E),(F,G));", "((C,F),(H,I));"]);
+        let full = run_parallel(&p, &exhaustive(), &ParallelConfig::with_threads(2)).unwrap();
+        assert!(full.stats.stand_trees > 50);
+        let cfg = GentriusConfig {
+            stopping: gentrius_core::StoppingRules::counts(50, u64::MAX),
+            ..GentriusConfig::default()
+        };
+        let mut pcfg = ParallelConfig::with_threads(2);
+        pcfg.flush = FlushThresholds::unbatched();
+        let r = run_parallel(&p, &cfg, &pcfg).unwrap();
+        assert_eq!(r.stop, Some(StopCause::StandTreeLimit));
+        assert!(r.stats.stand_trees >= 50);
+        assert!(r.stats.stand_trees < full.stats.stand_trees);
+    }
+
+    #[test]
+    fn batched_counters_may_overshoot_but_totals_are_exact() {
+        let p = problem(&["((A,B),(C,D));", "((A,E),(F,G));", "((C,F),(H,I));"]);
+        let cfg = GentriusConfig {
+            stopping: gentrius_core::StoppingRules::counts(10, u64::MAX),
+            ..GentriusConfig::default()
+        };
+        let mut pcfg = ParallelConfig::with_threads(2);
+        pcfg.flush = FlushThresholds {
+            stand_trees: 64,
+            intermediate_states: 64,
+            dead_ends: 64,
+        };
+        let r = run_parallel(&p, &cfg, &pcfg).unwrap();
+        assert_eq!(r.stop, Some(StopCause::StandTreeLimit));
+        // Overshoot is bounded by one batch per context.
+        assert!(r.stats.stand_trees >= 10);
+        assert!(r.stats.stand_trees <= 10 + 64 * 3);
+    }
+
+    #[test]
+    fn traced_spans_cover_the_work() {
+        let p = problem(&["((A,B),(C,D));", "((A,E),(F,G));", "((C,F),(H,I));"]);
+        let mut pcfg = ParallelConfig::with_threads(3);
+        pcfg.trace = true;
+        let r = run_parallel(&p, &exhaustive(), &pcfg).unwrap();
+        let elapsed = r.elapsed.as_secs_f64();
+        let mut total_spans = 0;
+        for w in &r.workers {
+            assert_eq!(w.spans.len(), w.tasks_executed);
+            for s in &w.spans {
+                assert!(s.start <= s.end);
+                assert!(s.end <= elapsed + 1e-3);
+            }
+            for pair in w.spans.windows(2) {
+                assert!(pair[0].end <= pair[1].start + 1e-6, "overlapping spans");
+            }
+            total_spans += w.spans.len();
+        }
+        assert!(total_spans >= 1);
+        // Untraced runs record nothing.
+        let r2 = run_parallel(&p, &exhaustive(), &ParallelConfig::with_threads(3)).unwrap();
+        assert!(r2.workers.iter().all(|w| w.spans.is_empty()));
+    }
+
+    #[test]
+    fn queue_capacity_override() {
+        let p = problem(&["((A,B),(C,D));", "((A,E),(F,G));", "((C,F),(H,I));"]);
+        let mut pcfg = ParallelConfig::with_threads(2);
+        pcfg.queue_capacity = Some(1);
+        let serial = run_serial(&p, &exhaustive(), &mut CountOnly).unwrap();
+        let r = run_parallel(&p, &exhaustive(), &pcfg).unwrap();
+        assert_eq!(r.stats, serial.stats);
+    }
+}

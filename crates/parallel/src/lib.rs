@@ -1,0 +1,48 @@
+//! # gentrius-parallel — the paper's thread-pooling / work-stealing engine
+//!
+//! A faithful Rust implementation of §III of *"Parallel Inference of
+//! Phylogenetic Stands with Gentrius"* (IPPS 2023):
+//!
+//! * a deterministic serial prefix up to the **initial-split state** `I_0`
+//!   (the first state whose next taxon has two or more admissible
+//!   branches), whose branch set is divided among threads as uniformly as
+//!   possible;
+//! * **work stealing** via a bounded task queue: working threads carve off
+//!   half of the current state's admissible branches together with the
+//!   *path* `I_0 → I_c` (portable `(taxon, edge)` insertions), and parked
+//!   threads replay the path on their private agile-tree copy and continue
+//!   from there;
+//! * **batched atomic counters** for stand trees / intermediate states /
+//!   dead ends, with stopping rules evaluated on flush (limits may be
+//!   overshot by at most one batch per thread, as in the paper);
+//! * termination via condition-variable parking (the paper's
+//!   `std::condition_variable` + OpenMP-lock construction, rendered with
+//!   `parking_lot`).
+//!
+//! ```
+//! use gentrius_core::{GentriusConfig, StandProblem};
+//! use gentrius_parallel::{run_parallel, ParallelConfig};
+//! use phylo::newick::parse_forest;
+//!
+//! let (_, trees) = parse_forest(["((A,B),(C,D));", "((A,E),(F,G));"]).unwrap();
+//! let problem = StandProblem::from_constraints(trees).unwrap();
+//! let result = run_parallel(
+//!     &problem,
+//!     &GentriusConfig::exhaustive(),
+//!     &ParallelConfig::with_threads(2),
+//! )
+//! .unwrap();
+//! assert!(result.complete());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod engine;
+pub mod pool;
+pub mod task;
+
+pub use counters::{FlushThresholds, GlobalCounters, LocalCounters};
+pub use engine::{run_parallel, run_parallel_with_sinks, ParallelConfig, ParallelRunResult, TaskSpan, WorkerReport};
+pub use pool::TaskPool;
+pub use task::{paper_queue_capacity, partition_branches, Task};

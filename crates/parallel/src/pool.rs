@@ -1,0 +1,208 @@
+//! The thread-pool coordination object: a bounded task queue guarded by a
+//! mutex, a condition variable for busy-waiting threads, and termination
+//! detection (§III-A/B).
+//!
+//! The paper blocks idle threads on a `std::condition_variable` keyed on
+//! the task queue and guards the queue with OpenMP locks; we use
+//! `parking_lot`'s `Mutex`/`Condvar`, which play the same roles. A cheap
+//! atomic mirror of the queue length lets working threads test the
+//! capacity condition without taking the lock on every state transition.
+
+use crate::task::Task;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct PoolState {
+    queue: VecDeque<Task>,
+    /// Workers currently executing a task.
+    active: usize,
+    /// Set when the pool has drained: no tasks and no active workers, or an
+    /// external stop was requested.
+    done: bool,
+}
+
+/// Shared pool: bounded task queue + idle-thread parking + termination.
+pub struct TaskPool {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    capacity: usize,
+    /// Lock-free mirror of `queue.len()` for the fast-path capacity check.
+    len_hint: AtomicUsize,
+    /// Total tasks ever submitted (diagnostics).
+    submitted: AtomicUsize,
+}
+
+impl TaskPool {
+    /// An empty pool with the given queue capacity.
+    pub fn new(capacity: usize) -> Self {
+        TaskPool {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                active: 0,
+                done: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+            len_hint: AtomicUsize::new(0),
+            submitted: AtomicUsize::new(0),
+        }
+    }
+
+    /// The queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pre-marks `n` workers as active before they are spawned. The initial
+    /// split hands chunks directly to threads (bypassing the bounded
+    /// queue), so their activity must be registered up front — otherwise a
+    /// chunk-less worker could observe "no tasks, nobody active" and
+    /// declare the pool drained before work even starts.
+    pub fn preregister_active(&self, n: usize) {
+        self.state.lock().active += n;
+    }
+
+    /// Cheap pre-check: is there *probably* room in the queue? Workers call
+    /// this on every state transition; only on `true` do they pay for the
+    /// split and the lock.
+    #[inline]
+    pub fn has_room_hint(&self) -> bool {
+        self.len_hint.load(Ordering::Relaxed) < self.capacity
+    }
+
+    /// Tries to enqueue a task; fails when the queue is at capacity or the
+    /// pool is already done. Wakes one parked thread on success.
+    pub fn try_push(&self, task: Task) -> Result<(), Task> {
+        let mut st = self.state.lock();
+        if st.done || st.queue.len() >= self.capacity {
+            return Err(task);
+        }
+        st.queue.push_back(task);
+        self.len_hint.store(st.queue.len(), Ordering::Relaxed);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a task is available (marking the caller active) or the
+    /// pool terminates (`None`). Termination: every worker idle with an
+    /// empty queue, or an external stop via [`TaskPool::shutdown`].
+    pub fn next_task(&self) -> Option<Task> {
+        let mut st = self.state.lock();
+        loop {
+            if st.done {
+                return None;
+            }
+            if let Some(t) = st.queue.pop_front() {
+                self.len_hint.store(st.queue.len(), Ordering::Relaxed);
+                st.active += 1;
+                return Some(t);
+            }
+            if st.active == 0 {
+                // Everyone is idle and there is no work left: drained.
+                st.done = true;
+                self.cv.notify_all();
+                return None;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Marks the calling worker idle again after finishing a task; triggers
+    /// termination if it was the last active worker and the queue is empty.
+    pub fn task_done(&self) {
+        let mut st = self.state.lock();
+        st.active -= 1;
+        if st.active == 0 && st.queue.is_empty() {
+            st.done = true;
+            self.cv.notify_all();
+        }
+    }
+
+    /// External stop (stopping rule fired): wakes every parked thread and
+    /// prevents further pops.
+    pub fn shutdown(&self) {
+        let mut st = self.state.lock();
+        st.done = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Total tasks ever submitted.
+    pub fn total_submitted(&self) -> usize {
+        self.submitted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::taxa::TaxonId;
+    use phylo::tree::EdgeId;
+
+    fn task(i: u32) -> Task {
+        Task::at_split(TaxonId(0), vec![EdgeId(i)])
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let p = TaskPool::new(2);
+        assert!(p.try_push(task(0)).is_ok());
+        assert!(p.try_push(task(1)).is_ok());
+        assert!(p.try_push(task(2)).is_err());
+        assert!(!p.has_room_hint());
+    }
+
+    #[test]
+    fn fifo_order() {
+        let p = TaskPool::new(8);
+        p.try_push(task(0)).unwrap();
+        p.try_push(task(1)).unwrap();
+        assert_eq!(p.next_task().unwrap().branches[0], EdgeId(0));
+        assert_eq!(p.next_task().unwrap().branches[0], EdgeId(1));
+        p.task_done();
+        p.task_done();
+    }
+
+    #[test]
+    fn drain_terminates_all_waiters() {
+        let p = TaskPool::new(4);
+        p.try_push(task(0)).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    while let Some(_t) = p.next_task() {
+                        p.task_done();
+                    }
+                });
+            }
+        });
+        assert!(p.next_task().is_none());
+    }
+
+    #[test]
+    fn shutdown_wakes_waiters() {
+        let p = TaskPool::new(4);
+        // Main thread takes a task and stays "active", so a second
+        // consumer must park (queue empty but work in flight)…
+        p.try_push(task(0)).unwrap();
+        let t = p.next_task().unwrap();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| p.next_task());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            // …until an external stop wakes it with `None`.
+            p.shutdown();
+            assert!(h.join().unwrap().is_none());
+        });
+        drop(t);
+    }
+
+    #[test]
+    fn no_push_after_done() {
+        let p = TaskPool::new(4);
+        p.shutdown();
+        assert!(p.try_push(task(0)).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Tasks: the unit of work exchanged between threads (§III-A).
+//!
+//! A task is exactly the paper's two-component structure:
+//!
+//! 1. a *path* from the initial-split state `I_0` to a desired intermediate
+//!    state `I_c` — the taxa to add, their insertion order and positions
+//!    (edge ids, portable across threads thanks to the arena's
+//!    deterministic id recycling);
+//! 2. the very next taxon to insert at `I_c` and a precomputed subset of
+//!    its admissible branches.
+
+use phylo::taxa::TaxonId;
+use phylo::tree::EdgeId;
+
+/// A stealable unit of work, relative to the initial-split state `I_0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Task {
+    /// Insertions taking an agile tree from `I_0` to `I_c`.
+    pub path: Vec<(TaxonId, EdgeId)>,
+    /// The taxon to insert at `I_c`.
+    pub taxon: TaxonId,
+    /// The branch subset assigned to this task.
+    pub branches: Vec<EdgeId>,
+}
+
+impl Task {
+    /// A task at `I_0` itself (empty path) — the initial-split chunks.
+    pub fn at_split(taxon: TaxonId, branches: Vec<EdgeId>) -> Self {
+        Task {
+            path: Vec::new(),
+            taxon,
+            branches,
+        }
+    }
+}
+
+/// The paper's task-queue capacity rule (§III-A): `N_t + 1` below 8
+/// threads, `N_t / 2` from 8 threads on.
+pub fn paper_queue_capacity(threads: usize) -> usize {
+    if threads < 8 {
+        threads + 1
+    } else {
+        threads / 2
+    }
+}
+
+/// Partitions `branches` into at most `parts` chunks "as uniformly as
+/// possible" (paper §III-A: 5 branches over 4 threads → sizes 2,1,1,1).
+/// Returns fewer chunks when there are fewer branches than parts; never
+/// returns empty chunks.
+pub fn partition_branches(branches: &[EdgeId], parts: usize) -> Vec<Vec<EdgeId>> {
+    let parts = parts.min(branches.len()).max(1);
+    if branches.is_empty() {
+        return Vec::new();
+    }
+    let base = branches.len() / parts;
+    let extra = branches.len() % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut at = 0;
+    for i in 0..parts {
+        let take = base + usize::from(i < extra);
+        out.push(branches[at..at + take].to_vec());
+        at += take;
+    }
+    debug_assert_eq!(at, branches.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EdgeId {
+        EdgeId(i)
+    }
+
+    #[test]
+    fn capacity_rule_matches_paper() {
+        assert_eq!(paper_queue_capacity(2), 3);
+        assert_eq!(paper_queue_capacity(4), 5);
+        assert_eq!(paper_queue_capacity(7), 8);
+        assert_eq!(paper_queue_capacity(8), 4);
+        assert_eq!(paper_queue_capacity(16), 8);
+        assert_eq!(paper_queue_capacity(48), 24);
+    }
+
+    #[test]
+    fn partition_five_over_four() {
+        let b: Vec<EdgeId> = (0..5).map(e).collect();
+        let parts = partition_branches(&b, 4);
+        assert_eq!(parts.len(), 4);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![2, 1, 1, 1]);
+        let flat: Vec<EdgeId> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, b);
+    }
+
+    #[test]
+    fn partition_fewer_branches_than_parts() {
+        let b: Vec<EdgeId> = (0..2).map(e).collect();
+        let parts = partition_branches(&b, 5);
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn partition_single_part() {
+        let b: Vec<EdgeId> = (0..3).map(e).collect();
+        let parts = partition_branches(&b, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], b);
+    }
+
+    #[test]
+    fn partition_empty() {
+        assert!(partition_branches(&[], 4).is_empty());
+    }
+}

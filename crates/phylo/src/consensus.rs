@@ -1,0 +1,296 @@
+//! Consensus trees and split-frequency summaries.
+//!
+//! Once a stand has been enumerated, the practical question is *which
+//! branches of the published tree are actually resolved* — a branch present
+//! in every stand tree is trustworthy, one present in half of them is not.
+//! Strict (100%) and majority-rule (>50%) consensus trees summarize this,
+//! and the split-frequency table is the per-branch support annotation.
+
+use crate::bitset::BitSet;
+use crate::split::{nontrivial_splits, Split};
+use crate::taxa::TaxonId;
+use crate::tree::Tree;
+use std::collections::HashMap;
+
+/// Counts how often each non-trivial split occurs over a sequence of trees
+/// on a common leaf set.
+#[derive(Clone, Debug, Default)]
+pub struct SplitFrequencies {
+    counts: HashMap<Split, u64>,
+    trees: u64,
+    taxa: Option<BitSet>,
+}
+
+impl SplitFrequencies {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one tree. Panics if its leaf set differs from previous trees.
+    pub fn add(&mut self, tree: &Tree) {
+        match &self.taxa {
+            None => self.taxa = Some(tree.taxa().clone()),
+            Some(t) => assert_eq!(t, tree.taxa(), "consensus over unequal leaf sets"),
+        }
+        self.trees += 1;
+        for s in nontrivial_splits(tree) {
+            *self.counts.entry(s).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of trees accumulated.
+    pub fn num_trees(&self) -> u64 {
+        self.trees
+    }
+
+    /// The common leaf set (None before the first tree).
+    pub fn taxa(&self) -> Option<&BitSet> {
+        self.taxa.as_ref()
+    }
+
+    /// Iterates `(split, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Split, u64)> {
+        self.counts.iter().map(|(s, &c)| (s, c))
+    }
+
+    /// `(split, support)` pairs with support = count/trees, sorted by
+    /// descending support then split order (deterministic output).
+    pub fn supports(&self) -> Vec<(Split, f64)> {
+        let mut v: Vec<(Split, f64)> = self
+            .counts
+            .iter()
+            .map(|(s, &c)| (s.clone(), c as f64 / self.trees.max(1) as f64))
+            .collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("support is finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        v
+    }
+
+    /// The splits present in strictly more than `threshold` fraction of the
+    /// trees. `threshold >= 0.5` guarantees pairwise compatibility.
+    pub fn splits_above(&self, threshold: f64) -> Vec<Split> {
+        let mut v: Vec<Split> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| (c as f64) > threshold * self.trees as f64)
+            .map(|(s, _)| s.clone())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The strict consensus (splits in *all* trees) as a tree.
+    pub fn strict_consensus(&self) -> Option<Tree> {
+        let taxa = self.taxa.as_ref()?;
+        Some(tree_from_splits(taxa, &self.splits_above(1.0 - 1e-12)))
+    }
+
+    /// The majority-rule consensus (splits in >50% of trees) as a tree.
+    pub fn majority_consensus(&self) -> Option<Tree> {
+        let taxa = self.taxa.as_ref()?;
+        Some(tree_from_splits(taxa, &self.splits_above(0.5)))
+    }
+}
+
+/// Builds the (possibly multifurcating) unrooted tree realizing a pairwise
+/// compatible set of canonical non-trivial splits of `taxa`.
+///
+/// Splits are interpreted as clusters relative to the reference taxon (the
+/// smallest member of `taxa`, which canonical splits exclude): a pairwise
+/// compatible set of such clusters is laminar, so the rooted hierarchy is
+/// direct nesting, which is then read back as an unrooted arena tree.
+///
+/// Panics if the splits are not pairwise compatible (not laminar) or not
+/// canonical over `taxa`.
+pub fn tree_from_splits(taxa: &BitSet, splits: &[Split]) -> Tree {
+    let n_taxa = taxa.count();
+    let mut tree = Tree::new(taxa.universe());
+    match n_taxa {
+        0 => return tree,
+        1 => {
+            tree.add_node(Some(TaxonId(taxa.min_member().unwrap() as u32)));
+            return tree;
+        }
+        2 => {
+            let mut it = taxa.iter();
+            let a = TaxonId(it.next().unwrap() as u32);
+            let b = TaxonId(it.next().unwrap() as u32);
+            return Tree::two_leaf(taxa.universe(), a, b);
+        }
+        _ => {}
+    }
+
+    // Clusters, largest first so parents precede children.
+    let mut clusters: Vec<&BitSet> = splits.iter().map(|s| s.side()).collect();
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.count()));
+    for c in &clusters {
+        debug_assert!(
+            !c.contains(taxa.min_member().unwrap()),
+            "split not canonical over the given taxa"
+        );
+        debug_assert!(c.is_subset(taxa));
+    }
+
+    // parent[i] = index of the smallest strictly-containing cluster.
+    let mut parent: Vec<Option<usize>> = vec![None; clusters.len()];
+    for i in 0..clusters.len() {
+        for j in (0..i).rev() {
+            if clusters[i].is_subset(clusters[j]) {
+                // Thanks to the size ordering, the *last* superset found
+                // scanning backwards from the smallest is the tightest.
+                parent[i] = match parent[i] {
+                    Some(p) if clusters[p].count() <= clusters[j].count() => Some(p),
+                    _ => Some(j),
+                };
+            } else {
+                assert!(
+                    clusters[i].is_disjoint(clusters[j]) || clusters[j].is_subset(clusters[i]),
+                    "splits are not pairwise compatible"
+                );
+            }
+        }
+    }
+
+    // Hub node per cluster plus the root hub.
+    let root_hub = tree.add_node(None);
+    let hubs: Vec<_> = clusters.iter().map(|_| tree.add_node(None)).collect();
+    for (i, p) in parent.iter().enumerate() {
+        let up = match p {
+            Some(j) => hubs[*j],
+            None => root_hub,
+        };
+        tree.add_edge(up, hubs[i]);
+    }
+    // Attach each taxon to the hub of the smallest cluster containing it.
+    for t in taxa.iter() {
+        let mut best: Option<usize> = None;
+        for (i, c) in clusters.iter().enumerate() {
+            if c.contains(t) && best.is_none_or(|b| clusters[b].count() > c.count()) {
+                best = Some(i);
+            }
+        }
+        let hub = best.map(|i| hubs[i]).unwrap_or(root_hub);
+        let leaf = tree.add_node(Some(TaxonId(t as u32)));
+        tree.add_edge(hub, leaf);
+    }
+
+    suppress_degree_two(&tree)
+}
+
+/// Rebuilds the tree without degree-2 vertices (cluster hubs with a single
+/// child collapse; also handles a degree-2 root hub).
+fn suppress_degree_two(tree: &Tree) -> Tree {
+    // Reuse restriction to the full leaf set: it prunes nothing but
+    // suppresses all degree-2 vertices and yields a fresh compact arena.
+    crate::ops::restrict(tree, tree.taxa())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newick::{parse_forest, to_newick};
+    use crate::split::topo_eq;
+    use crate::taxa::TaxonSet;
+
+    fn trees(newicks: &[&str]) -> (TaxonSet, Vec<Tree>) {
+        parse_forest(newicks.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn consensus_of_identical_trees_is_the_tree() {
+        let (_, ts) = trees(&["((A,B),((C,D),E));", "((A,B),((C,D),E));"]);
+        let mut f = SplitFrequencies::new();
+        for t in &ts {
+            f.add(t);
+        }
+        let strict = f.strict_consensus().unwrap();
+        assert!(topo_eq(&strict, &ts[0]));
+        let maj = f.majority_consensus().unwrap();
+        assert!(topo_eq(&maj, &ts[0]));
+    }
+
+    #[test]
+    fn strict_consensus_collapses_conflicts() {
+        // Two quartet resolutions conflict → strict consensus is the star.
+        let (taxa, ts) = trees(&["((A,B),(C,D));", "((A,C),(B,D));"]);
+        let mut f = SplitFrequencies::new();
+        for t in &ts {
+            f.add(t);
+        }
+        let strict = f.strict_consensus().unwrap();
+        assert_eq!(strict.leaf_count(), 4);
+        assert!(crate::split::nontrivial_splits(&strict).is_empty());
+        assert_eq!(to_newick(&strict, &taxa), "(A,B,C,D);");
+    }
+
+    #[test]
+    fn majority_keeps_shared_structure() {
+        // AB|CDE in 2 of 3 trees; CD|ABE in 2 of 3.
+        let (_, ts) = trees(&[
+            "((A,B),((C,D),E));",
+            "((A,B),((C,E),D));",
+            "((A,E),((C,D),B));",
+        ]);
+        let mut f = SplitFrequencies::new();
+        for t in &ts {
+            f.add(t);
+        }
+        let maj = f.majority_consensus().unwrap();
+        let splits = crate::split::nontrivial_splits(&maj);
+        assert_eq!(splits.len(), 2);
+        let sup = f.supports();
+        assert!(sup.iter().all(|(_, s)| (0.0..=1.0).contains(s)));
+        assert!((sup[0].1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_from_splits_roundtrip_binary() {
+        let (_, ts) = trees(&["(((A,B),(C,D)),((E,F),G));"]);
+        let splits = crate::split::nontrivial_splits(&ts[0]);
+        let rebuilt = tree_from_splits(ts[0].taxa(), &splits);
+        rebuilt.validate().unwrap();
+        assert!(topo_eq(&rebuilt, &ts[0]));
+        assert!(rebuilt.is_binary_unrooted());
+    }
+
+    #[test]
+    fn tree_from_no_splits_is_star() {
+        let (taxa, ts) = trees(&["((A,B),(C,D));"]);
+        let star = tree_from_splits(ts[0].taxa(), &[]);
+        star.validate().unwrap();
+        assert_eq!(to_newick(&star, &taxa), "(A,B,C,D);");
+    }
+
+    #[test]
+    fn tree_from_splits_small_leafsets() {
+        let universe = 6;
+        let two = BitSet::from_iter(universe, [1, 4]);
+        let t2 = tree_from_splits(&two, &[]);
+        assert_eq!(t2.leaf_count(), 2);
+        let one = BitSet::from_iter(universe, [3]);
+        assert_eq!(tree_from_splits(&one, &[]).leaf_count(), 1);
+        assert_eq!(tree_from_splits(&BitSet::new(universe), &[]).leaf_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not pairwise compatible")]
+    fn incompatible_splits_panic() {
+        let taxa = BitSet::from_iter(8, [0, 1, 2, 3, 4]);
+        let s1 = Split::canonical(BitSet::from_iter(8, [1, 2]), &taxa);
+        let s2 = Split::canonical(BitSet::from_iter(8, [2, 3]), &taxa);
+        tree_from_splits(&taxa, &[s1, s2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal leaf sets")]
+    fn mixed_leafsets_panic() {
+        let (_, ts) = trees(&["((A,B),(C,D));", "((A,B),(C,E));"]);
+        let mut f = SplitFrequencies::new();
+        f.add(&ts[0]);
+        f.add(&ts[1]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Robinson–Foulds distance between unrooted trees.
+//!
+//! Used by the examples and the dataset analyses to characterize how
+//! different the trees on one stand are from each other.
+
+use crate::split::{nontrivial_splits, Split};
+use crate::tree::Tree;
+
+/// The (unnormalized) Robinson–Foulds distance: the size of the symmetric
+/// difference of the two trees' non-trivial split sets. Both trees must be
+/// on the same leaf set; returns `None` otherwise.
+pub fn rf_distance(a: &Tree, b: &Tree) -> Option<usize> {
+    if a.taxa() != b.taxa() {
+        return None;
+    }
+    let sa = nontrivial_splits(a);
+    let sb = nontrivial_splits(b);
+    Some(symmetric_difference_size(&sa, &sb))
+}
+
+/// Normalized RF in `[0, 1]`: distance divided by the maximum possible
+/// `2(n-3)` for binary trees on `n` leaves. Returns `None` for mismatched
+/// leaf sets or `n < 4` (where the distance is always 0).
+pub fn rf_distance_normalized(a: &Tree, b: &Tree) -> Option<f64> {
+    let d = rf_distance(a, b)?;
+    let n = a.leaf_count();
+    if n < 4 {
+        return Some(0.0);
+    }
+    Some(d as f64 / (2 * (n - 3)) as f64)
+}
+
+fn symmetric_difference_size(a: &[Split], b: &[Split]) -> usize {
+    // Both inputs are sorted and deduplicated (nontrivial_splits contract).
+    let mut i = 0;
+    let mut j = 0;
+    let mut diff = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                diff += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                diff += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    diff + (a.len() - i) + (b.len() - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newick::parse_forest;
+
+    #[test]
+    fn identical_trees_have_zero_distance() {
+        let (_, trees) = parse_forest(["((A,B),((C,D),E));"]).unwrap();
+        assert_eq!(rf_distance(&trees[0], &trees[0].clone()), Some(0));
+    }
+
+    #[test]
+    fn maximally_different_quartets() {
+        let (_, trees) = parse_forest(["((A,B),(C,D));", "((A,C),(B,D));"]).unwrap();
+        assert_eq!(rf_distance(&trees[0], &trees[1]), Some(2));
+        assert_eq!(rf_distance_normalized(&trees[0], &trees[1]), Some(1.0));
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let (_, trees) =
+            parse_forest(["(((A,B),C),(D,E));", "(((A,C),B),(D,E));"]).unwrap();
+        // Both share split {D,E} (and its complement); differ on AB|... vs AC|...
+        assert_eq!(rf_distance(&trees[0], &trees[1]), Some(2));
+    }
+
+    #[test]
+    fn mismatched_leaf_sets() {
+        let (_, trees) = parse_forest(["((A,B),(C,D));", "((A,B),(C,E));"]).unwrap();
+        assert_eq!(rf_distance(&trees[0], &trees[1]), None);
+    }
+
+    #[test]
+    fn small_trees() {
+        let (_, trees) = parse_forest(["(A,(B,C));", "(B,(A,C));"]).unwrap();
+        assert_eq!(rf_distance(&trees[0], &trees[1]), Some(0)); // only one 3-leaf topology
+        assert_eq!(rf_distance_normalized(&trees[0], &trees[1]), Some(0.0));
+    }
+}

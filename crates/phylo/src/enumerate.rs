@@ -1,0 +1,115 @@
+//! Exhaustive enumeration of unrooted binary topologies.
+//!
+//! There are `(2n-5)!!` unrooted binary trees on `n` labelled leaves. For
+//! small `n` this is enumerable and serves as the ground-truth oracle for
+//! the Gentrius stand enumeration: filter all topologies by "displays every
+//! constraint tree" and compare with the algorithm's output.
+
+use crate::taxa::TaxonId;
+use crate::tree::{EdgeId, Tree};
+
+/// `(2n-5)!! = 1, 1, 3, 15, 105, ...` — the number of unrooted binary
+/// topologies on `n ≥ 2` labelled leaves. Panics on overflow.
+pub fn num_unrooted_topologies(n: usize) -> u128 {
+    assert!(n >= 2);
+    let mut acc: u128 = 1;
+    // Inserting the i-th taxon (i = 4..=n) offers 2i-5 edges.
+    for i in 4..=n as u128 {
+        acc = acc.checked_mul(2 * i - 5).expect("topology count overflow");
+    }
+    acc
+}
+
+/// Calls `visit` once for every unrooted binary topology on `ids`
+/// (distinct taxa over a `universe`-sized id space), in a deterministic
+/// order. The same [`Tree`] buffer is reused via insert/undo, so `visit`
+/// must not hold on to it across calls — clone if needed.
+///
+/// Enumeration cost grows as `(2n-5)!!`; keep `ids.len()` small (≤ 9).
+pub fn for_each_topology<F: FnMut(&Tree)>(universe: usize, ids: &[TaxonId], mut visit: F) {
+    assert!(ids.len() >= 2, "need at least two taxa");
+    if ids.len() == 2 {
+        let t = Tree::two_leaf(universe, ids[0], ids[1]);
+        visit(&t);
+        return;
+    }
+    let mut tree = Tree::three_leaf(universe, ids[0], ids[1], ids[2]);
+    recurse(&mut tree, ids, 3, &mut visit);
+}
+
+fn recurse<F: FnMut(&Tree)>(tree: &mut Tree, ids: &[TaxonId], next: usize, visit: &mut F) {
+    if next == ids.len() {
+        visit(tree);
+        return;
+    }
+    let edges: Vec<EdgeId> = tree.edges().collect();
+    for e in edges {
+        let ins = tree.insert_leaf_on_edge(ids[next], e);
+        recurse(tree, ids, next + 1, visit);
+        tree.remove_insertion(&ins);
+    }
+}
+
+/// Collects every topology on taxa `0..n` as owned trees. Convenience for
+/// tests; memory grows as `(2n-5)!!` trees.
+pub fn all_topologies_on_n(n: usize) -> Vec<Tree> {
+    let ids: Vec<TaxonId> = (0..n as u32).map(TaxonId).collect();
+    let mut out = Vec::new();
+    for_each_topology(n, &ids, |t| out.push(t.clone()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newick::to_newick;
+    use crate::taxa::TaxonSet;
+    use std::collections::HashSet;
+
+    #[test]
+    fn double_factorial_counts() {
+        assert_eq!(num_unrooted_topologies(2), 1);
+        assert_eq!(num_unrooted_topologies(3), 1);
+        assert_eq!(num_unrooted_topologies(4), 3);
+        assert_eq!(num_unrooted_topologies(5), 15);
+        assert_eq!(num_unrooted_topologies(6), 105);
+        assert_eq!(num_unrooted_topologies(7), 945);
+        assert_eq!(num_unrooted_topologies(8), 10395);
+    }
+
+    #[test]
+    fn enumeration_is_complete_and_duplicate_free() {
+        for n in 4..=6 {
+            let taxa = TaxonSet::with_synthetic(n);
+            let mut seen = HashSet::new();
+            let ids: Vec<TaxonId> = (0..n as u32).map(TaxonId).collect();
+            for_each_topology(n, &ids, |t| {
+                assert!(t.is_binary_unrooted());
+                assert!(seen.insert(to_newick(t, &taxa)), "duplicate topology");
+            });
+            assert_eq!(seen.len() as u128, num_unrooted_topologies(n));
+        }
+    }
+
+    #[test]
+    fn buffer_reuse_leaves_tree_intact() {
+        let ids: Vec<TaxonId> = (0..5).map(TaxonId).collect();
+        let mut count = 0usize;
+        for_each_topology(5, &ids, |t| {
+            t.validate().unwrap();
+            count += 1;
+        });
+        assert_eq!(count, 15);
+    }
+
+    #[test]
+    fn collect_owned() {
+        let all = all_topologies_on_n(5);
+        assert_eq!(all.len(), 15);
+        // Owned clones must be independent valid trees.
+        for t in &all {
+            t.validate().unwrap();
+            assert_eq!(t.leaf_count(), 5);
+        }
+    }
+}

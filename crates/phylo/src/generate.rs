@@ -1,0 +1,123 @@
+//! Seeded random tree generation.
+//!
+//! Random trees drive the simulated datasets and the property tests. Two
+//! models are provided:
+//!
+//! * **Uniform** — every unrooted binary topology on `n` leaves with equal
+//!   probability, via random stepwise addition (at step `k` each of the
+//!   `2k-3` edges is chosen uniformly, which is exactly the uniform
+//!   distribution over the `(2n-5)!!` topologies).
+//! * **Yule–Harding-ish** — stepwise addition restricted to pendant edges,
+//!   which yields the more balanced shapes typical of empirical trees.
+
+use crate::taxa::TaxonId;
+use crate::tree::{EdgeId, Tree};
+use rand::Rng;
+
+/// Tree shape model for [`random_tree`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShapeModel {
+    /// Uniform over all unrooted binary topologies.
+    Uniform,
+    /// Insertions restricted to pendant edges (more balanced, Yule-like).
+    Yule,
+}
+
+/// Generates a random unrooted binary tree on the taxa `ids` (which must be
+/// distinct) over universe size `universe`. Requires `ids.len() >= 2`.
+pub fn random_tree<R: Rng + ?Sized>(
+    universe: usize,
+    ids: &[TaxonId],
+    model: ShapeModel,
+    rng: &mut R,
+) -> Tree {
+    assert!(ids.len() >= 2, "need at least two taxa");
+    if ids.len() == 2 {
+        return Tree::two_leaf(universe, ids[0], ids[1]);
+    }
+    let mut tree = Tree::three_leaf(universe, ids[0], ids[1], ids[2]);
+    let mut edges: Vec<EdgeId> = tree.edges().collect();
+    for &t in &ids[3..] {
+        let e = match model {
+            ShapeModel::Uniform => edges[rng.gen_range(0..edges.len())],
+            ShapeModel::Yule => {
+                // Pick a pendant edge: one endpoint is a leaf.
+                loop {
+                    let cand = edges[rng.gen_range(0..edges.len())];
+                    let (a, b) = tree.endpoints(cand);
+                    if tree.taxon(a).is_some() || tree.taxon(b).is_some() {
+                        break cand;
+                    }
+                }
+            }
+        };
+        let ins = tree.insert_leaf_on_edge(t, e);
+        edges.push(ins.far_half);
+        edges.push(ins.pendant);
+    }
+    tree
+}
+
+/// Convenience: a random tree on taxa `0..n` of an `n`-taxon universe.
+pub fn random_tree_on_n<R: Rng + ?Sized>(n: usize, model: ShapeModel, rng: &mut R) -> Tree {
+    let ids: Vec<TaxonId> = (0..n as u32).map(TaxonId).collect();
+    random_tree(n, &ids, model, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newick::to_newick;
+    use crate::taxa::TaxonSet;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn generated_trees_are_valid_binary() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for n in [2usize, 3, 4, 10, 50] {
+            for model in [ShapeModel::Uniform, ShapeModel::Yule] {
+                let t = random_tree_on_n(n, model, &mut rng);
+                t.validate().unwrap();
+                assert_eq!(t.leaf_count(), n);
+                assert!(t.is_binary_unrooted());
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let a = random_tree_on_n(20, ShapeModel::Uniform, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = random_tree_on_n(20, ShapeModel::Uniform, &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a.arena_fingerprint(), b.arena_fingerprint());
+    }
+
+    #[test]
+    fn uniform_hits_all_five_leaf_topologies() {
+        // 5 leaves → 15 topologies; a uniform sampler must reach all of
+        // them quickly and roughly evenly.
+        let taxa = TaxonSet::with_synthetic(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        for _ in 0..3000 {
+            let t = random_tree_on_n(5, ShapeModel::Uniform, &mut rng);
+            *seen.entry(to_newick(&t, &taxa)).or_default() += 1;
+        }
+        assert_eq!(seen.len(), 15);
+        let min = seen.values().min().unwrap();
+        let max = seen.values().max().unwrap();
+        // 3000/15 = 200 expected; allow generous slack.
+        assert!(*min > 120 && *max < 300, "min={min} max={max}");
+    }
+
+    #[test]
+    fn yule_trees_are_leafier() {
+        // Sanity: Yule trees exist and differ from uniform in shape on
+        // average; just check they are valid and complete here.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = random_tree_on_n(100, ShapeModel::Yule, &mut rng);
+        assert_eq!(t.leaf_count(), 100);
+        assert!(t.is_binary_unrooted());
+    }
+}

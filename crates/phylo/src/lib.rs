@@ -1,0 +1,41 @@
+//! # phylo — unrooted phylogenetic tree substrate
+//!
+//! The tree machinery the Gentrius reproduction is built on: an arena-based
+//! unrooted tree with **undo-safe, deterministically-replayable edits**
+//! (the property the paper's cross-thread task paths rely on), Newick I/O,
+//! splits/bipartitions, restriction (`T|S`), display/compatibility tests,
+//! presence–absence matrices, random tree generation, Robinson–Foulds
+//! distances, and a brute-force topology enumerator used as a test oracle.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use phylo::newick::{parse_forest, to_newick};
+//! use phylo::ops::{displays, restrict};
+//!
+//! let (taxa, trees) = parse_forest(["((A,B),((C,D),E));", "((A,B),C);"]).unwrap();
+//! assert!(displays(&trees[0], &trees[1]));
+//! let sub = restrict(&trees[0], trees[1].taxa());
+//! assert_eq!(to_newick(&sub, &taxa), to_newick(&trees[1], &taxa));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod consensus;
+pub mod distance;
+pub mod enumerate;
+pub mod generate;
+pub mod newick;
+pub mod nexus;
+pub mod ops;
+pub mod pam;
+pub mod shape;
+pub mod split;
+pub mod taxa;
+pub mod tree;
+
+pub use bitset::BitSet;
+pub use pam::Pam;
+pub use taxa::{TaxonId, TaxonSet};
+pub use tree::{EdgeId, Insertion, NodeId, Tree};

@@ -1,0 +1,398 @@
+//! NEXUS tree-file support (TAXA and TREES blocks).
+//!
+//! The interchange format of the tools surrounding this paper (IQ-TREE,
+//! terraphy, RAxML pipelines). Supported: `#NEXUS` header, bracketed
+//! comments, `BEGIN TAXA / DIMENSIONS / TAXLABELS`, and
+//! `BEGIN TREES / TRANSLATE / TREE name = [&U] (...);` with numeric or
+//! symbolic translate keys and quoted labels. Rooting annotations
+//! (`[&R]`/`[&U]`) are accepted and ignored — trees are unrooted here.
+
+use crate::newick::{parse_newick, to_newick, NewickError};
+use crate::taxa::TaxonSet;
+use crate::tree::Tree;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A parsed NEXUS file: the taxon universe and the named trees.
+#[derive(Debug)]
+pub struct NexusData {
+    /// The taxon universe (from TAXLABELS and/or tree leaves).
+    pub taxa: TaxonSet,
+    /// `(tree name, tree)` in file order.
+    pub trees: Vec<(String, Tree)>,
+}
+
+/// NEXUS parse error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NexusError(pub String);
+
+impl std::fmt::Display for NexusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "nexus error: {}", self.0)
+    }
+}
+
+impl std::error::Error for NexusError {}
+
+impl From<NewickError> for NexusError {
+    fn from(e: NewickError) -> Self {
+        NexusError(e.to_string())
+    }
+}
+
+/// Removes `[...]` comments (nesting tolerated; quotes respected).
+fn strip_comments(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut depth = 0usize;
+    let mut in_quote = false;
+    for c in input.chars() {
+        match c {
+            '\'' if depth == 0 => {
+                in_quote = !in_quote;
+                out.push(c);
+            }
+            '[' if !in_quote => depth += 1,
+            ']' if !in_quote && depth > 0 => depth -= 1,
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Splits into `;`-terminated commands, respecting quotes.
+fn commands(input: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quote = false;
+    for c in input.chars() {
+        match c {
+            '\'' => {
+                in_quote = !in_quote;
+                cur.push(c);
+            }
+            ';' if !in_quote => {
+                let t = cur.trim().to_string();
+                if !t.is_empty() {
+                    out.push(t);
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    let t = cur.trim().to_string();
+    if !t.is_empty() {
+        out.push(t);
+    }
+    out
+}
+
+/// First word of a command, lowercased.
+fn keyword(cmd: &str) -> String {
+    cmd.split_whitespace()
+        .next()
+        .unwrap_or_default()
+        .to_ascii_lowercase()
+}
+
+/// Tokenizes a label list (TAXLABELS / TRANSLATE bodies): whitespace- and
+/// comma-separated, with quoted tokens kept intact (quotes removed,
+/// doubled quotes unescaped).
+fn label_tokens(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        match chars.peek() {
+            None => break,
+            Some('\'') => {
+                chars.next();
+                let mut tok = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') if chars.peek() == Some(&'\'') => {
+                            tok.push('\'');
+                            chars.next();
+                        }
+                        Some('\'') | None => break,
+                        Some(c) => tok.push(c),
+                    }
+                }
+                out.push(tok);
+            }
+            Some(_) => {
+                let mut tok = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || c == ',' {
+                        break;
+                    }
+                    tok.push(c);
+                    chars.next();
+                }
+                out.push(tok);
+            }
+        }
+    }
+    out
+}
+
+/// Rewrites a Newick string, mapping each leaf label through `translate`.
+/// Labels not in the table pass through unchanged.
+fn apply_translate(newick: &str, translate: &HashMap<String, String>) -> String {
+    let mut out = String::with_capacity(newick.len());
+    let mut chars = newick.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '(' | ')' | ',' | ';' => {
+                out.push(c);
+                chars.next();
+            }
+            ':' => {
+                // Branch length: copy verbatim until a delimiter.
+                out.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if matches!(d, '(' | ')' | ',' | ';') {
+                        break;
+                    }
+                    out.push(d);
+                    chars.next();
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut tok = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') if chars.peek() == Some(&'\'') => {
+                            tok.push('\'');
+                            chars.next();
+                        }
+                        Some('\'') | None => break,
+                        Some(d) => tok.push(d),
+                    }
+                }
+                let label = translate.get(&tok).cloned().unwrap_or(tok);
+                write_quotable(&mut out, &label);
+            }
+            d if d.is_whitespace() => {
+                chars.next();
+            }
+            _ => {
+                let mut tok = String::new();
+                while let Some(&d) = chars.peek() {
+                    if matches!(d, '(' | ')' | ',' | ';' | ':') || d.is_whitespace() {
+                        break;
+                    }
+                    tok.push(d);
+                    chars.next();
+                }
+                let label = translate.get(&tok).cloned().unwrap_or(tok);
+                write_quotable(&mut out, &label);
+            }
+        }
+    }
+    out
+}
+
+fn write_quotable(out: &mut String, label: &str) {
+    let needs = label
+        .chars()
+        .any(|c| c.is_whitespace() || matches!(c, '(' | ')' | ',' | ':' | ';' | '\''));
+    if needs {
+        out.push('\'');
+        out.push_str(&label.replace('\'', "''"));
+        out.push('\'');
+    } else {
+        out.push_str(label);
+    }
+}
+
+/// Parses a NEXUS file containing TAXA and/or TREES blocks.
+pub fn parse_nexus(input: &str) -> Result<NexusData, NexusError> {
+    let stripped = strip_comments(input);
+    if !stripped.trim_start().starts_with("#NEXUS") && !stripped.trim_start().starts_with("#nexus")
+    {
+        return Err(NexusError("missing #NEXUS header".into()));
+    }
+    let cmds = commands(stripped.trim_start().trim_start_matches("#NEXUS").trim_start_matches("#nexus"));
+
+    let mut block: Option<String> = None;
+    let mut translate: HashMap<String, String> = HashMap::new();
+    let mut taxlabels: Vec<String> = Vec::new();
+    let mut tree_sources: Vec<(String, String)> = Vec::new();
+
+    for cmd in &cmds {
+        match keyword(cmd).as_str() {
+            "begin" => {
+                let name = cmd
+                    .split_whitespace()
+                    .nth(1)
+                    .unwrap_or_default()
+                    .to_ascii_lowercase();
+                block = Some(name);
+            }
+            "end" | "endblock" => block = None,
+            "taxlabels" if block.as_deref() == Some("taxa") => {
+                let body = cmd.trim_start()["taxlabels".len()..].to_string();
+                taxlabels = label_tokens(&body);
+            }
+            "translate" if block.as_deref() == Some("trees") => {
+                let body = cmd.trim_start()["translate".len()..].to_string();
+                let toks = label_tokens(&body);
+                if !toks.len().is_multiple_of(2) {
+                    return Err(NexusError("odd TRANSLATE token count".into()));
+                }
+                for pair in toks.chunks(2) {
+                    translate.insert(pair[0].clone(), pair[1].clone());
+                }
+            }
+            "tree" if block.as_deref() == Some("trees") => {
+                let rest = cmd.trim_start()["tree".len()..].trim();
+                let (name, newick) = rest
+                    .split_once('=')
+                    .ok_or_else(|| NexusError(format!("bad TREE command: {cmd}")))?;
+                // Strip rooting annotations like &U / &R that survive
+                // comment stripping when written without brackets.
+                let newick = newick.trim().trim_start_matches("&U").trim_start_matches("&R");
+                tree_sources.push((name.trim().to_string(), format!("{};", newick.trim().trim_end_matches(';'))));
+            }
+            _ => {}
+        }
+    }
+    if tree_sources.is_empty() && taxlabels.is_empty() {
+        return Err(NexusError("no TAXA or TREES content found".into()));
+    }
+
+    // Build the shared universe: declared taxa first, then tree leaves.
+    let translated: Vec<(String, String)> = tree_sources
+        .into_iter()
+        .map(|(n, s)| (n, apply_translate(&s, &translate)))
+        .collect();
+    let mut taxa = TaxonSet::new();
+    for l in &taxlabels {
+        taxa.intern(l);
+    }
+    {
+        // Intern any leaves not declared in TAXLABELS.
+        let all: Vec<&str> = translated.iter().map(|(_, s)| s.as_str()).collect();
+        if !all.is_empty() {
+            let (merged, _) = crate::newick::parse_forest(all.iter().copied())?;
+            for (_, name) in merged.iter() {
+                taxa.intern(name);
+            }
+        }
+    }
+    let mut trees = Vec::with_capacity(translated.len());
+    for (name, source) in translated {
+        trees.push((name, parse_newick(&source, &taxa)?));
+    }
+    Ok(NexusData { taxa, trees })
+}
+
+/// Writes taxa and named trees as a NEXUS file (TAXA + TREES blocks, no
+/// TRANSLATE — labels are written inline, quoted when necessary).
+pub fn write_nexus(taxa: &TaxonSet, trees: &[(String, &Tree)]) -> String {
+    let mut s = String::from("#NEXUS\n\nBEGIN TAXA;\n");
+    writeln!(s, "  DIMENSIONS NTAX={};", taxa.len()).unwrap();
+    s.push_str("  TAXLABELS");
+    for (_, name) in taxa.iter() {
+        s.push(' ');
+        write_quotable(&mut s, name);
+    }
+    s.push_str(";\nEND;\n\nBEGIN TREES;\n");
+    for (name, tree) in trees {
+        writeln!(s, "  TREE {} = [&U] {}", name, to_newick(tree, taxa)).unwrap();
+    }
+    s.push_str("END;\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::topo_eq;
+
+    const SAMPLE: &str = "#NEXUS
+[ a file-level comment ]
+BEGIN TAXA;
+  DIMENSIONS NTAX=4;
+  TAXLABELS A B C 'D d';
+END;
+BEGIN TREES;
+  TRANSLATE 1 A, 2 B, 3 C, 4 'D d';
+  TREE gene1 = [&U] ((1,2),(3,4));
+  TREE gene2 = ((1,3),(2,4));
+END;
+";
+
+    #[test]
+    fn parse_sample() {
+        let data = parse_nexus(SAMPLE).unwrap();
+        assert_eq!(data.taxa.len(), 4);
+        assert!(data.taxa.get("D d").is_some());
+        assert_eq!(data.trees.len(), 2);
+        assert_eq!(data.trees[0].0, "gene1");
+        assert_eq!(data.trees[0].1.leaf_count(), 4);
+        assert!(!topo_eq(&data.trees[0].1, &data.trees[1].1));
+    }
+
+    #[test]
+    fn untranslated_labels_pass_through() {
+        let src = "#NEXUS\nBEGIN TREES;\nTREE t = ((A,B),(C,D));\nEND;\n";
+        let data = parse_nexus(src).unwrap();
+        assert_eq!(data.taxa.len(), 4);
+        assert!(data.taxa.get("A").is_some());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let data = parse_nexus(SAMPLE).unwrap();
+        let named: Vec<(String, &Tree)> = data
+            .trees
+            .iter()
+            .map(|(n, t)| (n.clone(), t))
+            .collect();
+        let out = write_nexus(&data.taxa, &named);
+        let again = parse_nexus(&out).unwrap();
+        assert_eq!(again.trees.len(), 2);
+        for ((_, a), (_, b)) in data.trees.iter().zip(&again.trees) {
+            // Universes may be re-ordered; compare canonical strings on
+            // each own taxa set instead of topo_eq across universes.
+            assert_eq!(
+                crate::newick::to_newick(a, &data.taxa),
+                crate::newick::to_newick(b, &again.taxa)
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_case_are_tolerated() {
+        let src = "#NEXUS\nbegin trees; [comment ;) tricky]\n tree T1 = ((A,B),(C,[x]D));\nend;\n";
+        let data = parse_nexus(src).unwrap();
+        assert_eq!(data.trees.len(), 1);
+        assert_eq!(data.trees[0].1.leaf_count(), 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_nexus("not nexus").is_err());
+        assert!(parse_nexus("#NEXUS\nBEGIN TREES;\nEND;\n").is_err());
+        assert!(
+            parse_nexus("#NEXUS\nBEGIN TREES;\nTRANSLATE 1 A, 2;\nTREE t=(A,B,C);\nEND;")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn branch_lengths_survive_translation() {
+        let src = "#NEXUS\nBEGIN TREES;\nTRANSLATE 1 Alpha, 2 Beta, 3 Gamma, 4 Delta;\nTREE t = ((1:0.1,2:0.2):0.05,(3:0.3,4:0.4):0.01);\nEND;";
+        let data = parse_nexus(src).unwrap();
+        assert_eq!(data.trees[0].1.leaf_count(), 4);
+        assert!(data.taxa.get("Alpha").is_some());
+        assert!(data.taxa.get("1").is_none());
+    }
+}

@@ -1,0 +1,324 @@
+//! Whole-tree operations: restriction (`T|S`), display and compatibility
+//! tests.
+//!
+//! *Restriction* prunes a tree to a taxon subset and suppresses the
+//! resulting degree-2 vertices; it is the semantic core of stands: a tree
+//! `T` *displays* a constraint tree `t` iff `T|L(t) = t`, and two trees are
+//! *compatible* iff their restrictions to the shared taxa coincide.
+
+use crate::bitset::BitSet;
+use crate::split::topo_eq;
+use crate::tree::{EdgeId, NodeId, Tree};
+
+
+/// Computes the induced subtree `tree|keep`: prune to the leaves in `keep`
+/// and suppress degree-2 vertices. The result is a fresh arena over the same
+/// taxon universe; node/edge ids are a deterministic function of the input.
+///
+/// Restriction of a binary tree is binary. Restricting to fewer than two
+/// taxa yields the (degenerate) empty or single-leaf tree.
+pub fn restrict(tree: &Tree, keep: &BitSet) -> Tree {
+    let mut kept = tree.taxa().clone();
+    kept.intersect_with(keep);
+    let k = kept.count();
+    let mut out = Tree::new(tree.universe());
+    match k {
+        0 => return out,
+        1 => {
+            let t = crate::taxa::TaxonId(kept.min_member().unwrap() as u32);
+            out.add_node(Some(t));
+            return out;
+        }
+        2 => {
+            let mut it = kept.iter();
+            let a = crate::taxa::TaxonId(it.next().unwrap() as u32);
+            let b = crate::taxa::TaxonId(it.next().unwrap() as u32);
+            return Tree::two_leaf(tree.universe(), a, b);
+        }
+        _ => {}
+    }
+
+    // Root at the kept leaf with the smallest taxon id (deterministic).
+    let root_taxon = kept.min_member().unwrap();
+    let root = tree
+        .leaf(crate::taxa::TaxonId(root_taxon as u32))
+        .expect("kept taxon has no leaf");
+    let order = tree.preorder(root);
+    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; tree.node_id_bound()];
+    for &(v, pe) in &order {
+        parent_edge[v.index()] = pe;
+    }
+
+    // Bottom-up: res[v] is the attachment point (in the new arena) of the
+    // restricted subtree hanging below v's parent edge, if non-empty.
+    let mut res: Vec<Option<NodeId>> = vec![None; tree.node_id_bound()];
+    for &(v, pe) in order.iter().rev() {
+        if pe.is_none() {
+            break; // the root is handled after the loop
+        }
+        if let Some(t) = tree.taxon(v) {
+            if kept.contains(t.index()) {
+                res[v.index()] = Some(out.add_node(Some(t)));
+            }
+            continue;
+        }
+        // Internal node: gather surviving children in adjacency order.
+        let mut handles: Vec<NodeId> = Vec::new();
+        for &e in tree.adjacent_edges(v) {
+            if Some(e) == pe {
+                continue;
+            }
+            let c = tree.opposite(e, v);
+            if let Some(h) = res[c.index()] {
+                handles.push(h);
+            }
+        }
+        res[v.index()] = match handles.len() {
+            0 => None,
+            1 => Some(handles[0]), // suppress degree-2 vertex
+            _ => {
+                let hub = out.add_node(None);
+                for h in handles {
+                    out.add_edge(hub, h);
+                }
+                Some(hub)
+            }
+        };
+    }
+
+    // Attach the root leaf. Its single subtree must be non-empty (k ≥ 3).
+    let root_child = tree
+        .adjacent_edges(root)
+        .first()
+        .map(|&e| tree.opposite(e, root))
+        .expect("root leaf has no neighbour");
+    let below = res[root_child.index()].expect("k >= 3 but root subtree empty");
+    let new_root = out.add_node(tree.taxon(root));
+    out.add_edge(new_root, below);
+    debug_assert_eq!(out.taxa(), &kept);
+    out
+}
+
+/// The sequence of edges on the unique path between two live nodes
+/// (empty when `a == b`). Linear-time BFS over the tree.
+pub fn path_between(tree: &Tree, a: NodeId, b: NodeId) -> Vec<EdgeId> {
+    if a == b {
+        return Vec::new();
+    }
+    let order = tree.preorder(a);
+    let mut parent: Vec<Option<(NodeId, EdgeId)>> = vec![None; tree.node_id_bound()];
+    for &(v, pe) in &order {
+        if let Some(pe) = pe {
+            parent[v.index()] = Some((tree.opposite(pe, v), pe));
+        }
+    }
+    let mut path = Vec::new();
+    let mut cur = b;
+    while cur != a {
+        let (p, e) = parent[cur.index()].expect("b reachable from a in a tree");
+        path.push(e);
+        cur = p;
+    }
+    path.reverse();
+    path
+}
+
+/// The topological diameter: the maximum number of edges between any two
+/// leaves (0 for trees with fewer than two leaves).
+pub fn diameter(tree: &Tree) -> usize {
+    // Two BFS sweeps: farthest leaf from an arbitrary leaf, then farthest
+    // from that (the classic tree-diameter argument).
+    let Some(start) = tree.any_leaf() else { return 0 };
+    let farthest = |from: NodeId| -> (NodeId, usize) {
+        let order = tree.preorder(from);
+        let mut depth = vec![0usize; tree.node_id_bound()];
+        let mut best = (from, 0usize);
+        for &(v, pe) in &order {
+            if let Some(pe) = pe {
+                depth[v.index()] = depth[tree.opposite(pe, v).index()] + 1;
+            }
+            if tree.taxon(v).is_some() && depth[v.index()] > best.1 {
+                best = (v, depth[v.index()]);
+            }
+        }
+        best
+    };
+    let (far, _) = farthest(start);
+    farthest(far).1
+}
+
+/// True if `tree` displays `sub`: restricting `tree` to `sub`'s leaf set
+/// yields a tree topologically equal to `sub`. Requires `sub`'s taxa to be
+/// a subset of `tree`'s (returns false otherwise).
+pub fn displays(tree: &Tree, sub: &Tree) -> bool {
+    if !sub.taxa().is_subset(tree.taxa()) {
+        return false;
+    }
+    topo_eq(&restrict(tree, sub.taxa()), sub)
+}
+
+/// True if the two trees are compatible: their restrictions to the shared
+/// taxa are topologically equal (then a common refinement displaying both
+/// exists, per the stand definition in the paper §II-A).
+pub fn compatible(a: &Tree, b: &Tree) -> bool {
+    let common = a.taxa().intersection(b.taxa());
+    topo_eq(&restrict(a, &common), &restrict(b, &common))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxa::TaxonId;
+
+    fn t(i: u32) -> TaxonId {
+        TaxonId(i)
+    }
+
+    /// Caterpillar on taxa 0..n: ((((0,1),2),3),...).
+    fn caterpillar(universe: usize, n: u32) -> Tree {
+        assert!(n >= 3);
+        let mut tree = Tree::three_leaf(universe, t(0), t(1), t(2));
+        for i in 3..n {
+            let prev = tree.leaf(t(i - 1)).unwrap();
+            let e = tree.adjacent_edges(prev)[0];
+            tree.insert_leaf_on_edge(t(i), e);
+        }
+        tree
+    }
+
+    #[test]
+    fn restrict_to_all_is_identity() {
+        let tree = caterpillar(8, 6);
+        let r = restrict(&tree, tree.taxa());
+        assert!(topo_eq(&tree, &r));
+    }
+
+    #[test]
+    fn restrict_small_cases() {
+        let tree = caterpillar(8, 6);
+        let empty = restrict(&tree, &BitSet::new(8));
+        assert_eq!(empty.node_count(), 0);
+        let one = restrict(&tree, &BitSet::from_iter(8, [3]));
+        assert_eq!(one.leaf_count(), 1);
+        let two = restrict(&tree, &BitSet::from_iter(8, [1, 4]));
+        assert_eq!(two.leaf_count(), 2);
+        assert_eq!(two.edge_count(), 1);
+    }
+
+    #[test]
+    fn restrict_keeps_binary_shape() {
+        let tree = caterpillar(16, 10);
+        let r = restrict(&tree, &BitSet::from_iter(16, [0, 2, 5, 7, 9]));
+        r.validate().unwrap();
+        assert!(r.is_binary_unrooted());
+        assert_eq!(r.leaf_count(), 5);
+    }
+
+    #[test]
+    fn restrict_ignores_absent_taxa() {
+        let tree = caterpillar(16, 5);
+        // Taxa 10..12 are not in the tree at all.
+        let r = restrict(&tree, &BitSet::from_iter(16, [0, 1, 10, 11]));
+        assert_eq!(r.leaf_count(), 2);
+    }
+
+    #[test]
+    fn restriction_commutes_with_intersection() {
+        let tree = caterpillar(16, 9);
+        let s1 = BitSet::from_iter(16, [0, 1, 2, 4, 6, 8]);
+        let s2 = BitSet::from_iter(16, [1, 2, 3, 4, 8]);
+        let lhs = restrict(&restrict(&tree, &s1), &s2);
+        let rhs = restrict(&tree, &s1.intersection(&s2));
+        assert!(topo_eq(&lhs, &rhs));
+    }
+
+    #[test]
+    fn caterpillar_restriction_topology() {
+        // Restricting a caterpillar keeps the caterpillar order.
+        let tree = caterpillar(8, 6);
+        let r = restrict(&tree, &BitSet::from_iter(8, [0, 2, 4, 5]));
+        let expect = {
+            let mut q = Tree::three_leaf(8, t(0), t(2), t(4));
+            let l4 = q.leaf(t(4)).unwrap();
+            let e = q.adjacent_edges(l4)[0];
+            q.insert_leaf_on_edge(t(5), e);
+            q
+        };
+        assert!(topo_eq(&r, &expect));
+    }
+
+    #[test]
+    fn displays_self_and_subtrees() {
+        let tree = caterpillar(8, 7);
+        assert!(displays(&tree, &tree));
+        let sub = restrict(&tree, &BitSet::from_iter(8, [1, 3, 4, 6]));
+        assert!(displays(&tree, &sub));
+    }
+
+    #[test]
+    fn displays_rejects_wrong_topology() {
+        let tree = caterpillar(8, 5); // ((0,1),2),3),4 order
+        // Quartet (0,2)|(1,3) is NOT displayed by the caterpillar.
+        let mut q = Tree::three_leaf(8, t(0), t(2), t(1));
+        let l1 = q.leaf(t(1)).unwrap();
+        let e = q.adjacent_edges(l1)[0];
+        q.insert_leaf_on_edge(t(3), e);
+        assert!(!displays(&tree, &q));
+    }
+
+    #[test]
+    fn displays_requires_taxon_subset() {
+        let tree = caterpillar(16, 5);
+        let other = caterpillar(16, 8); // has taxa the tree lacks
+        assert!(!displays(&tree, &other));
+    }
+
+    #[test]
+    fn compatibility_of_disjoint_trees() {
+        let a = Tree::three_leaf(16, t(0), t(1), t(2));
+        let b = Tree::three_leaf(16, t(3), t(4), t(5));
+        assert!(compatible(&a, &b)); // no common taxa → trivially compatible
+    }
+
+    #[test]
+    fn path_between_endpoints() {
+        let tree = caterpillar(8, 6);
+        let a = tree.leaf(t(0)).unwrap();
+        let b = tree.leaf(t(5)).unwrap();
+        let path = path_between(&tree, a, b);
+        assert_eq!(path.len(), 5); // pendant + 3 backbone + pendant
+        assert!(path_between(&tree, a, a).is_empty());
+        // Path endpoints are incident to first/last edges.
+        let (x, y) = tree.endpoints(path[0]);
+        assert!(x == a || y == a);
+        // Consecutive edges share a node.
+        for w in path.windows(2) {
+            let (a1, b1) = tree.endpoints(w[0]);
+            let (a2, b2) = tree.endpoints(w[1]);
+            assert!(a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2);
+        }
+    }
+
+    #[test]
+    fn diameter_of_known_shapes() {
+        // Caterpillar on 6 leaves: the extreme leaves are 5 edges apart.
+        assert_eq!(diameter(&caterpillar(8, 6)), 5);
+        // Balanced quartet: every leaf pair is 2 or 3 edges apart.
+        let (_, trees) = crate::newick::parse_forest(["((A,B),(C,D));"]).unwrap();
+        assert_eq!(diameter(&trees[0]), 3);
+        let two = Tree::two_leaf(4, t(0), t(1));
+        assert_eq!(diameter(&two), 1);
+    }
+
+    #[test]
+    fn compatibility_detects_conflict() {
+        let cat = caterpillar(8, 5);
+        let mut q = Tree::three_leaf(8, t(0), t(2), t(1));
+        let l1 = q.leaf(t(1)).unwrap();
+        let e = q.adjacent_edges(l1)[0];
+        q.insert_leaf_on_edge(t(3), e); // (0,2)|(1,3) conflicts with caterpillar
+        assert!(!compatible(&cat, &q));
+        let consistent = restrict(&cat, &BitSet::from_iter(8, [0, 1, 3, 4]));
+        assert!(compatible(&cat, &consistent));
+    }
+}

@@ -1,0 +1,439 @@
+//! Presence–absence matrices (PAM) over species × loci.
+//!
+//! A PAM records, for each taxon and each locus, whether sequence data is
+//! available (`1`) or missing (`0`). Gentrius's second input mode takes a
+//! complete species tree plus a PAM and derives the constraint trees as the
+//! *induced* per-locus subtrees (paper §II-A).
+
+use crate::bitset::BitSet;
+use crate::ops::restrict;
+use crate::taxa::{TaxonId, TaxonSet};
+use crate::tree::Tree;
+use std::fmt;
+
+/// A binary presence–absence matrix: `loci` column sets over a fixed taxon
+/// universe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pam {
+    universe: usize,
+    /// `columns[l]` is the set of taxa with data for locus `l`.
+    columns: Vec<BitSet>,
+}
+
+/// Problems detected by [`Pam::validate_for_inference`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PamError {
+    /// A locus covers fewer than four taxa, so its induced tree carries no
+    /// topological constraint (the paper's instances use informative loci).
+    UninformativeLocus(usize),
+    /// Some taxon has no data in any locus — it could be attached anywhere,
+    /// making the stand trivially infinite-like (every position compatible).
+    UncoveredTaxon(usize),
+    /// The matrix has no loci at all.
+    Empty,
+}
+
+impl fmt::Display for PamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PamError::UninformativeLocus(l) => {
+                write!(f, "locus {l} covers fewer than 4 taxa")
+            }
+            PamError::UncoveredTaxon(t) => write!(f, "taxon {t} has no data in any locus"),
+            PamError::Empty => write!(f, "PAM has no loci"),
+        }
+    }
+}
+
+impl std::error::Error for PamError {}
+
+impl Pam {
+    /// Creates an all-absent PAM with `loci` columns over `universe` taxa.
+    pub fn new(universe: usize, loci: usize) -> Self {
+        Pam {
+            universe,
+            columns: vec![BitSet::new(universe); loci],
+        }
+    }
+
+    /// Builds a PAM from explicit per-locus taxon sets.
+    pub fn from_columns(universe: usize, columns: Vec<BitSet>) -> Self {
+        debug_assert!(columns.iter().all(|c| c.universe() == universe));
+        Pam { universe, columns }
+    }
+
+    /// The taxon universe size.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of loci (columns).
+    pub fn loci(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Marks taxon `t` present for locus `l`.
+    pub fn set(&mut self, t: TaxonId, l: usize, present: bool) {
+        if present {
+            self.columns[l].insert(t.index());
+        } else {
+            self.columns[l].remove(t.index());
+        }
+    }
+
+    /// True if taxon `t` has data for locus `l`.
+    pub fn get(&self, t: TaxonId, l: usize) -> bool {
+        self.columns[l].contains(t.index())
+    }
+
+    /// The taxon set of locus `l`.
+    pub fn column(&self, l: usize) -> &BitSet {
+        &self.columns[l]
+    }
+
+    /// Iterates the locus columns.
+    pub fn columns(&self) -> impl Iterator<Item = &BitSet> {
+        self.columns.iter()
+    }
+
+    /// Taxa covered by at least one locus.
+    pub fn covered_taxa(&self) -> BitSet {
+        let mut s = BitSet::new(self.universe);
+        for c in &self.columns {
+            s.union_with(c);
+        }
+        s
+    }
+
+    /// Taxa present in *every* locus (*comprehensive* taxa). SUPERB-based
+    /// tools require at least one; Gentrius does not (paper §I).
+    pub fn comprehensive_taxa(&self) -> BitSet {
+        let mut s = BitSet::full(self.universe);
+        for c in &self.columns {
+            s.intersect_with(c);
+        }
+        s
+    }
+
+    /// Fraction of `0` entries over the full matrix.
+    pub fn missing_fraction(&self) -> f64 {
+        if self.universe == 0 || self.columns.is_empty() {
+            return 0.0;
+        }
+        let present: usize = self.columns.iter().map(|c| c.count()).sum();
+        1.0 - present as f64 / (self.universe * self.columns.len()) as f64
+    }
+
+    /// Number of loci covering each taxon (indexed by taxon id).
+    pub fn taxon_coverage(&self) -> Vec<usize> {
+        let mut cov = vec![0usize; self.universe];
+        for c in &self.columns {
+            for t in c.iter() {
+                cov[t] += 1;
+            }
+        }
+        cov
+    }
+
+    /// True if the *locus overlap graph* — loci as vertices, an edge when
+    /// two loci share at least `min_shared` taxa — is connected.
+    ///
+    /// A disconnected overlap graph means whole groups of loci impose no
+    /// joint constraints, so the stand is (close to) a free product of the
+    /// components and typically astronomically large; the generators use
+    /// this as a structural sanity signal.
+    pub fn overlap_graph_connected(&self, min_shared: usize) -> bool {
+        let m = self.columns.len();
+        if m <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; m];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut reached = 1;
+        while let Some(i) = stack.pop() {
+            #[allow(clippy::needless_range_loop)] // index mirrors the locus id
+            for j in 0..m {
+                if !seen[j] && self.columns[i].intersection_count(&self.columns[j]) >= min_shared
+                {
+                    seen[j] = true;
+                    reached += 1;
+                    stack.push(j);
+                }
+            }
+        }
+        reached == m
+    }
+
+    /// Phylogenetic decisiveness test (Steel & Sanderson 2010): a coverage
+    /// pattern is *decisive for unrooted trees* iff every set of four taxa
+    /// is covered jointly by some locus. Decisiveness guarantees that the
+    /// per-locus induced subtrees determine **every** binary tree uniquely
+    /// — i.e. no stand ever has more than one tree, terraces cannot occur.
+    /// (The converse is not true instance-wise: a particular tree's stand
+    /// can be a singleton without the PAM being decisive.)
+    ///
+    /// Cost is `O(n⁴ · m/64)`; intended for the moderate matrices this
+    /// workspace generates.
+    pub fn is_decisive(&self) -> bool {
+        let n = self.universe;
+        if n < 4 {
+            return true;
+        }
+        // For each taxon, the set of loci containing it.
+        let m = self.columns.len();
+        let mut loci_of: Vec<BitSet> = vec![BitSet::new(m); n];
+        for (l, c) in self.columns.iter().enumerate() {
+            for t in c.iter() {
+                loci_of[t].insert(l);
+            }
+        }
+        for a in 0..n {
+            for b in a + 1..n {
+                let ab = loci_of[a].intersection(&loci_of[b]);
+                if ab.is_empty() {
+                    return false;
+                }
+                for c in b + 1..n {
+                    let abc = ab.intersection(&loci_of[c]);
+                    if abc.is_empty() {
+                        return false;
+                    }
+                    if loci_of[c + 1..n]
+                        .iter()
+                        .any(|ld| abc.is_disjoint(ld))
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks the matrix is usable for stand inference.
+    pub fn validate_for_inference(&self) -> Result<(), PamError> {
+        if self.columns.is_empty() {
+            return Err(PamError::Empty);
+        }
+        for (l, c) in self.columns.iter().enumerate() {
+            if c.count() < 4 {
+                return Err(PamError::UninformativeLocus(l));
+            }
+        }
+        let covered = self.covered_taxa();
+        for t in 0..self.universe {
+            if !covered.contains(t) {
+                return Err(PamError::UncoveredTaxon(t));
+            }
+        }
+        Ok(())
+    }
+
+    /// Derives the per-locus induced subtrees of a complete species tree:
+    /// `tree|column(l)` for each locus `l` (Gentrius input mode 2).
+    pub fn induced_subtrees(&self, tree: &Tree) -> Vec<Tree> {
+        self.columns.iter().map(|c| restrict(tree, c)).collect()
+    }
+
+    /// Renders the matrix in the simple text format used by the CLI and the
+    /// dataset files: one row per taxon, `0`/`1` per locus.
+    pub fn to_text(&self, taxa: &TaxonSet) -> String {
+        let mut s = String::new();
+        for (id, name) in taxa.iter() {
+            s.push_str(name);
+            s.push(' ');
+            for l in 0..self.loci() {
+                s.push(if self.get(id, l) { '1' } else { '0' });
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parses the text format produced by [`Pam::to_text`], interning taxa.
+    pub fn parse_text(input: &str, taxa: &mut TaxonSet) -> Result<Pam, String> {
+        let mut rows: Vec<(TaxonId, Vec<bool>)> = Vec::new();
+        let mut loci = None;
+        for (lineno, line) in input.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name, bits) = line
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| format!("line {}: expected '<taxon> <bits>'", lineno + 1))?;
+            let bits = bits.trim();
+            let row: Vec<bool> = bits
+                .chars()
+                .filter(|c| !c.is_whitespace())
+                .map(|c| match c {
+                    '0' => Ok(false),
+                    '1' => Ok(true),
+                    other => Err(format!("line {}: bad matrix char '{other}'", lineno + 1)),
+                })
+                .collect::<Result<_, _>>()?;
+            match loci {
+                None => loci = Some(row.len()),
+                Some(l) if l != row.len() => {
+                    return Err(format!(
+                        "line {}: row has {} loci, expected {l}",
+                        lineno + 1,
+                        row.len()
+                    ))
+                }
+                _ => {}
+            }
+            rows.push((taxa.intern(name), row));
+        }
+        let loci = loci.ok_or("empty PAM")?;
+        let mut pam = Pam::new(taxa.len(), loci);
+        for (t, row) in rows {
+            for (l, &b) in row.iter().enumerate() {
+                pam.set(t, l, b);
+            }
+        }
+        Ok(pam)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newick::parse_forest;
+    use crate::ops::displays;
+
+    #[test]
+    fn set_get_and_stats() {
+        let mut pam = Pam::new(4, 2);
+        pam.set(TaxonId(0), 0, true);
+        pam.set(TaxonId(1), 0, true);
+        pam.set(TaxonId(0), 1, true);
+        assert!(pam.get(TaxonId(0), 0));
+        assert!(!pam.get(TaxonId(2), 0));
+        assert_eq!(pam.covered_taxa().count(), 2);
+        assert_eq!(pam.comprehensive_taxa().count(), 1);
+        assert!((pam.missing_fraction() - (1.0 - 3.0 / 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        let mut pam = Pam::new(5, 1);
+        assert_eq!(
+            pam.validate_for_inference(),
+            Err(PamError::UninformativeLocus(0))
+        );
+        for t in 0..4 {
+            pam.set(TaxonId(t), 0, true);
+        }
+        assert_eq!(pam.validate_for_inference(), Err(PamError::UncoveredTaxon(4)));
+        pam.set(TaxonId(4), 0, true);
+        assert_eq!(pam.validate_for_inference(), Ok(()));
+        assert_eq!(Pam::new(3, 0).validate_for_inference(), Err(PamError::Empty));
+    }
+
+    #[test]
+    fn induced_subtrees_are_displayed() {
+        let (_taxa, trees) = parse_forest(["((A,B),((C,D),(E,F)));"]).unwrap();
+        let tree = &trees[0];
+        let mut pam = Pam::new(6, 2);
+        for t in [0, 1, 2, 3] {
+            pam.set(TaxonId(t), 0, true);
+        }
+        for t in [2, 3, 4, 5] {
+            pam.set(TaxonId(t), 1, true);
+        }
+        let subs = pam.induced_subtrees(tree);
+        assert_eq!(subs.len(), 2);
+        for s in &subs {
+            assert_eq!(s.leaf_count(), 4);
+            assert!(displays(tree, s));
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut taxa = TaxonSet::new();
+        // Build via parse to exercise interning.
+        let text = "A 101\nB 011\nC 110\nD 111\n";
+        let pam = Pam::parse_text(text, &mut taxa).unwrap();
+        assert_eq!(taxa.len(), 4);
+        assert_eq!(pam.loci(), 3);
+        assert!(pam.get(TaxonId(0), 0));
+        assert!(!pam.get(TaxonId(0), 1));
+        let out = pam.to_text(&taxa);
+        let mut taxa2 = TaxonSet::new();
+        let pam2 = Pam::parse_text(&out, &mut taxa2).unwrap();
+        assert_eq!(pam, pam2);
+    }
+
+    #[test]
+    fn coverage_counts() {
+        let mut pam = Pam::new(3, 2);
+        pam.set(TaxonId(0), 0, true);
+        pam.set(TaxonId(0), 1, true);
+        pam.set(TaxonId(1), 1, true);
+        assert_eq!(pam.taxon_coverage(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn overlap_graph_connectivity() {
+        // Loci {0,1,2} and {2,3,4} share taxon 2 → connected at
+        // min_shared=1, disconnected at min_shared=2.
+        let mut pam = Pam::new(6, 2);
+        for t in [0, 1, 2] {
+            pam.set(TaxonId(t), 0, true);
+        }
+        for t in [2, 3, 4] {
+            pam.set(TaxonId(t), 1, true);
+        }
+        assert!(pam.overlap_graph_connected(1));
+        assert!(!pam.overlap_graph_connected(2));
+        // Single-locus and empty matrices are trivially connected.
+        assert!(Pam::new(4, 1).overlap_graph_connected(1));
+        assert!(Pam::new(4, 0).overlap_graph_connected(1));
+        // Fully disjoint loci are disconnected.
+        let mut dis = Pam::new(8, 2);
+        for t in [0, 1, 2, 3] {
+            dis.set(TaxonId(t), 0, true);
+        }
+        for t in [4, 5, 6, 7] {
+            dis.set(TaxonId(t), 1, true);
+        }
+        assert!(!dis.overlap_graph_connected(1));
+    }
+
+    #[test]
+    fn decisiveness_small_cases() {
+        // A single all-covering locus is decisive.
+        let mut pam = Pam::new(5, 1);
+        for t in 0..5 {
+            pam.set(TaxonId(t), 0, true);
+        }
+        assert!(pam.is_decisive());
+        // Remove one taxon from the only locus: the quadruples through it
+        // are uncovered.
+        pam.set(TaxonId(4), 0, false);
+        assert!(!pam.is_decisive());
+        // Two loci overlapping in 3 taxa: quadruples mixing the private
+        // taxa of each locus are uncovered.
+        let mut two = Pam::new(6, 2);
+        for t in [0, 1, 2, 3] {
+            two.set(TaxonId(t), 0, true);
+        }
+        for t in [1, 2, 3, 4, 5] {
+            two.set(TaxonId(t), 1, true);
+        }
+        assert!(!two.is_decisive());
+        // Tiny universes are trivially decisive.
+        assert!(Pam::new(3, 0).is_decisive());
+    }
+
+    #[test]
+    fn parse_rejects_ragged_rows() {
+        let mut taxa = TaxonSet::new();
+        assert!(Pam::parse_text("A 10\nB 101\n", &mut taxa).is_err());
+        assert!(Pam::parse_text("A 1x\n", &mut taxa).is_err());
+        assert!(Pam::parse_text("", &mut taxa).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Tree-shape statistics: balance indices and cherry counts.
+//!
+//! Used to characterize generated trees (the empirical-like generator
+//! targets Yule-ish balance, the simulated one uniform "random" shapes)
+//! and as analysis output for stand studies. All statistics are computed
+//! on the unrooted tree rooted at a canonical edge, following the usual
+//! convention for unrooted balance comparisons.
+
+use crate::tree::{NodeId, Tree};
+
+/// Shape summary of a binary tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShapeStats {
+    /// Number of cherries: internal nodes adjacent to exactly two leaves
+    /// (root-independent, the unrooted convention).
+    pub cherries: usize,
+    /// Colless imbalance: sum over internal nodes of `|L - R|` where L, R
+    /// are the child-subtree leaf counts (rooted at the canonical edge).
+    pub colless: u64,
+    /// Sackin index: sum of leaf depths (rooted at the canonical edge).
+    pub sackin: u64,
+    /// Maximum leaf depth.
+    pub max_depth: usize,
+}
+
+/// Computes shape statistics for a binary unrooted tree with at least
+/// three leaves. Rooting: the tree is rooted on the pendant edge of the
+/// smallest-id taxon (deterministic, so comparisons are stable).
+pub fn shape_stats(tree: &Tree) -> Option<ShapeStats> {
+    if tree.leaf_count() < 3 || !tree.is_binary_unrooted() {
+        return None;
+    }
+    let root_leaf = tree.any_leaf()?;
+
+    // Iterative traversal from the smallest-taxon leaf (the canonical
+    // root); its single neighbour acts as the rooted tree's root node.
+    let mut cherries = 0usize;
+    let mut colless = 0u64;
+    let mut sackin = 0u64;
+    let mut max_depth = 0usize;
+
+    // leaves_below computed bottom-up; depth top-down via preorder.
+    let order = tree.preorder(root_leaf);
+    let mut depth = vec![0usize; tree.node_id_bound()];
+    let mut leaves_below = vec![0u64; tree.node_id_bound()];
+    for &(v, pe) in &order {
+        if let Some(pe) = pe {
+            let parent = tree.opposite(pe, v);
+            depth[v.index()] = depth[parent.index()] + 1;
+        }
+        if tree.taxon(v).is_some() && v != root_leaf {
+            // Depth convention: distance from the canonical root point
+            // (the start node), i.e. depth-1 relative to root_leaf.
+            let d = depth[v.index()] - 1;
+            sackin += d as u64;
+            max_depth = max_depth.max(d);
+        }
+    }
+    for &(v, pe) in order.iter().rev() {
+        if tree.taxon(v).is_some() {
+            leaves_below[v.index()] = 1;
+        }
+        if let Some(pe) = pe {
+            let parent = tree.opposite(pe, v);
+            leaves_below[parent.index()] += leaves_below[v.index()];
+        }
+    }
+    // Internal-node statistics. Colless uses the rooted view (children =
+    // neighbours one level deeper); cherries use the unrooted convention
+    // (internal node adjacent to exactly two leaves), which is
+    // root-independent.
+    for &(v, _) in &order {
+        if tree.taxon(v).is_some() {
+            continue;
+        }
+        let adjacent_leaves = tree
+            .adjacent_edges(v)
+            .iter()
+            .filter(|&&e| tree.taxon(tree.opposite(e, v)).is_some())
+            .count();
+        if adjacent_leaves == 2 {
+            cherries += 1;
+        }
+        let children: Vec<NodeId> = tree
+            .adjacent_edges(v)
+            .iter()
+            .map(|&e| tree.opposite(e, v))
+            .filter(|&c| depth[c.index()] == depth[v.index()] + 1)
+            .collect();
+        debug_assert_eq!(children.len(), 2, "binary rooted view");
+        let l = leaves_below[children[0].index()];
+        let r = leaves_below[children[1].index()];
+        colless += l.abs_diff(r);
+    }
+    Some(ShapeStats {
+        cherries,
+        colless,
+        sackin,
+        max_depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_tree_on_n, ShapeModel};
+    use crate::newick::parse_forest;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn balanced_quartet() {
+        let (_, t) = parse_forest(["((A,B),(C,D));"]).unwrap();
+        let s = shape_stats(&t[0]).unwrap();
+        assert_eq!(s.cherries, 2); // AB and CD
+        // Rooted at A's pendant: children of the A-side hub are leaf B and
+        // the CD cherry → Colless |1-2| + |1-1| = 1.
+        assert_eq!(s.colless, 1);
+        assert!(s.max_depth >= 1);
+    }
+
+    #[test]
+    fn caterpillar_is_maximally_imbalanced() {
+        let (_, t) = parse_forest(["(((((A,B),C),D),E),F);"]).unwrap();
+        let s = shape_stats(&t[0]).unwrap();
+        assert_eq!(s.cherries, 2); // the two ends of the caterpillar
+        // Caterpillar on n=6 rooted at A: Colless = sum_{k=2..n-2} (k-1).
+        let expect: u64 = (1..=3).sum();
+        assert_eq!(s.colless, expect);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (_, t) = parse_forest(["(A,(B,C));"]).unwrap();
+        assert!(shape_stats(&t[0]).is_some());
+        let (_, t2) = parse_forest(["(A,B);"]).unwrap();
+        assert!(shape_stats(&t2[0]).is_none());
+        let (_, t3) = parse_forest(["(A,B,C,D);"]).unwrap(); // star
+        assert!(shape_stats(&t3[0]).is_none());
+    }
+
+    #[test]
+    fn yule_is_more_balanced_than_uniform_on_average() {
+        let n = 64;
+        let trials = 40;
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let avg = |model: ShapeModel, rng: &mut ChaCha8Rng| -> f64 {
+            (0..trials)
+                .map(|_| shape_stats(&random_tree_on_n(n, model, rng)).unwrap().colless as f64)
+                .sum::<f64>()
+                / trials as f64
+        };
+        let uni = avg(ShapeModel::Uniform, &mut rng);
+        let yule = avg(ShapeModel::Yule, &mut rng);
+        assert!(
+            yule < uni,
+            "Yule should be more balanced: yule={yule:.1} uniform={uni:.1}"
+        );
+    }
+
+    #[test]
+    fn sackin_and_cherries_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..10 {
+            let t = random_tree_on_n(20, ShapeModel::Uniform, &mut rng);
+            let s = shape_stats(&t).unwrap();
+            // Cherries of an unrooted binary tree on n leaves: 2..=n/2.
+            assert!(s.cherries >= 2 && s.cherries <= 10);
+            // Sackin bounds for n leaves (rooted view on n-1 leaves + root).
+            assert!(s.sackin > 0);
+            assert!(s.max_depth >= 2);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Taxon identifiers and the shared taxon universe.
+//!
+//! Every dataset works over one fixed universe of taxon labels. Trees,
+//! presence–absence matrices and splits all refer to taxa by dense integer
+//! [`TaxonId`]s interned in a [`TaxonSet`], so hot code never touches
+//! strings.
+
+use crate::bitset::BitSet;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of a taxon within one [`TaxonSet`] universe.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaxonId(pub u32);
+
+impl TaxonId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TaxonId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An interner mapping taxon labels to dense [`TaxonId`]s.
+///
+/// The order of first insertion defines the id order; ids are stable for the
+/// lifetime of the set. All trees in one analysis must share one `TaxonSet`.
+#[derive(Clone, Debug, Default)]
+pub struct TaxonSet {
+    names: Vec<String>,
+    index: HashMap<String, TaxonId>,
+}
+
+impl TaxonSet {
+    /// Creates an empty taxon universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a universe with `n` synthetic labels `T0..T{n-1}`.
+    pub fn with_synthetic(n: usize) -> Self {
+        let mut s = Self::new();
+        for i in 0..n {
+            s.intern(&format!("T{i}"));
+        }
+        s
+    }
+
+    /// Returns the id for `name`, interning it if unseen.
+    pub fn intern(&mut self, name: &str) -> TaxonId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = TaxonId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing label without interning.
+    pub fn get(&self, name: &str) -> Option<TaxonId> {
+        self.index.get(name).copied()
+    }
+
+    /// The label of `id`. Panics if `id` is not from this universe.
+    pub fn name(&self, id: TaxonId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned taxa (the universe size for [`BitSet`]s).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no taxa have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, label)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaxonId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TaxonId(i as u32), n.as_str()))
+    }
+
+    /// An empty taxon subset over this universe.
+    pub fn empty_subset(&self) -> BitSet {
+        BitSet::new(self.len())
+    }
+
+    /// The full universe as a subset.
+    pub fn full_subset(&self) -> BitSet {
+        BitSet::full(self.len())
+    }
+
+    /// Builds a subset from taxon ids.
+    pub fn subset<I: IntoIterator<Item = TaxonId>>(&self, ids: I) -> BitSet {
+        BitSet::from_iter(self.len(), ids.into_iter().map(|t| t.index()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_dedups() {
+        let mut ts = TaxonSet::new();
+        let a = ts.intern("alpha");
+        let b = ts.intern("beta");
+        let a2 = ts.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.name(a), "alpha");
+        assert_eq!(ts.get("beta"), Some(b));
+        assert_eq!(ts.get("gamma"), None);
+    }
+
+    #[test]
+    fn synthetic_labels() {
+        let ts = TaxonSet::with_synthetic(3);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.name(TaxonId(0)), "T0");
+        assert_eq!(ts.name(TaxonId(2)), "T2");
+    }
+
+    #[test]
+    fn subsets() {
+        let ts = TaxonSet::with_synthetic(70);
+        let s = ts.subset([TaxonId(0), TaxonId(69)]);
+        assert!(s.contains(0));
+        assert!(s.contains(69));
+        assert_eq!(s.count(), 2);
+        assert_eq!(ts.full_subset().count(), 70);
+        assert!(ts.empty_subset().is_empty());
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut ts = TaxonSet::new();
+        ts.intern("x");
+        ts.intern("y");
+        let pairs: Vec<_> = ts.iter().map(|(i, n)| (i.0, n.to_string())).collect();
+        assert_eq!(pairs, vec![(0, "x".into()), (1, "y".into())]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Summary statistics for speedup distributions.
+//!
+//! Figures 6–8 of the paper are per-thread speedup distributions (violin
+//! plots with a dashed mean line). The bench harness renders them as text
+//! tables; this module provides the underlying five-number summaries.
+
+/// Five-number summary plus mean of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile (linear interpolation).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean (the dashed line in the paper's figures).
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `values`; returns `None` for empty input.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        let n = v.len();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        Some(Summary {
+            n,
+            min: v[0],
+            q1: quantile(&v, 0.25),
+            median: quantile(&v, 0.5),
+            q3: quantile(&v, 0.75),
+            max: v[n - 1],
+            mean,
+        })
+    }
+}
+
+/// Linear-interpolated quantile of a sorted sample.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={:<4} mean={:>6.2} min={:>6.2} q1={:>6.2} med={:>6.2} q3={:>6.2} max={:>6.2}",
+            self.n, self.mean, self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[2.0]).unwrap();
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn known_quartiles() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.n, 5);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = Summary::of(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Execution timelines: what each simulated worker did, when.
+//!
+//! The load-imbalance story of the paper (Fig. 3 and the whole §III
+//! design) is about *schedules*, not just totals. When tracing is enabled
+//! the simulator records one segment per executed task per worker; this
+//! module renders those as an ASCII Gantt chart and computes utilization.
+
+/// One executed task on one worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Tick at which the worker picked the task up.
+    pub start: u64,
+    /// Tick at which the worker went idle again (exclusive).
+    pub end: u64,
+    /// 0 for an initial-split chunk, then 1.. in queue order.
+    pub task: usize,
+}
+
+/// The segments of all workers, in worker order.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    /// Per-worker segments, in execution order.
+    pub workers: Vec<Vec<Segment>>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline for `n` workers.
+    pub fn new(n: usize) -> Self {
+        Timeline {
+            workers: vec![Vec::new(); n],
+        }
+    }
+
+    /// Busy ticks of worker `w` according to the recorded segments.
+    pub fn busy(&self, w: usize) -> u64 {
+        self.workers[w].iter().map(|s| s.end - s.start).sum()
+    }
+
+    /// Utilization of worker `w` over `[0, makespan)`.
+    pub fn utilization(&self, w: usize, makespan: u64) -> f64 {
+        if makespan == 0 {
+            return 0.0;
+        }
+        self.busy(w) as f64 / makespan as f64
+    }
+
+    /// Renders an ASCII Gantt chart `width` characters wide. Each row is a
+    /// worker; `#` marks busy ticks, `.` idle; `|` separates tasks when
+    /// the resolution allows.
+    pub fn render(&self, makespan: u64, width: usize) -> String {
+        let width = width.max(10);
+        let mut out = String::new();
+        let scale = makespan.max(1) as f64 / width as f64;
+        for (w, segs) in self.workers.iter().enumerate() {
+            let mut row = vec!['.'; width];
+            for s in segs {
+                let a = (s.start as f64 / scale) as usize;
+                let b = ((s.end as f64 / scale).ceil() as usize).min(width);
+                for cell in row.iter_mut().take(b).skip(a) {
+                    *cell = '#';
+                }
+                if a < width && s.task > 0 {
+                    row[a] = '|';
+                }
+            }
+            out.push_str(&format!(
+                "w{w:02} [{}] {:>5.1}%\n",
+                row.iter().collect::<String>(),
+                100.0 * self.utilization(w, makespan)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Timeline {
+        let mut t = Timeline::new(2);
+        t.workers[0].push(Segment {
+            start: 0,
+            end: 50,
+            task: 0,
+        });
+        t.workers[0].push(Segment {
+            start: 60,
+            end: 100,
+            task: 2,
+        });
+        t.workers[1].push(Segment {
+            start: 0,
+            end: 30,
+            task: 1,
+        });
+        t
+    }
+
+    #[test]
+    fn busy_and_utilization() {
+        let t = sample();
+        assert_eq!(t.busy(0), 90);
+        assert_eq!(t.busy(1), 30);
+        assert!((t.utilization(0, 100) - 0.9).abs() < 1e-12);
+        assert!((t.utilization(1, 100) - 0.3).abs() < 1e-12);
+        assert_eq!(t.utilization(0, 0), 0.0);
+    }
+
+    #[test]
+    fn render_shape() {
+        let t = sample();
+        let s = t.render(100, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("w00 ["));
+        assert!(lines[0].contains('#'));
+        assert!(lines[1].contains('.'));
+        assert!(lines[0].contains('%'));
+    }
+}

@@ -1,0 +1,123 @@
+//! Rooted cluster trees: the constraint representation SUPERB works on.
+//!
+//! SUPERB operates on *rooted* trees. An unrooted constraint tree that
+//! contains the comprehensive taxon `r` is rooted by deleting the `r` leaf
+//! and taking its attachment vertex as the root (a degree-2 vertex, i.e. a
+//! proper binary root). The resulting hierarchy is stored as nested
+//! clusters (leaf bitsets), which is all the counting recursion needs.
+
+use phylo::bitset::BitSet;
+use phylo::taxa::TaxonId;
+use phylo::tree::{NodeId, Tree};
+
+/// A node of a rooted constraint tree: its leaf cluster and children.
+/// Leaves have an empty `children` vector and a singleton cluster.
+#[derive(Clone, Debug)]
+pub struct RootedNode {
+    /// All taxa below (and including) this node.
+    pub leaves: BitSet,
+    /// Child nodes (empty for leaves; exactly two for internal nodes of a
+    /// binary constraint).
+    pub children: Vec<RootedNode>,
+}
+
+impl RootedNode {
+    /// Number of taxa below this node.
+    pub fn size(&self) -> usize {
+        self.leaves.count()
+    }
+
+    /// True if this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Depth-first count of all nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(|c| c.node_count()).sum::<usize>()
+    }
+}
+
+/// Roots the unrooted binary tree `tree` at taxon `root`: deletes the
+/// `root` leaf and returns the hierarchy hanging below its attachment
+/// vertex. Returns `None` if `root` is absent or the tree has fewer than
+/// three leaves (nothing informative remains after deletion).
+pub fn root_at(tree: &Tree, root: TaxonId) -> Option<RootedNode> {
+    let leaf = tree.leaf(root)?;
+    if tree.leaf_count() < 3 {
+        return None;
+    }
+    let pendant = tree.adjacent_edges(leaf)[0];
+    let top = tree.opposite(pendant, leaf);
+    Some(build(tree, top, leaf))
+}
+
+fn build(tree: &Tree, v: NodeId, parent: NodeId) -> RootedNode {
+    if let Some(t) = tree.taxon(v) {
+        return RootedNode {
+            leaves: BitSet::from_iter(tree.universe(), [t.index()]),
+            children: Vec::new(),
+        };
+    }
+    let mut children = Vec::new();
+    let mut leaves = BitSet::new(tree.universe());
+    for &e in tree.adjacent_edges(v) {
+        let w = tree.opposite(e, v);
+        if w == parent {
+            continue;
+        }
+        let child = build(tree, w, v);
+        leaves.union_with(&child.leaves);
+        children.push(child);
+    }
+    RootedNode { leaves, children }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::newick::parse_forest;
+
+    #[test]
+    fn rooting_removes_the_root_taxon() {
+        let (taxa, trees) = parse_forest(["((R,A),((B,C),D));"]).unwrap();
+        let r = taxa.get("R").unwrap();
+        let rooted = root_at(&trees[0], r).unwrap();
+        assert!(!rooted.leaves.contains(r.index()));
+        assert_eq!(rooted.size(), 4);
+        // Root children: {A} and {B,C,D}.
+        assert_eq!(rooted.children.len(), 2);
+        let mut sizes: Vec<usize> = rooted.children.iter().map(|c| c.size()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3]);
+    }
+
+    #[test]
+    fn hierarchy_is_binary() {
+        let (taxa, trees) = parse_forest(["((R,(A,B)),((C,D),(E,F)));"]).unwrap();
+        let rooted = root_at(&trees[0], taxa.get("R").unwrap()).unwrap();
+        fn check(n: &RootedNode) {
+            if !n.is_leaf() {
+                assert_eq!(n.children.len(), 2);
+                let sum: usize = n.children.iter().map(|c| c.size()).sum();
+                assert_eq!(sum, n.size());
+                for c in &n.children {
+                    assert!(c.leaves.is_subset(&n.leaves));
+                    check(c);
+                }
+            } else {
+                assert_eq!(n.size(), 1);
+            }
+        }
+        check(&rooted);
+        assert_eq!(rooted.node_count(), 2 * 6 - 1);
+    }
+
+    #[test]
+    fn missing_or_tiny_inputs() {
+        let (taxa, trees) = parse_forest(["((A,B),(C,D));", "(R,(A,B));"]).unwrap();
+        assert!(root_at(&trees[0], taxa.get("R").unwrap()).is_none());
+        let rooted = root_at(&trees[1], taxa.get("R").unwrap()).unwrap();
+        assert_eq!(rooted.size(), 2);
+    }
+}

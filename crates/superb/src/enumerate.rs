@@ -1,0 +1,244 @@
+//! SUPERB enumeration: generate the terrace trees, not just their count.
+//!
+//! The original SUPERB is an enumeration algorithm (its implementations
+//! print the supertrees); counting is the degenerate mode. Enumeration
+//! here returns each rooted tree as its *cluster set* — the canonical,
+//! order-free encoding — which converts directly to an unrooted
+//! [`phylo::Tree`] by re-attaching the comprehensive root taxon. The
+//! cross-validation tests compare these trees one-to-one with the stand
+//! Gentrius enumerates.
+
+use crate::cluster::RootedNode;
+use crate::count::{SuperbError, MAX_BLOCKS};
+use gentrius_core::StandProblem;
+use phylo::bitset::BitSet;
+use phylo::consensus::tree_from_splits;
+use phylo::split::Split;
+use phylo::tree::Tree;
+
+/// One enumerated rooted tree, as the set of its non-singleton proper
+/// clusters (the full leaf set excluded).
+pub type ClusterSet = Vec<BitSet>;
+
+/// Enumerates every rooted binary tree on `leaves` displaying all
+/// `constraints`, as cluster sets. `cap` bounds the number of trees
+/// produced (the count can be astronomically large; exceeding the cap is
+/// an error, not a truncation, so callers cannot mistake a partial result
+/// for the stand).
+pub fn enumerate_rooted(
+    leaves: &BitSet,
+    constraints: &[&RootedNode],
+    cap: usize,
+) -> Result<Vec<ClusterSet>, SuperbError> {
+    let out = enum_rec(leaves, constraints, cap)?;
+    Ok(out)
+}
+
+fn enum_rec(
+    leaves: &BitSet,
+    constraints: &[&RootedNode],
+    cap: usize,
+) -> Result<Vec<ClusterSet>, SuperbError> {
+    let k = leaves.count();
+    if k <= 2 {
+        return Ok(vec![Vec::new()]);
+    }
+    let active: Vec<&RootedNode> = constraints
+        .iter()
+        .copied()
+        .filter(|c| c.leaves.intersection_count(leaves) >= 3)
+        .collect();
+
+    // Blocks (same construction as the counter; kept simple here because
+    // enumeration is only run on small instances anyway).
+    let mut blocks: Vec<BitSet> = Vec::new();
+    {
+        use std::collections::HashMap;
+        let mut parent: HashMap<usize, usize> = leaves.iter().map(|t| (t, t)).collect();
+        fn find(parent: &mut HashMap<usize, usize>, x: usize) -> usize {
+            let p = parent[&x];
+            if p == x {
+                return x;
+            }
+            let root = find(parent, p);
+            parent.insert(x, root);
+            root
+        }
+        for c in &active {
+            for child in &c.children {
+                let mut members = child.leaves.iter();
+                if let Some(first) = members.next() {
+                    let fr = find(&mut parent, first);
+                    for m in members {
+                        let mr = find(&mut parent, m);
+                        parent.insert(mr, fr);
+                    }
+                }
+            }
+        }
+        let mut block_of: HashMap<usize, usize> = HashMap::new();
+        for t in leaves.iter() {
+            let r = find(&mut parent, t);
+            let idx = *block_of.entry(r).or_insert_with(|| {
+                blocks.push(BitSet::new(leaves.universe()));
+                blocks.len() - 1
+            });
+            blocks[idx].insert(t);
+        }
+    }
+    let p = blocks.len();
+    if p == 1 {
+        return Ok(Vec::new());
+    }
+    if p > MAX_BLOCKS {
+        return Err(SuperbError::TooManyBlocks(p));
+    }
+
+    let mut out: Vec<ClusterSet> = Vec::new();
+    for mask in 0..(1u64 << (p - 1)) {
+        let mut side_a = blocks[0].clone();
+        let mut side_b = BitSet::new(leaves.universe());
+        for (j, block) in blocks.iter().enumerate().skip(1) {
+            if mask >> (j - 1) & 1 == 1 {
+                side_a.union_with(block);
+            } else {
+                side_b.union_with(block);
+            }
+        }
+        if side_b.is_empty() {
+            continue;
+        }
+        let sub_a = enum_side(&side_a, &active, cap)?;
+        if sub_a.is_empty() {
+            continue;
+        }
+        let sub_b = enum_side(&side_b, &active, cap)?;
+        for ca in &sub_a {
+            for cb in &sub_b {
+                let mut clusters = Vec::with_capacity(ca.len() + cb.len() + 2);
+                if side_a.count() >= 2 {
+                    clusters.push(side_a.clone());
+                }
+                if side_b.count() >= 2 {
+                    clusters.push(side_b.clone());
+                }
+                clusters.extend(ca.iter().cloned());
+                clusters.extend(cb.iter().cloned());
+                out.push(clusters);
+                if out.len() > cap {
+                    return Err(SuperbError::Overflow);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn enum_side(
+    side: &BitSet,
+    active: &[&RootedNode],
+    cap: usize,
+) -> Result<Vec<ClusterSet>, SuperbError> {
+    let mut passed: Vec<&RootedNode> = Vec::new();
+    for c in active {
+        if c.leaves.is_subset(side) {
+            passed.push(c);
+            continue;
+        }
+        for child in &c.children {
+            if child.leaves.is_subset(side) {
+                passed.push(child);
+            }
+        }
+    }
+    enum_rec(side, &passed, cap)
+}
+
+/// Converts an enumerated rooted cluster set back to the unrooted stand
+/// tree on the problem's full taxon set: each cluster `C` becomes the
+/// split `C | (X \ C)` (the root taxon sits on the complement side), and
+/// the pendant structure is rebuilt from the splits.
+pub fn cluster_set_to_unrooted(problem: &StandProblem, clusters: &ClusterSet) -> Tree {
+    let taxa = problem.all_taxa();
+    let splits: Vec<Split> = clusters
+        .iter()
+        .filter(|c| c.count() >= 2 && c.count() + 2 <= taxa.count())
+        .map(|c| Split::canonical(c.clone(), taxa))
+        .collect();
+    tree_from_splits(taxa, &splits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::root_at;
+    use crate::count::count_rooted;
+    use crate::comprehensive_taxon;
+    use phylo::newick::parse_forest;
+
+    fn setup(newicks: &[&str]) -> (StandProblem, Vec<RootedNode>, BitSet) {
+        let (_, trees) = parse_forest(newicks.iter().copied()).unwrap();
+        let p = StandProblem::from_constraints(trees).unwrap();
+        let r = comprehensive_taxon(&p).unwrap();
+        let rooted: Vec<RootedNode> = p
+            .constraints()
+            .iter()
+            .filter_map(|t| root_at(t, r))
+            .collect();
+        let mut leaves = p.all_taxa().clone();
+        leaves.remove(r.index());
+        (p, rooted, leaves)
+    }
+
+    #[test]
+    fn enumeration_count_matches_counter() {
+        let (_, rooted, leaves) = setup(&["((R,A),(B,C));", "((R,B),(C,D));"]);
+        let refs: Vec<&RootedNode> = rooted.iter().collect();
+        let count = count_rooted(&leaves, &refs).unwrap();
+        let all = enumerate_rooted(&leaves, &refs, 100_000).unwrap();
+        assert_eq!(all.len() as u128, count);
+        // Cluster sets are pairwise distinct.
+        let mut keys: Vec<String> = all
+            .iter()
+            .map(|cs| {
+                let mut v: Vec<String> = cs.iter().map(|c| format!("{c:?}")).collect();
+                v.sort();
+                v.join("/")
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), all.len());
+    }
+
+    #[test]
+    fn unconstrained_enumeration_is_all_topologies() {
+        let leaves = BitSet::from_iter(6, 0..4);
+        let all = enumerate_rooted(&leaves, &[], 1000).unwrap();
+        assert_eq!(all.len(), 15); // rooted trees on 4 leaves
+    }
+
+    #[test]
+    fn converted_trees_display_all_constraints() {
+        let (p, rooted, leaves) = setup(&["((R,A),(B,C));", "((R,B),(C,D));"]);
+        let refs: Vec<&RootedNode> = rooted.iter().collect();
+        let all = enumerate_rooted(&leaves, &refs, 100_000).unwrap();
+        for cs in &all {
+            let t = cluster_set_to_unrooted(&p, cs);
+            t.validate().unwrap();
+            assert_eq!(t.leaf_count(), p.num_taxa());
+            for c in p.constraints() {
+                assert!(phylo::ops::displays(&t, c));
+            }
+        }
+    }
+
+    #[test]
+    fn cap_is_an_error_not_a_truncation() {
+        let leaves = BitSet::from_iter(10, 0..8);
+        assert!(matches!(
+            enumerate_rooted(&leaves, &[], 10),
+            Err(SuperbError::Overflow)
+        ));
+    }
+}

@@ -1,0 +1,192 @@
+//! # gentrius-superb — the SUPERB baseline
+//!
+//! The prior art the paper positions Gentrius against (§I): terrace
+//! counting via the SUPERB algorithm (Constantinescu & Sankoff 1995), as
+//! implemented by `terraphy` and the two C++ libraries of Biczok et al.
+//! SUPERB works on **rooted** trees, so these tools require the input to
+//! contain at least one *comprehensive taxon* — a taxon with data in every
+//! locus — to root consistently. Gentrius's contribution is removing that
+//! requirement; this crate exists to (a) reproduce the baseline's
+//! capability boundary and (b) cross-validate Gentrius stand *sizes*
+//! against an algorithmically independent counter.
+//!
+//! ```
+//! use gentrius_core::StandProblem;
+//! use gentrius_superb::superb_count;
+//! use phylo::newick::parse_forest;
+//!
+//! // Taxon R is comprehensive (in both loci).
+//! let (_, trees) = parse_forest(["((R,A),(B,C));", "((R,B),(C,D));"]).unwrap();
+//! let problem = StandProblem::from_constraints(trees).unwrap();
+//! let n = superb_count(&problem).unwrap();
+//! assert!(n >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod count;
+pub mod enumerate;
+
+pub use cluster::{root_at, RootedNode};
+pub use count::{count_rooted, num_rooted_topologies, SuperbError};
+pub use enumerate::{cluster_set_to_unrooted, enumerate_rooted, ClusterSet};
+
+use gentrius_core::StandProblem;
+use phylo::bitset::BitSet;
+use phylo::taxa::TaxonId;
+
+/// Errors of the top-level SUPERB entry point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SuperbInputError {
+    /// No taxon appears in every constraint tree — the SUPERB/terraphy
+    /// requirement the paper's §I describes; Gentrius does not need it.
+    NoComprehensiveTaxon,
+    /// Counting failed (overflow or block explosion).
+    Count(SuperbError),
+}
+
+impl std::fmt::Display for SuperbInputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuperbInputError::NoComprehensiveTaxon => {
+                write!(f, "no comprehensive taxon: SUPERB cannot root the input")
+            }
+            SuperbInputError::Count(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SuperbInputError {}
+
+/// A taxon present in every constraint tree, if any (smallest id wins).
+pub fn comprehensive_taxon(problem: &StandProblem) -> Option<TaxonId> {
+    let mut common = problem.constraints()[0].taxa().clone();
+    for c in &problem.constraints()[1..] {
+        common.intersect_with(c.taxa());
+    }
+    common.min_member().map(|t| TaxonId(t as u32))
+}
+
+/// Counts the stand with the SUPERB baseline.
+///
+/// Requires a comprehensive taxon `r`; the unrooted stand on `X` is in
+/// bijection with the rooted terrace on `X \ {r}` (re-attaching `r` at the
+/// root is the inverse), so the returned count equals the Gentrius stand
+/// size — which is exactly what the cross-validation tests assert.
+pub fn superb_count(problem: &StandProblem) -> Result<u128, SuperbInputError> {
+    let r = comprehensive_taxon(problem).ok_or(SuperbInputError::NoComprehensiveTaxon)?;
+    let rooted: Vec<RootedNode> = problem
+        .constraints()
+        .iter()
+        .filter_map(|t| root_at(t, r))
+        .collect();
+    let mut leaves: BitSet = problem.all_taxa().clone();
+    leaves.remove(r.index());
+    let refs: Vec<&RootedNode> = rooted.iter().collect();
+    count_rooted(&leaves, &refs).map_err(SuperbInputError::Count)
+}
+
+/// Enumerates the stand with the SUPERB baseline, returning unrooted
+/// trees on the problem's full taxon set (at most `cap`; exceeding the cap
+/// is an error). Requires a comprehensive taxon, like [`superb_count`].
+pub fn superb_enumerate(
+    problem: &StandProblem,
+    cap: usize,
+) -> Result<Vec<phylo::Tree>, SuperbInputError> {
+    let r = comprehensive_taxon(problem).ok_or(SuperbInputError::NoComprehensiveTaxon)?;
+    let rooted: Vec<RootedNode> = problem
+        .constraints()
+        .iter()
+        .filter_map(|t| root_at(t, r))
+        .collect();
+    let mut leaves: BitSet = problem.all_taxa().clone();
+    leaves.remove(r.index());
+    let refs: Vec<&RootedNode> = rooted.iter().collect();
+    let sets = enumerate_rooted(&leaves, &refs, cap).map_err(SuperbInputError::Count)?;
+    Ok(sets
+        .iter()
+        .map(|cs| cluster_set_to_unrooted(problem, cs))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gentrius_core::{CountOnly, GentriusConfig};
+    use phylo::newick::parse_forest;
+
+    fn problem(newicks: &[&str]) -> StandProblem {
+        let (_, trees) = parse_forest(newicks.iter().copied()).unwrap();
+        StandProblem::from_constraints(trees).unwrap()
+    }
+
+    #[test]
+    fn comprehensive_taxon_detection() {
+        let p = problem(&["((R,A),(B,C));", "((R,B),(C,D));"]);
+        assert_eq!(comprehensive_taxon(&p), Some(TaxonId(0))); // R
+        let q = problem(&["((A,B),(C,D));", "((E,F),(G,H));"]);
+        assert_eq!(comprehensive_taxon(&q), None);
+        assert_eq!(
+            superb_count(&q).unwrap_err(),
+            SuperbInputError::NoComprehensiveTaxon
+        );
+    }
+
+    #[test]
+    fn matches_gentrius_on_small_instances() {
+        for newicks in [
+            vec!["((R,A),(B,C));", "((R,B),(C,D));"],
+            vec!["((R,A),(B,C));", "((R,D),(E,A));"],
+            vec!["((R,A),(B,C));", "((R,B),(C,D));", "((R,C),(D,E));"],
+        ] {
+            let p = problem(&newicks);
+            let superb = superb_count(&p).unwrap();
+            let gentrius = gentrius_core::run_serial(
+                &p,
+                &GentriusConfig::exhaustive(),
+                &mut CountOnly,
+            )
+            .unwrap();
+            assert!(gentrius.complete());
+            assert_eq!(
+                superb,
+                gentrius.stats.stand_trees as u128,
+                "mismatch on {newicks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_oracle() {
+        let p = problem(&["((R,A),(B,C));", "((R,B),(C,D));"]);
+        let brute = gentrius_core::oracle::brute_force_count(&p);
+        assert_eq!(superb_count(&p).unwrap(), brute as u128);
+    }
+
+    #[test]
+    fn enumerate_matches_gentrius_stand_set() {
+        use gentrius_core::CollectNewick;
+        let (taxa, trees) =
+            parse_forest(["((R,A),(B,C));", "((R,B),(C,D));", "((R,C),(D,E));"]).unwrap();
+        let p = StandProblem::from_constraints(trees).unwrap();
+        let mut sink = CollectNewick::with_cap(&taxa, 1_000_000);
+        let r = gentrius_core::run_serial(&p, &GentriusConfig::exhaustive(), &mut sink).unwrap();
+        assert!(r.complete());
+        let mut gentrius_set = sink.out;
+        gentrius_set.sort();
+        let mut superb_set: Vec<String> = superb_enumerate(&p, 1_000_000)
+            .unwrap()
+            .iter()
+            .map(|t| phylo::newick::to_newick(t, &taxa))
+            .collect();
+        superb_set.sort();
+        assert_eq!(gentrius_set, superb_set);
+    }
+
+    #[test]
+    fn incompatible_rooted_inputs_count_zero() {
+        let p = problem(&["((R,A),(B,C));", "((R,B),(A,C));"]);
+        assert_eq!(superb_count(&p).unwrap(), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests of the SUPERB baseline against Gentrius and its own
+//! enumeration, on randomized comprehensive-taxon instances.
+
+use gentrius_core::{CountOnly, GentriusConfig, StandProblem, StoppingRules};
+use gentrius_superb::{enumerate_rooted, root_at, superb_count, RootedNode};
+use phylo::bitset::BitSet;
+use phylo::generate::{random_tree_on_n, ShapeModel};
+use phylo::ops::restrict;
+use phylo::taxa::TaxonId;
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A random problem where taxon 0 is comprehensive (in every constraint).
+fn comprehensive_problem(seed: u64) -> Option<StandProblem> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = rng.gen_range(7..=11);
+    let source = random_tree_on_n(n, ShapeModel::Uniform, &mut rng);
+    let m = rng.gen_range(2..=4);
+    let mut covered = BitSet::new(n);
+    covered.insert(0);
+    let mut cols = Vec::new();
+    for _ in 0..m {
+        let k = rng.gen_range(4..=n.min(7));
+        let mut s = BitSet::new(n);
+        s.insert(0); // comprehensive taxon
+        while s.count() < k {
+            s.insert(rng.gen_range(0..n));
+        }
+        covered.union_with(&s);
+        cols.push(s);
+    }
+    if covered.count() != n {
+        return None;
+    }
+    let constraints: Vec<_> = cols.iter().map(|c| restrict(&source, c)).collect();
+    StandProblem::from_constraints(constraints).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn count_always_matches_gentrius(seed in 0u64..100_000) {
+        let Some(p) = comprehensive_problem(seed) else { return Ok(()) };
+        let cfg = GentriusConfig {
+            stopping: StoppingRules::counts(200_000, 1_000_000),
+            ..GentriusConfig::default()
+        };
+        let g = gentrius_core::run_serial(&p, &cfg, &mut CountOnly).expect("run");
+        prop_assume!(g.complete());
+        let s = superb_count(&p).expect("comprehensive by construction");
+        prop_assert_eq!(s, g.stats.stand_trees as u128);
+    }
+
+    #[test]
+    fn enumeration_length_matches_count(seed in 0u64..100_000) {
+        let Some(p) = comprehensive_problem(seed) else { return Ok(()) };
+        let count = superb_count(&p).expect("comprehensive");
+        prop_assume!(count > 0 && count <= 5_000);
+        let r = TaxonId(0);
+        let rooted: Vec<RootedNode> = p
+            .constraints()
+            .iter()
+            .filter_map(|t| root_at(t, r))
+            .collect();
+        let mut leaves = p.all_taxa().clone();
+        leaves.remove(0);
+        let refs: Vec<&RootedNode> = rooted.iter().collect();
+        let all = enumerate_rooted(&leaves, &refs, 10_000).expect("within cap");
+        prop_assert_eq!(all.len() as u128, count);
+    }
+
+    #[test]
+    fn rooted_count_of_free_leafsets(k in 1usize..10) {
+        let leaves = BitSet::from_iter(16, 0..k);
+        let n = gentrius_superb::count_rooted(&leaves, &[]).expect("no overflow");
+        prop_assert_eq!(n, gentrius_superb::num_rooted_topologies(k).unwrap());
+    }
+}

@@ -1,0 +1,84 @@
+//! Gentrius vs the SUPERB prior art, side by side.
+//!
+//! ```text
+//! cargo run --release --example baseline_comparison
+//! ```
+//!
+//! The paper's §I story in one run: on datasets with a comprehensive taxon
+//! both algorithms agree exactly (two independent implementations is the
+//! strongest correctness evidence); on typical missing-data inputs SUPERB
+//! cannot even root, while Gentrius proceeds.
+
+use gentrius_core::{CountOnly, GentriusConfig, StoppingRules};
+use gentrius_datagen::{simulated_dataset, MissingPattern, SimulatedParams};
+use gentrius_superb::{comprehensive_taxon, superb_count, SuperbInputError};
+use phylo::generate::ShapeModel;
+
+fn main() {
+    let cfg = GentriusConfig {
+        stopping: StoppingRules::counts(500_000, 2_000_000),
+        ..GentriusConfig::default()
+    };
+
+    println!("comprehensive-core datasets (SUPERB can root):");
+    println!("{:<14} {:>6} {:>12} {:>12} {:>8}", "dataset", "taxa", "gentrius", "superb", "agree");
+    let core = SimulatedParams {
+        taxa: (10, 18),
+        loci: (3, 6),
+        missing: (0.3, 0.5),
+        pattern: MissingPattern::ComprehensiveCore,
+        shape: ShapeModel::Uniform,
+    };
+    let mut shown = 0;
+    for i in 0..40u64 {
+        if shown >= 6 {
+            break;
+        }
+        let d = simulated_dataset(&core, 7, i);
+        let Ok(p) = d.problem() else { continue };
+        let g = gentrius_core::run_serial(&p, &cfg, &mut CountOnly).expect("run");
+        if !g.complete() {
+            continue;
+        }
+        let Ok(s) = superb_count(&p) else { continue };
+        println!(
+            "{:<14} {:>6} {:>12} {:>12} {:>8}",
+            d.name,
+            d.num_taxa(),
+            g.stats.stand_trees,
+            s,
+            s == g.stats.stand_trees as u128
+        );
+        shown += 1;
+    }
+
+    println!();
+    println!("typical missing-data datasets (40-55% missing, uniform):");
+    let gen = SimulatedParams {
+        taxa: (12, 22),
+        loci: (4, 7),
+        missing: (0.4, 0.55),
+        pattern: MissingPattern::Uniform,
+        shape: ShapeModel::Uniform,
+    };
+    let mut cannot = 0;
+    let mut can = 0;
+    for i in 0..40u64 {
+        let d = simulated_dataset(&gen, 8, i);
+        let Ok(p) = d.problem() else { continue };
+        match comprehensive_taxon(&p) {
+            None => {
+                cannot += 1;
+                assert!(matches!(
+                    superb_count(&p),
+                    Err(SuperbInputError::NoComprehensiveTaxon)
+                ));
+            }
+            Some(_) => can += 1,
+        }
+    }
+    println!("  SUPERB cannot root {cannot} of {} datasets; Gentrius runs on all.", cannot + can);
+    println!();
+    println!("this is the paper's motivation: prior tools require a comprehensive");
+    println!("taxon to root the input; Gentrius operates directly on unrooted trees.");
+}

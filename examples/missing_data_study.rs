@@ -1,0 +1,52 @@
+//! Missing-data study: how stand size explodes with the proportion of
+//! missing data (§I: 68% of RAxML Grove datasets have missing data, 19%
+//! above 30% — exactly the regime where stands matter).
+//!
+//! ```text
+//! cargo run --release --example missing_data_study
+//! ```
+//!
+//! One fixed species tree; PAMs of increasing missingness; stand size,
+//! states and dead ends per level, with the paper-default stopping rules
+//! scaled down so the sweep finishes in seconds.
+
+use gentrius_core::{GentriusConfig, StoppingRules, Terrace};
+use gentrius_datagen::{sample_pam, MissingPattern};
+use phylo::generate::{random_tree_on_n, ShapeModel};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let n = 20;
+    let loci = 6;
+    let tree = random_tree_on_n(n, ShapeModel::Uniform, &mut ChaCha8Rng::seed_from_u64(7));
+    println!("fixed species tree on {n} taxa, {loci} loci");
+    println!();
+    println!(
+        "{:>8} {:>12} {:>14} {:>10} {:>10}",
+        "missing", "stand size", "intermediate", "dead ends", "status"
+    );
+
+    for pct in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1000 + (pct * 100.0) as u64);
+        let pam = sample_pam(n, loci, pct, MissingPattern::Uniform, &mut rng);
+        let terrace = Terrace::from_species_tree_and_pam(&tree, &pam).expect("valid");
+        let cfg = GentriusConfig {
+            stopping: StoppingRules::counts(1_000_000, 10_000_000),
+            ..GentriusConfig::default()
+        };
+        let r = terrace.count(&cfg).expect("run");
+        println!(
+            "{:>7.0}% {:>12} {:>14} {:>10} {:>10}",
+            100.0 * pam.missing_fraction(),
+            r.stats.stand_trees,
+            r.stats.intermediate_states,
+            r.stats.dead_ends,
+            if r.complete() { "complete" } else { "truncated" }
+        );
+    }
+    println!();
+    println!("low missingness pins every taxon: the stand is the tree itself.");
+    println!("as coverage thins, more insertion positions become admissible and");
+    println!("the stand grows — eventually past the stopping rules (rule 1/2).");
+}

@@ -1,0 +1,40 @@
+//! Quickstart: enumerate the stand of a small set of incomplete trees.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Two gene trees disagree about nothing but cover different taxa; the
+//! stand is every complete species tree consistent with both. This is the
+//! paper's input mode 1 (a set of unrooted incomplete constraint trees).
+
+use gentrius_core::{CollectNewick, GentriusConfig, Terrace};
+use phylo::newick::parse_forest;
+
+fn main() {
+    // Two partially-overlapping gene trees (locus 1 lacks E,F; locus 2
+    // lacks A,B).
+    let inputs = ["((A,B),(C,D));", "((C,D),(E,F));"];
+    let (taxa, trees) = parse_forest(inputs).expect("valid Newick");
+    println!("constraint trees:");
+    for s in &inputs {
+        println!("  {s}");
+    }
+
+    let terrace = Terrace::from_constraint_trees(trees).expect("valid constraints");
+    let mut sink = CollectNewick::with_cap(&taxa, 1000);
+    let result = terrace
+        .enumerate(&GentriusConfig::exhaustive(), &mut sink)
+        .expect("enumeration runs");
+
+    println!();
+    println!("stand size:          {}", result.stats.stand_trees);
+    println!("intermediate states: {}", result.stats.intermediate_states);
+    println!("dead ends:           {}", result.stats.dead_ends);
+    println!("complete:            {}", result.complete());
+    println!();
+    println!("stand trees:");
+    for t in &sink.out {
+        println!("  {t}");
+    }
+}

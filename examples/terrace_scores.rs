@@ -1,0 +1,97 @@
+//! The terrace, made visible: every stand tree has the same parsimony
+//! score on the supermatrix it came from.
+//!
+//! ```text
+//! cargo run --release --example terrace_scores
+//! ```
+//!
+//! Simulates sequences on a species tree, blanks species×locus blocks per
+//! a PAM, enumerates the stand of the species tree, and scores stand
+//! members plus random off-stand trees with partitioned Fitch parsimony —
+//! the paper's §I claim ("the trees from one stand have identical score"),
+//! demonstrated end to end.
+
+use gentrius_core::{CollectTrees, GentriusConfig, StoppingRules, Terrace};
+use gentrius_datagen::{sample_pam, MissingPattern};
+use gentrius_msa::{score, simulate_supermatrix, MissingMode, SimulateParams};
+use phylo::generate::{random_tree_on_n, ShapeModel};
+use phylo::split::topo_eq;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let n = 14;
+    let loci = 4;
+    let mut rng = ChaCha8Rng::seed_from_u64(20230614);
+    let species = random_tree_on_n(n, ShapeModel::Uniform, &mut rng);
+    let pam = sample_pam(n, loci, 0.4, MissingPattern::Uniform, &mut rng);
+    let matrix = simulate_supermatrix(
+        &species,
+        loci,
+        &SimulateParams {
+            sites_per_partition: 80,
+            mutation_prob: 0.1,
+        },
+        Some(&pam),
+        &mut rng,
+    );
+    println!(
+        "supermatrix: {n} taxa x {} sites, {loci} partitions, {:.1}% missing",
+        matrix.sites(),
+        100.0 * pam.missing_fraction()
+    );
+
+    let terrace = Terrace::from_species_tree_and_pam(&species, &pam).expect("valid");
+    let mut sink = CollectTrees::with_cap(2000);
+    let cfg = GentriusConfig {
+        stopping: StoppingRules::counts(2000, 500_000),
+        ..GentriusConfig::default()
+    };
+    let result = terrace.enumerate(&cfg, &mut sink).expect("run");
+    println!(
+        "stand: {} trees ({})",
+        result.stats.stand_trees,
+        if result.complete() { "complete" } else { "truncated" }
+    );
+
+    println!("\nper-partition parsimony scores of stand members:");
+    println!("{:<12} {:>30} {:>8}", "tree", "per-partition", "total");
+    for (i, t) in sink.trees.iter().take(6).enumerate() {
+        let s = score(t, &matrix, MissingMode::Restrict);
+        println!(
+            "stand #{:<4} {:>30} {:>8}",
+            i,
+            format!("{:?}", s.per_partition),
+            s.total()
+        );
+    }
+    let reference = score(&sink.trees[0], &matrix, MissingMode::Restrict);
+    let all_equal = sink
+        .trees
+        .iter()
+        .all(|t| score(t, &matrix, MissingMode::Restrict) == reference);
+    println!(
+        "\nall {} collected stand trees score identically: {all_equal}",
+        sink.trees.len()
+    );
+
+    println!("\nrandom trees off the stand, for contrast:");
+    let mut shown = 0;
+    while shown < 4 {
+        let cand = random_tree_on_n(n, ShapeModel::Uniform, &mut rng);
+        if sink.trees.iter().any(|t| topo_eq(t, &cand)) {
+            continue;
+        }
+        let s = score(&cand, &matrix, MissingMode::Restrict);
+        println!(
+            "random #{:<3} {:>30} {:>8}",
+            shown,
+            format!("{:?}", s.per_partition),
+            s.total()
+        );
+        shown += 1;
+    }
+    println!("\nidentical scores on the stand are why identifying it matters:");
+    println!("tree search cannot distinguish its members, and analyses must");
+    println!("treat the whole stand — not one member — as the result.");
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the gentrius-rs workspace.
+//!
+//! Re-exports the public APIs of the member crates so the examples and
+//! integration tests can use a single import root.
+
+pub use gentrius_core as core;
+pub use gentrius_datagen as datagen;
+pub use gentrius_parallel as parallel;
+pub use gentrius_sim as sim;
+pub use gentrius_msa as msa;
+pub use gentrius_superb as superb;
+pub use phylo;

@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) on the core invariants, spanning the
+//! phylo substrate and the Gentrius engines.
+
+use gentrius_core::{CollectNewick, GentriusConfig, StandProblem, StoppingRules};
+use phylo::bitset::BitSet;
+use phylo::generate::{random_tree_on_n, ShapeModel};
+use phylo::newick::{parse_newick, to_newick};
+use phylo::ops::{compatible, displays, restrict};
+use phylo::split::topo_eq;
+use phylo::taxa::TaxonSet;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A seeded random binary tree on `n` taxa.
+fn tree_strategy() -> impl Strategy<Value = (u64, usize)> {
+    (0u64..1_000_000, 4usize..24)
+}
+
+fn mk_tree(seed: u64, n: usize) -> phylo::Tree {
+    random_tree_on_n(n, ShapeModel::Uniform, &mut ChaCha8Rng::seed_from_u64(seed))
+}
+
+fn subset_strategy(n: usize) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(proptest::bool::ANY, n)
+}
+
+fn to_bitset(mask: &[bool]) -> BitSet {
+    BitSet::from_iter(
+        mask.len(),
+        mask.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn newick_roundtrip_preserves_topology((seed, n) in tree_strategy()) {
+        let tree = mk_tree(seed, n);
+        let taxa = TaxonSet::with_synthetic(n);
+        let s = to_newick(&tree, &taxa);
+        let back = parse_newick(&s, &taxa).expect("own output parses");
+        prop_assert!(topo_eq(&tree, &back), "roundtrip changed topology: {s}");
+        // Canonical form is a fixed point.
+        prop_assert_eq!(to_newick(&back, &taxa), s);
+    }
+
+    #[test]
+    fn restriction_is_displayed_and_idempotent(
+        (seed, n) in tree_strategy(),
+        mask in subset_strategy(24),
+    ) {
+        let tree = mk_tree(seed, n);
+        let keep = to_bitset(&mask[..n]);
+        let sub = restrict(&tree, &keep);
+        prop_assert!(displays(&tree, &sub) || sub.leaf_count() < 3);
+        let again = restrict(&sub, &keep);
+        prop_assert!(topo_eq(&sub, &again));
+    }
+
+    #[test]
+    fn restriction_commutes_with_intersection(
+        (seed, n) in tree_strategy(),
+        m1 in subset_strategy(24),
+        m2 in subset_strategy(24),
+    ) {
+        let tree = mk_tree(seed, n);
+        let s1 = to_bitset(&m1[..n]);
+        let s2 = to_bitset(&m2[..n]);
+        let lhs = restrict(&restrict(&tree, &s1), &s2);
+        let rhs = restrict(&tree, &s1.intersection(&s2));
+        prop_assert!(topo_eq(&lhs, &rhs));
+    }
+
+    #[test]
+    fn induced_subtrees_are_pairwise_compatible(
+        (seed, n) in tree_strategy(),
+        m1 in subset_strategy(24),
+        m2 in subset_strategy(24),
+    ) {
+        let tree = mk_tree(seed, n);
+        let a = restrict(&tree, &to_bitset(&m1[..n]));
+        let b = restrict(&tree, &to_bitset(&m2[..n]));
+        // Both are displayed by one tree, hence compatible by definition.
+        prop_assert!(compatible(&a, &b));
+    }
+
+    #[test]
+    fn insert_remove_restores_fingerprint((seed, n) in tree_strategy(), edge_pick in 0usize..64) {
+        // Tree over an (n+1)-taxon universe using only taxa 0..n, so taxon
+        // n is free to insert.
+        let small = mk_tree(seed, n.min(22));
+        let n = small.leaf_count();
+        let taxa = TaxonSet::with_synthetic(n + 1);
+        let s = to_newick(&small, &TaxonSet::with_synthetic(n));
+        let mut tree = parse_newick(&s, &taxa).expect("parse in larger universe");
+        let fp = tree.arena_fingerprint();
+        let edges: Vec<_> = tree.edges().collect();
+        let e = edges[edge_pick % edges.len()];
+        let ins = tree.insert_leaf_on_edge(phylo::TaxonId(n as u32), e);
+        prop_assert!(tree.is_binary_unrooted());
+        tree.remove_insertion(&ins);
+        prop_assert_eq!(tree.arena_fingerprint(), fp);
+    }
+
+    #[test]
+    fn decisive_pam_implies_singleton_stands(seed in 0u64..50_000) {
+        // Steel & Sanderson: if every taxon quadruple is covered by some
+        // locus, the induced subtrees determine any binary tree uniquely —
+        // every stand is a singleton. Use the leave-one-out design (locus
+        // l = all taxa except taxon l): no locus is comprehensive-free of
+        // structure, yet every quadruple avoids at least one dropped taxon,
+        // so the PAM is decisive with 1/n missing data.
+        use phylo::pam::Pam;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        let n = rng.gen_range(6..=10);
+        let tree = random_tree_on_n(n, ShapeModel::Uniform, &mut rng);
+        let mut pam = Pam::new(n, n);
+        for l in 0..n {
+            for t in 0..n {
+                pam.set(phylo::TaxonId(t as u32), l, t != l);
+            }
+        }
+        prop_assert!(pam.is_decisive());
+        prop_assert!(pam.missing_fraction() > 0.0);
+        // Negative control: keeping only the first four loci leaves the
+        // quadruples inside {0,1,2,3} uncovered (each of those loci drops
+        // one member of that quadruple), so decisiveness must fail.
+        let reduced = Pam::from_columns(
+            n,
+            (0..4).map(|l| pam.column(l).clone()).collect(),
+        );
+        prop_assert!(!reduced.is_decisive());
+        prop_assume!(pam.validate_for_inference().is_ok());
+        let problem = StandProblem::from_species_tree_and_pam(&tree, &pam).expect("valid");
+        let cfg = GentriusConfig {
+            stopping: StoppingRules::counts(10, 100_000),
+            ..GentriusConfig::default()
+        };
+        let r = gentrius_core::run_serial(&problem, &cfg, &mut gentrius_core::CountOnly)
+            .expect("run");
+        prop_assert!(r.complete());
+        prop_assert_eq!(r.stats.stand_trees, 1, "decisive PAM must pin the tree");
+    }
+
+    #[test]
+    fn every_enumerated_tree_displays_every_constraint(
+        seed in 0u64..100_000,
+    ) {
+        // Random source tree on 9 taxa, three overlapping windows.
+        let n = 9;
+        let tree = mk_tree(seed, n);
+        let taxa = TaxonSet::with_synthetic(n);
+        let windows = [
+            BitSet::from_iter(n, 0..5),
+            BitSet::from_iter(n, 3..8),
+            BitSet::from_iter(n, [0usize, 6, 7, 8].into_iter()),
+        ];
+        let constraints: Vec<_> = windows.iter().map(|w| restrict(&tree, w)).collect();
+        let problem = StandProblem::from_constraints(constraints.clone()).expect("valid");
+        let cfg = GentriusConfig {
+            stopping: StoppingRules::counts(20_000, 200_000),
+            ..GentriusConfig::default()
+        };
+        let mut sink = CollectNewick::with_cap(&taxa, 20_000);
+        let r = gentrius_core::run_serial(&problem, &cfg, &mut sink).expect("run");
+        for s in &sink.out {
+            let t = parse_newick(s, &taxa).expect("parse");
+            for c in &constraints {
+                prop_assert!(displays(&t, c), "{s} fails a constraint");
+            }
+        }
+        if r.complete() {
+            // The source tree must be among them.
+            let canon = to_newick(&tree, &taxa);
+            prop_assert!(sink.out.contains(&canon), "source tree missing");
+        }
+    }
+}

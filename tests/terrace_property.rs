@@ -1,0 +1,174 @@
+//! End-to-end verification of the paper's central premise (§I): "Under
+//! many common criteria the trees from one stand have identical score."
+//!
+//! Pipeline: simulate a species tree → simulate a partitioned supermatrix
+//! on it → blank cells per a random PAM → induce the per-locus constraint
+//! trees → enumerate the stand with Gentrius → score every stand tree with
+//! partitioned Fitch parsimony. Under the supermatrix convention
+//! (per-partition scores on the restricted tree) all stand trees must
+//! score identically — and trees *off* the stand generally do not.
+
+use gentrius_core::{CollectTrees, GentriusConfig, StoppingRules, Terrace};
+use gentrius_msa::{score, simulate_supermatrix, MissingMode, SimulateParams};
+use gentrius_datagen::{sample_pam, MissingPattern};
+use phylo::generate::{random_tree_on_n, ShapeModel};
+use phylo::split::topo_eq;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+struct Setup {
+    matrix: gentrius_msa::Supermatrix,
+    stand: Vec<phylo::Tree>,
+    complete: bool,
+}
+
+fn setup(seed: u64, n: usize, loci: usize, missing: f64) -> Option<Setup> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let species = random_tree_on_n(n, ShapeModel::Uniform, &mut rng);
+    let pam = sample_pam(n, loci, missing, MissingPattern::Uniform, &mut rng);
+    let matrix = simulate_supermatrix(&species, loci, &SimulateParams::default(), Some(&pam), &mut rng);
+    let terrace = Terrace::from_species_tree_and_pam(&species, &pam).ok()?;
+    let mut sink = CollectTrees::with_cap(3_000);
+    let cfg = GentriusConfig {
+        stopping: StoppingRules::counts(3_000, 200_000),
+        ..GentriusConfig::default()
+    };
+    let r = terrace.enumerate(&cfg, &mut sink).ok()?;
+    Some(Setup {
+        matrix,
+        stand: sink.trees,
+        complete: r.complete(),
+    })
+}
+
+#[test]
+fn all_stand_trees_have_identical_partitioned_parsimony_scores() {
+    let mut interesting = 0;
+    for seed in 0..20u64 {
+        let Some(s) = setup(seed, 12, 3, 0.4) else { continue };
+        if s.stand.len() < 2 {
+            continue;
+        }
+        let reference = score(&s.stand[0], &s.matrix, MissingMode::Restrict);
+        for t in &s.stand[1..] {
+            let sc = score(t, &s.matrix, MissingMode::Restrict);
+            assert_eq!(
+                sc, reference,
+                "seed {seed}: stand trees scored differently — terrace broken"
+            );
+        }
+        interesting += 1;
+    }
+    assert!(interesting >= 8, "only {interesting} multi-tree stands tested");
+}
+
+#[test]
+fn wildcard_and_restricted_scoring_are_equivalent() {
+    // For Fitch parsimony the wildcard policy provably equals the
+    // restricted-tree policy (wildcard state sets absorb in the fold):
+    // parsimony terraces are not an artifact of the restriction
+    // convention. Verify the equivalence across stands and random trees.
+    let mut rng = ChaCha8Rng::seed_from_u64(2025);
+    let mut checked = 0;
+    for seed in 0..12u64 {
+        let Some(s) = setup(seed, 12, 3, 0.45) else { continue };
+        for t in s.stand.iter().take(5) {
+            assert_eq!(
+                score(t, &s.matrix, MissingMode::Wildcard),
+                score(t, &s.matrix, MissingMode::Restrict),
+                "seed {seed}: policies diverged on a stand tree"
+            );
+            checked += 1;
+        }
+        let rand_tree = random_tree_on_n(12, ShapeModel::Uniform, &mut rng);
+        assert_eq!(
+            score(&rand_tree, &s.matrix, MissingMode::Wildcard),
+            score(&rand_tree, &s.matrix, MissingMode::Restrict),
+            "seed {seed}: policies diverged on a random tree"
+        );
+    }
+    assert!(checked >= 10, "only {checked} equivalences checked");
+}
+
+#[test]
+fn stand_trees_have_identical_partitioned_likelihoods_too() {
+    // The paper's primary criterion is ML; any scorer that is a function
+    // of T|Y_p is constant on the stand — check it for the JC69
+    // log-likelihood as well (up to floating-point association noise).
+    use gentrius_msa::log_likelihood;
+    let mut interesting = 0;
+    for seed in 0..14u64 {
+        let Some(s) = setup(seed, 12, 3, 0.4) else { continue };
+        if s.stand.len() < 2 {
+            continue;
+        }
+        let reference = log_likelihood(&s.stand[0], &s.matrix, 0.1, MissingMode::Restrict);
+        for t in s.stand.iter().skip(1).take(10) {
+            let ll = log_likelihood(t, &s.matrix, 0.1, MissingMode::Restrict);
+            for (a, b) in ll.iter().zip(&reference) {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "seed {seed}: likelihood terrace broken ({a} vs {b})"
+                );
+            }
+        }
+        interesting += 1;
+    }
+    assert!(interesting >= 6, "only {interesting} stands tested");
+}
+
+#[test]
+fn off_stand_trees_usually_score_differently() {
+    let mut rng = ChaCha8Rng::seed_from_u64(777);
+    let mut distinguished = 0;
+    let mut trials = 0;
+    for seed in 40..60u64 {
+        let Some(s) = setup(seed, 12, 3, 0.35) else { continue };
+        if !s.complete || s.stand.is_empty() {
+            continue;
+        }
+        let reference = score(&s.stand[0], &s.matrix, MissingMode::Restrict);
+        // A random tree not on the stand.
+        for _ in 0..5 {
+            let cand = random_tree_on_n(12, ShapeModel::Uniform, &mut rng);
+            if s.stand.iter().any(|t| topo_eq(t, &cand)) {
+                continue;
+            }
+            trials += 1;
+            if score(&cand, &s.matrix, MissingMode::Restrict) != reference {
+                distinguished += 1;
+            }
+        }
+    }
+    assert!(trials >= 20, "too few off-stand candidates ({trials})");
+    // Random trees almost always disagree with the data somewhere.
+    assert!(
+        distinguished * 10 >= trials * 8,
+        "only {distinguished}/{trials} off-stand trees distinguished"
+    );
+}
+
+#[test]
+fn stand_trees_score_at_least_as_well_as_random_trees() {
+    // The stand contains the generating tree's score class; on clean
+    // simulated data that class should be competitive.
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    let mut wins = 0;
+    let mut trials = 0;
+    for seed in 100..112u64 {
+        let Some(s) = setup(seed, 12, 3, 0.3) else { continue };
+        if s.stand.is_empty() {
+            continue;
+        }
+        let stand_total = score(&s.stand[0], &s.matrix, MissingMode::Restrict).total();
+        for _ in 0..4 {
+            let cand = random_tree_on_n(12, ShapeModel::Uniform, &mut rng);
+            trials += 1;
+            if stand_total <= score(&cand, &s.matrix, MissingMode::Restrict).total() {
+                wins += 1;
+            }
+        }
+    }
+    assert!(trials >= 16);
+    assert!(wins * 10 >= trials * 7, "stand won only {wins}/{trials}");
+}
