@@ -8,9 +8,7 @@
 //! wall-clock state throughput for both on several instances.
 
 use gentrius_bench::banner;
-use gentrius_core::{
-    CountOnly, GentriusConfig, MappingMode, StoppingRules,
-};
+use gentrius_core::{CountOnly, GentriusConfig, MappingMode, StoppingRules};
 use gentrius_datagen::scenario::{heuristics_showcase, long_runner};
 use gentrius_datagen::Dataset;
 

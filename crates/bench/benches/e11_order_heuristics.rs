@@ -33,8 +33,14 @@ fn main() {
 
     let heuristics: [(&str, TaxonOrderRule); 4] = [
         ("dynamic (paper)", TaxonOrderRule::Dynamic),
-        ("dynamic, constraint tie-break", TaxonOrderRule::DynamicByConstraints),
-        ("static most-constrained-first", TaxonOrderRule::MostConstrainedFirst),
+        (
+            "dynamic, constraint tie-break",
+            TaxonOrderRule::DynamicByConstraints,
+        ),
+        (
+            "static most-constrained-first",
+            TaxonOrderRule::MostConstrainedFirst,
+        ),
         ("static by id (floor)", TaxonOrderRule::ById),
     ];
 

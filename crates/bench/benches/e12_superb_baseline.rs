@@ -62,7 +62,11 @@ fn main() {
             Err(_) => continue,
         };
         let ts = t1.elapsed().as_secs_f64();
-        assert_eq!(s, g.stats.stand_trees as u128, "{}: counters disagree", d.name);
+        assert_eq!(
+            s, g.stats.stand_trees as u128,
+            "{}: counters disagree",
+            d.name
+        );
         println!(
             "{:<14} {:>6} {:>14} {:>14} {:>12.4} {:>12.4}",
             d.name,

@@ -39,8 +39,8 @@ fn main() {
         homo.makespan
     );
     println!(
-        "{:<26} {:>12} {:>12} {:>10}",
-        "configuration", "steal", "static", "gain"
+        "{:<26} {:>12} {:>12} {:>10} {:>8}",
+        "configuration", "steal", "static", "gain", "steals"
     );
     for (label, periods) in [
         ("1 worker at 1/2 speed", {
@@ -65,11 +65,12 @@ fn main() {
         let rt = run(Some(periods), false);
         assert_eq!(rs.stats, rt.stats);
         println!(
-            "{:<26} {:>12} {:>12} {:>9.2}x",
+            "{:<26} {:>12} {:>12} {:>9.2}x {:>8}",
             label,
             rs.makespan,
             rt.makespan,
-            rt.makespan as f64 / rs.makespan as f64
+            rt.makespan as f64 / rs.makespan as f64,
+            rs.steals.iter().sum::<u64>()
         );
     }
     println!("\ngain = static / stealing makespan. An ideal absorber would lose only");

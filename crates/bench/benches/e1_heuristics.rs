@@ -9,9 +9,7 @@
 //! unchanged.
 
 use gentrius_bench::banner;
-use gentrius_core::{
-    CountOnly, GentriusConfig, InitialTreeRule, StoppingRules, TaxonOrderRule,
-};
+use gentrius_core::{CountOnly, GentriusConfig, InitialTreeRule, StoppingRules, TaxonOrderRule};
 use gentrius_datagen::scenario::heuristics_showcase;
 
 fn main() {

@@ -56,7 +56,9 @@ fn main() {
 
     // Wall-clock cross-check with the real thread-pool engine at the
     // host's core count (speedups cap at the hardware parallelism).
-    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     println!("\nreal-thread cross-check at {hw} hardware threads (wall clock):");
     let runs = filter_pipeline(datasets.iter().cloned(), &config, 16, 10_000);
     println!(

@@ -103,12 +103,7 @@ fn main() {
         frac_with_missing: 0.9,
         frac_heavy_missing: 0.5,
     };
-    let emp_runs = collect_triggering(
-        |i| empirical_dataset(&emp_params, 64, i),
-        &config,
-        50,
-        400,
-    );
+    let emp_runs = collect_triggering(|i| empirical_dataset(&emp_params, 64, i), &config, 50, 400);
     print_distribution_table(
         &format!(
             "\nFig.8(b): {} empirical-like datasets triggering rules 1/2; \

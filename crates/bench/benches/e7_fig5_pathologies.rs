@@ -46,7 +46,10 @@ fn main() {
             plateau.num_loci(),
             serial.makespan
         );
-        println!("stand = {} trees (fully enumerated)\n", serial.stats.stand_trees);
+        println!(
+            "stand = {} trees (fully enumerated)\n",
+            serial.stats.stand_trees
+        );
         println!("{:>8} {:>9} {:>8}", "threads", "speedup", "stolen");
         for t in [1usize, 2, 4, 8, 12, 16, 32] {
             let r = ideal(t);

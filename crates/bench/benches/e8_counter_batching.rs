@@ -62,7 +62,9 @@ fn main() {
 
     // Wall-clock check with the real engine (2 hardware cores: the effect
     // is smaller because contention grows with the thread count).
-    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let dataset = long_runner(0);
     let problem = dataset.problem().expect("valid");
     let mut pc_b = ParallelConfig::with_threads(hw);

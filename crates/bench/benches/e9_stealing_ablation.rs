@@ -28,8 +28,8 @@ fn main() {
         .collect();
 
     println!(
-        "\n{:<14} {:>7} {:>11} {:>11} {:>8} {:>11} {:>11}",
-        "dataset", "threads", "steal", "static", "gain", "imb(steal)", "imb(static)"
+        "\n{:<14} {:>7} {:>11} {:>11} {:>8} {:>11} {:>11} {:>7}",
+        "dataset", "threads", "steal", "static", "gain", "imb(steal)", "imb(static)", "steals"
     );
     for d in &datasets {
         let Ok(problem) = d.problem() else { continue };
@@ -50,18 +50,49 @@ fn main() {
                 max / min.max(1.0)
             };
             println!(
-                "{:<14} {:>7} {:>11} {:>11} {:>7.2}x {:>11.1} {:>11.1}",
+                "{:<14} {:>7} {:>11} {:>11} {:>7.2}x {:>11.1} {:>11.1} {:>7}",
                 d.name,
                 threads,
                 rs.makespan,
                 rt.makespan,
                 rt.makespan as f64 / rs.makespan as f64,
                 imb(&rs),
-                imb(&rt)
+                imb(&rt),
+                rs.steals.iter().sum::<u64>()
             );
         }
     }
     println!();
     println!("gain = static makespan / stealing makespan (>1 means stealing wins).");
     println!("imb = busiest / least-busy worker, the load-balance measure of Fig. 3.");
+    println!("steals = tasks that moved between worker deques (victim-selection traffic).");
+
+    // The randomized victim-selection policy must not change the result
+    // set, and makespans should stay in a tight band across seeds. Exact
+    // equality only holds for complete enumerations — a limit-truncated
+    // run stops at a schedule-dependent point — so pick an instance that
+    // finishes within the bounds.
+    let sensitivity = datasets.iter().find_map(|d| {
+        let problem = d.problem().ok()?;
+        let r = simulate(&problem, &config, &SimConfig::with_threads(1)).ok()?;
+        r.complete().then_some((d, problem))
+    });
+    if let Some((d, problem)) = sensitivity {
+        println!("\nvictim-seed sensitivity ({}, 8 threads):", d.name);
+        let mut base_stats = None;
+        for seed in [0u64, 1, 7, 42] {
+            let mut sc = SimConfig::with_threads(8);
+            sc.victim_seed = seed;
+            let r = simulate(&problem, &config, &sc).expect("sim");
+            match &base_stats {
+                None => base_stats = Some(r.stats),
+                Some(b) => assert_eq!(&r.stats, b, "victim seed changed the result set"),
+            }
+            println!(
+                "  seed {seed:>5}: makespan {:>9}  steals {:>5}",
+                r.makespan,
+                r.steals.iter().sum::<u64>()
+            );
+        }
+    }
 }

@@ -7,12 +7,12 @@
 //! of states per second").
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gentrius_parallel::counters::{FlushThresholds, GlobalCounters, LocalCounters};
-use gentrius_parallel::pool::TaskPool;
-use gentrius_parallel::task::Task;
 use gentrius_core::mapping::attachment_map;
 use gentrius_core::{CountOnly, GentriusConfig, StoppingRules};
 use gentrius_datagen::scenario::heuristics_showcase;
+use gentrius_parallel::counters::{FlushThresholds, GlobalCounters, LocalCounters};
+use gentrius_parallel::pool::TaskPool;
+use gentrius_parallel::task::Task;
 use phylo::bitset::BitSet;
 use phylo::generate::{random_tree, random_tree_on_n, ShapeModel};
 use phylo::newick::{parse_newick, to_newick};
@@ -86,7 +86,9 @@ fn bench_state_throughput(c: &mut Criterion) {
         ..GentriusConfig::default()
     };
     let mut group = c.benchmark_group("gentrius");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("serial_20k_states", |b| {
         b.iter(|| {
             black_box(gentrius_core::run_serial(&problem, &cfg, &mut CountOnly).expect("run"))
@@ -96,17 +98,33 @@ fn bench_state_throughput(c: &mut Criterion) {
 }
 
 fn bench_parallel_primitives(c: &mut Criterion) {
-    // Task queue push+pop (the §III-A communication cost).
+    // Owner-side deque push+pop (the §III-A communication cost on the
+    // fast path: no lock, no syscall).
     c.bench_function("pool/push_pop", |b| {
-        let pool = TaskPool::new(64);
-        // A phantom active worker keeps the pool from declaring itself
+        let pool = TaskPool::new(1, 64);
+        let worker = pool.worker(0);
+        // A phantom in-flight task keeps the pool from declaring itself
         // drained between iterations (termination detection is one-shot).
         pool.preregister_active(1);
         let task = Task::at_split(TaxonId(0), vec![phylo::EdgeId(3), phylo::EdgeId(7)]);
         b.iter(|| {
-            pool.try_push(black_box(task.clone())).expect("room");
-            let t = pool.next_task().expect("just pushed");
-            pool.task_done();
+            worker.try_push(black_box(task.clone())).expect("room");
+            let t = worker.next_task().expect("just pushed");
+            worker.task_done();
+            black_box(t)
+        })
+    });
+    // Cross-worker steal (the FIFO end of the Chase–Lev deque).
+    c.bench_function("pool/push_steal", |b| {
+        let pool = TaskPool::new(2, 64);
+        let owner = pool.worker(0);
+        let thief = pool.worker(1);
+        pool.preregister_active(1);
+        let task = Task::at_split(TaxonId(0), vec![phylo::EdgeId(3), phylo::EdgeId(7)]);
+        b.iter(|| {
+            owner.try_push(black_box(task.clone())).expect("room");
+            let t = thief.next_task().expect("just pushed");
+            thief.task_done();
             black_box(t)
         })
     });

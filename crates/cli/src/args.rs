@@ -35,15 +35,24 @@ impl ParsedArgs {
             let a = &args[i];
             if let Some(name) = a.strip_prefix("--") {
                 if let Some((k, v)) = name.split_once('=') {
-                    out.flags.entry(k.to_string()).or_default().push(v.to_string());
+                    out.flags
+                        .entry(k.to_string())
+                        .or_default()
+                        .push(v.to_string());
                 } else if bool_flags.contains(&name) {
-                    out.flags.entry(name.to_string()).or_default().push(String::new());
+                    out.flags
+                        .entry(name.to_string())
+                        .or_default()
+                        .push(String::new());
                 } else {
                     i += 1;
                     let v = args
                         .get(i)
                         .ok_or_else(|| ArgError(format!("--{name} expects a value")))?;
-                    out.flags.entry(name.to_string()).or_default().push(v.clone());
+                    out.flags
+                        .entry(name.to_string())
+                        .or_default()
+                        .push(v.clone());
                 }
             } else {
                 out.positional.push(a.clone());
@@ -55,7 +64,10 @@ impl ParsedArgs {
 
     /// The last value of `flag`, if given.
     pub fn get(&self, flag: &str) -> Option<&str> {
-        self.flags.get(flag).and_then(|v| v.last()).map(|s| s.as_str())
+        self.flags
+            .get(flag)
+            .and_then(|v| v.last())
+            .map(|s| s.as_str())
     }
 
     /// True if the boolean `flag` was given.
@@ -64,11 +76,7 @@ impl ParsedArgs {
     }
 
     /// Parses the last value of `flag` as `T`, or returns `default`.
-    pub fn get_parsed<T: std::str::FromStr>(
-        &self,
-        flag: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
         match self.get(flag) {
             None => Ok(default),
             Some(v) => v

@@ -3,10 +3,12 @@
 
 use crate::args::ParsedArgs;
 use gentrius_core::{
-    CollectNewick, GentriusConfig, InitialTreeRule, MappingMode, StandProblem, StopCause,
-    StoppingRules, TaxonOrderRule,
+    canonical_stand_set, CollectNewick, GentriusConfig, InitialTreeRule, MappingMode, StandProblem,
+    StopCause, StoppingRules, TaxonOrderRule,
 };
-use gentrius_datagen::{empirical_dataset, simulated_dataset, Dataset, EmpiricalParams, SimulatedParams};
+use gentrius_datagen::{
+    empirical_dataset, simulated_dataset, Dataset, EmpiricalParams, SimulatedParams,
+};
 use gentrius_parallel::{run_parallel_with_sinks, ParallelConfig};
 use gentrius_sim::{simulate, SimConfig};
 use phylo::newick::{parse_forest, to_newick};
@@ -107,8 +109,7 @@ fn load_problem(a: &ParsedArgs) -> Result<(TaxonSet, StandProblem), CliError> {
         return Ok((d.taxa, p));
     }
     if let Some(path) = a.get("trees") {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+        let text = std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
         // NEXUS tree files are auto-detected by their header; anything
         // else is treated as one Newick per line.
         let (taxa, trees) = if text.trim_start().to_ascii_uppercase().starts_with("#NEXUS") {
@@ -121,21 +122,17 @@ fn load_problem(a: &ParsedArgs) -> Result<(TaxonSet, StandProblem), CliError> {
         return Ok((taxa, p));
     }
     if let (Some(sp), Some(pp)) = (a.get("species"), a.get("pam")) {
-        let sp_text =
-            std::fs::read_to_string(sp).map_err(|e| CliError(format!("{sp}: {e}")))?;
-        let pam_text =
-            std::fs::read_to_string(pp).map_err(|e| CliError(format!("{pp}: {e}")))?;
-        let (mut taxa, mut trees) = parse_forest(
-            sp_text.lines().take(1),
-        )
-        .map_err(|e| CliError(e.to_string()))?;
+        let sp_text = std::fs::read_to_string(sp).map_err(|e| CliError(format!("{sp}: {e}")))?;
+        let pam_text = std::fs::read_to_string(pp).map_err(|e| CliError(format!("{pp}: {e}")))?;
+        let (mut taxa, mut trees) =
+            parse_forest(sp_text.lines().take(1)).map_err(|e| CliError(e.to_string()))?;
         let pam = Pam::parse_text(&pam_text, &mut taxa)?;
         if trees[0].universe() != taxa.len() {
             // PAM introduced extra labels: re-parse the tree over the
             // enlarged universe.
             let line = sp_text.lines().next().unwrap_or_default();
-            trees[0] = phylo::newick::parse_newick(line, &taxa)
-                .map_err(|e| CliError(e.to_string()))?;
+            trees[0] =
+                phylo::newick::parse_newick(line, &taxa).map_err(|e| CliError(e.to_string()))?;
         }
         let p = StandProblem::from_species_tree_and_pam(&trees[0], &pam)
             .map_err(|e| CliError(e.to_string()))?;
@@ -209,24 +206,32 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     )
     .unwrap();
 
-    let (stats, stop, elapsed, mut newicks) = if threads <= 1 {
+    let (stats, stop, elapsed, mut newicks, sched) = if threads <= 1 {
         let mut sink = CollectNewick::with_cap(&taxa, cap);
         let r = problem_run_serial(&problem, &config, &mut sink)?;
-        (r.stats, r.stop, r.elapsed, sink.out)
+        (r.stats, r.stop, r.elapsed, sink.out, None)
     } else {
         let pcfg = ParallelConfig::with_threads(threads);
-        let (r, sinks) =
-            run_parallel_with_sinks(&problem, &config, &pcfg, |_| CollectNewick::with_cap(&taxa, cap))
-                .map_err(|e| CliError(e.to_string()))?;
-        let mut merged: Vec<String> = sinks.into_iter().flat_map(|s| s.out).collect();
-        merged.sort();
-        (r.stats, r.stop, r.elapsed, merged)
+        let (r, sinks) = run_parallel_with_sinks(&problem, &config, &pcfg, |_| {
+            CollectNewick::with_cap(&taxa, cap)
+        })
+        .map_err(|e| CliError(e.to_string()))?;
+        let merged = canonical_stand_set(sinks.into_iter().map(|s| s.out));
+        (r.stats, r.stop, r.elapsed, merged, Some(r.scheduler))
     };
 
     writeln!(out, "threads: {threads}").unwrap();
     writeln!(out, "stand trees: {}", stats.stand_trees).unwrap();
     writeln!(out, "intermediate states: {}", stats.intermediate_states).unwrap();
     writeln!(out, "dead ends: {}", stats.dead_ends).unwrap();
+    if let Some(s) = &sched {
+        writeln!(
+            out,
+            "scheduler: {} splits, {} steals ({} empty sweeps), {} parks, {} injected",
+            s.splits, s.steals, s.failed_steals, s.parks, s.injected
+        )
+        .unwrap();
+    }
     writeln!(out, "status: {}", stop_str(stop)).unwrap();
     writeln!(out, "time: {:.3}s", elapsed.as_secs_f64()).unwrap();
 
@@ -264,8 +269,7 @@ fn cmd_induced(a: &ParsedArgs) -> Result<String, CliError> {
         parse_forest(sp_text.lines().take(1)).map_err(|e| CliError(e.to_string()))?;
     let pam = Pam::parse_text(&pam_text, &mut taxa)?;
     let line = sp_text.lines().next().unwrap_or_default();
-    let species =
-        phylo::newick::parse_newick(line, &taxa).map_err(|e| CliError(e.to_string()))?;
+    let species = phylo::newick::parse_newick(line, &taxa).map_err(|e| CliError(e.to_string()))?;
     let mut out = String::new();
     for sub in pam.induced_subtrees(&species) {
         writeln!(out, "{}", to_newick(&sub, &taxa)).unwrap();
@@ -370,7 +374,13 @@ fn cmd_sim(a: &ParsedArgs) -> Result<String, CliError> {
         writeln!(
             out,
             "{:>7} {:>12} {:>10} {:>10} {:>8} {:>9.2} {:>7.2}",
-            t, r.makespan, r.stats.stand_trees, r.stats.intermediate_states, r.tasks_stolen, sp, asp
+            t,
+            r.makespan,
+            r.stats.stand_trees,
+            r.stats.intermediate_states,
+            r.tasks_stolen,
+            sp,
+            asp
         )
         .unwrap();
         if let Some(tl) = &r.timeline {
@@ -476,13 +486,15 @@ fn cmd_verify(a: &ParsedArgs) -> Result<String, CliError> {
     }
 
     let counters_ok = serial.stats == par.stats && serial.stats == sim.stats;
-    let mut serial_set = serial_sink.out;
-    serial_set.sort();
-    let mut par_set: Vec<String> = par_sinks.into_iter().flat_map(|s| s.out).collect();
-    par_set.sort();
+    let serial_set = canonical_stand_set([serial_sink.out]);
+    let par_set = canonical_stand_set(par_sinks.into_iter().map(|s| s.out));
     let stands_ok = serial_set == par_set;
     writeln!(out, "counters identical: {counters_ok}").unwrap();
-    writeln!(out, "stand sets identical (serial vs parallel): {stands_ok}").unwrap();
+    writeln!(
+        out,
+        "stand sets identical (serial vs parallel): {stands_ok}"
+    )
+    .unwrap();
 
     let mut oracle_ok = true;
     if problem.num_taxa() <= gentrius_core::oracle::MAX_BRUTE_FORCE_TAXA {
@@ -542,12 +554,9 @@ fn cmd_score(a: &ParsedArgs) -> Result<String, CliError> {
     else {
         return err("score requires --matrix FILE --partitions FILE --trees FILE");
     };
-    let matrix_text =
-        std::fs::read_to_string(mp).map_err(|e| CliError(format!("{mp}: {e}")))?;
-    let parts_text =
-        std::fs::read_to_string(pp).map_err(|e| CliError(format!("{pp}: {e}")))?;
-    let trees_text =
-        std::fs::read_to_string(tp).map_err(|e| CliError(format!("{tp}: {e}")))?;
+    let matrix_text = std::fs::read_to_string(mp).map_err(|e| CliError(format!("{mp}: {e}")))?;
+    let parts_text = std::fs::read_to_string(pp).map_err(|e| CliError(format!("{pp}: {e}")))?;
+    let trees_text = std::fs::read_to_string(tp).map_err(|e| CliError(format!("{tp}: {e}")))?;
     let mut taxa = TaxonSet::new();
     let matrix = gentrius_msa::Supermatrix::parse_phylip(&matrix_text, &parts_text, &mut taxa)?;
     let mut out = String::new();
@@ -594,9 +603,15 @@ fn cmd_score(a: &ParsedArgs) -> Result<String, CliError> {
             writeln!(out, "#{:<7} {:>40} {:>14.2}", i + 1, cells.join(" "), total).unwrap();
         } else {
             let s = gentrius_msa::score(&tree, &matrix, gentrius_msa::MissingMode::Restrict);
-            let cells: Vec<String> =
-                s.per_partition.iter().map(|x| x.to_string()).collect();
-            writeln!(out, "#{:<7} {:>40} {:>14}", i + 1, cells.join(" "), s.total()).unwrap();
+            let cells: Vec<String> = s.per_partition.iter().map(|x| x.to_string()).collect();
+            writeln!(
+                out,
+                "#{:<7} {:>40} {:>14}",
+                i + 1,
+                cells.join(" "),
+                s.total()
+            )
+            .unwrap();
         }
     }
     Ok(out)
@@ -712,18 +727,16 @@ mod tests {
 
     #[test]
     fn sim_prints_speedup_table() {
-        let p = write_tmp("simtab.nwk", "((A,B),(C,D));\n((A,E),(F,G));\n((C,F),(H,I));\n");
-        let out = run_strs(&[
-            "sim",
-            "--trees",
-            p.to_str().unwrap(),
-            "--threads",
-            "1,2,4",
-        ])
-        .unwrap();
+        let p = write_tmp(
+            "simtab.nwk",
+            "((A,B),(C,D));\n((A,E),(F,G));\n((C,F),(H,I));\n",
+        );
+        let out = run_strs(&["sim", "--trees", p.to_str().unwrap(), "--threads", "1,2,4"]).unwrap();
         assert!(out.contains("speedup"), "{out}");
         assert_eq!(
-            out.lines().filter(|l| l.trim().starts_with(char::is_numeric)).count(),
+            out.lines()
+                .filter(|l| l.trim().starts_with(char::is_numeric))
+                .count(),
             3
         );
     }
@@ -731,7 +744,14 @@ mod tests {
     #[test]
     fn consensus_subcommand_reports_supports() {
         let p = write_tmp("cons.nwk", "((A,B),(C,D));\n((C,D),(E,F));\n");
-        let out = run_strs(&["consensus", "--trees", p.to_str().unwrap(), "--min-support", "0.3"]).unwrap();
+        let out = run_strs(&[
+            "consensus",
+            "--trees",
+            p.to_str().unwrap(),
+            "--min-support",
+            "0.3",
+        ])
+        .unwrap();
         assert!(out.contains("strict consensus:"), "{out}");
         assert!(out.contains("majority consensus:"), "{out}");
         assert!(out.contains('%'), "{out}");
@@ -742,28 +762,38 @@ mod tests {
         let p = write_tmp("verify.nwk", "((A,B),(C,D));\n((C,D),(E,F));\n");
         let out = run_strs(&["verify", "--trees", p.to_str().unwrap()]).unwrap();
         assert!(out.contains("counters identical: true"), "{out}");
-        assert!(out.contains("brute-force ground truth identical: true"), "{out}");
+        assert!(
+            out.contains("brute-force ground truth identical: true"),
+            "{out}"
+        );
         assert!(out.contains("verdict: PASS"), "{out}");
     }
 
     #[test]
     fn score_subcommand_parsimony_and_likelihood() {
-        let m = write_tmp(
-            "sc.phy",
-            "4 6\nA AACCAA\nB AACCAC\nC CCAAGA\nD CCAAGC\n",
-        );
+        let m = write_tmp("sc.phy", "4 6\nA AACCAA\nB AACCAC\nC CCAAGA\nD CCAAGC\n");
         let parts = write_tmp("sc.part", "DNA, g1 = 1-3\nDNA, g2 = 4-6\n");
         let trees = write_tmp("sc.nwk", "((A,B),(C,D));\n((A,C),(B,D));\n");
         let out = run_strs(&[
-            "score", "--matrix", m.to_str().unwrap(), "--partitions",
-            parts.to_str().unwrap(), "--trees", trees.to_str().unwrap(),
+            "score",
+            "--matrix",
+            m.to_str().unwrap(),
+            "--partitions",
+            parts.to_str().unwrap(),
+            "--trees",
+            trees.to_str().unwrap(),
         ])
         .unwrap();
         assert!(out.contains("per-partition parsimony"), "{out}");
         assert_eq!(out.lines().filter(|l| l.starts_with('#')).count(), 2);
         let ll = run_strs(&[
-            "score", "--matrix", m.to_str().unwrap(), "--partitions",
-            parts.to_str().unwrap(), "--trees", trees.to_str().unwrap(),
+            "score",
+            "--matrix",
+            m.to_str().unwrap(),
+            "--partitions",
+            parts.to_str().unwrap(),
+            "--trees",
+            trees.to_str().unwrap(),
             "--likelihood",
         ])
         .unwrap();
@@ -777,7 +807,14 @@ mod tests {
         let dir = std::env::temp_dir().join("gentrius-cli-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let ds = dir.join("trap.dataset");
-        let msg = run_strs(&["gen", "--scenario", "trap", "--output", ds.to_str().unwrap()]).unwrap();
+        let msg = run_strs(&[
+            "gen",
+            "--scenario",
+            "trap",
+            "--output",
+            ds.to_str().unwrap(),
+        ])
+        .unwrap();
         assert!(msg.contains("wrote scenario"), "{msg}");
         assert!(run_strs(&["gen", "--scenario", "bogus"]).is_err());
     }
@@ -785,7 +822,15 @@ mod tests {
     #[test]
     fn sim_trace_prints_schedule() {
         let p = write_tmp("trace.nwk", "((A,B),(C,D));\n((A,E),(F,G));\n");
-        let out = run_strs(&["sim", "--trees", p.to_str().unwrap(), "--threads", "1,4", "--trace"]).unwrap();
+        let out = run_strs(&[
+            "sim",
+            "--trees",
+            p.to_str().unwrap(),
+            "--threads",
+            "1,4",
+            "--trace",
+        ])
+        .unwrap();
         assert!(out.contains("w00 ["), "{out}");
         assert!(out.contains('%'), "{out}");
     }

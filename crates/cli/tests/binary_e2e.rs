@@ -34,15 +34,27 @@ fn full_session() {
     // 1. Generate a dataset.
     let ds = tmp("session.dataset");
     let msg = run_ok(&[
-        "gen", "--kind", "sim", "--seed", "11", "--index", "2", "--output",
+        "gen",
+        "--kind",
+        "sim",
+        "--seed",
+        "11",
+        "--index",
+        "2",
+        "--output",
         ds.to_str().unwrap(),
     ]);
     assert!(msg.contains("wrote sim-data-2"), "{msg}");
 
     // 2. Serial stand enumeration with bounded rules.
     let serial = run_ok(&[
-        "stand", "--dataset", ds.to_str().unwrap(), "--max-trees", "200000",
-        "--max-states", "500000",
+        "stand",
+        "--dataset",
+        ds.to_str().unwrap(),
+        "--max-trees",
+        "200000",
+        "--max-states",
+        "500000",
     ]);
     let grab = |out: &str, key: &str| -> String {
         out.lines()
@@ -54,8 +66,15 @@ fn full_session() {
 
     // 3. Parallel run must report the same count.
     let par = run_ok(&[
-        "stand", "--dataset", ds.to_str().unwrap(), "--threads", "2",
-        "--max-trees", "200000", "--max-states", "500000",
+        "stand",
+        "--dataset",
+        ds.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--max-trees",
+        "200000",
+        "--max-states",
+        "500000",
     ]);
     assert_eq!(serial_trees, grab(&par, "stand trees:"));
 
@@ -63,8 +82,15 @@ fn full_session() {
     //    stand of a single complete tree is itself.
     let trees_out = tmp("stand.nwk");
     let _ = run_ok(&[
-        "stand", "--dataset", ds.to_str().unwrap(), "--max-trees", "200000",
-        "--max-states", "500000", "--output", trees_out.to_str().unwrap(),
+        "stand",
+        "--dataset",
+        ds.to_str().unwrap(),
+        "--max-trees",
+        "200000",
+        "--max-states",
+        "500000",
+        "--output",
+        trees_out.to_str().unwrap(),
     ]);
     let content = std::fs::read_to_string(&trees_out).expect("stand file");
     assert!(content.lines().filter(|l| l.ends_with(';')).count() >= 1);
@@ -81,7 +107,11 @@ fn full_session() {
 
     // 7. Virtual-time speedup table.
     let sim = run_ok(&[
-        "sim", "--trees", small.to_str().unwrap(), "--threads", "1,2,4",
+        "sim",
+        "--trees",
+        small.to_str().unwrap(),
+        "--threads",
+        "1,2,4",
     ]);
     assert!(sim.lines().count() >= 5, "{sim}");
 }
@@ -107,7 +137,11 @@ fn induced_pipes_into_stand() {
     std::fs::write(&sp, "((A,B),((C,D),(E,F)));\n").unwrap();
     std::fs::write(&pam, "A 11\nB 11\nC 11\nD 10\nE 01\nF 11\n").unwrap();
     let induced = run_ok(&[
-        "induced", "--species", sp.to_str().unwrap(), "--pam", pam.to_str().unwrap(),
+        "induced",
+        "--species",
+        sp.to_str().unwrap(),
+        "--pam",
+        pam.to_str().unwrap(),
     ]);
     let induced_file = tmp("induced.nwk");
     std::fs::write(&induced_file, &induced).unwrap();

@@ -5,8 +5,7 @@ use std::time::Duration;
 
 /// How the initial agile tree is chosen among the constraint trees
 /// (paper §II-B, first heuristic).
-#[derive(Clone, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub enum InitialTreeRule {
     /// The constraint tree sharing the largest total number of taxa with
     /// all remaining constraint trees (the paper's default heuristic).
@@ -17,13 +16,11 @@ pub enum InitialTreeRule {
     Index(usize),
 }
 
-
 /// How the next taxon to insert is selected (paper §II-B, second
 /// heuristic: *dynamic taxon insertion*; the paper's §V lists exploring
 /// further insertion-order heuristics as future work — the last two
 /// variants are that exploration, evaluated by the E11 bench).
-#[derive(Clone, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub enum TaxonOrderRule {
     /// At every state insert the remaining taxon with the fewest admissible
     /// branches (ties broken by smallest taxon id). The paper's default.
@@ -45,7 +42,6 @@ pub enum TaxonOrderRule {
     /// insertion refines the most mappings.
     DynamicByConstraints,
 }
-
 
 /// How per-constraint projections are maintained across insertions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]

@@ -184,7 +184,7 @@ mod tests {
         assert_eq!(r.initial_tree, 2);
         let r2 = run_serial(&p, &GentriusConfig::exhaustive(), &mut CountOnly).unwrap();
         assert_eq!(r2.initial_tree, 1); // MaxOverlap picks the hub tree
-        // Same stand size regardless of starting tree.
+                                        // Same stand size regardless of starting tree.
         assert_eq!(r.stats.stand_trees, r2.stats.stand_trees);
     }
 
@@ -192,7 +192,12 @@ mod tests {
     fn order_rules_same_count_different_effort() {
         // §II-B: disabling dynamic insertion preserves correctness but
         // typically visits more states / dead ends.
-        let p = problem(&["((A,B),(C,D));", "((A,B),(C,E));", "((B,C),(D,F));", "((A,E),(D,G));"]);
+        let p = problem(&[
+            "((A,B),(C,D));",
+            "((A,B),(C,E));",
+            "((B,C),(D,F));",
+            "((A,E),(D,G));",
+        ]);
         let dynamic = run_serial(&p, &GentriusConfig::exhaustive(), &mut CountOnly).unwrap();
         let by_id = run_serial(
             &p,
@@ -227,7 +232,12 @@ mod tests {
                 stopping: StoppingRules::unlimited(),
                 ..GentriusConfig::default()
             };
-            sizes.push(run_serial(&p, &cfg, &mut CountOnly).unwrap().stats.stand_trees);
+            sizes.push(
+                run_serial(&p, &cfg, &mut CountOnly)
+                    .unwrap()
+                    .stats
+                    .stand_trees,
+            );
         }
         assert!(sizes.windows(2).all(|w| w[0] == w[1]), "{sizes:?}");
     }

@@ -18,8 +18,8 @@
 //! *dead end* (the state is undone immediately); inserting the final taxon
 //! = one *stand tree* (not an intermediate state).
 
-use crate::state::{AppliedStep, SearchState};
 use crate::sink::StandSink;
+use crate::state::{AppliedStep, SearchState};
 use phylo::taxa::TaxonId;
 use phylo::tree::EdgeId;
 
@@ -168,7 +168,12 @@ impl<'p> Explorer<'p> {
     /// Replays a task: applies `path` (uncounted base insertions) from the
     /// current position, then installs a frame for `taxon` restricted to
     /// the given `branches` subset. Requires an idle explorer.
-    pub fn begin_task(&mut self, path: &[(TaxonId, EdgeId)], taxon: TaxonId, branches: Vec<EdgeId>) {
+    pub fn begin_task(
+        &mut self,
+        path: &[(TaxonId, EdgeId)],
+        taxon: TaxonId,
+        branches: Vec<EdgeId>,
+    ) {
         assert!(self.finished(), "begin_task on a busy explorer");
         assert!(self.base.is_empty(), "previous task base not unwound");
         for &(t, e) in path {

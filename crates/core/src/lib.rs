@@ -45,13 +45,13 @@ pub mod sink;
 pub mod state;
 pub mod stats;
 
+pub use analysis::{SplitSupportSink, StandSummary};
 pub use config::{
     GentriusConfig, InitialTreeRule, MappingMode, StopCause, StoppingRules, TaxonOrderRule,
 };
 pub use driver::{run_serial, RunResult};
 pub use problem::{ProblemError, StandProblem};
-pub use sink::{CollectNewick, CollectTrees, CountOnly, StandSink};
-pub use analysis::{SplitSupportSink, StandSummary};
+pub use sink::{canonical_stand_set, CollectNewick, CollectTrees, CountOnly, StandSink};
 pub use stats::RunStats;
 
 use phylo::pam::Pam;
@@ -158,7 +158,11 @@ mod tests {
         let (_, trees) = parse_forest(["((A,B),(C,D));", "((C,D),(E,F));"]).unwrap();
         let t = Terrace::from_constraint_trees(trees).unwrap();
         assert!(t.is_on_terrace().unwrap());
-        let full = t.count(&GentriusConfig::exhaustive()).unwrap().stats.stand_trees;
+        let full = t
+            .count(&GentriusConfig::exhaustive())
+            .unwrap()
+            .stats
+            .stand_trees;
         assert_eq!(t.stand_size_at_least(3).unwrap(), 3.min(full));
         assert_eq!(t.stand_size_at_least(u64::MAX).unwrap(), full);
 

@@ -144,12 +144,7 @@ mod tests {
 
     /// Reference implementation of admissibility by definition: insert `t`
     /// on edge `e` of `agile` and check `A'|(C∪{t}) = T|(C∪{t})`.
-    fn admissible_by_definition(
-        agile: &Tree,
-        constraint: &Tree,
-        t: TaxonId,
-        e: EdgeId,
-    ) -> bool {
+    fn admissible_by_definition(agile: &Tree, constraint: &Tree, t: TaxonId, e: EdgeId) -> bool {
         let mut a = agile.clone();
         a.insert_leaf_on_edge(t, e);
         let mut cu = agile.taxa().intersection(constraint.taxa());
@@ -158,12 +153,7 @@ mod tests {
     }
 
     /// Admissibility via the projection machinery.
-    fn admissible_by_projection(
-        agile: &Tree,
-        constraint: &Tree,
-        t: TaxonId,
-        e: EdgeId,
-    ) -> bool {
+    fn admissible_by_projection(agile: &Tree, constraint: &Tree, t: TaxonId, e: EdgeId) -> bool {
         let c = agile.taxa().intersection(constraint.taxa());
         let targets = missing_taxon_targets(constraint, &c);
         let Some(target) = &targets[t.index()] else {
@@ -176,8 +166,7 @@ mod tests {
     #[test]
     fn projection_matches_definition_small() {
         // Agile on {A,B,C,D}; constraint on {A,B,C,E}; insert E.
-        let (taxa, trees) =
-            parse_forest(["((A,B),(C,D));", "((A,B),(C,E));"]).unwrap();
+        let (taxa, trees) = parse_forest(["((A,B),(C,D));", "((A,B),(C,E));"]).unwrap();
         let agile = &trees[0];
         let cons = &trees[1];
         let e_id = taxa.get("E").unwrap();

@@ -100,7 +100,8 @@ mod tests {
     #[test]
     fn verify_helper_agrees() {
         let (taxa, p) = setup(&["((A,B),(C,D));", "((A,E),(F,G));"]);
-        let (gentrius, brute) = verify_against_brute_force(&p, &taxa, &GentriusConfig::exhaustive());
+        let (gentrius, brute) =
+            verify_against_brute_force(&p, &taxa, &GentriusConfig::exhaustive());
         assert_eq!(gentrius, brute);
     }
 

@@ -202,14 +202,13 @@ mod tests {
     fn max_overlap_picks_hub_tree() {
         // Middle tree shares taxa with both others; outer trees share only
         // with the middle one.
-        let (_, trees) = parse_forest([
-            "((A,B),(C,D));",
-            "((C,D),(E,F));",
-            "((E,F),(G,H));",
-        ])
-        .unwrap();
+        let (_, trees) =
+            parse_forest(["((A,B),(C,D));", "((C,D),(E,F));", "((E,F),(G,H));"]).unwrap();
         let p = StandProblem::from_constraints(trees).unwrap();
-        assert_eq!(p.initial_tree_index(&InitialTreeRule::MaxOverlap).unwrap(), 1);
+        assert_eq!(
+            p.initial_tree_index(&InitialTreeRule::MaxOverlap).unwrap(),
+            1
+        );
         assert_eq!(p.initial_tree_index(&InitialTreeRule::Index(2)).unwrap(), 2);
         assert!(p.initial_tree_index(&InitialTreeRule::Index(9)).is_err());
     }

@@ -85,6 +85,22 @@ impl<F: FnMut(&Tree)> StandSink for F {
     }
 }
 
+/// Merges per-worker canonical Newick collections into one sorted stand
+/// set. Parallel runs emit stand trees in a schedule-dependent order across
+/// workers; the §IV identity check ("the parallel version generates the
+/// same stand") only holds up to ordering, so comparisons must go through
+/// this canonical form. Duplicates are kept: the engine must not generate
+/// the same stand tree twice, and collapsing them here would hide that bug.
+pub fn canonical_stand_set<I>(parts: I) -> Vec<String>
+where
+    I: IntoIterator,
+    I::Item: IntoIterator<Item = String>,
+{
+    let mut all: Vec<String> = parts.into_iter().flatten().collect();
+    all.sort();
+    all
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +120,16 @@ mod tests {
         }
         assert_eq!(n.out.len(), 3);
         assert_eq!(n.out[0], "(T0,T1);");
+    }
+
+    #[test]
+    fn canonical_stand_set_sorts_and_keeps_duplicates() {
+        let merged = canonical_stand_set(vec![
+            vec!["(T2,T3);".to_string(), "(T0,T1);".to_string()],
+            vec!["(T0,T1);".to_string()],
+            vec![],
+        ]);
+        assert_eq!(merged, vec!["(T0,T1);", "(T0,T1);", "(T2,T3);"]);
     }
 
     #[test]

@@ -105,7 +105,10 @@ fn random_split_points_partition_the_work_exactly() {
         let mut thief_sink = CollectNewick::with_cap(&taxa, 1_000_000);
         let thief_work = drain(&mut thief, &mut thief_sink);
         thief.end_task();
-        assert_eq!(thief.remaining_taxa(), problem.num_taxa() - problem.constraints()[0].taxa().count());
+        assert_eq!(
+            thief.remaining_taxa(),
+            problem.num_taxa() - problem.constraints()[0].taxa().count()
+        );
 
         // Donor finishes the rest.
         let donor_rest = drain(&mut donor, &mut donor_sink);
@@ -154,7 +157,9 @@ fn nested_steals_still_partition_exactly() {
         if donor.finished() {
             continue;
         }
-        let Some(stolen1) = donor.split_top() else { continue };
+        let Some(stolen1) = donor.split_top() else {
+            continue;
+        };
         let path1 = donor.path_from_base();
         let taxon1 = donor.top().unwrap().taxon;
 
@@ -173,7 +178,10 @@ fn nested_steals_still_partition_exactly() {
                 let path2 = thief1.path_from_base();
                 let taxon2 = thief1.top().unwrap().taxon;
                 // path2 must extend path1 (it contains the replayed base).
-                assert!(path2.len() >= path1.len(), "seed {seed}: path did not compose");
+                assert!(
+                    path2.len() >= path1.len(),
+                    "seed {seed}: path did not compose"
+                );
                 assert_eq!(&path2[..path1.len()], &path1[..], "seed {seed}");
                 Some((path2, taxon2, stolen2))
             } else {

@@ -2,13 +2,15 @@
 //! `gentrius_datagen::scenario`. Run after changing the generators, the
 //! scenario seed or the search predicates, and update the constants.
 
-use gentrius_datagen::scenario::{
-    find_heuristics_showcase, find_trap_instance, SCENARIO_SEED,
-};
+use gentrius_datagen::scenario::{find_heuristics_showcase, find_trap_instance, SCENARIO_SEED};
 
 fn main() {
+    // Optional overrides: find_scenarios [budget] [min_asp]
+    let args: Vec<String> = std::env::args().collect();
+    let budget: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let min_asp: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2.2);
     println!("searching heuristics showcase (seed {SCENARIO_SEED})...");
-    match find_heuristics_showcase(SCENARIO_SEED, 0, 200, 100, 500) {
+    match find_heuristics_showcase(SCENARIO_SEED, 0, budget, 100, 500) {
         Some((i, d)) => println!(
             "  HEURISTICS_INDEX = {i}  ({}, {} taxa, {} loci)",
             d.name,
@@ -17,8 +19,8 @@ fn main() {
         ),
         None => println!("  not found in budget"),
     }
-    println!("searching trap instance (seed {SCENARIO_SEED})...");
-    match find_trap_instance(SCENARIO_SEED, 0, 50, 2.2) {
+    println!("searching trap instance (seed {SCENARIO_SEED}, min_asp {min_asp})...");
+    match find_trap_instance(SCENARIO_SEED, 0, budget, min_asp) {
         Some((i, d)) => println!(
             "  TRAP_INDEX = {i}  ({}, {} taxa, {} loci)",
             d.name,

@@ -2,9 +2,7 @@
 //! both §II-B heuristics visibly matter (states inflate when either is
 //! disabled), to pin `HEURISTICS_INDEX`.
 
-use gentrius_core::{
-    CountOnly, GentriusConfig, InitialTreeRule, StoppingRules, TaxonOrderRule,
-};
+use gentrius_core::{CountOnly, GentriusConfig, InitialTreeRule, StoppingRules, TaxonOrderRule};
 use gentrius_datagen::scenario::{scenario_params, SCENARIO_SEED};
 use gentrius_datagen::simulated_dataset;
 
@@ -16,18 +14,21 @@ fn main() {
     for i in start..start + budget {
         let d = simulated_dataset(&params, SCENARIO_SEED, i);
         let Ok(p) = d.problem() else { continue };
-        let run = |cfg: GentriusConfig| {
-            gentrius_core::run_serial(&p, &cfg, &mut CountOnly).unwrap()
-        };
+        let run =
+            |cfg: GentriusConfig| gentrius_core::run_serial(&p, &cfg, &mut CountOnly).unwrap();
         let both = run(GentriusConfig {
             stopping: StoppingRules::counts(300_000, 600_000),
             ..GentriusConfig::default()
         });
-        if !both.complete() || both.stats.stand_trees < 500 || both.stats.intermediate_states < 200 {
+        if !both.complete() || both.stats.stand_trees < 500 || both.stats.intermediate_states < 200
+        {
             continue;
         }
         let best = p.initial_tree_index(&InitialTreeRule::MaxOverlap).unwrap();
-        let other = (0..p.constraints().len()).rev().find(|&x| x != best).unwrap();
+        let other = (0..p.constraints().len())
+            .rev()
+            .find(|&x| x != best)
+            .unwrap();
         let noinit = run(GentriusConfig {
             initial_tree: InitialTreeRule::Index(other),
             stopping: StoppingRules::counts(300_000, 600_000),

@@ -46,18 +46,21 @@ fn main() {
     let sim_params = SimulatedParams::scaled();
     for i in 0..sim_count {
         let d = simulated_dataset(&sim_params, 61, i);
-        d.save(&dir.join(format!("{}.dataset", d.name))).expect("write");
+        d.save(&dir.join(format!("{}.dataset", d.name)))
+            .expect("write");
         describe(&d);
     }
     let emp_params = EmpiricalParams::scaled();
     for i in 0..emp_count {
         let d = empirical_dataset(&emp_params, 62, i);
-        d.save(&dir.join(format!("{}.dataset", d.name))).expect("write");
+        d.save(&dir.join(format!("{}.dataset", d.name)))
+            .expect("write");
         describe(&d);
     }
     for s in REGISTRY {
         let d = (s.build)();
-        d.save(&dir.join(format!("{}.dataset", d.name))).expect("write");
+        d.save(&dir.join(format!("{}.dataset", d.name)))
+            .expect("write");
         describe(&d);
     }
     std::fs::write(dir.join("MANIFEST"), manifest).expect("write manifest");

@@ -38,7 +38,10 @@ fn main() {
             let sp16 = s1.makespan as f64 / s16.makespan.max(1) as f64;
             println!(
                 "i={i:4} n={:3} m={} t1={:8} trees={:8} sp8={sp8:5.2} sp16={sp16:5.2}",
-                d.num_taxa(), d.num_loci(), s1.makespan, s1.stats.stand_trees
+                d.num_taxa(),
+                d.num_loci(),
+                s1.makespan,
+                s1.stats.stand_trees
             );
         }
     }

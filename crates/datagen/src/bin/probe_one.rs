@@ -20,7 +20,13 @@ fn main() {
         shape: ShapeModel::Uniform,
     };
     let d = simulated_dataset(&params, SCENARIO_SEED, index);
-    println!("{}: {} taxa, {} loci, {:.1}% missing", d.name, d.num_taxa(), d.num_loci(), 100.0*d.missing_fraction());
+    println!(
+        "{}: {} taxa, {} loci, {:.1}% missing",
+        d.name,
+        d.num_taxa(),
+        d.num_loci(),
+        100.0 * d.missing_fraction()
+    );
     let p = d.problem().unwrap();
     let cfg = GentriusConfig {
         stopping: StoppingRules::counts(max_trees, max_states),
@@ -38,6 +44,8 @@ fn main() {
             r.makespan, r.stats.stand_trees, r.stats.intermediate_states, r.stats.dead_ends,
             r.stop.map(|c| format!("{c:?}")).unwrap_or_else(|| "-".into())
         );
-        if serial.is_none() { serial = Some(r); }
+        if serial.is_none() {
+            serial = Some(r);
+        }
     }
 }

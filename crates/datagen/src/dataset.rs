@@ -43,7 +43,10 @@ impl Dataset {
 
     /// Fraction of missing entries in the PAM (0 when unknown).
     pub fn missing_fraction(&self) -> f64 {
-        self.pam.as_ref().map(|p| p.missing_fraction()).unwrap_or(0.0)
+        self.pam
+            .as_ref()
+            .map(|p| p.missing_fraction())
+            .unwrap_or(0.0)
     }
 
     /// Serializes to the simple multi-section text format used by the CLI:
@@ -110,8 +113,7 @@ impl Dataset {
             all.push(s);
         }
         all.extend(constraint_srcs.iter().map(|s| s.as_str()));
-        let (mut taxa, mut trees) =
-            parse_forest(all.iter().copied()).map_err(|e| e.to_string())?;
+        let (mut taxa, mut trees) = parse_forest(all.iter().copied()).map_err(|e| e.to_string())?;
         let species_tree = species_src.is_some().then(|| trees.remove(0));
 
         let pam = if pam_lines.is_empty() {
@@ -183,12 +185,8 @@ mod tests {
     use phylo::split::topo_eq;
 
     fn sample() -> Dataset {
-        let (taxa, mut trees) = parse_forest([
-            "((A,B),((C,D),(E,F)));",
-            "((A,B),(C,D));",
-            "((C,D),(E,F));",
-        ])
-        .unwrap();
+        let (taxa, mut trees) =
+            parse_forest(["((A,B),((C,D),(E,F)));", "((A,B),(C,D));", "((C,D),(E,F));"]).unwrap();
         let species = trees.remove(0);
         let mut pam = Pam::new(6, 2);
         for t in [0, 1, 2, 3] {

@@ -138,6 +138,9 @@ mod tests {
             .map(|i| empirical_dataset(&params, 4, i).num_taxa())
             .collect();
         let below_mid = sizes.iter().filter(|&&n| n < 20).count();
-        assert!(below_mid > 100, "log-uniform should skew small: {below_mid}/200");
+        assert!(
+            below_mid > 100,
+            "log-uniform should skew small: {below_mid}/200"
+        );
     }
 }

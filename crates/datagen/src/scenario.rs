@@ -86,11 +86,13 @@ pub fn heuristics_showcase() -> Dataset {
     simulated_dataset(&scenario_params(), SCENARIO_SEED, HEURISTICS_INDEX)
 }
 
-/// Pre-searched index for [`heuristics_showcase`] (probe: stand of 3,645
-/// trees; 528 states with both heuristics, 3,051 (5.8×) without the
-/// initial-tree rule, 7,428 (14.1×) with 3,078 dead ends without dynamic
-/// insertion — the paper's 1×/3.5×/12× shape).
-pub const HEURISTICS_INDEX: u64 = 317;
+/// Pre-searched index for [`heuristics_showcase`] (probe: stand of 8,385
+/// trees; 510 states with both heuristics, 5,337 (10.5×) without the
+/// initial-tree rule, 17,382 (34.1×) with 5,502 dead ends without dynamic
+/// insertion — the paper's both-heuristics-matter shape). Indices are tied
+/// to the workspace RNG stream (`shims/rand*`); re-pin with the
+/// `heur_scan`/`find_scenarios` tools if the stream changes.
+pub const HEURISTICS_INDEX: u64 = 26;
 
 /// Parameters of the trap search: clustered missingness produces the
 /// heterogeneous (desert/garden) branch-and-bound trees where the
@@ -114,10 +116,11 @@ pub fn trap_showcase() -> (Dataset, StoppingRules) {
     (d, trap_stopping())
 }
 
-/// Pre-searched index for [`trap_showcase`] (probe: at a 50k-state budget,
-/// adapted speedups of ~2.6x at 2 threads and ~19.6x at 16 simulated
-/// threads versus ~1.9x/10.4x classic).
-pub const TRAP_INDEX: u64 = 17;
+/// Pre-searched index for [`trap_showcase`] (probe: at a 50k-state budget
+/// the serial run stops early and the 2-thread adapted speedup exceeds
+/// 2.2× — the Fig. 5b distortion). Re-pin with `trap_scan` /
+/// `find_scenarios` if the workspace RNG stream changes.
+pub const TRAP_INDEX: u64 = 32;
 
 /// The reduced stopping rules used by the trap scenario (scaled version of
 /// the paper's 10M-state short analyses of §IV-D).
@@ -274,7 +277,7 @@ pub fn plateau_with_chunks(chunks: usize) -> Dataset {
 /// whose serial virtual cost exceeds ~150k ticks (probe via the
 /// `long_scan` maintenance tool). The first two complete under a 400k
 /// budget (Table II role); the rest have very large stands (Table I role).
-pub const LONG_RUNNER_INDICES: [u64; 6] = [9, 36, 4, 20, 42, 44];
+pub const LONG_RUNNER_INDICES: [u64; 6] = [15, 42, 9, 12, 17, 24];
 
 /// A deterministic "long runner" for the Table I / Table II roles: a large
 /// instance with a big stand. `index` selects into
@@ -315,7 +318,10 @@ mod tests {
         };
         let serial = simulate(&problem, &cfg, &SimConfig::with_threads(1)).unwrap();
         let par = simulate(&problem, &cfg, &SimConfig::with_threads(2)).unwrap();
-        assert!(!serial.complete(), "trap serial run must hit the state limit");
+        assert!(
+            !serial.complete(),
+            "trap serial run must hit the state limit"
+        );
         // Super-linear adapted speedup at 2 threads: parallel finds more
         // trees per tick than serial (Fig. 5b mechanism).
         let asp = par.adapted_speedup_vs(&serial);
@@ -340,7 +346,11 @@ mod tests {
         sc1.cost = gentrius_sim::CostModel::ideal();
         let s1 = simulate(&p, &cfg, &sc1).unwrap();
         assert!(s1.complete());
-        assert!(s1.makespan > 5_000, "plateau instance too small: {}", s1.makespan);
+        assert!(
+            s1.makespan > 5_000,
+            "plateau instance too small: {}",
+            s1.makespan
+        );
         let sp = |t: usize| {
             let mut sc = SimConfig::with_threads(t);
             sc.cost = gentrius_sim::CostModel::ideal();
@@ -352,7 +362,10 @@ mod tests {
         let sp16 = sp(16);
         // The workload has ~5 unstealable chunks: speedup saturates.
         assert!(sp8 <= 6.0, "no plateau: sp8={sp8:.2}");
-        assert!((sp16 - sp8).abs() < 1.0, "still scaling: sp8={sp8:.2} sp16={sp16:.2}");
+        assert!(
+            (sp16 - sp8).abs() < 1.0,
+            "still scaling: sp8={sp8:.2} sp16={sp16:.2}"
+        );
         assert!(sp8 >= 2.0, "plateau too low: sp8={sp8:.2}");
     }
 
@@ -376,9 +389,18 @@ mod tests {
         };
         let p5 = sp16(&d5);
         let p3 = sp16(&d3);
-        assert!(p3 < p5, "3-chunk plateau ({p3:.2}) must sit below 5-chunk ({p5:.2})");
-        assert!((2.0..=3.7).contains(&p3), "expected ~3x plateau, got {p3:.2}");
-        assert!((4.0..=5.8).contains(&p5), "expected ~5x plateau, got {p5:.2}");
+        assert!(
+            p3 < p5,
+            "3-chunk plateau ({p3:.2}) must sit below 5-chunk ({p5:.2})"
+        );
+        assert!(
+            (2.0..=3.7).contains(&p3),
+            "expected ~3x plateau, got {p3:.2}"
+        );
+        assert!(
+            (4.0..=5.8).contains(&p5),
+            "expected ~5x plateau, got {p5:.2}"
+        );
     }
 
     #[test]
@@ -405,7 +427,8 @@ pub struct NamedScenario {
 pub const REGISTRY: &[NamedScenario] = &[
     NamedScenario {
         key: "heuristics-showcase",
-        role: "emp-data-42370 role (SS II-B): both heuristics matter; 1x/5.8x/14.1x state inflation",
+        role:
+            "emp-data-42370 role (SS II-B): both heuristics matter; 1x/5.8x/14.1x state inflation",
         build: heuristics_showcase,
     },
     NamedScenario {

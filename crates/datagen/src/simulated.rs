@@ -288,7 +288,10 @@ mod tests {
             };
             let r = gentrius_core::run_serial(&p, &cfg, &mut sink).unwrap();
             if r.complete() {
-                assert!(found, "species tree missing from fully enumerated stand {i}");
+                assert!(
+                    found,
+                    "species tree missing from fully enumerated stand {i}"
+                );
             }
         }
     }

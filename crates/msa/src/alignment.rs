@@ -327,11 +327,7 @@ mod tests {
         let mut taxa = TaxonSet::new();
         assert!(Supermatrix::parse_phylip("", "DNA, a = 1-2", &mut taxa).is_err());
         assert!(Supermatrix::parse_phylip("1 3\nA ACG\n", "", &mut taxa).is_err());
-        assert!(
-            Supermatrix::parse_phylip("1 3\nA ACG\n", "DNA, a = 1-9", &mut taxa).is_err()
-        );
-        assert!(
-            Supermatrix::parse_phylip("1 3\nA ACZ\n", "DNA, a = 1-3", &mut taxa).is_err()
-        );
+        assert!(Supermatrix::parse_phylip("1 3\nA ACG\n", "DNA, a = 1-9", &mut taxa).is_err());
+        assert!(Supermatrix::parse_phylip("1 3\nA ACZ\n", "DNA, a = 1-3", &mut taxa).is_err());
     }
 }

@@ -85,7 +85,11 @@ pub fn site_log_likelihood(tree: &Tree, states: &[u8], branch_len: f64) -> f64 {
     // Close at the root leaf across its pendant edge.
     let pendant = tree.adjacent_edges(root)[0];
     let below = propagate(&partials[tree.opposite(pendant, root).index()], branch_len);
-    let rootp = leaf_partials(tree.taxon(root).map(|t| states[t.index()]).unwrap_or(MISSING));
+    let rootp = leaf_partials(
+        tree.taxon(root)
+            .map(|t| states[t.index()])
+            .unwrap_or(MISSING),
+    );
     let mut lik = 0.0;
     for b in 0..4 {
         lik += 0.25 * rootp[b] * below[b];
@@ -181,8 +185,7 @@ mod tests {
     #[test]
     fn concordant_site_likes_the_true_grouping() {
         // One forest → one shared taxon universe for both topologies.
-        let (taxa, trees) =
-            parse_forest(["((A,B),(C,D));", "((A,C),(B,D));"]).unwrap();
+        let (taxa, trees) = parse_forest(["((A,B),(C,D));", "((A,C),(B,D));"]).unwrap();
         let mut states = vec![MISSING; 4];
         states[taxa.get("A").unwrap().index()] = A;
         states[taxa.get("B").unwrap().index()] = A;
@@ -196,8 +199,16 @@ mod tests {
     #[test]
     fn partitioned_likelihood_shape() {
         let parts = vec![
-            Partition { name: "g1".into(), start: 0, end: 2 },
-            Partition { name: "g2".into(), start: 2, end: 4 },
+            Partition {
+                name: "g1".into(),
+                start: 0,
+                end: 2,
+            },
+            Partition {
+                name: "g2".into(),
+                start: 2,
+                end: 4,
+            },
         ];
         let mut m = Supermatrix::new(4, 4, parts);
         for (tx, seq) in [(0u32, "AACC"), (1, "AACC"), (2, "CCAA"), (3, "CCAA")] {

@@ -84,7 +84,12 @@ impl CompressedMatrix {
     /// Parsimony score of `tree` from the compressed patterns — identical
     /// to `fitch::score(tree, matrix, mode)` on the source matrix, faster
     /// when columns repeat.
-    pub fn parsimony(&self, tree: &Tree, matrix: &Supermatrix, mode: MissingMode) -> ParsimonyScore {
+    pub fn parsimony(
+        &self,
+        tree: &Tree,
+        matrix: &Supermatrix,
+        mode: MissingMode,
+    ) -> ParsimonyScore {
         let mut per_partition = Vec::with_capacity(self.partitions.len());
         for (p, pats) in self.partitions.iter().enumerate() {
             let taxa_p = matrix.partition_taxa(p);

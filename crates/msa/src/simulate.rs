@@ -35,7 +35,7 @@ impl Default for SimulateParams {
 const BASES: [u8; 4] = [A, C, G, T];
 
 fn random_base<R: Rng + ?Sized>(rng: &mut R) -> u8 {
-    BASES[rng.gen_range(0..4)]
+    BASES[rng.gen_range(0..BASES.len())]
 }
 
 fn mutate<R: Rng + ?Sized>(state: u8, rng: &mut R) -> u8 {
@@ -143,13 +143,7 @@ mod tests {
         for t in 0..5 {
             pam.set(TaxonId(t), 1, true);
         }
-        let m = simulate_supermatrix(
-            &tree,
-            2,
-            &SimulateParams::default(),
-            Some(&pam),
-            &mut rng,
-        );
+        let m = simulate_supermatrix(&tree, 2, &SimulateParams::default(), Some(&pam), &mut rng);
         assert_eq!(m.implied_pam(), pam);
     }
 
@@ -172,7 +166,10 @@ mod tests {
                 better += 1;
             }
         }
-        assert!(better <= 2, "{better} random trees beat the generating tree");
+        assert!(
+            better <= 2,
+            "{better} random trees beat the generating tree"
+        );
     }
 
     #[test]

@@ -292,11 +292,14 @@ mod tests {
         std::thread::scope(|s| {
             for _ in 0..4 {
                 s.spawn(|| {
-                    let mut l = LocalCounters::new(&g, FlushThresholds {
-                        stand_trees: 7,
-                        intermediate_states: 7,
-                        dead_ends: 7,
-                    });
+                    let mut l = LocalCounters::new(
+                        &g,
+                        FlushThresholds {
+                            stand_trees: 7,
+                            intermediate_states: 7,
+                            dead_ends: 7,
+                        },
+                    );
                     for _ in 0..1000 {
                         l.stand_tree();
                         l.intermediate_state();

@@ -4,7 +4,7 @@
 //! path-replay tasks thereafter.
 
 use crate::counters::{FlushThresholds, GlobalCounters, LocalCounters};
-use crate::pool::TaskPool;
+use crate::pool::{SchedulerCounts, TaskPool, WorkerHandle};
 use crate::task::{paper_queue_capacity, partition_branches, Task};
 use gentrius_core::config::{GentriusConfig, MappingMode, StopCause};
 use gentrius_core::explore::{Explorer, StepEvent};
@@ -24,12 +24,16 @@ pub struct ParallelConfig {
     pub threads: usize,
     /// Counter-flush batching (§III-B; `unbatched()` for the ablation).
     pub flush: FlushThresholds,
-    /// Task-queue capacity; `None` applies the paper rule
+    /// Per-worker deque capacity (the §III-A "split only when there is
+    /// room" gate); `None` applies the paper rule
     /// (`N_t + 1` if `N_t < 8`, else `N_t / 2`).
     pub queue_capacity: Option<usize>,
     /// Minimum remaining taxa for a thread to submit a task (§III-A: deep
     /// threads, with fewer than three taxa left, may not submit).
     pub min_remaining_for_split: usize,
+    /// Seed for the scheduler's randomized victim selection (varies the
+    /// steal order; results must be independent of it).
+    pub steal_seed: u64,
     /// Record per-worker task spans (wall-clock seconds since engine
     /// start) in the [`WorkerReport`]s.
     pub trace: bool,
@@ -43,6 +47,7 @@ impl ParallelConfig {
             flush: FlushThresholds::paper_defaults(),
             queue_capacity: None,
             min_remaining_for_split: 3,
+            steal_seed: 0,
             trace: false,
         }
     }
@@ -72,8 +77,55 @@ pub struct WorkerReport {
     pub tasks_executed: usize,
     /// Work counted by this worker.
     pub stats: RunStats,
+    /// Scheduler activity: steals, failed steal sweeps, parks, splits.
+    pub sched: SchedulerCounts,
     /// Wall-clock task spans (empty unless tracing was enabled).
     pub spans: Vec<TaskSpan>,
+}
+
+/// Aggregate scheduler diagnostics for one engine run: what the two-level
+/// scheduler (per-worker steal deques + global injector) actually did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Tasks taken from another worker's deque.
+    pub steals: u64,
+    /// Steal sweeps that came back empty-handed.
+    pub failed_steals: u64,
+    /// Times a worker parked on the idle condvar.
+    pub parks: u64,
+    /// Tasks split off and pushed onto worker deques.
+    pub splits: u64,
+    /// Initial-split chunks routed through the global injector.
+    pub injected: u64,
+    /// Per-worker breakdown, in thread order.
+    pub per_worker: Vec<SchedulerCounts>,
+}
+
+impl EngineReport {
+    /// Builds the aggregate from per-worker counts plus the injector tally.
+    fn from_counts(per_worker: Vec<SchedulerCounts>, injected: u64) -> Self {
+        let mut total = SchedulerCounts::default();
+        for w in &per_worker {
+            total.merge(w);
+        }
+        EngineReport {
+            steals: total.steals,
+            failed_steals: total.failed_steals,
+            parks: total.parks,
+            splits: total.splits,
+            injected,
+            per_worker,
+        }
+    }
+
+    /// An all-zero report for runs that never started the pool, sized for
+    /// `threads` workers.
+    fn empty(threads: usize) -> Self {
+        EngineReport {
+            per_worker: vec![SchedulerCounts::default(); threads],
+            ..EngineReport::default()
+        }
+    }
 }
 
 /// Outcome of a parallel run.
@@ -93,8 +145,10 @@ pub struct ParallelRunResult {
     pub initial_tree: usize,
     /// Counters accumulated by the serial prefix (root → `I_0`).
     pub prefix: RunStats,
-    /// Tasks submitted through the queue (excludes the initial chunks).
+    /// Tasks submitted through worker deques (excludes the initial chunks).
     pub stolen_tasks: usize,
+    /// Aggregate scheduler diagnostics (steal/park/split activity).
+    pub scheduler: EngineReport,
     /// Per-worker reports, in thread order.
     pub workers: Vec<WorkerReport>,
 }
@@ -133,8 +187,7 @@ where
     let initial = problem.initial_tree_index(&config.initial_tree)?;
     // Surface order-rule problems before any thread is spawned (workers
     // construct their states with expect()).
-    SearchState::new(problem, initial, &config.taxon_order)
-        .map_err(ProblemError::BadTaxonOrder)?;
+    SearchState::new(problem, initial, &config.taxon_order).map_err(ProblemError::BadTaxonOrder)?;
     let started = Instant::now();
 
     // Root invariant check (same as the serial driver).
@@ -152,6 +205,7 @@ where
                 initial_tree: initial,
                 prefix: RunStats::new(),
                 stolen_tasks: 0,
+                scheduler: EngineReport::empty(pcfg.threads),
                 workers: vec![WorkerReport::default(); pcfg.threads],
             },
             sinks,
@@ -197,6 +251,7 @@ where
                 initial_tree: initial,
                 prefix: prefix_stats,
                 stolen_tasks: 0,
+                scheduler: EngineReport::empty(pcfg.threads),
                 workers: vec![WorkerReport::default(); pcfg.threads],
             },
             sinks,
@@ -216,19 +271,21 @@ where
     drop(prefix_ex);
 
     let chunks = partition_branches(&split_branches, pcfg.threads);
-    let pool = TaskPool::new(pcfg.capacity());
-    pool.preregister_active(chunks.len());
+    let pool = TaskPool::with_seed(pcfg.threads, pcfg.capacity(), pcfg.steal_seed);
+    // The initial chunks go through the global injector: any worker may
+    // pick one up, surplus workers park until splits reach their deques.
+    for branches in chunks {
+        pool.inject(Task::at_split(split_taxon, branches));
+    }
 
     // ------------------------------------------------------------------
-    // Phase 3 — thread pool with work stealing.
+    // Phase 3 — thread pool with per-worker steal deques.
     // ------------------------------------------------------------------
-    let mut worker_sinks: Vec<Option<S>> = (0..pcfg.threads).map(|t| Some(make_sink(1 + t))).collect();
+    let mut worker_sinks: Vec<Option<S>> =
+        (0..pcfg.threads).map(|t| Some(make_sink(1 + t))).collect();
     let results: Vec<(WorkerReport, S)> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(pcfg.threads);
         for (tid, sink_slot) in worker_sinks.iter_mut().enumerate() {
-            let init_task = chunks
-                .get(tid)
-                .map(|b| Task::at_split(split_taxon, b.clone()));
             let sink = sink_slot.take().expect("sink prepared per worker");
             let pool = &pool;
             let global = &global;
@@ -241,8 +298,7 @@ where
                     pcfg,
                     initial,
                     prefix_path,
-                    init_task,
-                    pool,
+                    pool.worker(tid),
                     global,
                     sink,
                     started_at,
@@ -255,9 +311,11 @@ where
             .collect()
     });
 
+    let sched_counts = pool.scheduler_counts();
     let mut workers = Vec::with_capacity(pcfg.threads);
     sinks.push(prefix_sink);
-    for (report, sink) in results {
+    for (tid, (mut report, sink)) in results.into_iter().enumerate() {
+        report.sched = sched_counts[tid];
         workers.push(report);
         sinks.push(sink);
     }
@@ -271,6 +329,7 @@ where
             initial_tree: initial,
             prefix: prefix_stats,
             stolen_tasks: pool.total_submitted(),
+            scheduler: EngineReport::from_counts(sched_counts, pool.total_injected() as u64),
             workers,
         },
         sinks,
@@ -304,13 +363,14 @@ fn count_event(ev: StepEvent, local: &mut LocalCounters<'_>) {
 }
 
 /// Attempts to carve a task out of the explorer's current state and submit
-/// it (paper §III-A task-creation conditions: ≥2 pending branches, queue
-/// below capacity, enough remaining taxa to be worth stealing).
-fn maybe_submit(ex: &mut Explorer<'_>, pool: &TaskPool, min_remaining: usize) {
+/// it onto the calling worker's own deque (paper §III-A task-creation
+/// conditions: ≥2 pending branches, own deque below capacity, enough
+/// remaining taxa to be worth stealing).
+fn maybe_submit(ex: &mut Explorer<'_>, worker: &WorkerHandle<'_>, min_remaining: usize) {
     if ex.remaining_taxa() < min_remaining {
         return;
     }
-    if !pool.has_room_hint() {
+    if !worker.has_room_hint() {
         return;
     }
     if ex.top().map(|f| f.pending()).unwrap_or(0) < 2 {
@@ -324,8 +384,8 @@ fn maybe_submit(ex: &mut Explorer<'_>, pool: &TaskPool, min_remaining: usize) {
         taxon: ex.top().expect("split implies a frame").taxon,
         branches,
     };
-    if let Err(task) = pool.try_push(task) {
-        // Raced to a full queue: keep the branches ourselves.
+    if let Err(task) = worker.try_push(task) {
+        // Raced to a full deque (or a stopped pool): keep the branches.
         ex.unsplit_top(task.branches);
     }
 }
@@ -337,8 +397,7 @@ fn worker_loop<S: StandSink>(
     pcfg: &ParallelConfig,
     initial: usize,
     prefix_path: &[(TaxonId, EdgeId)],
-    init_task: Option<Task>,
-    pool: &TaskPool,
+    worker: WorkerHandle<'_>,
     global: &GlobalCounters,
     mut sink: S,
     started: Instant,
@@ -353,7 +412,7 @@ fn worker_loop<S: StandSink>(
             }
         }
     }
-    let _guard = PanicGuard(pool);
+    let _guard = PanicGuard(worker.pool());
 
     // Private copy of the search state, advanced to I_0 once; the anchor
     // steps stay applied for the whole worker lifetime.
@@ -366,24 +425,17 @@ fn worker_loop<S: StandSink>(
     let mut local = LocalCounters::new(global, pcfg.flush);
     let mut tasks_executed = 0usize;
     let mut spans: Vec<TaskSpan> = Vec::new();
-    let mut pending_initial = init_task;
 
-    loop {
-        let task = match pending_initial.take() {
-            // Initial chunks were pre-registered as active in the pool.
-            Some(t) => t,
-            None => match pool.next_task() {
-                Some(t) => t,
-                None => break,
-            },
-        };
+    // Initial chunks arrive through the pool's global injector; everything
+    // after that comes off this worker's own deque or is stolen.
+    while let Some(task) = worker.next_task() {
         tasks_executed += 1;
         let span_start = pcfg.trace.then(|| started.elapsed().as_secs_f64());
         let span_path_len = task.path.len();
         ex.begin_task(&task.path, task.taxon, task.branches);
         // The received frame itself may be splittable (Fig. 2b's group
-        // separation happens via the queue).
-        maybe_submit(&mut ex, pool, pcfg.min_remaining_for_split);
+        // separation happens via the scheduler).
+        maybe_submit(&mut ex, &worker, pcfg.min_remaining_for_split);
         loop {
             if global.stopped() {
                 break;
@@ -394,7 +446,7 @@ fn worker_loop<S: StandSink>(
             }
             count_event(ev, &mut local);
             if ev == StepEvent::Entered {
-                maybe_submit(&mut ex, pool, pcfg.min_remaining_for_split);
+                maybe_submit(&mut ex, &worker, pcfg.min_remaining_for_split);
             }
         }
         if let Some(start) = span_start {
@@ -407,12 +459,12 @@ fn worker_loop<S: StandSink>(
         if global.stopped() {
             ex.abort_frames();
             ex.end_task();
-            pool.task_done();
-            pool.shutdown();
+            worker.task_done();
+            worker.pool().shutdown();
             break;
         }
         ex.end_task();
-        pool.task_done();
+        worker.task_done();
     }
 
     let totals = local.totals();
@@ -421,6 +473,7 @@ fn worker_loop<S: StandSink>(
         WorkerReport {
             tasks_executed,
             stats: totals,
+            sched: SchedulerCounts::default(), // filled in by the engine
             spans,
         },
         sink,
@@ -448,8 +501,8 @@ mod tests {
         let p = problem(&["((A,B),(C,D));", "((A,E),(F,G));", "((C,F),(H,I));"]);
         let serial = run_serial(&p, &exhaustive(), &mut CountOnly).unwrap();
         for threads in [1, 2, 3, 4] {
-            let r = run_parallel(&p, &exhaustive(), &ParallelConfig::with_threads(threads))
-                .unwrap();
+            let r =
+                run_parallel(&p, &exhaustive(), &ParallelConfig::with_threads(threads)).unwrap();
             assert!(r.complete());
             assert_eq!(r.stats, serial.stats, "threads={threads}");
         }

@@ -7,17 +7,37 @@
 //!   (the first state whose next taxon has two or more admissible
 //!   branches), whose branch set is divided among threads as uniformly as
 //!   possible;
-//! * **work stealing** via a bounded task queue: working threads carve off
-//!   half of the current state's admissible branches together with the
-//!   *path* `I_0 → I_c` (portable `(taxon, edge)` insertions), and parked
-//!   threads replay the path on their private agile-tree copy and continue
-//!   from there;
+//! * **work stealing** via a two-level scheduler: each worker owns a
+//!   lock-free Chase–Lev deque ([`deque`]) it pushes split-off tasks onto
+//!   (LIFO for itself, FIFO for thieves), idle workers steal from
+//!   randomly selected victims, and a small global injector seeds the
+//!   initial-split chunks. Tasks carry half of the current state's
+//!   admissible branches together with the *path* `I_0 → I_c` (portable
+//!   `(taxon, edge)` insertions); the receiving thread replays the path
+//!   on its private agile-tree copy and continues from there. The paper's
+//!   bounded central queue survives as a *per-deque* capacity hint: a
+//!   worker only splits while its own deque has room (§III-A), so the
+//!   capacity ablation keeps its meaning;
 //! * **batched atomic counters** for stand trees / intermediate states /
 //!   dead ends, with stopping rules evaluated on flush (limits may be
 //!   overshot by at most one batch per thread, as in the paper);
-//! * termination via condition-variable parking (the paper's
-//!   `std::condition_variable` + OpenMP-lock construction, rendered with
-//!   `parking_lot`).
+//! * termination detection via a single in-flight task count, with idle
+//!   workers parked on a condition variable (the paper's
+//!   `std::condition_variable` construction; the mutex guards nothing but
+//!   the parking) and per-worker steal/park/split statistics surfaced
+//!   through [`engine::EngineReport`].
+//!
+//! ## Scheduler testing
+//!
+//! The scheduler is exercised at three levels: deque-level interleaving
+//! tests (`deque` unit tests and `tests/scheduler_interleave.rs` hammer
+//! push/pop/steal from many threads and assert every task executes
+//! exactly once), pool-level termination tests (including a regression
+//! test for the premature-termination race around
+//! [`TaskPool::preregister_active`]), and an end-to-end differential
+//! harness (`tests/engine_differential.rs` in the workspace umbrella
+//! crate) that checks the parallel engine against the serial driver on
+//! dozens of randomized instances at 1/2/4/8 threads.
 //!
 //! ```
 //! use gentrius_core::{GentriusConfig, StandProblem};
@@ -38,11 +58,16 @@
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod deque;
 pub mod engine;
 pub mod pool;
 pub mod task;
 
 pub use counters::{FlushThresholds, GlobalCounters, LocalCounters};
-pub use engine::{run_parallel, run_parallel_with_sinks, ParallelConfig, ParallelRunResult, TaskSpan, WorkerReport};
-pub use pool::TaskPool;
+pub use deque::{Steal, StealDeque};
+pub use engine::{
+    run_parallel, run_parallel_with_sinks, EngineReport, ParallelConfig, ParallelRunResult,
+    TaskSpan, WorkerReport,
+};
+pub use pool::{SchedulerCounts, TaskPool, WorkerHandle};
 pub use task::{paper_queue_capacity, partition_branches, Task};

@@ -1,138 +1,437 @@
-//! The thread-pool coordination object: a bounded task queue guarded by a
-//! mutex, a condition variable for busy-waiting threads, and termination
+//! The thread-pool coordination object: a two-level work-stealing
+//! scheduler with per-worker Chase–Lev deques, a small global injector for
+//! the initial split, and condvar-based idle parking with termination
 //! detection (§III-A/B).
 //!
-//! The paper blocks idle threads on a `std::condition_variable` keyed on
-//! the task queue and guards the queue with OpenMP locks; we use
-//! `parking_lot`'s `Mutex`/`Condvar`, which play the same roles. A cheap
-//! atomic mirror of the queue length lets working threads test the
-//! capacity condition without taking the lock on every state transition.
+//! The paper uses one central bounded queue guarded by OpenMP locks plus a
+//! `std::condition_variable` for idle threads. This pool keeps the paper's
+//! *semantics* — bounded capacity gating task creation ("split only when
+//! there is room"), idle parking, drained/stopped termination — but
+//! distributes the queue: each worker owns a lock-free
+//! [`StealDeque`](crate::deque::StealDeque) it pushes and pops at the LIFO
+//! end, while idle workers steal from randomly chosen victims at the FIFO
+//! end. The capacity rule becomes a *per-deque length hint*: a worker may
+//! only submit a split while its own deque holds fewer than `capacity`
+//! tasks, so the §III-A ablation knob keeps its meaning. The mutex +
+//! condvar survive only for what they are good at: parking idle workers
+//! and announcing termination.
+//!
+//! Termination detection is a single in-flight task count: every task is
+//! counted before it becomes visible (push, inject, or
+//! [`TaskPool::preregister_active`] for directly handed chunks) and
+//! uncounted in [`WorkerHandle::task_done`]; the pool is drained exactly
+//! when the count hits zero. Parked workers are woken by pushes (an
+//! `idlers` counter elides the notify when nobody sleeps) and by the
+//! drain or an external [`TaskPool::shutdown`].
 
+use crate::deque::{Steal, StealDeque};
 use crate::task::Task;
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
-struct PoolState {
-    queue: VecDeque<Task>,
-    /// Workers currently executing a task.
-    active: usize,
-    /// Set when the pool has drained: no tasks and no active workers, or an
-    /// external stop was requested.
-    done: bool,
+/// Per-worker scheduler statistics (steal/park/split activity), collected
+/// lock-free and snapshot via [`TaskPool::scheduler_counts`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerCounts {
+    /// Tasks this worker took from another worker's deque.
+    pub steals: u64,
+    /// Steal attempts (full victim sweeps) that came back empty-handed.
+    pub failed_steals: u64,
+    /// Times this worker parked on the condvar.
+    pub parks: u64,
+    /// Tasks this worker split off and pushed onto its own deque.
+    pub splits: u64,
 }
 
-/// Shared pool: bounded task queue + idle-thread parking + termination.
+impl SchedulerCounts {
+    /// Adds another worker's counts into `self`.
+    pub fn merge(&mut self, other: &SchedulerCounts) {
+        self.steals += other.steals;
+        self.failed_steals += other.failed_steals;
+        self.parks += other.parks;
+        self.splits += other.splits;
+    }
+}
+
+/// Lock-free cells behind [`SchedulerCounts`].
+#[derive(Default)]
+struct StatCells {
+    steals: AtomicU64,
+    failed_steals: AtomicU64,
+    parks: AtomicU64,
+    splits: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> SchedulerCounts {
+        SchedulerCounts {
+            steals: self.steals.load(Ordering::Relaxed),
+            failed_steals: self.failed_steals.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Shared pool: per-worker steal deques + global injector + idle-thread
+/// parking + termination. See the module docs for the design.
 pub struct TaskPool {
-    state: Mutex<PoolState>,
+    /// One Chase–Lev deque per worker, indexed by worker id.
+    deques: Vec<StealDeque<Task>>,
+    /// Runtime enforcement of the deque ownership contract: each worker id
+    /// may be checked out (as a [`WorkerHandle`]) at most once at a time.
+    checked_out: Vec<AtomicBool>,
+    /// Per-worker xorshift state for randomized victim selection.
+    victim_rng: Vec<AtomicU64>,
+    /// Per-worker scheduler statistics.
+    stats: Vec<StatCells>,
+    /// Global injector: overflow/startup work any worker may take. Holds
+    /// only the initial-split chunks in the engine, so a plain locked
+    /// VecDeque is plenty.
+    injector: Mutex<VecDeque<Task>>,
+    /// Lock-free mirror of the injector length.
+    injector_len: AtomicUsize,
+    /// Tasks made visible but not yet completed. Zero ⇒ drained.
+    inflight: AtomicUsize,
+    /// Terminal state: drained, or externally stopped.
+    done: AtomicBool,
+    /// Parking lot for idle workers (the mutex guards nothing but the wait).
+    park: Mutex<()>,
     cv: Condvar,
+    /// Workers currently parked or about to park; pushes skip the notify
+    /// syscall while this is zero.
+    idlers: AtomicUsize,
+    /// Per-deque capacity: the §III-A "split only when there is room" gate.
     capacity: usize,
-    /// Lock-free mirror of `queue.len()` for the fast-path capacity check.
-    len_hint: AtomicUsize,
-    /// Total tasks ever submitted (diagnostics).
+    /// Tasks ever pushed through worker deques (excludes injected chunks).
     submitted: AtomicUsize,
+    /// Tasks ever placed in the injector.
+    injected: AtomicUsize,
+}
+
+/// How many randomized victim sweeps a worker makes before giving up on
+/// stealing (each sweep covers every other worker once, starting from a
+/// random victim); a failed sweep that saw contention (`Retry`) is repeated.
+const STEAL_ROUNDS: usize = 2;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl TaskPool {
-    /// An empty pool with the given queue capacity.
-    pub fn new(capacity: usize) -> Self {
+    /// An empty pool for `workers` worker threads with the given per-deque
+    /// capacity hint. Victim selection is seeded from `workers`/`capacity`;
+    /// use [`TaskPool::with_seed`] to vary it.
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        Self::with_seed(workers, capacity, 0)
+    }
+
+    /// Like [`TaskPool::new`] with an explicit seed for the randomized
+    /// victim selection (tests and the simulator use this to explore
+    /// different steal orders).
+    pub fn with_seed(workers: usize, capacity: usize, seed: u64) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        assert!(capacity >= 1, "capacity must be positive");
         TaskPool {
-            state: Mutex::new(PoolState {
-                queue: VecDeque::new(),
-                active: 0,
-                done: false,
-            }),
+            deques: (0..workers)
+                .map(|_| StealDeque::with_min_capacity(capacity))
+                .collect(),
+            checked_out: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            victim_rng: (0..workers)
+                .map(|w| AtomicU64::new(splitmix64(seed ^ (w as u64 + 1)) | 1))
+                .collect(),
+            stats: (0..workers).map(|_| StatCells::default()).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            injector_len: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+            park: Mutex::new(()),
             cv: Condvar::new(),
+            idlers: AtomicUsize::new(0),
             capacity,
-            len_hint: AtomicUsize::new(0),
             submitted: AtomicUsize::new(0),
+            injected: AtomicUsize::new(0),
         }
     }
 
-    /// The queue capacity.
+    /// Number of worker slots (deques).
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// The per-deque capacity hint.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Pre-marks `n` workers as active before they are spawned. The initial
-    /// split hands chunks directly to threads (bypassing the bounded
-    /// queue), so their activity must be registered up front — otherwise a
-    /// chunk-less worker could observe "no tasks, nobody active" and
-    /// declare the pool drained before work even starts.
+    /// True once the pool has terminated (drained or shut down).
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Pre-counts `n` tasks that are handed to workers directly, bypassing
+    /// both the deques and the injector. Without this a chunk-less worker
+    /// could observe "nothing in flight" and declare the pool drained
+    /// before the handed-off work even starts (the classic premature-
+    /// termination race; see `scheduler_interleave.rs` for the regression
+    /// test). Each handed task must be balanced by a
+    /// [`WorkerHandle::task_done`].
     pub fn preregister_active(&self, n: usize) {
-        self.state.lock().active += n;
+        self.inflight.fetch_add(n, Ordering::SeqCst);
     }
 
-    /// Cheap pre-check: is there *probably* room in the queue? Workers call
-    /// this on every state transition; only on `true` do they pay for the
-    /// split and the lock.
-    #[inline]
-    pub fn has_room_hint(&self) -> bool {
-        self.len_hint.load(Ordering::Relaxed) < self.capacity
-    }
-
-    /// Tries to enqueue a task; fails when the queue is at capacity or the
-    /// pool is already done. Wakes one parked thread on success.
-    pub fn try_push(&self, task: Task) -> Result<(), Task> {
-        let mut st = self.state.lock();
-        if st.done || st.queue.len() >= self.capacity {
-            return Err(task);
+    /// Puts a task into the global injector (the engine routes the
+    /// initial-split chunks through here). Always succeeds; the injector
+    /// is not capacity-gated.
+    pub fn inject(&self, task: Task) {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut q = self.injector.lock().unwrap();
+            q.push_back(task);
+            self.injector_len.store(q.len(), Ordering::SeqCst);
         }
-        st.queue.push_back(task);
-        self.len_hint.store(st.queue.len(), Ordering::Relaxed);
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        drop(st);
-        self.cv.notify_one();
-        Ok(())
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        self.wake_one();
     }
 
-    /// Blocks until a task is available (marking the caller active) or the
-    /// pool terminates (`None`). Termination: every worker idle with an
-    /// empty queue, or an external stop via [`TaskPool::shutdown`].
-    pub fn next_task(&self) -> Option<Task> {
-        let mut st = self.state.lock();
-        loop {
-            if st.done {
-                return None;
-            }
-            if let Some(t) = st.queue.pop_front() {
-                self.len_hint.store(st.queue.len(), Ordering::Relaxed);
-                st.active += 1;
-                return Some(t);
-            }
-            if st.active == 0 {
-                // Everyone is idle and there is no work left: drained.
-                st.done = true;
-                self.cv.notify_all();
-                return None;
-            }
-            self.cv.wait(&mut st);
-        }
-    }
-
-    /// Marks the calling worker idle again after finishing a task; triggers
-    /// termination if it was the last active worker and the queue is empty.
-    pub fn task_done(&self) {
-        let mut st = self.state.lock();
-        st.active -= 1;
-        if st.active == 0 && st.queue.is_empty() {
-            st.done = true;
-            self.cv.notify_all();
-        }
+    /// Checks out the deque owner handle for worker `wid`.
+    ///
+    /// Panics if `wid` is out of range or already checked out — the
+    /// Chase–Lev owner end tolerates exactly one owner, so this is the
+    /// runtime fence behind the deque's safety contract.
+    pub fn worker(&self, wid: usize) -> WorkerHandle<'_> {
+        assert!(wid < self.deques.len(), "worker id {wid} out of range");
+        assert!(
+            !self.checked_out[wid].swap(true, Ordering::AcqRel),
+            "worker {wid} already checked out"
+        );
+        WorkerHandle { pool: self, wid }
     }
 
     /// External stop (stopping rule fired): wakes every parked thread and
-    /// prevents further pops.
+    /// prevents further pops and pushes.
     pub fn shutdown(&self) {
-        let mut st = self.state.lock();
-        st.done = true;
-        drop(st);
+        self.done.store(true, Ordering::Release);
+        let _guard = self.park.lock().unwrap();
         self.cv.notify_all();
     }
 
-    /// Total tasks ever submitted.
+    /// Total tasks ever submitted through worker deques (excludes the
+    /// injected initial chunks).
     pub fn total_submitted(&self) -> usize {
         self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Total tasks ever placed in the global injector.
+    pub fn total_injected(&self) -> usize {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Per-worker scheduler statistics, indexed by worker id.
+    pub fn scheduler_counts(&self) -> Vec<SchedulerCounts> {
+        self.stats.iter().map(StatCells::snapshot).collect()
+    }
+
+    /// Wakes one parked worker, eliding the syscall when nobody is parked.
+    /// Callers must have published their work (deque push or injector
+    /// store) *before* this; the SeqCst fence pairs with the parker's
+    /// idlers increment so either we see the idler or it sees our work.
+    fn wake_one(&self) {
+        fence(Ordering::SeqCst);
+        if self.idlers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.park.lock().unwrap();
+            self.cv.notify_one();
+        }
+    }
+
+    /// Next pseudo-random value for worker `wid`'s victim selection
+    /// (xorshift64; only `wid`'s own thread touches its cell, the atomic
+    /// is for shared-struct plumbing).
+    fn next_rand(&self, wid: usize) -> u64 {
+        let mut x = self.victim_rng[wid].load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.victim_rng[wid].store(x, Ordering::Relaxed);
+        x
+    }
+
+    /// Any stealable or injected work visible right now? (Approximate —
+    /// exact when quiescent, which is when the parker needs it.)
+    fn any_work_visible(&self) -> bool {
+        self.injector_len.load(Ordering::SeqCst) > 0 || self.deques.iter().any(|d| !d.is_empty())
+    }
+
+    fn pop_injected(&self) -> Option<Task> {
+        if self.injector_len.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let mut q = self.injector.lock().unwrap();
+        let t = q.pop_front();
+        self.injector_len.store(q.len(), Ordering::SeqCst);
+        t
+    }
+
+    /// One randomized steal pass for `wid`: up to [`STEAL_ROUNDS`] sweeps
+    /// over all victims, each starting at a random one; a sweep that only
+    /// lost CAS races (`Retry`) is retried.
+    fn try_steal(&self, wid: usize) -> Option<Task> {
+        let n = self.deques.len();
+        if n <= 1 {
+            return None;
+        }
+        for _ in 0..STEAL_ROUNDS {
+            let start = (self.next_rand(wid) % n as u64) as usize;
+            let mut saw_retry = false;
+            for k in 0..n {
+                let v = (start + k) % n;
+                if v == wid {
+                    continue;
+                }
+                match self.deques[v].steal() {
+                    Steal::Success(t) => {
+                        self.stats[wid].steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(t);
+                    }
+                    Steal::Retry => {
+                        // Lost a race; move on and revisit this victim on
+                        // the next sweep.
+                        saw_retry = true;
+                        std::hint::spin_loop();
+                    }
+                    Steal::Empty => {}
+                }
+            }
+            if !saw_retry {
+                break;
+            }
+        }
+        self.stats[wid]
+            .failed_steals
+            .fetch_add(1, Ordering::Relaxed);
+        None
+    }
+}
+
+/// The checked-out owner end of one worker's deque (see
+/// [`TaskPool::worker`]). All scheduling calls a worker thread makes go
+/// through its handle; dropping it returns the slot.
+pub struct WorkerHandle<'p> {
+    pool: &'p TaskPool,
+    wid: usize,
+}
+
+impl WorkerHandle<'_> {
+    /// This worker's id (deque index).
+    pub fn id(&self) -> usize {
+        self.wid
+    }
+
+    /// The pool this handle belongs to.
+    pub fn pool(&self) -> &TaskPool {
+        self.pool
+    }
+
+    /// Cheap pre-check of the §III-A capacity gate: is there room in
+    /// *this worker's* deque? Only on `true` does the caller pay for the
+    /// split.
+    #[inline]
+    pub fn has_room_hint(&self) -> bool {
+        self.pool.deques[self.wid].len() < self.pool.capacity
+    }
+
+    /// Tries to push a split-off task onto this worker's own deque; fails
+    /// when the deque is at capacity or the pool is done. Wakes one parked
+    /// thread on success.
+    pub fn try_push(&self, task: Task) -> Result<(), Task> {
+        let pool = self.pool;
+        if pool.done.load(Ordering::Acquire) {
+            return Err(task);
+        }
+        if pool.deques[self.wid].len() >= pool.capacity {
+            return Err(task);
+        }
+        // Count the task *before* it becomes stealable so a fast thief
+        // cannot drive `inflight` below zero.
+        pool.inflight.fetch_add(1, Ordering::SeqCst);
+        pool.deques[self.wid].push(task);
+        pool.submitted.fetch_add(1, Ordering::Relaxed);
+        pool.stats[self.wid].splits.fetch_add(1, Ordering::Relaxed);
+        pool.wake_one();
+        Ok(())
+    }
+
+    /// Blocks until a task is available or the pool terminates (`None`).
+    ///
+    /// Order of preference: own deque (LIFO), steal from a random victim
+    /// (FIFO), global injector, park. Termination: nothing in flight
+    /// anywhere, or an external stop via [`TaskPool::shutdown`].
+    pub fn next_task(&self) -> Option<Task> {
+        let pool = self.pool;
+        loop {
+            if pool.done.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(t) = pool.deques[self.wid].pop() {
+                return Some(t);
+            }
+            if let Some(t) = pool.try_steal(self.wid) {
+                return Some(t);
+            }
+            if let Some(t) = pool.pop_injected() {
+                return Some(t);
+            }
+            // Nothing found: park. The idlers increment happens before the
+            // work re-check; together with the pusher-side fence in
+            // `wake_one` this closes the sleep/lost-wakeup race.
+            let mut guard = pool.park.lock().unwrap();
+            pool.idlers.fetch_add(1, Ordering::SeqCst);
+            loop {
+                if pool.done.load(Ordering::Acquire) {
+                    pool.idlers.fetch_sub(1, Ordering::SeqCst);
+                    return None;
+                }
+                if pool.any_work_visible() {
+                    pool.idlers.fetch_sub(1, Ordering::SeqCst);
+                    drop(guard);
+                    break; // retry the full acquisition loop
+                }
+                if pool.inflight.load(Ordering::SeqCst) == 0 {
+                    // Drained: nothing queued anywhere, nothing running.
+                    pool.done.store(true, Ordering::Release);
+                    pool.idlers.fetch_sub(1, Ordering::SeqCst);
+                    pool.cv.notify_all();
+                    return None;
+                }
+                pool.stats[self.wid].parks.fetch_add(1, Ordering::Relaxed);
+                guard = pool.cv.wait(guard).unwrap();
+            }
+        }
+    }
+
+    /// Balances one visible task (pushed, injected, or preregistered)
+    /// after its execution finished; triggers termination when it was the
+    /// last one in flight.
+    pub fn task_done(&self) {
+        let pool = self.pool;
+        let prev = pool.inflight.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "task_done without a matching visible task");
+        if prev == 1 {
+            pool.done.store(true, Ordering::Release);
+            let _guard = pool.park.lock().unwrap();
+            pool.cv.notify_all();
+        }
+    }
+}
+
+impl Drop for WorkerHandle<'_> {
+    fn drop(&mut self) {
+        self.pool.checked_out[self.wid].store(false, Ordering::Release);
     }
 }
 
@@ -147,62 +446,137 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_enforced() {
-        let p = TaskPool::new(2);
-        assert!(p.try_push(task(0)).is_ok());
-        assert!(p.try_push(task(1)).is_ok());
-        assert!(p.try_push(task(2)).is_err());
-        assert!(!p.has_room_hint());
+    fn capacity_gates_own_deque() {
+        let p = TaskPool::new(2, 2);
+        let w = p.worker(0);
+        assert!(w.try_push(task(0)).is_ok());
+        assert!(w.try_push(task(1)).is_ok());
+        assert!(w.try_push(task(2)).is_err());
+        assert!(!w.has_room_hint());
+        // The *other* worker's deque is independent.
+        let w1 = p.worker(1);
+        assert!(w1.has_room_hint());
+        assert!(w1.try_push(task(3)).is_ok());
     }
 
     #[test]
-    fn fifo_order() {
-        let p = TaskPool::new(8);
-        p.try_push(task(0)).unwrap();
-        p.try_push(task(1)).unwrap();
-        assert_eq!(p.next_task().unwrap().branches[0], EdgeId(0));
-        assert_eq!(p.next_task().unwrap().branches[0], EdgeId(1));
-        p.task_done();
-        p.task_done();
+    fn owner_pops_lifo() {
+        let p = TaskPool::new(1, 8);
+        let w = p.worker(0);
+        w.try_push(task(0)).unwrap();
+        w.try_push(task(1)).unwrap();
+        assert_eq!(w.next_task().unwrap().branches[0], EdgeId(1));
+        assert_eq!(w.next_task().unwrap().branches[0], EdgeId(0));
+        w.task_done();
+        w.task_done();
+        // Both done ⇒ the pool reports drained.
+        assert!(w.next_task().is_none());
+        assert!(p.is_done());
+    }
+
+    #[test]
+    fn idle_workers_steal_fifo() {
+        let p = TaskPool::new(2, 8);
+        let w0 = p.worker(0);
+        w0.try_push(task(0)).unwrap();
+        w0.try_push(task(1)).unwrap();
+        let w1 = p.worker(1);
+        // Worker 1 has nothing of its own: it must steal worker 0's
+        // *oldest* task.
+        assert_eq!(w1.next_task().unwrap().branches[0], EdgeId(0));
+        assert_eq!(p.scheduler_counts()[1].steals, 1);
+    }
+
+    #[test]
+    fn injected_tasks_reach_any_worker() {
+        let p = TaskPool::new(2, 4);
+        p.inject(task(7));
+        assert_eq!(p.total_injected(), 1);
+        let w1 = p.worker(1);
+        assert_eq!(w1.next_task().unwrap().branches[0], EdgeId(7));
+        w1.task_done();
+        assert!(p.is_done());
     }
 
     #[test]
     fn drain_terminates_all_waiters() {
-        let p = TaskPool::new(4);
-        p.try_push(task(0)).unwrap();
+        let p = TaskPool::new(4, 4);
+        p.inject(task(0));
         std::thread::scope(|s| {
-            for _ in 0..3 {
-                s.spawn(|| {
-                    while let Some(_t) = p.next_task() {
-                        p.task_done();
+            for wid in 0..4 {
+                let p = &p;
+                s.spawn(move || {
+                    let w = p.worker(wid);
+                    while let Some(_t) = w.next_task() {
+                        w.task_done();
                     }
                 });
             }
         });
-        assert!(p.next_task().is_none());
+        assert!(p.is_done());
     }
 
     #[test]
     fn shutdown_wakes_waiters() {
-        let p = TaskPool::new(4);
-        // Main thread takes a task and stays "active", so a second
-        // consumer must park (queue empty but work in flight)…
-        p.try_push(task(0)).unwrap();
-        let t = p.next_task().unwrap();
+        let p = TaskPool::new(2, 4);
+        // Keep work in flight so the second worker must park…
+        p.preregister_active(1);
         std::thread::scope(|s| {
-            let h = s.spawn(|| p.next_task());
+            let h = s.spawn(|| p.worker(1).next_task());
             std::thread::sleep(std::time::Duration::from_millis(20));
             // …until an external stop wakes it with `None`.
             p.shutdown();
             assert!(h.join().unwrap().is_none());
         });
-        drop(t);
     }
 
     #[test]
     fn no_push_after_done() {
-        let p = TaskPool::new(4);
+        let p = TaskPool::new(1, 4);
         p.shutdown();
-        assert!(p.try_push(task(0)).is_err());
+        assert!(p.worker(0).try_push(task(0)).is_err());
+    }
+
+    #[test]
+    fn no_pop_after_done() {
+        let p = TaskPool::new(1, 4);
+        let w = p.worker(0);
+        w.try_push(task(0)).unwrap();
+        p.shutdown();
+        assert!(w.next_task().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already checked out")]
+    fn double_checkout_panics() {
+        let p = TaskPool::new(1, 4);
+        let _a = p.worker(0);
+        let _b = p.worker(0);
+    }
+
+    #[test]
+    fn handle_drop_releases_slot() {
+        let p = TaskPool::new(1, 4);
+        drop(p.worker(0));
+        let _again = p.worker(0); // must not panic
+    }
+
+    #[test]
+    fn preregistered_work_defers_termination() {
+        // Regression for the premature-termination race documented on
+        // `preregister_active`: a worker with no visible tasks must park,
+        // not declare the pool drained, while a handed-off chunk runs.
+        let p = TaskPool::new(2, 4);
+        p.preregister_active(1);
+        std::thread::scope(|s| {
+            let parked = s.spawn(|| p.worker(1).next_task());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(!p.is_done(), "pool terminated while a chunk was running");
+            // The chunk owner finishes: now the pool may drain.
+            let w0 = p.worker(0);
+            w0.task_done();
+            assert!(parked.join().unwrap().is_none());
+        });
+        assert!(p.is_done());
     }
 }

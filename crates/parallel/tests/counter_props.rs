@@ -1,0 +1,142 @@
+//! Property tests for the §III-B batched-counter protocol.
+//!
+//! Two invariants the paper relies on, checked under randomized flush
+//! thresholds:
+//!
+//! 1. **Exactness after drain** — batching delays visibility but never
+//!    loses or duplicates counts: once every `LocalCounters` has flushed,
+//!    the global totals equal the sum of the per-context lifetime totals.
+//! 2. **Bounded overshoot** — a stopping rule may fire late, but only by
+//!    the counts still buffered: the final total never exceeds
+//!    `limit + batch × contexts` when every context polls the stop flag
+//!    between increments (§III-B: "limits can be overshot by up to one
+//!    batch per thread").
+
+use gentrius_core::stats::RunStats;
+use gentrius_core::{StopCause, StoppingRules};
+use gentrius_parallel::{FlushThresholds, GlobalCounters, LocalCounters};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn totals_exact_after_concurrent_drain(
+        (bt, bs, bd) in (1u64..64, 1u64..64, 1u64..64),
+        counts in proptest::collection::vec((0u64..500, 0u64..500, 0u64..500), 1..8),
+    ) {
+        let thresholds = FlushThresholds {
+            stand_trees: bt,
+            intermediate_states: bs,
+            dead_ends: bd,
+        };
+        let g = GlobalCounters::new(StoppingRules::unlimited());
+        std::thread::scope(|s| {
+            for &(trees, states, dead) in &counts {
+                let g = &g;
+                s.spawn(move || {
+                    let mut l = LocalCounters::new(g, thresholds);
+                    // Interleave the three kinds so flushes of different
+                    // dimensions trigger at staggered points.
+                    let max = trees.max(states).max(dead);
+                    for i in 0..max {
+                        if i < trees {
+                            l.stand_tree();
+                        }
+                        if i < states {
+                            l.intermediate_state();
+                        }
+                        if i < dead {
+                            l.dead_end();
+                        }
+                    }
+                    // Dropping `l` performs the final drain.
+                });
+            }
+        });
+        let expected = RunStats {
+            stand_trees: counts.iter().map(|c| c.0).sum(),
+            intermediate_states: counts.iter().map(|c| c.1).sum(),
+            dead_ends: counts.iter().map(|c| c.2).sum(),
+        };
+        prop_assert_eq!(g.snapshot(), expected);
+    }
+
+    #[test]
+    fn stand_tree_limit_overshoot_is_bounded(
+        batch in 1u64..64,
+        contexts in 1usize..8,
+        limit in 1u64..1500,
+    ) {
+        let rules = StoppingRules::counts(limit, u64::MAX);
+        let thresholds = FlushThresholds {
+            stand_trees: batch,
+            intermediate_states: batch,
+            dead_ends: batch,
+        };
+        let g = GlobalCounters::new(rules);
+        let mut locals: Vec<LocalCounters> =
+            (0..contexts).map(|_| LocalCounters::new(&g, thresholds)).collect();
+        // Round-robin: each context polls the stop flag, then records one
+        // stand tree — the worker loop's poll-then-step discipline.
+        let mut steps = 0u64;
+        'work: loop {
+            for l in locals.iter_mut() {
+                if g.stopped() {
+                    break 'work;
+                }
+                l.stand_tree();
+                steps += 1;
+                prop_assert!(steps <= 4 * (limit + batch * contexts as u64),
+                    "stop flag never rose");
+            }
+        }
+        drop(locals); // final drain
+        let total = g.snapshot().stand_trees;
+        prop_assert_eq!(g.stop_cause(), Some(StopCause::StandTreeLimit));
+        prop_assert!(total >= limit, "stopped below the limit: {} < {}", total, limit);
+        prop_assert!(
+            total <= limit + batch * contexts as u64,
+            "overshoot: {} > {} + {} * {}",
+            total, limit, batch, contexts
+        );
+    }
+
+    #[test]
+    fn state_limit_overshoot_is_bounded(
+        batch in 1u64..64,
+        contexts in 1usize..8,
+        limit in 1u64..1500,
+    ) {
+        let rules = StoppingRules::counts(u64::MAX, limit);
+        let thresholds = FlushThresholds {
+            stand_trees: batch,
+            intermediate_states: batch,
+            dead_ends: batch,
+        };
+        let g = GlobalCounters::new(rules);
+        let mut locals: Vec<LocalCounters> =
+            (0..contexts).map(|_| LocalCounters::new(&g, thresholds)).collect();
+        let mut steps = 0u64;
+        'work: loop {
+            for l in locals.iter_mut() {
+                if g.stopped() {
+                    break 'work;
+                }
+                l.intermediate_state();
+                steps += 1;
+                prop_assert!(steps <= 4 * (limit + batch * contexts as u64),
+                    "stop flag never rose");
+            }
+        }
+        drop(locals);
+        let total = g.snapshot().intermediate_states;
+        prop_assert_eq!(g.stop_cause(), Some(StopCause::StateLimit));
+        prop_assert!(total >= limit);
+        prop_assert!(
+            total <= limit + batch * contexts as u64,
+            "overshoot: {} > {} + {} * {}",
+            total, limit, batch, contexts
+        );
+    }
+}

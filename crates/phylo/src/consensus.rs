@@ -273,7 +273,10 @@ mod tests {
         assert_eq!(t2.leaf_count(), 2);
         let one = BitSet::from_iter(universe, [3]);
         assert_eq!(tree_from_splits(&one, &[]).leaf_count(), 1);
-        assert_eq!(tree_from_splits(&BitSet::new(universe), &[]).leaf_count(), 0);
+        assert_eq!(
+            tree_from_splits(&BitSet::new(universe), &[]).leaf_count(),
+            0
+        );
     }
 
     #[test]

@@ -74,8 +74,7 @@ mod tests {
 
     #[test]
     fn partial_overlap() {
-        let (_, trees) =
-            parse_forest(["(((A,B),C),(D,E));", "(((A,C),B),(D,E));"]).unwrap();
+        let (_, trees) = parse_forest(["(((A,B),C),(D,E));", "(((A,C),B),(D,E));"]).unwrap();
         // Both share split {D,E} (and its complement); differ on AB|... vs AC|...
         assert_eq!(rf_distance(&trees[0], &trees[1]), Some(2));
     }

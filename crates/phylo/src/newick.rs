@@ -161,10 +161,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             let start = self.pos;
             while let Some(c) = self.peek() {
-                if matches!(
-                    c,
-                    b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E'
-                ) {
+                if matches!(c, b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E') {
                     self.pos += 1;
                 } else {
                     break;
@@ -415,8 +412,7 @@ mod tests {
 
     #[test]
     fn parse_with_branch_lengths_and_support() {
-        let (_, trees) =
-            parse_forest(["((A:0.1,B:0.2)95:0.01,(C:1e-3,D:2.5)0.99:0.3);"]).unwrap();
+        let (_, trees) = parse_forest(["((A:0.1,B:0.2)95:0.01,(C:1e-3,D:2.5)0.99:0.3);"]).unwrap();
         assert_eq!(trees[0].leaf_count(), 4);
         assert!(trees[0].is_binary_unrooted());
     }
@@ -472,10 +468,7 @@ mod tests {
         let (taxa, trees) = parse_forest(["((A,B),(C,D));", "((C,D),(B,A));"]).unwrap();
         assert_eq!(to_newick(&trees[0], &taxa), to_newick(&trees[1], &taxa));
         let (taxa2, trees2) = parse_forest(["((A,C),(B,D));", "((A,B),(C,D));"]).unwrap();
-        assert_ne!(
-            to_newick(&trees2[0], &taxa2),
-            to_newick(&trees2[1], &taxa2)
-        );
+        assert_ne!(to_newick(&trees2[0], &taxa2), to_newick(&trees2[1], &taxa2));
     }
 
     #[test]

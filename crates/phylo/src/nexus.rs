@@ -218,7 +218,12 @@ pub fn parse_nexus(input: &str) -> Result<NexusData, NexusError> {
     {
         return Err(NexusError("missing #NEXUS header".into()));
     }
-    let cmds = commands(stripped.trim_start().trim_start_matches("#NEXUS").trim_start_matches("#nexus"));
+    let cmds = commands(
+        stripped
+            .trim_start()
+            .trim_start_matches("#NEXUS")
+            .trim_start_matches("#nexus"),
+    );
 
     let mut block: Option<String> = None;
     let mut translate: HashMap<String, String> = HashMap::new();
@@ -257,8 +262,14 @@ pub fn parse_nexus(input: &str) -> Result<NexusData, NexusError> {
                     .ok_or_else(|| NexusError(format!("bad TREE command: {cmd}")))?;
                 // Strip rooting annotations like &U / &R that survive
                 // comment stripping when written without brackets.
-                let newick = newick.trim().trim_start_matches("&U").trim_start_matches("&R");
-                tree_sources.push((name.trim().to_string(), format!("{};", newick.trim().trim_end_matches(';'))));
+                let newick = newick
+                    .trim()
+                    .trim_start_matches("&U")
+                    .trim_start_matches("&R");
+                tree_sources.push((
+                    name.trim().to_string(),
+                    format!("{};", newick.trim().trim_end_matches(';')),
+                ));
             }
             _ => {}
         }
@@ -351,11 +362,7 @@ END;
     #[test]
     fn roundtrip() {
         let data = parse_nexus(SAMPLE).unwrap();
-        let named: Vec<(String, &Tree)> = data
-            .trees
-            .iter()
-            .map(|(n, t)| (n.clone(), t))
-            .collect();
+        let named: Vec<(String, &Tree)> = data.trees.iter().map(|(n, t)| (n.clone(), t)).collect();
         let out = write_nexus(&data.taxa, &named);
         let again = parse_nexus(&out).unwrap();
         assert_eq!(again.trees.len(), 2);
@@ -382,8 +389,7 @@ END;
         assert!(parse_nexus("not nexus").is_err());
         assert!(parse_nexus("#NEXUS\nBEGIN TREES;\nEND;\n").is_err());
         assert!(
-            parse_nexus("#NEXUS\nBEGIN TREES;\nTRANSLATE 1 A, 2;\nTREE t=(A,B,C);\nEND;")
-                .is_err()
+            parse_nexus("#NEXUS\nBEGIN TREES;\nTRANSLATE 1 A, 2;\nTREE t=(A,B,C);\nEND;").is_err()
         );
     }
 

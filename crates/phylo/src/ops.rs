@@ -10,7 +10,6 @@ use crate::bitset::BitSet;
 use crate::split::topo_eq;
 use crate::tree::{EdgeId, NodeId, Tree};
 
-
 /// Computes the induced subtree `tree|keep`: prune to the leaves in `keep`
 /// and suppress degree-2 vertices. The result is a fresh arena over the same
 /// taxon universe; node/edge ids are a deterministic function of the input.
@@ -128,7 +127,9 @@ pub fn path_between(tree: &Tree, a: NodeId, b: NodeId) -> Vec<EdgeId> {
 pub fn diameter(tree: &Tree) -> usize {
     // Two BFS sweeps: farthest leaf from an arbitrary leaf, then farthest
     // from that (the classic tree-diameter argument).
-    let Some(start) = tree.any_leaf() else { return 0 };
+    let Some(start) = tree.any_leaf() else {
+        return 0;
+    };
     let farthest = |from: NodeId| -> (NodeId, usize) {
         let order = tree.preorder(from);
         let mut depth = vec![0usize; tree.node_id_bound()];
@@ -258,7 +259,7 @@ mod tests {
     #[test]
     fn displays_rejects_wrong_topology() {
         let tree = caterpillar(8, 5); // ((0,1),2),3),4 order
-        // Quartet (0,2)|(1,3) is NOT displayed by the caterpillar.
+                                      // Quartet (0,2)|(1,3) is NOT displayed by the caterpillar.
         let mut q = Tree::three_leaf(8, t(0), t(2), t(1));
         let l1 = q.leaf(t(1)).unwrap();
         let e = q.adjacent_edges(l1)[0];

@@ -154,8 +154,7 @@ impl Pam {
         while let Some(i) = stack.pop() {
             #[allow(clippy::needless_range_loop)] // index mirrors the locus id
             for j in 0..m {
-                if !seen[j] && self.columns[i].intersection_count(&self.columns[j]) >= min_shared
-                {
+                if !seen[j] && self.columns[i].intersection_count(&self.columns[j]) >= min_shared {
                     seen[j] = true;
                     reached += 1;
                     stack.push(j);
@@ -199,10 +198,7 @@ impl Pam {
                     if abc.is_empty() {
                         return false;
                     }
-                    if loci_of[c + 1..n]
-                        .iter()
-                        .any(|ld| abc.is_disjoint(ld))
-                    {
+                    if loci_of[c + 1..n].iter().any(|ld| abc.is_disjoint(ld)) {
                         return false;
                     }
                 }
@@ -326,10 +322,16 @@ mod tests {
         for t in 0..4 {
             pam.set(TaxonId(t), 0, true);
         }
-        assert_eq!(pam.validate_for_inference(), Err(PamError::UncoveredTaxon(4)));
+        assert_eq!(
+            pam.validate_for_inference(),
+            Err(PamError::UncoveredTaxon(4))
+        );
         pam.set(TaxonId(4), 0, true);
         assert_eq!(pam.validate_for_inference(), Ok(()));
-        assert_eq!(Pam::new(3, 0).validate_for_inference(), Err(PamError::Empty));
+        assert_eq!(
+            Pam::new(3, 0).validate_for_inference(),
+            Err(PamError::Empty)
+        );
     }
 
     #[test]

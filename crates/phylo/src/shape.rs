@@ -113,8 +113,8 @@ mod tests {
         let (_, t) = parse_forest(["((A,B),(C,D));"]).unwrap();
         let s = shape_stats(&t[0]).unwrap();
         assert_eq!(s.cherries, 2); // AB and CD
-        // Rooted at A's pendant: children of the A-side hub are leaf B and
-        // the CD cherry → Colless |1-2| + |1-1| = 1.
+                                   // Rooted at A's pendant: children of the A-side hub are leaf B and
+                                   // the CD cherry → Colless |1-2| + |1-1| = 1.
         assert_eq!(s.colless, 1);
         assert!(s.max_depth >= 1);
     }
@@ -124,7 +124,7 @@ mod tests {
         let (_, t) = parse_forest(["(((((A,B),C),D),E),F);"]).unwrap();
         let s = shape_stats(&t[0]).unwrap();
         assert_eq!(s.cherries, 2); // the two ends of the caterpillar
-        // Caterpillar on n=6 rooted at A: Colless = sum_{k=2..n-2} (k-1).
+                                   // Caterpillar on n=6 rooted at A: Colless = sum_{k=2..n-2} (k-1).
         let expect: u64 = (1..=3).sum();
         assert_eq!(s.colless, expect);
     }
@@ -146,7 +146,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(99);
         let avg = |model: ShapeModel, rng: &mut ChaCha8Rng| -> f64 {
             (0..trials)
-                .map(|_| shape_stats(&random_tree_on_n(n, model, rng)).unwrap().colless as f64)
+                .map(|_| {
+                    shape_stats(&random_tree_on_n(n, model, rng))
+                        .unwrap()
+                        .colless as f64
+                })
                 .sum::<f64>()
                 / trials as f64
         };

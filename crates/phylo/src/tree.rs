@@ -487,9 +487,9 @@ impl Tree {
 
     /// Any live node, preferring a leaf (useful as a traversal root).
     pub fn any_leaf(&self) -> Option<NodeId> {
-        self.taxa.min_member().map(|t| {
-            self.leaf_of[t].expect("taxa bitset and leaf_of out of sync")
-        })
+        self.taxa
+            .min_member()
+            .map(|t| self.leaf_of[t].expect("taxa bitset and leaf_of out of sync"))
     }
 
     // ------------------------------------------------------------------
@@ -566,7 +566,9 @@ impl Tree {
         // Label uniqueness is enforced by alloc_node; cross-check leaf_of.
         for t in self.taxa.iter() {
             match self.leaf_of[t] {
-                Some(n) if self.node_alive(n) && self.nodes[n.index()].taxon == Some(TaxonId(t as u32)) => {}
+                Some(n)
+                    if self.node_alive(n)
+                        && self.nodes[n.index()].taxon == Some(TaxonId(t as u32)) => {}
                 _ => {
                     return Err(TreeError::BadLabels(format!(
                         "taxon {t} not backed by a live labelled leaf"
@@ -760,7 +762,10 @@ mod tests {
         let b = tree.add_node(None);
         tree.add_edge(a, b);
         tree.add_edge(a, b);
-        assert!(matches!(tree.validate(), Err(TreeError::NotATree(_)) | Err(TreeError::BadLabels(_))));
+        assert!(matches!(
+            tree.validate(),
+            Err(TreeError::NotATree(_)) | Err(TreeError::BadLabels(_))
+        ));
     }
 
     #[test]

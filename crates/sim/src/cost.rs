@@ -73,6 +73,9 @@ mod tests {
     #[test]
     fn ideal_has_no_friction() {
         let c = CostModel::ideal();
-        assert_eq!(c.replay_per_insertion + c.task_overhead + c.submit_overhead + c.flush, 0);
+        assert_eq!(
+            c.replay_per_insertion + c.task_overhead + c.submit_overhead + c.flush,
+            0
+        );
     }
 }

@@ -4,14 +4,17 @@
 //! discrete-event model: `N_t` logical workers advance in lock step, one
 //! virtual *tick* per state transition (see [`CostModel`](crate::cost)),
 //! with the exact scheduling policy of `gentrius-parallel` — serial prefix
-//! to the initial-split state `I_0`, uniform branch distribution, bounded
-//! task queue (`N_t+1` / `N_t/2`), the ≥3-remaining-taxa submission rule,
-//! path-replay costs, batched counter flushes, and stopping rules evaluated
-//! in virtual-time order. Every speedup phenomenon reported in §IV —
-//! linear scaling, plateaus from unbalanced workflow trees, super-linear
-//! speedups from stopping-rule interaction, adapted speedups under the time
-//! limit — is a property of this interaction and therefore reproducible
-//! here, bit-for-bit deterministically, on any host.
+//! to the initial-split state `I_0`, initial chunks routed through a
+//! global injector, per-worker steal deques (LIFO for the owner, FIFO for
+//! thieves) bounded by the per-deque capacity (`N_t+1` / `N_t/2`),
+//! randomized victim selection (seeded via [`SimConfig::victim_seed`]),
+//! the ≥3-remaining-taxa submission rule, path-replay costs, batched
+//! counter flushes, and stopping rules evaluated in virtual-time order.
+//! Every speedup phenomenon reported in §IV — linear scaling, plateaus
+//! from unbalanced workflow trees, super-linear speedups from
+//! stopping-rule interaction, adapted speedups under the time limit — is a
+//! property of this interaction and therefore reproducible here,
+//! bit-for-bit deterministically, on any host.
 
 use crate::cost::CostModel;
 use crate::trace::{Segment, Timeline};
@@ -35,13 +38,17 @@ pub struct SimConfig {
     pub cost: CostModel,
     /// Counter-flush batching (visibility of counts to the stopping rules).
     pub flush: FlushThresholds,
-    /// Task-queue capacity; `None` = the paper rule.
+    /// Per-worker deque capacity; `None` = the paper rule.
     pub queue_capacity: Option<usize>,
     /// Minimum remaining taxa for task submission (paper: 3).
     pub min_remaining_for_split: usize,
     /// Work stealing on (the paper's engine) or off (static initial split
     /// only — the load-imbalance baseline of Fig. 3).
     pub stealing: bool,
+    /// Seed for the randomized victim-selection policy (which deque an
+    /// idle worker probes first). Results must be invariant under it; the
+    /// schedule (makespan, per-worker loads) may vary.
+    pub victim_seed: u64,
     /// Stopping rule 3 in virtual ticks (`None` = no time limit). Rules 1
     /// and 2 come from the algorithmic config's `StoppingRules`.
     pub max_ticks: Option<u64>,
@@ -65,6 +72,7 @@ impl SimConfig {
             queue_capacity: None,
             min_remaining_for_split: 3,
             stealing: true,
+            victim_seed: 0,
             max_ticks: None,
             trace: false,
             speed_periods: None,
@@ -100,8 +108,11 @@ pub struct SimResult {
     pub prefix_ticks: u64,
     /// Per-worker busy ticks (load-balance diagnostics).
     pub busy: Vec<u64>,
-    /// Tasks that went through the queue (stolen work).
+    /// Tasks submitted through worker deques (split-off work).
     pub tasks_stolen: usize,
+    /// Per-worker count of tasks taken from *another* worker's deque
+    /// (the victim-selection policy's actual traffic).
+    pub steals: Vec<u64>,
     /// Simulated thread count.
     pub threads: usize,
     /// Per-worker execution timeline (only when `SimConfig::trace`).
@@ -184,8 +195,7 @@ pub fn simulate(
     assert!(sim.threads >= 1);
     let initial = problem.initial_tree_index(&config.initial_tree)?;
     // Surface order-rule problems before building any worker state.
-    SearchState::new(problem, initial, &config.taxon_order)
-        .map_err(ProblemError::BadTaxonOrder)?;
+    SearchState::new(problem, initial, &config.taxon_order).map_err(ProblemError::BadTaxonOrder)?;
     let cost = sim.cost;
     let mut counters = Counters {
         global: RunStats::new(),
@@ -204,6 +214,7 @@ pub fn simulate(
             prefix_ticks: 0,
             busy: vec![0; sim.threads],
             tasks_stolen: 0,
+            steals: vec![0; sim.threads],
             threads: sim.threads,
             timeline: None,
         });
@@ -241,7 +252,14 @@ pub fn simulate(
         }
         let ev = prefix_ex.step(&mut sink);
         prefix_ticks += cost.step;
-        record(ev, &mut prefix_pending, &sim.flush, &mut counters, &mut prefix_ticks, cost);
+        record(
+            ev,
+            &mut prefix_pending,
+            &sim.flush,
+            &mut counters,
+            &mut prefix_ticks,
+            cost,
+        );
     }
     counters.flush(&mut prefix_pending);
 
@@ -253,6 +271,7 @@ pub fn simulate(
             prefix_ticks,
             busy: vec![0; sim.threads],
             tasks_stolen: 0,
+            steals: vec![0; sim.threads],
             threads: sim.threads,
             timeline: None,
         });
@@ -268,7 +287,22 @@ pub fn simulate(
     let chunks = partition_branches(&split_branches, sim.threads);
     let stealing = sim.stealing && sim.threads > 1;
     let capacity = sim.capacity();
-    let mut queue: VecDeque<(Task, usize)> = VecDeque::new();
+    // The two-level scheduler model, mirroring `gentrius-parallel`:
+    // initial chunks go through a global injector; split-off tasks land on
+    // the submitting worker's own deque (owner end = back, steal end =
+    // front); idle workers pop their own deque LIFO, then steal FIFO from
+    // a randomized victim, then fall back to the injector.
+    let mut injector: VecDeque<(Task, usize)> = chunks
+        .iter()
+        .enumerate()
+        .map(|(i, chunk)| (Task::at_split(split_taxon, chunk.clone()), i))
+        .collect();
+    let mut deques: Vec<VecDeque<(Task, usize)>> =
+        (0..sim.threads).map(|_| VecDeque::new()).collect();
+    let mut victim_rng: Vec<u64> = (0..sim.threads)
+        .map(|w| splitmix64(sim.victim_seed ^ (w as u64 + 1)) | 1)
+        .collect();
+    let mut steals = vec![0u64; sim.threads];
 
     let mut workers: Vec<Worker<'_>> = (0..sim.threads)
         .map(|_| {
@@ -288,13 +322,6 @@ pub fn simulate(
             }
         })
         .collect();
-    for (i, chunk) in chunks.iter().enumerate() {
-        workers[i]
-            .ex
-            .begin_task(&[], split_taxon, chunk.clone());
-        workers[i].idle = false;
-        workers[i].seg_start = Some((prefix_ticks, i));
-    }
     let mut tasks_stolen = 0usize;
     let mut timeline = sim.trace.then(|| Timeline::new(sim.threads));
     let n_chunks = chunks.len();
@@ -305,7 +332,10 @@ pub fn simulate(
         if counters.stop.is_some() {
             break;
         }
-        if workers.iter().all(|w| w.idle) && queue.is_empty() {
+        if workers.iter().all(|w| w.idle)
+            && injector.is_empty()
+            && deques.iter().all(VecDeque::is_empty)
+        {
             break;
         }
         if let Some(max) = sim.max_ticks {
@@ -319,7 +349,27 @@ pub fn simulate(
             let w = &mut workers[wi];
             let period = sim.period(wi);
             if w.idle {
-                if let Some((task, task_id)) = queue.pop_front() {
+                // Acquisition order of `TaskPool::next_task`: own deque
+                // (LIFO), randomized-victim steal (FIFO), injector.
+                let mut grabbed = deques[wi].pop_back();
+                if grabbed.is_none() && stealing {
+                    let start = (next_rand(&mut victim_rng[wi]) % sim.threads as u64) as usize;
+                    for k in 0..sim.threads {
+                        let v = (start + k) % sim.threads;
+                        if v == wi {
+                            continue;
+                        }
+                        if let Some(x) = deques[v].pop_front() {
+                            steals[wi] += 1;
+                            grabbed = Some(x);
+                            break;
+                        }
+                    }
+                }
+                if grabbed.is_none() {
+                    grabbed = injector.pop_front();
+                }
+                if let Some((task, task_id)) = grabbed {
                     w.cooldown = (cost.task_overhead
                         + cost.replay_per_insertion * task.path.len() as u64)
                         * period;
@@ -354,13 +404,20 @@ pub fn simulate(
                 }
                 _ => {
                     let mut extra = 0u64;
-                    record(ev, &mut w.pending, &sim.flush, &mut counters, &mut extra, cost);
+                    record(
+                        ev,
+                        &mut w.pending,
+                        &sim.flush,
+                        &mut counters,
+                        &mut extra,
+                        cost,
+                    );
                     w.cooldown += extra + (cost.step * period - 1);
                 }
             }
             if ev == StepEvent::Entered
                 && stealing
-                && queue.len() < capacity
+                && deques[wi].len() < capacity
                 && w.ex.remaining_taxa() >= sim.min_remaining_for_split
                 && w.ex.top().map(|f| f.pending()).unwrap_or(0) >= 2
             {
@@ -370,7 +427,7 @@ pub fn simulate(
                         taxon: w.ex.top().expect("frame after split").taxon,
                         branches,
                     };
-                    queue.push_back((task, n_chunks + tasks_stolen));
+                    deques[wi].push_back((task, n_chunks + tasks_stolen));
                     tasks_stolen += 1;
                     w.cooldown += cost.submit_overhead;
                 }
@@ -402,9 +459,29 @@ pub fn simulate(
         prefix_ticks,
         busy: workers.iter().map(|w| w.busy).collect(),
         tasks_stolen,
+        steals,
         threads: sim.threads,
         timeline,
     })
+}
+
+/// SplitMix64 seed expansion for the per-worker victim-selection streams
+/// (same scheme as `gentrius_parallel::pool`).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xorshift64 step for victim selection.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
 }
 
 /// Counts one event into a pending buffer, flushing (and charging flush
@@ -467,8 +544,18 @@ mod tests {
     #[test]
     fn simulation_is_deterministic() {
         let p = problem(&["((A,B),(C,D));", "((A,E),(F,G));", "((C,F),(H,I));"]);
-        let a = simulate(&p, &GentriusConfig::exhaustive(), &SimConfig::with_threads(4)).unwrap();
-        let b = simulate(&p, &GentriusConfig::exhaustive(), &SimConfig::with_threads(4)).unwrap();
+        let a = simulate(
+            &p,
+            &GentriusConfig::exhaustive(),
+            &SimConfig::with_threads(4),
+        )
+        .unwrap();
+        let b = simulate(
+            &p,
+            &GentriusConfig::exhaustive(),
+            &SimConfig::with_threads(4),
+        )
+        .unwrap();
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.busy, b.busy);
         assert_eq!(a.tasks_stolen, b.tasks_stolen);
@@ -499,7 +586,10 @@ mod tests {
         }
         // And real speedup is achieved at 4 threads on this instance.
         let s = times[0] as f64 / times[2] as f64;
-        assert!(s > 1.5, "expected >1.5x at 4 threads, got {s:.2} ({times:?})");
+        assert!(
+            s > 1.5,
+            "expected >1.5x at 4 threads, got {s:.2} ({times:?})"
+        );
     }
 
     #[test]
@@ -527,6 +617,42 @@ mod tests {
     }
 
     #[test]
+    fn results_invariant_under_victim_seed() {
+        // The victim-selection policy may reshuffle who executes what (and
+        // thus the makespan), but the enumerated stand is a set: exact
+        // totals must not depend on the steal order.
+        let p = problem(&["((A,B),(C,D));", "((A,E),(F,G));", "((C,F),(H,I));"]);
+        let base = simulate(
+            &p,
+            &GentriusConfig::exhaustive(),
+            &SimConfig::with_threads(4),
+        )
+        .unwrap();
+        let mut total_steals = 0u64;
+        for seed in [1u64, 7, 42, 12345] {
+            let mut cfg = SimConfig::with_threads(4);
+            cfg.victim_seed = seed;
+            let r = simulate(&p, &GentriusConfig::exhaustive(), &cfg).unwrap();
+            assert_eq!(r.stats, base.stats, "seed={seed}");
+            assert!(r.complete());
+            assert_eq!(r.steals.len(), 4);
+            total_steals += r.steals.iter().sum::<u64>();
+        }
+        // Work moved between workers in at least one of the runs.
+        assert!(total_steals > 0, "no steal traffic across any seed");
+    }
+
+    #[test]
+    fn steals_are_zero_without_stealing() {
+        let p = problem(&["((A,B),(C,D));", "((A,E),(F,G));", "((C,F),(H,I));"]);
+        let mut cfg = SimConfig::with_threads(4);
+        cfg.stealing = false;
+        let r = simulate(&p, &GentriusConfig::exhaustive(), &cfg).unwrap();
+        assert_eq!(r.steals, vec![0, 0, 0, 0]);
+        assert_eq!(r.tasks_stolen, 0);
+    }
+
+    #[test]
     fn virtual_time_limit_fires() {
         let p = problem(&["((A,B),(C,D));", "((A,E),(F,G));", "((C,F),(H,I));"]);
         let mut cfg = SimConfig::with_threads(2);
@@ -539,7 +665,12 @@ mod tests {
     #[test]
     fn tree_limit_respects_flush_granularity() {
         let p = problem(&["((A,B),(C,D));", "((A,E),(F,G));", "((C,F),(H,I));"]);
-        let full = simulate(&p, &GentriusConfig::exhaustive(), &SimConfig::with_threads(2)).unwrap();
+        let full = simulate(
+            &p,
+            &GentriusConfig::exhaustive(),
+            &SimConfig::with_threads(2),
+        )
+        .unwrap();
         assert!(full.stats.stand_trees > 100);
         let cfg = GentriusConfig {
             stopping: gentrius_core::StoppingRules::counts(100, u64::MAX),
@@ -576,7 +707,12 @@ mod tests {
         let rendered = tl.render(r.makespan, 40);
         assert_eq!(rendered.lines().count(), 4);
         // Untraced runs carry no timeline.
-        let r2 = simulate(&p, &GentriusConfig::exhaustive(), &SimConfig::with_threads(4)).unwrap();
+        let r2 = simulate(
+            &p,
+            &GentriusConfig::exhaustive(),
+            &SimConfig::with_threads(4),
+        )
+        .unwrap();
         assert!(r2.timeline.is_none());
         assert_eq!(r2.stats, r.stats);
     }

@@ -62,10 +62,7 @@ pub fn num_rooted_topologies(k: usize) -> Result<u128, SuperbError> {
 
 /// Counts rooted binary trees on `leaves` displaying all `constraints`
 /// (rooted cluster hierarchies whose leaf sets are subsets of `leaves`).
-pub fn count_rooted(
-    leaves: &BitSet,
-    constraints: &[&RootedNode],
-) -> Result<u128, SuperbError> {
+pub fn count_rooted(leaves: &BitSet, constraints: &[&RootedNode]) -> Result<u128, SuperbError> {
     let mut memo: HashMap<BitSet, u128> = HashMap::new();
     count_rec(leaves, constraints, &mut memo)
 }
@@ -225,8 +222,7 @@ mod tests {
     #[test]
     fn conflicting_constraints_count_zero() {
         // (A,(B,C)) vs (B,(A,C)) rooted — incompatible root structures.
-        let (taxa, trees) =
-            parse_forest(["(R,(A,(B,C)));", "(R,(B,(A,C)));"]).unwrap();
+        let (taxa, trees) = parse_forest(["(R,(A,(B,C)));", "(R,(B,(A,C)));"]).unwrap();
         let r = taxa.get("R").unwrap();
         let c1 = root_at(&trees[0], r).unwrap();
         let c2 = root_at(&trees[1], r).unwrap();

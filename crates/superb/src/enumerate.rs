@@ -172,8 +172,8 @@ pub fn cluster_set_to_unrooted(problem: &StandProblem, clusters: &ClusterSet) ->
 mod tests {
     use super::*;
     use crate::cluster::root_at;
-    use crate::count::count_rooted;
     use crate::comprehensive_taxon;
+    use crate::count::count_rooted;
     use phylo::newick::parse_forest;
 
     fn setup(newicks: &[&str]) -> (StandProblem, Vec<RootedNode>, BitSet) {

@@ -142,16 +142,12 @@ mod tests {
         ] {
             let p = problem(&newicks);
             let superb = superb_count(&p).unwrap();
-            let gentrius = gentrius_core::run_serial(
-                &p,
-                &GentriusConfig::exhaustive(),
-                &mut CountOnly,
-            )
-            .unwrap();
+            let gentrius =
+                gentrius_core::run_serial(&p, &GentriusConfig::exhaustive(), &mut CountOnly)
+                    .unwrap();
             assert!(gentrius.complete());
             assert_eq!(
-                superb,
-                gentrius.stats.stand_trees as u128,
+                superb, gentrius.stats.stand_trees as u128,
                 "mismatch on {newicks:?}"
             );
         }

@@ -21,7 +21,10 @@ fn main() {
     };
 
     println!("comprehensive-core datasets (SUPERB can root):");
-    println!("{:<14} {:>6} {:>12} {:>12} {:>8}", "dataset", "taxa", "gentrius", "superb", "agree");
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>8}",
+        "dataset", "taxa", "gentrius", "superb", "agree"
+    );
     let core = SimulatedParams {
         taxa: (10, 18),
         loci: (3, 6),
@@ -77,7 +80,10 @@ fn main() {
             Some(_) => can += 1,
         }
     }
-    println!("  SUPERB cannot root {cannot} of {} datasets; Gentrius runs on all.", cannot + can);
+    println!(
+        "  SUPERB cannot root {cannot} of {} datasets; Gentrius runs on all.",
+        cannot + can
+    );
     println!();
     println!("this is the paper's motivation: prior tools require a comprehensive");
     println!("taxon to root the input; Gentrius operates directly on unrooted trees.");

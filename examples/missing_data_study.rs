@@ -42,7 +42,11 @@ fn main() {
             r.stats.stand_trees,
             r.stats.intermediate_states,
             r.stats.dead_ends,
-            if r.complete() { "complete" } else { "truncated" }
+            if r.complete() {
+                "complete"
+            } else {
+                "truncated"
+            }
         );
     }
     println!();

@@ -78,7 +78,11 @@ fn main() {
         } else {
             "UNRELIABLE"
         };
-        println!("  {marker} {:>6.1}%  {{{}}}", 100.0 * support, names.join(","));
+        println!(
+            "  {marker} {:>6.1}%  {{{}}}",
+            100.0 * support,
+            names.join(",")
+        );
     }
     println!();
     println!(

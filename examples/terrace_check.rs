@@ -27,7 +27,10 @@ fn main() {
         shape: ShapeModel::Yule,
     };
     let dataset = simulated_dataset(&params, 2023, 1);
-    let species = dataset.species_tree.as_ref().expect("generated with a tree");
+    let species = dataset
+        .species_tree
+        .as_ref()
+        .expect("generated with a tree");
     let pam = dataset.pam.as_ref().expect("generated with a PAM");
 
     println!("dataset: {}", dataset.name);

@@ -51,7 +51,11 @@ fn main() {
     println!(
         "stand: {} trees ({})",
         result.stats.stand_trees,
-        if result.complete() { "complete" } else { "truncated" }
+        if result.complete() {
+            "complete"
+        } else {
+            "truncated"
+        }
     );
 
     println!("\nper-partition parsimony scores of stand members:");

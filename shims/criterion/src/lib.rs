@@ -1,0 +1,181 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness (see `shims/README.md` for why these exist).
+//!
+//! Implements `Criterion::bench_function`, benchmark groups with
+//! `sample_size`/`measurement_time`, `Bencher::iter` and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! calibrated wall-clock loop reporting the median of a few samples —
+//! adequate for the relative comparisons the `micro_kernels` bench makes,
+//! with none of upstream's statistics machinery.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Runs closures under measurement ([`Criterion::bench_function`]).
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+    measurement_time: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measures `f`: calibrates an iteration count to the measurement
+    /// window, then records the median of several timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: find how many iterations fit a sample slot.
+        let budget = self.measurement_time.as_secs_f64() / self.samples as f64;
+        let mut n = 1u64;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                std_black_box(f());
+            }
+            let dt = t.elapsed().as_secs_f64();
+            if dt > budget.min(0.01) || n >= 1 << 24 {
+                break dt / n as f64;
+            }
+            n *= 2;
+        };
+        let iters = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 28);
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std_black_box(f());
+                }
+                t.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        self.ns_per_iter = times[times.len() / 2] * 1e9;
+    }
+}
+
+fn run_one(
+    name: &str,
+    measurement_time: Duration,
+    samples: usize,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        ns_per_iter: 0.0,
+        measurement_time,
+        samples,
+    };
+    f(&mut b);
+    if b.ns_per_iter >= 1.0e6 {
+        println!("{name:<44} {:>12.3} ms/iter", b.ns_per_iter / 1e6);
+    } else if b.ns_per_iter >= 1.0e3 {
+        println!("{name:<44} {:>12.3} µs/iter", b.ns_per_iter / 1e3);
+    } else {
+        println!("{name:<44} {:>12.1} ns/iter", b.ns_per_iter);
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, Duration::from_millis(400), 5, &mut f);
+        self
+    }
+
+    /// Opens a named group whose settings apply to its benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            prefix: name.to_string(),
+            measurement_time: Duration::from_millis(400),
+            samples: 5,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    prefix: String,
+    measurement_time: Duration,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Sets the total measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.prefix);
+        run_one(&full, self.measurement_time, self.samples, &mut f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(3u64.pow(7)));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_chain_settings() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).measurement_time(Duration::from_millis(20));
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,573 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate (see `shims/README.md` for why these exist).
+//!
+//! A compact, fully deterministic property-testing runner implementing the
+//! API subset this workspace uses:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]` header;
+//! * [`strategy::Strategy`] with `prop_map`, [`strategy::Just`],
+//!   [`prop_oneof!`], integer-range strategies, tuple strategies,
+//!   [`collection::vec`], [`bool::ANY`] and simple `"[class]{lo,hi}"`
+//!   string patterns;
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! Differences from upstream, deliberately accepted: no shrinking (the
+//! failing case's seed and index are reported instead, and
+//! `PROPTEST_SEED=<u64>` replays a run), no persistence files, and value
+//! generation is simple uniform sampling. Properties in this workspace are
+//! written against small instances already, so minimal counterexamples
+//! matter less than a reproducible failure.
+
+pub mod test_runner {
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for a pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// The inputs did not satisfy a `prop_assume!` precondition; the
+        /// case is discarded and does not count toward `cases`.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (discarded) case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Outcome of one property invocation.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// The deterministic RNG handed to strategies.
+    pub struct TestRng(pub(crate) rand_chacha::ChaCha8Rng);
+
+    impl rand::RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    use rand::SeedableRng;
+
+    /// Base seed: fixed unless overridden via `PROPTEST_SEED`.
+    fn base_seed() -> u64 {
+        std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5eed_0f9e_3779_b9a1)
+    }
+
+    /// Drives one property: `cases` successes required, rejects retried up
+    /// to a bounded budget, failures panic with a replayable case id.
+    pub fn run_property(
+        config: &ProptestConfig,
+        name: &str,
+        mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+    ) {
+        let seed = base_seed();
+        let mut passed = 0u32;
+        let mut rejected = 0u64;
+        let reject_budget = 20 * config.cases as u64 + 1000;
+        let mut index = 0u64;
+        while passed < config.cases {
+            let mut rng = TestRng(rand_chacha::ChaCha8Rng::seed_from_u64(
+                seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ));
+            index += 1;
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > reject_budget {
+                        panic!(
+                            "property `{name}`: too many rejected cases \
+                             ({rejected} rejects for {passed} passes); \
+                             loosen the prop_assume! preconditions"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property `{name}` failed at case {} (base seed {seed}; \
+                         rerun with PROPTEST_SEED={seed}):\n{msg}",
+                        index - 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe producing values of `Self::Value` from the runner's RNG.
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among equally weighted strategies ([`prop_oneof!`]).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union of the given arms (must be non-empty).
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(*self.start()..=*self.end())
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+
+    /// `&str` patterns of the form `"[class]{lo,hi}"` act as `String`
+    /// strategies: a character class (literals, `a-z` ranges, `\n`/`\t`/
+    /// `\\` escapes) repeated between `lo` and `hi` times. This covers the
+    /// workspace's parser-fuzzing patterns without a regex engine;
+    /// unsupported patterns panic loudly rather than silently degrading.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_class_repeat(self)
+                .unwrap_or_else(|| panic!("unsupported string pattern: {self:?}"));
+            let len = rng.gen_range(lo..=hi);
+            (0..len)
+                .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+                .collect()
+        }
+    }
+
+    /// Parses `[class]{lo,hi}` into (alphabet, lo, hi).
+    fn parse_class_repeat(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class = &rest[..close];
+        let reps = rest[close + 1..]
+            .strip_prefix('{')?
+            .strip_suffix('}')?
+            .split_once(',')?;
+        let lo: usize = reps.0.trim().parse().ok()?;
+        let hi: usize = reps.1.trim().parse().ok()?;
+        if lo > hi {
+            return None;
+        }
+        let mut alphabet = Vec::new();
+        let mut chars = class.chars().peekable();
+        while let Some(c) = chars.next() {
+            let c = if c == '\\' {
+                match chars.next()? {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }
+            } else {
+                c
+            };
+            if chars.peek() == Some(&'-') {
+                let mut look = chars.clone();
+                look.next(); // the '-'
+                if let Some(&end) = look.peek().filter(|&&e| e != ']') {
+                    chars = look;
+                    chars.next();
+                    for v in (c as u32)..=(end as u32) {
+                        alphabet.extend(char::from_u32(v));
+                    }
+                    continue;
+                }
+            }
+            alphabet.push(c);
+        }
+        (!alphabet.is_empty()).then_some((alphabet, lo, hi))
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Length specifications accepted by [`vec`]: a fixed length or a
+    /// half-open range.
+    pub trait SizeSpec {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeSpec for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeSpec for core::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    /// The result of [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// A strategy for `Vec`s of `element` values with a [`SizeSpec`] length.
+    pub fn vec<S: Strategy, L: SizeSpec>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeSpec> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.gen::<core::primitive::bool>()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines deterministic property tests; see the crate docs for the
+/// supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            // The `#[test]` comes from the caller's own attribute list
+            // (upstream proptest's grammar requires writing it, so every
+            // call site already has one).
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_property(&config, stringify!($name), |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    let mut __case = || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// Property-test assertion: fails the case (without panicking mid-search)
+/// when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({}:{})\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(), __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({}:{}): {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(),
+                format!($($fmt)+), __l, __r
+            )));
+        }
+    }};
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {} ({}:{})\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Discards the case (without failing) when the precondition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+/// Uniform choice among the listed strategies (all arms must produce the
+/// same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$(Box::new($arm) as Box<dyn $crate::strategy::Strategy<Value = _>>),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng(rand_chacha::ChaCha8Rng::seed_from_u64(99))
+    }
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let (a, b) = (0u64..10, 5usize..8).generate(&mut r);
+            assert!(a < 10 && (5..8).contains(&b));
+            let v = (0usize..4).prop_map(|x| x * 2).generate(&mut r);
+            assert!(v % 2 == 0 && v < 8);
+        }
+    }
+
+    #[test]
+    fn vec_and_oneof_respect_their_specs() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = crate::collection::vec(crate::bool::ANY, 1..5).generate(&mut r);
+            assert!((1..5).contains(&v.len()));
+            let c = prop_oneof![Just('x'), Just('y')].generate(&mut r);
+            assert!(c == 'x' || c == 'y');
+        }
+        let fixed = crate::collection::vec(0u32..3, 7usize).generate(&mut r);
+        assert_eq!(fixed.len(), 7);
+    }
+
+    #[test]
+    fn string_patterns_draw_from_the_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[A-C x\\n]{0,16}".generate(&mut r);
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| "ABC x\n".contains(c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_wires_everything(x in 0usize..50, ys in crate::collection::vec(0u64..9, 0..6)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50);
+            prop_assert_eq!(ys.iter().filter(|&&y| y < 9).count(), ys.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_case_info() {
+        crate::test_runner::run_property(&ProptestConfig::with_cases(4), "always_fails", |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected cases")]
+    fn reject_storms_are_detected() {
+        crate::test_runner::run_property(&ProptestConfig::with_cases(4), "always_rejects", |_| {
+            Err(TestCaseError::reject("never satisfiable"))
+        });
+    }
+}

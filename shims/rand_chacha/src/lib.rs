@@ -1,0 +1,188 @@
+//! Offline stand-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! crate (see `shims/README.md` for why these exist).
+//!
+//! Implements the ChaCha stream cipher (D. J. Bernstein) as a deterministic
+//! RNG with the upstream state layout: 256-bit key from the seed, 64-bit
+//! block counter in words 12–13, 64-bit stream id in words 14–15, and the
+//! keystream emitted block-by-block as little-endian `u32` words. Together
+//! with the shimmed `rand`'s `seed_from_u64`, a fixed seed yields the same
+//! deterministic stream on every platform — which is all the workspace
+//! relies on (dataset generation, test instances, simulation policies).
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even (8, 12 or 20).
+fn block(input: &[u32; 16], rounds: u32) -> [u32; 16] {
+    let mut x = *input;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for (o, i) in x.iter_mut().zip(input.iter()) {
+        *o = o.wrapping_add(*i);
+    }
+    x
+}
+
+macro_rules! chacha_rng {
+    ($(#[$doc:meta])* $name:ident, $rounds:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            state: [u32; 16],
+            buf: [u32; 16],
+            /// Next unread word of `buf`; 16 means "refill needed".
+            pos: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.buf = block(&self.state, $rounds);
+                // 64-bit block counter in words 12–13.
+                let (lo, carry) = self.state[12].overflowing_add(1);
+                self.state[12] = lo;
+                if carry {
+                    self.state[13] = self.state[13].wrapping_add(1);
+                }
+                self.pos = 0;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut state = [0u32; 16];
+                state[..4].copy_from_slice(&CONSTANTS);
+                for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                    state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                // Words 12–15 (counter and stream id) start at zero.
+                $name {
+                    state,
+                    buf: [0; 16],
+                    pos: 16,
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.pos >= 16 {
+                    self.refill();
+                }
+                let w = self.buf[self.pos];
+                self.pos += 1;
+                w
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds — the workspace's deterministic workhorse RNG.
+    ChaCha8Rng,
+    8
+);
+chacha_rng!(
+    /// ChaCha with 12 rounds.
+    ChaCha12Rng,
+    12
+);
+chacha_rng!(
+    /// ChaCha with 20 rounds (the IETF/RFC 8439 strength).
+    ChaCha20Rng,
+    20
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_rfc8439_block_vector() {
+        // RFC 8439 §2.3.2 test vector, adapted to our 64-bit counter
+        // layout: key 00..1f, counter = 1, nonce words 0x09000000,
+        // 0x4a000000 placed in the stream-id words.
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&CONSTANTS);
+        for i in 0..8 {
+            let bytes = [
+                (4 * i) as u8,
+                (4 * i + 1) as u8,
+                (4 * i + 2) as u8,
+                (4 * i + 3) as u8,
+            ];
+            input[4 + i] = u32::from_le_bytes(bytes);
+        }
+        input[12] = 1;
+        input[13] = 0x0900_0000;
+        input[14] = 0x4a00_0000;
+        input[15] = 0;
+        let out = block(&input, 20);
+        let expected: [u32; 16] = [
+            0xe4e7f110, 0x15593bd1, 0x1fdd0f50, 0xc47120a3, 0xc7f4d1c7, 0x0368c033, 0x9aaa2204,
+            0x4e6cd4c3, 0x466482d2, 0x09aa9f07, 0x05d7c214, 0xa2028bd9, 0xd19c12b5, 0xb94e16de,
+            0xe883d0cb, 0x4e3c50a2,
+        ];
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn deterministic_and_replayable() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert!(xs.iter().any(|&x| x != c.next_u64()));
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..21 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn counter_carries_across_blocks() {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        // Draw more than one block's worth of words; all blocks distinct.
+        let w1: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        let w2: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        assert_ne!(w1, w2);
+    }
+}

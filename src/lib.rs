@@ -5,8 +5,8 @@
 
 pub use gentrius_core as core;
 pub use gentrius_datagen as datagen;
+pub use gentrius_msa as msa;
 pub use gentrius_parallel as parallel;
 pub use gentrius_sim as sim;
-pub use gentrius_msa as msa;
 pub use gentrius_superb as superb;
 pub use phylo;

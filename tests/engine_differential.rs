@@ -1,0 +1,259 @@
+//! Differential stress harness for the two-level work-stealing scheduler.
+//!
+//! §IV's preamble claims the serial and parallel versions "yield the exact
+//! same results for all datasets". The scheduler rewrite (per-worker steal
+//! deques + global injector) must preserve that: this harness runs ~50
+//! seeded random instances through the serial driver and the parallel
+//! engine at 1/2/4/8 threads and demands identical counters and identical
+//! canonical stand sets (sorted canonical Newick, the order-free form).
+//! The sweep is constructed to include dead-end-heavy instances, and two
+//! dedicated tests drive one instance into each deterministic stopping
+//! rule to check that both engines report the same cause with bounded
+//! overshoot.
+
+use gentrius_core::{
+    canonical_stand_set, run_serial, CollectNewick, CountOnly, GentriusConfig, StopCause,
+    StoppingRules,
+};
+use gentrius_datagen::{
+    empirical_dataset, simulated_dataset, Dataset, EmpiricalParams, MissingPattern, SimulatedParams,
+};
+use gentrius_parallel::{run_parallel, run_parallel_with_sinks, FlushThresholds, ParallelConfig};
+use phylo::generate::ShapeModel;
+
+const COLLECT_CAP: usize = 80_000;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// ~50 instances spanning all four missingness regimes plus the empirical
+/// generator — small enough to enumerate fully, varied enough to exercise
+/// splits, steals, dead ends and uneven initial divisions.
+fn differential_sweep() -> Vec<Dataset> {
+    let mut v = Vec::new();
+    for (k, pattern) in [
+        MissingPattern::Uniform,
+        MissingPattern::Clustered,
+        MissingPattern::ComprehensiveCore,
+        MissingPattern::RogueTaxa,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let sp = SimulatedParams {
+            taxa: (8, 14),
+            loci: (3, 5),
+            missing: (0.25, 0.5),
+            pattern,
+            shape: ShapeModel::Uniform,
+        };
+        v.extend((0..8).map(|i| simulated_dataset(&sp, 7040 + k as u64, i)));
+    }
+    let ep = EmpiricalParams {
+        taxa: (8, 14),
+        loci: (3, 5),
+        frac_with_missing: 0.8,
+        frac_heavy_missing: 0.4,
+    };
+    v.extend((0..10).map(|i| empirical_dataset(&ep, 7040, i)));
+    // A hard batch: bigger, sparser, clustered instances. These supply the
+    // dead-end enumerations and the multi-thousand-state searches that the
+    // stopping-rule tests below shrink their limits against.
+    let hard = SimulatedParams {
+        taxa: (14, 18),
+        loci: (5, 7),
+        missing: (0.5, 0.7),
+        pattern: MissingPattern::Clustered,
+        shape: ShapeModel::Uniform,
+    };
+    v.extend((0..8).map(|i| simulated_dataset(&hard, 7044, i)));
+    v
+}
+
+fn bounded_config() -> GentriusConfig {
+    GentriusConfig {
+        stopping: StoppingRules::counts(60_000, 300_000),
+        ..GentriusConfig::default()
+    }
+}
+
+#[test]
+fn serial_and_parallel_agree_across_the_sweep() {
+    let config = bounded_config();
+    let sweep = differential_sweep();
+    assert!(sweep.len() >= 50, "sweep shrank to {}", sweep.len());
+    let mut verified = 0usize;
+    let mut with_dead_ends = 0usize;
+    let mut saw_steal = false;
+    for d in &sweep {
+        let Ok(p) = d.problem() else { continue };
+        let mut serial_sink = CollectNewick::with_cap(&d.taxa, COLLECT_CAP);
+        let serial = run_serial(&p, &config, &mut serial_sink).expect("serial");
+        if !serial.complete() {
+            continue; // exact identity needs a complete enumeration
+        }
+        if serial.stats.dead_ends > 0 {
+            with_dead_ends += 1;
+        }
+        let serial_set = canonical_stand_set([serial_sink.out]);
+        for threads in THREAD_COUNTS {
+            let (par, sinks) = run_parallel_with_sinks(
+                &p,
+                &config,
+                &ParallelConfig::with_threads(threads),
+                |_| CollectNewick::with_cap(&d.taxa, COLLECT_CAP),
+            )
+            .expect("parallel");
+            assert!(
+                par.complete(),
+                "{} threads={threads}: spurious stop",
+                d.name
+            );
+            assert_eq!(
+                par.stats, serial.stats,
+                "{} threads={threads}: counters diverged",
+                d.name
+            );
+            let par_set = canonical_stand_set(sinks.into_iter().map(|s| s.out));
+            assert_eq!(
+                par_set, serial_set,
+                "{} threads={threads}: stand sets diverged",
+                d.name
+            );
+            saw_steal |= par.scheduler.steals > 0;
+        }
+        verified += 1;
+    }
+    assert!(
+        verified >= 35,
+        "too few fully-enumerable instances ({verified})"
+    );
+    assert!(
+        with_dead_ends >= 1,
+        "sweep lost its dead-end instances — the harness no longer stresses backtracking"
+    );
+    assert!(
+        saw_steal,
+        "no run ever stole a task — the scheduler was not exercised"
+    );
+}
+
+/// The first instance in the sweep whose complete enumeration crosses both
+/// thresholds, so shrunken limits are guaranteed to fire.
+fn limit_tripping_instance(min_trees: u64, min_states: u64) -> (Dataset, u64, u64) {
+    let config = bounded_config();
+    for d in differential_sweep() {
+        let Ok(p) = d.problem() else { continue };
+        let Ok(r) = run_serial(&p, &config, &mut CountOnly) else {
+            continue;
+        };
+        if r.complete()
+            && r.stats.stand_trees >= min_trees
+            && r.stats.intermediate_states >= min_states
+        {
+            return (d, r.stats.stand_trees, r.stats.intermediate_states);
+        }
+    }
+    panic!("no sweep instance crosses trees>={min_trees}, states>={min_states}");
+}
+
+#[test]
+fn stand_tree_limit_fires_in_both_engines_with_bounded_overshoot() {
+    let (d, total_trees, _) = limit_tripping_instance(200, 200);
+    let p = d.problem().expect("valid");
+    let limit = total_trees / 2;
+    let config = GentriusConfig {
+        stopping: StoppingRules::counts(limit, u64::MAX),
+        ..GentriusConfig::default()
+    };
+    let serial = run_serial(&p, &config, &mut CountOnly).expect("serial");
+    assert_eq!(serial.stop, Some(StopCause::StandTreeLimit), "{}", d.name);
+    for threads in THREAD_COUNTS {
+        let mut pcfg = ParallelConfig::with_threads(threads);
+        let batch = 16u64;
+        pcfg.flush = FlushThresholds {
+            stand_trees: batch,
+            intermediate_states: batch,
+            dead_ends: batch,
+        };
+        let par = run_parallel(&p, &config, &pcfg).expect("parallel");
+        assert_eq!(
+            par.stop,
+            Some(StopCause::StandTreeLimit),
+            "{} threads={threads}",
+            d.name
+        );
+        // One in-flight batch per worker, plus one step per worker between
+        // the stop being raised and each worker's next poll.
+        let bound = limit + batch * threads as u64 + threads as u64;
+        assert!(
+            par.stats.stand_trees <= bound,
+            "{} threads={threads}: {} trees overshoots limit {limit} (bound {bound})",
+            d.name,
+            par.stats.stand_trees
+        );
+    }
+}
+
+#[test]
+fn state_limit_fires_in_both_engines_with_bounded_overshoot() {
+    let (d, _, total_states) = limit_tripping_instance(200, 200);
+    let p = d.problem().expect("valid");
+    let limit = total_states / 2;
+    let config = GentriusConfig {
+        stopping: StoppingRules::counts(u64::MAX, limit),
+        ..GentriusConfig::default()
+    };
+    let serial = run_serial(&p, &config, &mut CountOnly).expect("serial");
+    assert_eq!(serial.stop, Some(StopCause::StateLimit), "{}", d.name);
+    for threads in THREAD_COUNTS {
+        let mut pcfg = ParallelConfig::with_threads(threads);
+        let batch = 16u64;
+        pcfg.flush = FlushThresholds {
+            stand_trees: batch,
+            intermediate_states: batch,
+            dead_ends: batch,
+        };
+        let par = run_parallel(&p, &config, &pcfg).expect("parallel");
+        assert_eq!(
+            par.stop,
+            Some(StopCause::StateLimit),
+            "{} threads={threads}",
+            d.name
+        );
+        let bound = limit + batch * threads as u64 + threads as u64;
+        assert!(
+            par.stats.intermediate_states <= bound,
+            "{} threads={threads}: {} states overshoots limit {limit} (bound {bound})",
+            d.name,
+            par.stats.intermediate_states
+        );
+    }
+}
+
+#[test]
+fn time_limit_fires_in_both_engines() {
+    // The serial driver only examines the clock every 8192 events, so the
+    // instance must be big enough to reach that first checkpoint.
+    let (d, _, _) = limit_tripping_instance(1, 6_000);
+    let p = d.problem().expect("valid");
+    let config = GentriusConfig {
+        stopping: StoppingRules {
+            max_stand_trees: None,
+            max_intermediate_states: None,
+            max_time: Some(std::time::Duration::ZERO),
+        },
+        ..GentriusConfig::default()
+    };
+    let serial = run_serial(&p, &config, &mut CountOnly).expect("serial");
+    assert_eq!(serial.stop, Some(StopCause::TimeLimit), "{}", d.name);
+    for threads in [2usize, 8] {
+        let mut pcfg = ParallelConfig::with_threads(threads);
+        pcfg.flush = FlushThresholds::unbatched();
+        let par = run_parallel(&p, &config, &pcfg).expect("parallel");
+        assert_eq!(
+            par.stop,
+            Some(StopCause::TimeLimit),
+            "{} threads={threads}",
+            d.name
+        );
+    }
+}

@@ -35,7 +35,8 @@ fn generate_save_load_enumerate_crossvalidate_score() {
     };
     for i in 0..6u64 {
         let d = simulated_dataset(&params, 2026, i);
-        d.save(&dir.join(format!("{}.dataset", d.name))).expect("save");
+        d.save(&dir.join(format!("{}.dataset", d.name)))
+            .expect("save");
     }
 
     // 2. Load the suite back through the file format.
@@ -102,11 +103,8 @@ fn generate_save_load_enumerate_crossvalidate_score() {
     // 6. The CLI-facing text formats round-trip the supermatrix too.
     let taxa = TaxonSet::with_synthetic(8);
     let mut rng4 = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(4);
-    let tree = phylo::generate::random_tree_on_n(
-        8,
-        phylo::generate::ShapeModel::Uniform,
-        &mut rng4,
-    );
+    let tree =
+        phylo::generate::random_tree_on_n(8, phylo::generate::ShapeModel::Uniform, &mut rng4);
     let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(5);
     let m = simulate_supermatrix(&tree, 2, &SimulateParams::default(), None, &mut rng);
     let (phy, parts) = m.to_phylip(&taxa);

@@ -37,11 +37,7 @@ fn brute_force_stand(problem: &StandProblem, taxa: &TaxonSet) -> Vec<String> {
 
 /// Generates a random problem: a hidden source tree on `n ≤ 8` taxa,
 /// restricted to `m` random (≥4-taxon) subsets covering all taxa.
-fn random_problem(
-    n: usize,
-    m: usize,
-    rng: &mut ChaCha8Rng,
-) -> (TaxonSet, StandProblem) {
+fn random_problem(n: usize, m: usize, rng: &mut ChaCha8Rng) -> (TaxonSet, StandProblem) {
     let taxa = TaxonSet::with_synthetic(n);
     loop {
         let source = random_tree_on_n(n, ShapeModel::Uniform, rng);

@@ -66,8 +66,12 @@ fn superb_agrees_on_handmade_mixed_overlap() {
         let Ok(p) = StandProblem::from_species_tree_and_pam(&tree, &pam) else {
             continue;
         };
-        let Some(gentrius) = gentrius_count(&p) else { continue };
-        let Ok(superb) = superb_count(&p) else { continue };
+        let Some(gentrius) = gentrius_count(&p) else {
+            continue;
+        };
+        let Ok(superb) = superb_count(&p) else {
+            continue;
+        };
         assert_eq!(superb, gentrius as u128);
         checked += 1;
     }
@@ -101,5 +105,8 @@ fn capability_boundary_no_comprehensive_taxon() {
         let _ = gentrius_count(&p);
         boundary_hit += 1;
     }
-    assert!(boundary_hit >= 5, "want several boundary cases, got {boundary_hit}");
+    assert!(
+        boundary_hit >= 5,
+        "want several boundary cases, got {boundary_hit}"
+    );
 }

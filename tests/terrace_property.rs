@@ -9,8 +9,8 @@
 //! score identically — and trees *off* the stand generally do not.
 
 use gentrius_core::{CollectTrees, GentriusConfig, StoppingRules, Terrace};
-use gentrius_msa::{score, simulate_supermatrix, MissingMode, SimulateParams};
 use gentrius_datagen::{sample_pam, MissingPattern};
+use gentrius_msa::{score, simulate_supermatrix, MissingMode, SimulateParams};
 use phylo::generate::{random_tree_on_n, ShapeModel};
 use phylo::split::topo_eq;
 use rand::SeedableRng;
@@ -26,7 +26,13 @@ fn setup(seed: u64, n: usize, loci: usize, missing: f64) -> Option<Setup> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let species = random_tree_on_n(n, ShapeModel::Uniform, &mut rng);
     let pam = sample_pam(n, loci, missing, MissingPattern::Uniform, &mut rng);
-    let matrix = simulate_supermatrix(&species, loci, &SimulateParams::default(), Some(&pam), &mut rng);
+    let matrix = simulate_supermatrix(
+        &species,
+        loci,
+        &SimulateParams::default(),
+        Some(&pam),
+        &mut rng,
+    );
     let terrace = Terrace::from_species_tree_and_pam(&species, &pam).ok()?;
     let mut sink = CollectTrees::with_cap(3_000);
     let cfg = GentriusConfig {
@@ -45,7 +51,9 @@ fn setup(seed: u64, n: usize, loci: usize, missing: f64) -> Option<Setup> {
 fn all_stand_trees_have_identical_partitioned_parsimony_scores() {
     let mut interesting = 0;
     for seed in 0..20u64 {
-        let Some(s) = setup(seed, 12, 3, 0.4) else { continue };
+        let Some(s) = setup(seed, 12, 3, 0.4) else {
+            continue;
+        };
         if s.stand.len() < 2 {
             continue;
         }
@@ -59,7 +67,10 @@ fn all_stand_trees_have_identical_partitioned_parsimony_scores() {
         }
         interesting += 1;
     }
-    assert!(interesting >= 8, "only {interesting} multi-tree stands tested");
+    assert!(
+        interesting >= 8,
+        "only {interesting} multi-tree stands tested"
+    );
 }
 
 #[test]
@@ -71,7 +82,9 @@ fn wildcard_and_restricted_scoring_are_equivalent() {
     let mut rng = ChaCha8Rng::seed_from_u64(2025);
     let mut checked = 0;
     for seed in 0..12u64 {
-        let Some(s) = setup(seed, 12, 3, 0.45) else { continue };
+        let Some(s) = setup(seed, 12, 3, 0.45) else {
+            continue;
+        };
         for t in s.stand.iter().take(5) {
             assert_eq!(
                 score(t, &s.matrix, MissingMode::Wildcard),
@@ -98,7 +111,9 @@ fn stand_trees_have_identical_partitioned_likelihoods_too() {
     use gentrius_msa::log_likelihood;
     let mut interesting = 0;
     for seed in 0..14u64 {
-        let Some(s) = setup(seed, 12, 3, 0.4) else { continue };
+        let Some(s) = setup(seed, 12, 3, 0.4) else {
+            continue;
+        };
         if s.stand.len() < 2 {
             continue;
         }
@@ -123,7 +138,9 @@ fn off_stand_trees_usually_score_differently() {
     let mut distinguished = 0;
     let mut trials = 0;
     for seed in 40..60u64 {
-        let Some(s) = setup(seed, 12, 3, 0.35) else { continue };
+        let Some(s) = setup(seed, 12, 3, 0.35) else {
+            continue;
+        };
         if !s.complete || s.stand.is_empty() {
             continue;
         }
@@ -156,7 +173,9 @@ fn stand_trees_score_at_least_as_well_as_random_trees() {
     let mut wins = 0;
     let mut trials = 0;
     for seed in 100..112u64 {
-        let Some(s) = setup(seed, 12, 3, 0.3) else { continue };
+        let Some(s) = setup(seed, 12, 3, 0.3) else {
+            continue;
+        };
         if s.stand.is_empty() {
             continue;
         }
