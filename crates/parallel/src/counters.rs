@@ -9,9 +9,9 @@
 //! As in the paper, this means limits can be overshot by up to one batch per
 //! thread — the final counts are exact for the work actually performed.
 
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use gentrius_core::config::{StopCause, StoppingRules};
 use gentrius_core::stats::RunStats;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::time::Instant;
 
 /// Flush thresholds for the three local counters.
@@ -84,9 +84,17 @@ impl GlobalCounters {
     }
 
     /// True once any stopping rule has fired (polled by every worker).
+    ///
+    /// Acquire, pairing with the Release store in
+    /// [`GlobalCounters::raise_stop`]: a worker that observes `true` here
+    /// is guaranteed to also observe the cause CAS that preceded it, so
+    /// [`GlobalCounters::stop_cause`] cannot transiently read `None` after
+    /// `stopped()` returned `true`. (Found by the loom model in
+    /// `tests/loom_counters.rs`; the original `Relaxed` load allowed the
+    /// stop flag to outrun the cause byte.)
     #[inline]
     pub fn stopped(&self) -> bool {
-        self.stop.load(Ordering::Relaxed)
+        self.stop.load(Ordering::Acquire)
     }
 
     /// The first stopping rule that fired, if any.
@@ -222,7 +230,7 @@ impl Drop for LocalCounters<'_> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

@@ -14,6 +14,11 @@
 //! (a stale thief may read a slot that the CAS on `top` then disowns)
 //! only ever involves copying a pointer, never tearing a `Task`.
 //!
+//! The full ordering argument (which fences pair with which loads, why
+//! [`StealDeque::len`] may be stale, and why retired-buffer reclamation is
+//! safe) lives in DESIGN.md §"Memory model"; the `loom` suite
+//! (`tests/loom_deque.rs`), Miri, and TSan check it mechanically.
+//!
 //! # Ownership contract
 //!
 //! [`StealDeque::push`] and [`StealDeque::pop`] must only be called by
@@ -22,8 +27,8 @@
 //! (`pool.rs`) enforces single ownership at runtime by checking workers
 //! out through [`crate::pool::WorkerHandle`].
 
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
-use std::sync::Mutex;
+use crate::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use crate::sync::Mutex;
 
 /// One growable ring buffer generation.
 struct Buffer<T> {
@@ -83,8 +88,20 @@ pub struct StealDeque<T> {
     /// Current buffer generation.
     buffer: AtomicPtr<Buffer<T>>,
     /// Outgrown buffers. They may still be read by in-flight thieves that
-    /// loaded the pointer before a grow, so they are only freed on drop.
+    /// loaded the pointer before a grow, so the owner frees them only at a
+    /// provably quiescent point — see [`StealDeque::try_reclaim`].
     retired: Mutex<Vec<*mut Buffer<T>>>,
+    /// Lock-free mirror of `retired.len()`, so the owner's hot paths can
+    /// skip the lock when nothing is pending reclamation.
+    retired_len: AtomicUsize,
+    /// Thief latch: the number of [`StealDeque::steal`] calls currently
+    /// between their buffer load and their CAS. Reclamation requires this
+    /// to read zero *after* the buffer swap (SeqCst on both sides), which
+    /// proves no thief can still hold a retired buffer pointer.
+    steals_in_flight: AtomicUsize,
+    /// Diagnostic: times the buffer grew (read by the pool's report; not
+    /// part of the synchronization protocol, hence plain `std` atomic).
+    grows: std::sync::atomic::AtomicU64,
 }
 
 // The deque hands `T` across threads (owner pushes, thief receives).
@@ -95,12 +112,15 @@ impl<T> StealDeque<T> {
     /// An empty deque whose first buffer holds at least `min_cap` items
     /// (it grows beyond that transparently).
     pub fn with_min_capacity(min_cap: usize) -> Self {
-        let cap = min_cap.next_power_of_two().max(8);
+        let cap = min_cap.next_power_of_two().max(2);
         StealDeque {
             top: AtomicIsize::new(0),
             bottom: AtomicIsize::new(0),
             buffer: AtomicPtr::new(Box::into_raw(Buffer::new(cap))),
             retired: Mutex::new(Vec::new()),
+            retired_len: AtomicUsize::new(0),
+            steals_in_flight: AtomicUsize::new(0),
+            grows: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -117,6 +137,16 @@ impl<T> StealDeque<T> {
     /// True when [`StealDeque::len`] is zero.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Retired buffer generations not yet reclaimed (diagnostics/tests).
+    pub fn retired_buffers(&self) -> usize {
+        self.retired_len.load(Ordering::SeqCst)
+    }
+
+    /// Times the buffer has grown over the deque's lifetime.
+    pub fn grow_count(&self) -> u64 {
+        self.grows.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Owner-only: pushes an item at the bottom.
@@ -157,19 +187,34 @@ impl<T> StealDeque<T> {
             }
             Some(unsafe { *Box::from_raw(p) })
         } else {
-            // Already empty; restore bottom.
+            // Already empty; restore bottom. An empty deque is a cheap
+            // quiescent point to reclaim superseded buffers at.
             self.bottom.store(b + 1, Ordering::Relaxed);
+            if self.retired_len.load(Ordering::SeqCst) > 0 {
+                self.try_reclaim();
+            }
             None
         }
     }
 
     /// Any thread: tries to steal the oldest item (FIFO).
     pub fn steal(&self) -> Steal<T> {
+        // Latch open *before* the buffer pointer is loaded: the owner only
+        // frees retired buffers after observing the latch at zero, and the
+        // SeqCst total order then guarantees any later thief sees the
+        // post-swap buffer pointer (see DESIGN.md §"Memory model").
+        self.steals_in_flight.fetch_add(1, Ordering::SeqCst);
+        let r = self.steal_inner();
+        self.steals_in_flight.fetch_sub(1, Ordering::SeqCst);
+        r
+    }
+
+    fn steal_inner(&self) -> Steal<T> {
         let t = self.top.load(Ordering::Acquire);
         fence(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::Acquire);
         if t < b {
-            let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
+            let buf = unsafe { &*self.buffer.load(Ordering::SeqCst) };
             let p = buf.get(t);
             if self
                 .top
@@ -187,7 +232,7 @@ impl<T> StealDeque<T> {
     /// Doubles the buffer, copying the live window `t..b`. Owner-only,
     /// called from `push`. The old buffer is retired, not freed: a thief
     /// that loaded it before the swap may still read (stale but identical)
-    /// slots from it.
+    /// slots from it. Earlier retirees are reclaimed here when quiescent.
     fn grow(&self, t: isize, b: isize) {
         let old_ptr = self.buffer.load(Ordering::Relaxed);
         let old = unsafe { &*old_ptr };
@@ -195,8 +240,39 @@ impl<T> StealDeque<T> {
         for i in t..b {
             new.put(i, old.get(i));
         }
-        self.buffer.store(Box::into_raw(new), Ordering::Release);
-        self.retired.lock().unwrap().push(old_ptr);
+        // SeqCst so the swap is globally ordered against the thief latch;
+        // Release alone would publish the copied slots but not support the
+        // reclamation argument below.
+        self.buffer.store(Box::into_raw(new), Ordering::SeqCst);
+        {
+            let mut retired = self.retired.lock().unwrap();
+            retired.push(old_ptr);
+            self.retired_len.store(retired.len(), Ordering::SeqCst);
+        }
+        self.grows
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.try_reclaim();
+    }
+
+    /// Owner-only: frees retired buffers if no steal is in flight.
+    ///
+    /// Safety argument (SC-fragment reasoning over the SeqCst operations;
+    /// spelled out in DESIGN.md): every retired buffer was swapped out by a
+    /// SeqCst store S that precedes this SeqCst load L of the latch. A
+    /// thief holds a buffer pointer only between its latch increment A and
+    /// decrement, and loads the pointer (SeqCst) after A. If L reads zero,
+    /// every such A is ordered after L in the SeqCst total order, so the
+    /// thief's buffer load is ordered after S and returns the *new*
+    /// pointer — no thief can still reference a buffer retired before L.
+    fn try_reclaim(&self) {
+        if self.steals_in_flight.load(Ordering::SeqCst) != 0 {
+            return;
+        }
+        let mut retired = self.retired.lock().unwrap();
+        for p in retired.drain(..) {
+            drop(unsafe { Box::from_raw(p) });
+        }
+        self.retired_len.store(0, Ordering::SeqCst);
     }
 }
 
@@ -216,7 +292,7 @@ impl<T> Drop for StealDeque<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
@@ -247,9 +323,32 @@ mod tests {
             d.push(i);
         }
         assert_eq!(d.len(), 100);
+        assert!(d.grow_count() >= 5, "2 → 128 takes at least 6 doublings");
         for i in (0..100).rev() {
             assert_eq!(d.pop(), Some(i));
         }
+    }
+
+    #[test]
+    fn retired_buffers_are_reclaimed_at_quiescence() {
+        // Regression: retired grow buffers used to accumulate until Drop,
+        // leaking every superseded generation for a long-lived worker.
+        let d = StealDeque::with_min_capacity(2);
+        for i in 0..64 {
+            d.push(i);
+        }
+        assert!(d.grow_count() >= 5);
+        // No thief has ever touched this deque, so every grow reclaims its
+        // predecessors immediately: at most the latest retiree remains,
+        // and it is freed by the next quiescent point.
+        assert!(
+            d.retired_buffers() <= 1,
+            "retired buffers piled up: {}",
+            d.retired_buffers()
+        );
+        while d.pop().is_some() {}
+        d.pop(); // empty-deque quiescent point triggers reclamation
+        assert_eq!(d.retired_buffers(), 0, "quiescent deque kept retirees");
     }
 
     #[test]
@@ -261,7 +360,60 @@ mod tests {
         drop(d); // must not leak or double-free (asserted by miri/asan runs)
     }
 
+    /// Small enough for Miri to run in CI: exercises the grow-under-steal
+    /// path and the raw-pointer slot lifecycle with concurrency.
     #[test]
+    fn churned_grow_under_concurrent_steals_is_exact() {
+        const ITEMS: usize = 64;
+        let d = StealDeque::with_min_capacity(2);
+        let seen = (0..ITEMS).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let d = &d;
+            let seen = &seen;
+            let done = &done;
+            s.spawn(move || {
+                for i in 0..ITEMS {
+                    d.push(i);
+                    if i % 5 == 0 {
+                        if let Some(v) = d.pop() {
+                            seen[v].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                while let Some(v) = d.pop() {
+                    seen[v].fetch_add(1, Ordering::Relaxed);
+                }
+                done.store(true, Ordering::SeqCst);
+            });
+            for _ in 0..2 {
+                s.spawn(move || loop {
+                    match d.steal() {
+                        Steal::Success(v) => {
+                            seen[v].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::SeqCst) && d.is_empty() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        assert!(d.grow_count() >= 1, "tiny initial buffer never grew");
+        for (i, c) in seen.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            assert_eq!(n, 1, "item {i} executed {n} times");
+        }
+        d.pop();
+        assert_eq!(d.retired_buffers(), 0);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // covered by the smaller churn test above
     fn concurrent_steals_take_each_item_once() {
         const ITEMS: usize = 10_000;
         const THIEVES: usize = 4;

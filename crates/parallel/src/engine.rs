@@ -97,13 +97,18 @@ pub struct EngineReport {
     pub splits: u64,
     /// Initial-split chunks routed through the global injector.
     pub injected: u64,
+    /// Deque ring-buffer doublings across all workers (the Chase–Lev
+    /// `grow` path; non-zero whenever a deque outgrew its small initial
+    /// buffer — the churn stress profile asserts on this).
+    pub deque_grows: u64,
     /// Per-worker breakdown, in thread order.
     pub per_worker: Vec<SchedulerCounts>,
 }
 
 impl EngineReport {
-    /// Builds the aggregate from per-worker counts plus the injector tally.
-    fn from_counts(per_worker: Vec<SchedulerCounts>, injected: u64) -> Self {
+    /// Builds the aggregate from per-worker counts plus the injector and
+    /// deque-grow tallies.
+    fn from_counts(per_worker: Vec<SchedulerCounts>, injected: u64, deque_grows: u64) -> Self {
         let mut total = SchedulerCounts::default();
         for w in &per_worker {
             total.merge(w);
@@ -114,6 +119,7 @@ impl EngineReport {
             parks: total.parks,
             splits: total.splits,
             injected,
+            deque_grows,
             per_worker,
         }
     }
@@ -329,7 +335,11 @@ where
             initial_tree: initial,
             prefix: prefix_stats,
             stolen_tasks: pool.total_submitted(),
-            scheduler: EngineReport::from_counts(sched_counts, pool.total_injected() as u64),
+            scheduler: EngineReport::from_counts(
+                sched_counts,
+                pool.total_injected() as u64,
+                pool.total_deque_grows(),
+            ),
             workers,
         },
         sinks,

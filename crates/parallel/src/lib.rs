@@ -39,6 +39,17 @@
 //! crate) that checks the parallel engine against the serial driver on
 //! dozens of randomized instances at 1/2/4/8 threads.
 //!
+//! On top of that, the runtime's synchronization protocol is *model
+//! checked*: every protocol-relevant primitive is imported through the
+//! [`sync`] facade, which swaps in the `loom` interleaving explorer when
+//! built with `RUSTFLAGS="--cfg loom"`. The loom suites
+//! (`tests/loom_*.rs`) exhaustively enumerate schedules (up to a
+//! preemption bound) of the deque's push/pop/steal/grow paths, the
+//! counters' flush → stop-flag protocol, and the pool's park/wake and
+//! termination detection. Weak-memory coverage beyond loom's
+//! sequentially consistent exploration comes from the Miri and TSan CI
+//! jobs (`.github/workflows/concurrency.yml`).
+//!
 //! ```
 //! use gentrius_core::{GentriusConfig, StandProblem};
 //! use gentrius_parallel::{run_parallel, ParallelConfig};
@@ -61,6 +72,7 @@ pub mod counters;
 pub mod deque;
 pub mod engine;
 pub mod pool;
+pub mod sync;
 pub mod task;
 
 pub use counters::{FlushThresholds, GlobalCounters, LocalCounters};

@@ -25,10 +25,13 @@
 //! drain or an external [`TaskPool::shutdown`].
 
 use crate::deque::{Steal, StealDeque};
+use crate::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{Condvar, Mutex};
 use crate::task::Task;
 use std::collections::VecDeque;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+// Diagnostics (victim RNG, statistics, submit tallies) deliberately stay on
+// `std` atomics even under loom — see the `crate::sync` module docs.
+use std::sync::atomic::{AtomicU64, AtomicUsize as DiagAtomicUsize};
 
 /// Per-worker scheduler statistics (steal/park/split activity), collected
 /// lock-free and snapshot via [`TaskPool::scheduler_counts`].
@@ -105,10 +108,18 @@ pub struct TaskPool {
     /// Per-deque capacity: the §III-A "split only when there is room" gate.
     capacity: usize,
     /// Tasks ever pushed through worker deques (excludes injected chunks).
-    submitted: AtomicUsize,
+    submitted: DiagAtomicUsize,
     /// Tasks ever placed in the injector.
-    injected: AtomicUsize,
+    injected: DiagAtomicUsize,
 }
+
+/// Initial per-deque ring-buffer capacity. Deliberately small and
+/// *independent* of the capacity gate: buffers double on demand, so the
+/// Chase–Lev `grow` path (buffer swap + retire/reclaim) is live in
+/// production whenever `capacity` exceeds this, not dead code sized away
+/// at construction. The churn profile in `tests/engine_differential.rs`
+/// and the loom grow models rely on that.
+const INITIAL_DEQUE_BUF: usize = 8;
 
 /// How many randomized victim sweeps a worker makes before giving up on
 /// stealing (each sweep covers every other worker once, starting from a
@@ -139,7 +150,7 @@ impl TaskPool {
         assert!(capacity >= 1, "capacity must be positive");
         TaskPool {
             deques: (0..workers)
-                .map(|_| StealDeque::with_min_capacity(capacity))
+                .map(|_| StealDeque::with_min_capacity(INITIAL_DEQUE_BUF.min(capacity)))
                 .collect(),
             checked_out: (0..workers).map(|_| AtomicBool::new(false)).collect(),
             victim_rng: (0..workers)
@@ -154,8 +165,8 @@ impl TaskPool {
             cv: Condvar::new(),
             idlers: AtomicUsize::new(0),
             capacity,
-            submitted: AtomicUsize::new(0),
-            injected: AtomicUsize::new(0),
+            submitted: DiagAtomicUsize::new(0),
+            injected: DiagAtomicUsize::new(0),
         }
     }
 
@@ -237,6 +248,12 @@ impl TaskPool {
         self.stats.iter().map(StatCells::snapshot).collect()
     }
 
+    /// Total deque ring-buffer doublings across all workers (diagnostic;
+    /// the churn stress profile asserts this is non-zero).
+    pub fn total_deque_grows(&self) -> u64 {
+        self.deques.iter().map(StealDeque::grow_count).sum()
+    }
+
     /// Wakes one parked worker, eliding the syscall when nobody is parked.
     /// Callers must have published their work (deque push or injector
     /// store) *before* this; the SeqCst fence pairs with the parker's
@@ -302,7 +319,7 @@ impl TaskPool {
                         // Lost a race; move on and revisit this victim on
                         // the next sweep.
                         saw_retry = true;
-                        std::hint::spin_loop();
+                        crate::sync::hint::spin_loop();
                     }
                     Steal::Empty => {}
                 }
@@ -435,7 +452,7 @@ impl Drop for WorkerHandle<'_> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use phylo::taxa::TaxonId;

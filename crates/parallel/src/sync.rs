@@ -1,0 +1,46 @@
+//! Synchronization facade: `std::sync` in normal builds, `loom` under
+//! model checking.
+//!
+//! Every synchronization primitive the scheduler's *protocol* relies on —
+//! the deque's `top`/`bottom`/`buffer` atomics, the counters' stop flag,
+//! the pool's in-flight count, injector mutex and park condvar — is
+//! imported through this module. A normal build re-exports `std::sync`
+//! unchanged (zero cost: the re-exports inline away). Building with
+//! `RUSTFLAGS="--cfg loom"` swaps in the loom model checker, whose
+//! primitives are scheduler yield points, so `cargo test --cfg loom` can
+//! exhaustively explore interleavings (bounded preemptions; see
+//! `shims/loom`).
+//!
+//! Purely diagnostic state — steal/park statistics, victim-selection RNG
+//! cells, submitted/injected tallies — deliberately stays on
+//! `std::sync::atomic` even under loom: it is thread-private or
+//! monotonic-counter data that no protocol decision reads, and keeping it
+//! off the model keeps the interleaving space small enough to explore.
+
+#[cfg(loom)]
+pub use loom::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(not(loom))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Atomic types and fences (`loom`-swappable).
+pub mod atomic {
+    #[cfg(loom)]
+    pub use loom::sync::atomic::{
+        fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+
+    #[cfg(not(loom))]
+    pub use std::sync::atomic::{
+        fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+}
+
+/// Spin-loop hint (a scheduler yield point under loom).
+pub mod hint {
+    #[cfg(loom)]
+    pub use loom::hint::spin_loop;
+
+    #[cfg(not(loom))]
+    pub use std::hint::spin_loop;
+}

@@ -1,0 +1,109 @@
+//! Loom models of the batched-counter protocol (§III-B): flush → limit
+//! check → cause CAS → stop flag, and the paper's bounded-overshoot
+//! guarantee. Build and run with
+//! `RUSTFLAGS="--cfg loom" cargo test -p gentrius-parallel --test loom_counters`.
+#![cfg(loom)]
+
+use gentrius_core::config::{StopCause, StoppingRules};
+use gentrius_parallel::{FlushThresholds, GlobalCounters, LocalCounters};
+use loom::sync::Arc;
+
+fn small_thresholds() -> FlushThresholds {
+    FlushThresholds {
+        stand_trees: 2,
+        intermediate_states: 2,
+        dead_ends: 2,
+    }
+}
+
+/// The ordering contract behind the `stopped()` Acquire fix: any thread
+/// that observes the stop flag must also observe the cause. (The loom
+/// shim explores sequentially consistent interleavings, so this checks
+/// the *protocol order* — cause CAS strictly before flag store; the
+/// weak-memory half of the argument is TSan/Miri territory.)
+#[test]
+fn observed_stop_always_has_a_cause() {
+    loom::model(|| {
+        let g = Arc::new(GlobalCounters::new(StoppingRules::counts(2, u64::MAX)));
+        let g2 = Arc::clone(&g);
+        let h = loom::thread::spawn(move || {
+            let mut l = LocalCounters::new(&g2, small_thresholds());
+            l.stand_tree();
+            l.stand_tree(); // flush: hits the limit, raises stop
+        });
+        if g.stopped() {
+            assert!(
+                g.stop_cause().is_some(),
+                "stop flag visible before its cause"
+            );
+        }
+        h.join().unwrap();
+        assert!(g.stopped());
+        assert_eq!(g.stop_cause(), Some(StopCause::StandTreeLimit));
+    });
+}
+
+/// Two workers racing to raise different causes: exactly one wins, and
+/// the answer never changes once set.
+#[test]
+fn first_cause_wins_under_contention() {
+    loom::model(|| {
+        let g = Arc::new(GlobalCounters::new(StoppingRules::unlimited()));
+        let g2 = Arc::clone(&g);
+        let h = loom::thread::spawn(move || g2.raise_stop(StopCause::StateLimit));
+        g.raise_stop(StopCause::StandTreeLimit);
+        let first = g.stop_cause();
+        h.join().unwrap();
+        assert!(matches!(
+            first,
+            None | Some(StopCause::StandTreeLimit) | Some(StopCause::StateLimit)
+        ));
+        let settled = g.stop_cause().expect("both raises done, cause must be set");
+        if let Some(f) = first {
+            assert_eq!(f, settled, "cause changed after being set");
+        }
+        assert!(g.stopped());
+    });
+}
+
+/// The paper's overshoot bound: workers poll `stopped()` between batches,
+/// so the global total can exceed the limit by at most one batch per
+/// thread — in every schedule.
+#[test]
+fn overshoot_is_bounded_by_one_batch_per_thread() {
+    const LIMIT: u64 = 2;
+    const BATCH: u64 = 2;
+    const THREADS: u64 = 2;
+    loom::model(|| {
+        let g = Arc::new(GlobalCounters::new(StoppingRules::counts(LIMIT, u64::MAX)));
+        let work = |g: Arc<GlobalCounters>| {
+            let mut l = LocalCounters::new(
+                &g,
+                FlushThresholds {
+                    stand_trees: BATCH,
+                    intermediate_states: u64::MAX,
+                    dead_ends: u64::MAX,
+                },
+            );
+            // Up to 3 batches, checking the stop flag between batches as
+            // the engine's worker loop does.
+            for _ in 0..3 {
+                if g.stopped() {
+                    break;
+                }
+                l.stand_tree();
+                l.stand_tree();
+            }
+        };
+        let g2 = Arc::clone(&g);
+        let h = loom::thread::spawn(move || work(g2));
+        work(Arc::clone(&g));
+        h.join().unwrap();
+        let total = g.snapshot().stand_trees;
+        assert!(g.stopped(), "limit reached but stop never raised");
+        assert!(
+            (LIMIT..=LIMIT + BATCH * THREADS).contains(&total),
+            "overshoot bound violated: total={total}"
+        );
+    });
+}

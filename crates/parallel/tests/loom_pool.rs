@@ -1,0 +1,109 @@
+//! Loom models of the pool's park/wake and termination-detection
+//! protocol: a task pushed while a worker is parking must never be lost
+//! to a sleeping pool, preregistered chunks must hold off termination,
+//! and shutdown must wake every sleeper. Build and run with
+//! `RUSTFLAGS="--cfg loom" cargo test -p gentrius-parallel --test loom_pool`.
+#![cfg(loom)]
+
+use gentrius_parallel::{Task, TaskPool};
+use loom::sync::Arc;
+use phylo::taxa::TaxonId;
+use phylo::tree::EdgeId;
+
+fn task(i: u32) -> Task {
+    Task::at_split(TaxonId(0), vec![EdgeId(i)])
+}
+
+/// The lost-wakeup hazard: worker 1 may be anywhere in its park sequence
+/// (idlers increment, work re-check, condvar wait) when worker 0 splits
+/// off a task. In every schedule the task must be executed and the pool
+/// must terminate — a missed wake would deadlock the model.
+#[test]
+fn split_task_is_never_lost_to_a_parking_worker() {
+    loom::model(|| {
+        let p = Arc::new(TaskPool::new(2, 4));
+        // Worker 0 starts with a preregistered chunk, as in the engine's
+        // initial split, so the pool cannot drain before it acts.
+        p.preregister_active(1);
+        let p2 = Arc::clone(&p);
+        let consumer = loom::thread::spawn(move || {
+            let w = p2.worker(1);
+            let mut got = 0;
+            while let Some(_t) = w.next_task() {
+                got += 1;
+                w.task_done();
+            }
+            got
+        });
+        let w0 = p.worker(0);
+        w0.try_push(task(1)).unwrap(); // split off one task mid-chunk
+        w0.task_done(); // chunk itself finishes
+        drop(w0);
+        let got = consumer.join().unwrap();
+        assert_eq!(got, 1, "split-off task was lost");
+        assert!(p.is_done());
+    });
+}
+
+/// Termination detection vs. direct hand-off: while a preregistered chunk
+/// is in flight, an idle worker must park, not declare the pool drained;
+/// the chunk's `task_done` alone releases it.
+#[test]
+fn preregistered_chunk_defers_termination() {
+    loom::model(|| {
+        let p = Arc::new(TaskPool::new(2, 4));
+        p.preregister_active(1);
+        let p2 = Arc::clone(&p);
+        let idler = loom::thread::spawn(move || p2.worker(1).next_task());
+        let w0 = p.worker(0);
+        // The chunk runs to completion without ever touching the queues.
+        w0.task_done();
+        drop(w0);
+        assert!(idler.join().unwrap().is_none());
+        assert!(p.is_done(), "drain not detected after final task_done");
+    });
+}
+
+/// An external stop (stopping rule fired) must wake a parked worker in
+/// every schedule, even one that raced into the condvar just before the
+/// notify.
+#[test]
+fn shutdown_wakes_a_parked_worker() {
+    loom::model(|| {
+        let p = Arc::new(TaskPool::new(2, 4));
+        p.preregister_active(1); // keeps the worker from self-draining
+        let p2 = Arc::clone(&p);
+        let idler = loom::thread::spawn(move || p2.worker(1).next_task());
+        p.shutdown();
+        assert!(idler.join().unwrap().is_none());
+        assert!(p.is_done());
+    });
+}
+
+/// Injected work races a parking worker: the injector path (length
+/// mirror + wake) must be as lost-wakeup-free as the deque path.
+#[test]
+fn injected_task_reaches_a_parking_worker() {
+    loom::model(|| {
+        let p = Arc::new(TaskPool::new(2, 4));
+        p.preregister_active(1); // the chunk worker 0 is busy with
+        let p2 = Arc::clone(&p);
+        let consumer = loom::thread::spawn(move || {
+            let w = p2.worker(1);
+            let mut got = 0;
+            while let Some(_t) = w.next_task() {
+                got += 1;
+                w.task_done();
+            }
+            got
+        });
+        let w0 = p.worker(0);
+        p.inject(task(9));
+        // Balance the preregistered chunk *after* injecting so the pool
+        // cannot drain before the task is visible.
+        w0.task_done();
+        drop(w0);
+        assert_eq!(consumer.join().unwrap(), 1, "injected task lost");
+        assert!(p.is_done());
+    });
+}

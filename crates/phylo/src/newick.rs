@@ -103,20 +103,21 @@ impl<'a> Parser<'a> {
         if self.peek() == Some(b'\'') {
             self.pos += 1;
             let start = self.pos;
-            let mut label = String::new();
+            // Collect raw bytes and validate UTF-8 once at the end: pushing
+            // bytes as chars would latin-1-mangle multi-byte labels.
+            let mut label_bytes = Vec::new();
             loop {
                 match self.peek() {
                     Some(b'\'') if self.bytes.get(self.pos + 1) == Some(&b'\'') => {
-                        label.push('\'');
+                        label_bytes.push(b'\'');
                         self.pos += 2;
                     }
                     Some(b'\'') => {
                         self.pos += 1;
                         break;
                     }
-                    Some(_) => {
-                        let c = self.bytes[self.pos];
-                        label.push(c as char);
+                    Some(c) => {
+                        label_bytes.push(c);
                         self.pos += 1;
                     }
                     None => {
@@ -127,6 +128,10 @@ impl<'a> Parser<'a> {
                     }
                 }
             }
+            let label = String::from_utf8(label_bytes).map_err(|_| NewickError {
+                at: start,
+                msg: "quoted label is not UTF-8".into(),
+            })?;
             if label.is_empty() {
                 return self.err("empty quoted label");
             }
@@ -175,6 +180,22 @@ impl<'a> Parser<'a> {
     }
 
     fn tree(&mut self) -> Result<Parsed, NewickError> {
+        self.skip_ws();
+        // A bare ";" (or nothing at all) is the empty tree — the form the
+        // writer emits for zero-leaf trees, so it must parse back.
+        if matches!(self.peek(), None | Some(b';')) {
+            if self.peek() == Some(b';') {
+                self.pos += 1;
+            }
+            self.skip_ws();
+            if self.pos != self.bytes.len() {
+                return self.err("trailing characters after tree");
+            }
+            return Ok(Parsed {
+                label: None,
+                children: Vec::new(),
+            });
+        }
         let t = self.subtree()?;
         self.skip_ws();
         if self.peek() == Some(b';') {
@@ -232,6 +253,9 @@ fn build(p: &Parsed, taxa: &TaxonSet, tree: &mut Tree) -> Result<NodeId, NewickE
 fn build_tree(p: &Parsed, taxa: &TaxonSet) -> Result<Tree, NewickError> {
     let mut tree = Tree::new(taxa.len());
     if p.children.is_empty() {
+        if p.label.is_none() {
+            return Ok(tree); // the empty tree (bare ";")
+        }
         build(p, taxa, &mut tree)?;
         return Ok(tree);
     }
@@ -323,8 +347,13 @@ pub fn to_newick(tree: &Tree, taxa: &TaxonSet) -> String {
             return s;
         }
         1 => {
-            let (_, t) = tree.leaves().next().unwrap();
-            write!(s, "{};", format_label(taxa.name(t))).unwrap();
+            // Defensive: fall through to ";" rather than panic if the
+            // leaf count and the leaf iterator ever disagree.
+            if let Some((_, t)) = tree.leaves().next() {
+                write!(s, "{};", format_label(taxa.name(t))).unwrap();
+            } else {
+                s.push(';');
+            }
             return s;
         }
         2 => {
@@ -341,9 +370,18 @@ pub fn to_newick(tree: &Tree, taxa: &TaxonSet) -> String {
         }
         _ => {}
     }
-    let min_taxon = TaxonId(tree.taxa().min_member().unwrap() as u32);
-    let start_leaf = tree.leaf(min_taxon).unwrap();
-    let first_edge = tree.adjacent_edges(start_leaf)[0];
+    let Some(min_member) = tree.taxa().min_member() else {
+        s.push(';'); // leaf_count >= 3 but no taxa: degenerate, not a panic
+        return s;
+    };
+    let min_taxon = TaxonId(min_member as u32);
+    let start_leaf = tree
+        .leaf(min_taxon)
+        .expect("taxon set lists a taxon with no leaf node");
+    let first_edge = *tree
+        .adjacent_edges(start_leaf)
+        .first()
+        .expect("leaf of a multi-leaf tree must have an incident edge");
     let hub = tree.opposite(first_edge, start_leaf);
 
     // Render the unrooted tree as (min_leaf, rest...) rooted at `hub`.
@@ -478,6 +516,42 @@ mod tests {
     }
 
     #[test]
+    fn empty_tree_roundtrips() {
+        // Writer emits ";" for the zero-leaf tree; the parser must accept
+        // it back (it used to reject with "expected a leaf label").
+        let taxa = crate::taxa::TaxonSet::new();
+        let empty = Tree::new(0);
+        let s = to_newick(&empty, &taxa);
+        assert_eq!(s, ";");
+        let re = parse_newick(&s, &taxa).unwrap();
+        assert_eq!(re.leaf_count(), 0);
+        assert_eq!(re.node_count(), 0);
+        // Bare and whitespace-padded forms too.
+        assert_eq!(parse_newick("", &taxa).unwrap().leaf_count(), 0);
+        assert_eq!(parse_newick("  ;  ", &taxa).unwrap().leaf_count(), 0);
+    }
+
+    #[test]
+    fn single_leaf_roundtrips() {
+        let (taxa, trees) = parse_forest(["A;"]).unwrap();
+        assert_eq!(trees[0].leaf_count(), 1);
+        let s = to_newick(&trees[0], &taxa);
+        assert_eq!(s, "A;");
+        let re = parse_newick(&s, &taxa).unwrap();
+        assert_eq!(re.leaf_count(), 1);
+        assert!(re.leaf(crate::taxa::TaxonId(0)).is_some());
+    }
+
+    #[test]
+    fn two_leaf_roundtrips() {
+        let (taxa, trees) = parse_forest(["(A,B);"]).unwrap();
+        let s = to_newick(&trees[0], &taxa);
+        let re = parse_newick(&s, &taxa).unwrap();
+        assert_eq!(re.leaf_count(), 2);
+        assert_eq!(to_newick(&re, &taxa), s);
+    }
+
+    #[test]
     fn display_relationship_survives_roundtrip() {
         let (taxa, trees) = parse_forest(["(((A,B),(C,D)),E);", "((A,B),C);"]).unwrap();
         assert!(displays(&trees[0], &trees[1]));
@@ -524,5 +598,17 @@ mod quoted_tests {
     fn unterminated_quote_is_an_error() {
         assert!(parse_forest(["(('A B,C),(D,E));"]).is_err());
         assert!(parse_forest(["('',A,B);"]).is_err());
+    }
+
+    #[test]
+    fn non_ascii_quoted_labels_are_not_mangled() {
+        // Regression: the quoted-label loop used to push raw bytes as
+        // chars, latin-1-mangling multi-byte UTF-8 ("sápiens" → "sÃ¡piens").
+        let (taxa, trees) = parse_forest(["(('Homo sápiens','日本 ザル'),(C,D));"]).unwrap();
+        assert!(taxa.get("Homo sápiens").is_some(), "label was mangled");
+        assert!(taxa.get("日本 ザル").is_some(), "label was mangled");
+        let out = to_newick(&trees[0], &taxa);
+        let re = parse_newick(&out, &taxa).unwrap();
+        assert!(crate::split::topo_eq(&trees[0], &re));
     }
 }

@@ -191,6 +191,61 @@ proptest! {
     }
 
     #[test]
+    fn hostile_labels_survive_newick_roundtrip(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(0usize..16, 0..8),
+            1..6,
+        ),
+    ) {
+        use phylo::newick::{parse_newick, to_newick};
+        use phylo::taxa::TaxonSet;
+        // Every Newick metacharacter plus whitespace and multi-byte UTF-8:
+        // each must survive format_label → parser unchanged.
+        const POOL: [char; 16] = [
+            'a', 'Z', '0', ' ', '\t', '(', ')', ',', ':', ';', '\'', '[', ']', '_', 'é', '木',
+        ];
+        let labels: Vec<String> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, ix)| {
+                let mut l: String = ix.iter().map(|&j| POOL[j]).collect();
+                l.push_str(&format!("#{i}")); // unique and non-empty
+                l
+            })
+            .collect();
+        let mut taxa = TaxonSet::new();
+        let ids: Vec<_> = labels.iter().map(|l| taxa.intern(l)).collect();
+        let mut tree = phylo::Tree::new(taxa.len());
+        match ids.len() {
+            1 => {
+                tree.add_node(Some(ids[0]));
+            }
+            2 => {
+                let a = tree.add_node(Some(ids[0]));
+                let b = tree.add_node(Some(ids[1]));
+                tree.add_edge(a, b);
+            }
+            _ => {
+                let hub = tree.add_node(None);
+                for &id in &ids {
+                    let n = tree.add_node(Some(id));
+                    tree.add_edge(hub, n);
+                }
+            }
+        }
+        tree.validate().expect("constructed star tree is valid");
+        let out = to_newick(&tree, &taxa);
+        let re = parse_newick(&out, &taxa).expect("writer output must parse");
+        prop_assert_eq!(re.leaf_count(), labels.len());
+        for l in &labels {
+            let id = taxa.get(l).expect("label interned");
+            prop_assert!(re.leaf(id).is_some(), "label {:?} lost in roundtrip", l);
+        }
+        // Canonical form is stable across the round trip.
+        prop_assert_eq!(to_newick(&re, &taxa), out);
+    }
+
+    #[test]
     fn shape_stats_invariants(seed in 0u64..100_000, n in 4usize..40) {
         let tree = random_tree_on_n(n, ShapeModel::Yule, &mut ChaCha8Rng::seed_from_u64(seed));
         let s = shape_stats(&tree).expect("binary with >= 3 leaves");

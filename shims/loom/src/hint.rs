@@ -1,0 +1,7 @@
+//! Spin-loop hint: in a model, spinning must be a yield point or the
+//! spinner would starve the thread it is waiting on.
+
+/// Yield point standing in for `std::hint::spin_loop`.
+pub fn spin_loop() {
+    crate::rt::schedule();
+}

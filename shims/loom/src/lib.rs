@@ -1,0 +1,40 @@
+//! Offline stand-in for [`loom`](https://docs.rs/loom): a model checker for
+//! concurrent code, API-compatible with the subset the workspace uses.
+//!
+//! [`model`] runs a closure repeatedly, exploring **every** distinct thread
+//! interleaving of its atomic operations, mutex acquisitions, condvar
+//! waits/notifies, and spawns/joins — up to a configurable preemption bound
+//! (the number of times a *runnable* thread is switched away from; forced
+//! switches at blocking points are free). Bounded-preemption exploration is
+//! the classic CHESS result: almost all real schedule-sensitive bugs
+//! manifest within two preemptions, while the bound keeps the search space
+//! polynomial instead of exponential.
+//!
+//! # Scope and honesty
+//!
+//! Unlike real loom, this shim explores **sequentially consistent**
+//! interleavings only: the `Ordering` argument of every atomic operation is
+//! accepted but not modelled (each operation is executed `SeqCst` at a
+//! scheduler yield point). It therefore finds *logic* races — lost wakeups,
+//! double-takes, premature termination, counter protocol violations,
+//! use-after-free sequences — but cannot find bugs that require a weaker-
+//! than-SC execution to surface. Weak-memory defects are covered separately
+//! by the Miri and ThreadSanitizer CI jobs (see
+//! `.github/workflows/concurrency.yml`); the ordering *arguments* are kept
+//! in the code under test so those tools check them for real.
+//!
+//! Knobs (environment variables, matching loom's names where they exist):
+//!
+//! * `LOOM_MAX_PREEMPTIONS` — preemption bound (default 2).
+//! * `LOOM_MAX_ITERATIONS` — hard cap on explored executions (default
+//!   1,000,000; exceeding it panics rather than silently truncating).
+//! * `LOOM_LOG` — when set, prints the number of executions explored.
+
+#![warn(missing_docs)]
+
+pub mod hint;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::model;

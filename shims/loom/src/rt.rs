@@ -1,0 +1,508 @@
+//! The exploration runtime: a token-passing scheduler over real OS threads
+//! plus a DFS over scheduling decisions.
+//!
+//! Exactly one model thread runs at a time; every shim primitive
+//! (atomic op, mutex, condvar, spawn/join) calls back into [`schedule`] or
+//! one of the blocking entry points, which consult a recorded decision path.
+//! After each execution the last not-yet-exhausted decision is advanced
+//! (classic DFS odometer), so successive executions enumerate every
+//! schedule reachable within the preemption bound.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsGuard};
+
+/// Livelock guard: a single execution may not take more scheduler steps.
+const MAX_STEPS: usize = 1_000_000;
+
+/// Sentinel panic payload used to unwind secondary threads when the model
+/// aborts (deadlock, livelock, or a real panic on another thread).
+struct Abort;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCv(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// One recorded scheduling decision: the enabled set at that point and the
+/// index of the branch currently being explored.
+struct Choice {
+    enabled: Vec<usize>,
+    idx: usize,
+}
+
+struct SchedState {
+    threads: Vec<Run>,
+    current: usize,
+    /// Threads not yet `Finished`.
+    unfinished: usize,
+    path: Vec<Choice>,
+    /// Replay cursor into `path`.
+    pos: usize,
+    steps: usize,
+    preemptions: usize,
+    aborting: bool,
+    panic_payload: Option<Box<dyn Any + Send>>,
+    /// FIFO condvar waiters: (condvar key, thread id).
+    cv_waiters: Vec<(usize, usize)>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Execution {
+    lock: OsMutex<SchedState>,
+    cv: OsCondvar,
+    max_preemptions: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Execution {
+    fn new(path: Vec<Choice>, max_preemptions: usize) -> Self {
+        Execution {
+            lock: OsMutex::new(SchedState {
+                threads: Vec::new(),
+                current: 0,
+                unfinished: 0,
+                path,
+                pos: 0,
+                steps: 0,
+                preemptions: 0,
+                aborting: false,
+                panic_payload: None,
+                cv_waiters: Vec::new(),
+                os_handles: Vec::new(),
+            }),
+            cv: OsCondvar::new(),
+            max_preemptions,
+        }
+    }
+
+    /// Picks the next thread to run. `prefer` is the current thread when it
+    /// is still runnable (a voluntary yield point); `None` means the switch
+    /// is forced (block/finish) and does not count as a preemption. Returns
+    /// `None` when no thread is runnable.
+    fn decide(&self, st: &mut SchedState, prefer: Option<usize>) -> Option<usize> {
+        let mut enabled: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            return None;
+        }
+        if let Some(me) = prefer {
+            if st.preemptions >= self.max_preemptions {
+                // Budget spent: stay on the current thread.
+                enabled = vec![me];
+            } else {
+                // Explore "keep running" first — the cheap, preemption-free
+                // branch — then each preempting alternative.
+                enabled.sort_by_key(|&t| (t != me, t));
+            }
+        }
+        let chosen = if enabled.len() == 1 {
+            enabled[0]
+        } else {
+            let c = if st.pos < st.path.len() {
+                let c = &st.path[st.pos];
+                assert_eq!(
+                    c.enabled, enabled,
+                    "model is nondeterministic: enabled set diverged on replay"
+                );
+                c
+            } else {
+                st.path.push(Choice {
+                    enabled: enabled.clone(),
+                    idx: 0,
+                });
+                st.path.last().unwrap()
+            };
+            let picked = c.enabled[c.idx];
+            st.pos += 1;
+            picked
+        };
+        if prefer == Some(st.current) && chosen != st.current {
+            st.preemptions += 1;
+        }
+        Some(chosen)
+    }
+
+    /// Aborts the whole execution: records `payload` (unless one is already
+    /// recorded), marks the state aborting and wakes every thread.
+    fn abort(&self, st: &mut SchedState, payload: Box<dyn Any + Send>) {
+        if st.panic_payload.is_none() {
+            st.panic_payload = Some(payload);
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+    }
+
+    fn step_guard(&self, st: &mut SchedState) {
+        st.steps += 1;
+        if st.steps > MAX_STEPS {
+            self.abort(
+                st,
+                Box::new(format!(
+                    "loom shim: execution exceeded {MAX_STEPS} scheduler steps (livelock?)"
+                )),
+            );
+        }
+    }
+
+    /// Parks the calling OS thread until it is scheduled again (or the
+    /// model aborts, in which case this panics with [`Abort`]).
+    fn wait_until_scheduled<'a>(
+        &'a self,
+        mut st: OsGuard<'a, SchedState>,
+        me: usize,
+    ) -> OsGuard<'a, SchedState> {
+        loop {
+            if st.aborting {
+                drop(st);
+                panic::panic_any(Abort);
+            }
+            if st.current == me && st.threads[me] == Run::Runnable {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Voluntary yield point for the (runnable, current) thread `me`.
+    fn yield_point(&self, me: usize) {
+        let mut st = self.lock.lock().unwrap();
+        if st.aborting {
+            drop(st);
+            panic::panic_any(Abort);
+        }
+        self.step_guard(&mut st);
+        debug_assert_eq!(st.current, me, "yield from a non-current thread");
+        let chosen = self
+            .decide(&mut st, Some(me))
+            .expect("current thread is runnable");
+        if chosen != me {
+            st.current = chosen;
+            self.cv.notify_all();
+            let st = self.wait_until_scheduled(st, me);
+            drop(st);
+        }
+    }
+
+    /// Blocks the current thread with `state`, hands the token to another
+    /// runnable thread (deadlock-aborting if there is none), and returns
+    /// once this thread is runnable and scheduled again.
+    fn block_current(&self, me: usize, state: Run) {
+        let mut st = self.lock.lock().unwrap();
+        if st.aborting {
+            drop(st);
+            panic::panic_any(Abort);
+        }
+        self.step_guard(&mut st);
+        debug_assert_eq!(st.current, me);
+        st.threads[me] = state;
+        match self.decide(&mut st, None) {
+            Some(next) => {
+                st.current = next;
+                self.cv.notify_all();
+            }
+            None => {
+                let detail: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| format!("thread {i}: {s:?}"))
+                    .collect();
+                self.abort(
+                    &mut st,
+                    Box::new(format!(
+                        "loom shim: deadlock — no runnable thread\n{}",
+                        detail.join("\n")
+                    )),
+                );
+            }
+        }
+        let st = self.wait_until_scheduled(st, me);
+        drop(st);
+    }
+
+    /// Marks `me` finished, wakes its joiners, and hands the token on.
+    fn finish_thread(&self, me: usize, panicked: Option<Box<dyn Any + Send>>) {
+        let mut st = self.lock.lock().unwrap();
+        st.threads[me] = Run::Finished;
+        st.unfinished -= 1;
+        if let Some(p) = panicked {
+            if p.downcast_ref::<Abort>().is_none() {
+                self.abort(&mut st, p);
+            } else {
+                st.aborting = true;
+            }
+        }
+        for t in 0..st.threads.len() {
+            if st.threads[t] == Run::BlockedJoin(me) {
+                st.threads[t] = Run::Runnable;
+            }
+        }
+        if st.unfinished == 0 || st.aborting {
+            self.cv.notify_all();
+        } else if st.current == me {
+            match self.decide(&mut st, None) {
+                Some(next) => {
+                    st.current = next;
+                    self.cv.notify_all();
+                }
+                None => {
+                    let detail: Vec<String> = st
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| format!("thread {i}: {s:?}"))
+                        .collect();
+                    self.abort(
+                        &mut st,
+                        Box::new(format!(
+                            "loom shim: deadlock — all remaining threads blocked\n{}",
+                            detail.join("\n")
+                        )),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Registers a new model thread and spawns its OS carrier.
+    fn spawn_thread(self: &Arc<Self>, body: Box<dyn FnOnce() + Send>) -> usize {
+        let tid = {
+            let mut st = self.lock.lock().unwrap();
+            st.threads.push(Run::Runnable);
+            st.unfinished += 1;
+            st.threads.len() - 1
+        };
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-model-{tid}"))
+            .spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+                {
+                    let st = exec.lock.lock().unwrap();
+                    // First wait: may panic with Abort if the model died
+                    // before this thread ever ran.
+                    let aborted = panic::catch_unwind(AssertUnwindSafe(|| {
+                        drop(exec.wait_until_scheduled(st, tid))
+                    }))
+                    .is_err();
+                    if aborted {
+                        exec.finish_thread(tid, Some(Box::new(Abort)));
+                        return;
+                    }
+                }
+                let result = panic::catch_unwind(AssertUnwindSafe(body));
+                exec.finish_thread(tid, result.err());
+            })
+            .expect("spawn model carrier thread");
+        self.lock.lock().unwrap().os_handles.push(handle);
+        tid
+    }
+
+    /// Model-main side: waits for every model thread to finish, joins the
+    /// OS carriers, and surfaces the first real panic.
+    fn finish_execution(&self) -> (Vec<Choice>, Option<Box<dyn Any + Send>>) {
+        let mut st = self.lock.lock().unwrap();
+        while st.unfinished > 0 {
+            st = self.cv.wait(st).unwrap();
+        }
+        let handles = std::mem::take(&mut st.os_handles);
+        let payload = st.panic_payload.take();
+        let path = std::mem::take(&mut st.path);
+        drop(st);
+        for h in handles {
+            let _ = h.join();
+        }
+        (path, payload)
+    }
+}
+
+/// Pops exhausted trailing decisions and advances the deepest live one.
+/// Returns `false` when the whole tree has been explored.
+fn advance(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.idx + 1 < last.enabled.len() {
+            last.idx += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Explores every interleaving of `f` within the preemption bound,
+/// panicking (with the offending thread's panic) on the first failing
+/// schedule. See the crate docs for scope and knobs.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 1_000_000);
+    let f = Arc::new(f);
+    let mut path: Vec<Choice> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "loom shim: exceeded {max_iterations} executions — shrink the model \
+             or raise LOOM_MAX_ITERATIONS"
+        );
+        let exec = Arc::new(Execution::new(std::mem::take(&mut path), max_preemptions));
+        let f0 = Arc::clone(&f);
+        exec.spawn_thread(Box::new(move || f0()));
+        let (explored, payload) = exec.finish_execution();
+        if let Some(p) = payload {
+            eprintln!("loom shim: failing schedule found after {iterations} execution(s)");
+            match p.downcast::<String>() {
+                Ok(msg) => panic!("{msg}"),
+                Err(p) => panic::resume_unwind(p),
+            }
+        }
+        path = explored;
+        if !advance(&mut path) {
+            break;
+        }
+    }
+    if std::env::var("LOOM_LOG").is_ok() {
+        eprintln!("loom shim: explored {iterations} executions");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry points for the shim primitives (sync / thread modules).
+// ---------------------------------------------------------------------
+
+/// Yield point: lets the scheduler preempt here. No-op outside a model or
+/// while the calling thread is unwinding (so `Drop` impls stay safe).
+pub(crate) fn schedule() {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((exec, me)) = ctx() {
+        exec.yield_point(me);
+    }
+}
+
+/// True when called from inside a model thread that is not unwinding.
+pub(crate) fn in_model() -> bool {
+    !std::thread::panicking() && ctx().is_some()
+}
+
+/// Blocks until the mutex identified by `key` is released. The caller
+/// retries its acquire loop afterwards.
+pub(crate) fn block_on_mutex(key: usize) {
+    if let Some((exec, me)) = ctx() {
+        exec.block_current(me, Run::BlockedMutex(key));
+    }
+}
+
+/// Wakes every thread blocked on the mutex identified by `key`.
+pub(crate) fn mutex_released(key: usize) {
+    if std::thread::panicking() {
+        // During an abort the waiters are woken by the abort itself.
+        if let Some((exec, _)) = ctx() {
+            let mut st = exec.lock.lock().unwrap();
+            for t in 0..st.threads.len() {
+                if st.threads[t] == Run::BlockedMutex(key) {
+                    st.threads[t] = Run::Runnable;
+                }
+            }
+            return;
+        }
+        return;
+    }
+    if let Some((exec, _)) = ctx() {
+        let mut st = exec.lock.lock().unwrap();
+        for t in 0..st.threads.len() {
+            if st.threads[t] == Run::BlockedMutex(key) {
+                st.threads[t] = Run::Runnable;
+            }
+        }
+    }
+}
+
+/// Registers the current thread as a waiter on condvar `key`. Must be
+/// followed (with no intervening yield) by [`cv_block`].
+pub(crate) fn cv_enqueue(key: usize) {
+    if let Some((exec, me)) = ctx() {
+        exec.lock.lock().unwrap().cv_waiters.push((key, me));
+    }
+}
+
+/// Parks the current thread until a notify on `key` wakes it.
+pub(crate) fn cv_block(key: usize) {
+    if let Some((exec, me)) = ctx() {
+        exec.block_current(me, Run::BlockedCv(key));
+    }
+}
+
+/// Wakes one (FIFO) or all waiters of condvar `key`.
+pub(crate) fn cv_notify(key: usize, all: bool) {
+    let Some((exec, _)) = ctx() else { return };
+    let mut st = exec.lock.lock().unwrap();
+    let mut woken = 0usize;
+    let mut i = 0;
+    while i < st.cv_waiters.len() {
+        if st.cv_waiters[i].0 == key && (all || woken == 0) {
+            let (_, tid) = st.cv_waiters.remove(i);
+            debug_assert_eq!(st.threads[tid], Run::BlockedCv(key));
+            st.threads[tid] = Run::Runnable;
+            woken += 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Spawns a model thread running `body`; returns its model thread id.
+pub(crate) fn spawn(body: Box<dyn FnOnce() + Send>) -> usize {
+    let (exec, _) = ctx().expect("loom::thread::spawn used outside loom::model");
+    let tid = exec.spawn_thread(body);
+    // The spawn itself is a visible step: the child may run immediately.
+    schedule();
+    tid
+}
+
+/// Blocks until model thread `tid` finishes.
+pub(crate) fn join_block(tid: usize) {
+    let Some((exec, me)) = ctx() else { return };
+    loop {
+        {
+            let st = exec.lock.lock().unwrap();
+            if st.aborting {
+                drop(st);
+                panic::panic_any(Abort);
+            }
+            if st.threads[tid] == Run::Finished {
+                return;
+            }
+        }
+        exec.block_current(me, Run::BlockedJoin(tid));
+    }
+}

@@ -1,0 +1,171 @@
+//! Model-checked atomics. Every operation is a scheduler yield point, then
+//! executes `SeqCst` on a real atomic — the shim explores sequentially
+//! consistent interleavings and accepts (but does not model) the caller's
+//! `Ordering` arguments; see the crate docs for why that is the contract.
+
+use crate::rt;
+use std::sync::atomic::Ordering::SeqCst;
+
+pub use std::sync::atomic::Ordering;
+
+/// Yield point standing in for a memory fence (orderings are not modelled).
+pub fn fence(_order: Ordering) {
+    rt::schedule();
+    std::sync::atomic::fence(SeqCst);
+}
+
+macro_rules! int_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $t:ty) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name(std::sync::atomic::$std);
+
+        impl $name {
+            /// A new atomic holding `v`.
+            pub fn new(v: $t) -> Self {
+                Self(std::sync::atomic::$std::new(v))
+            }
+
+            /// Loads the value (yield point; executes `SeqCst`).
+            pub fn load(&self, _order: Ordering) -> $t {
+                rt::schedule();
+                self.0.load(SeqCst)
+            }
+
+            /// Stores `v` (yield point; executes `SeqCst`).
+            pub fn store(&self, v: $t, _order: Ordering) {
+                rt::schedule();
+                self.0.store(v, SeqCst)
+            }
+
+            /// Swaps in `v`, returning the previous value.
+            pub fn swap(&self, v: $t, _order: Ordering) -> $t {
+                rt::schedule();
+                self.0.swap(v, SeqCst)
+            }
+
+            /// Adds `v`, returning the previous value.
+            pub fn fetch_add(&self, v: $t, _order: Ordering) -> $t {
+                rt::schedule();
+                self.0.fetch_add(v, SeqCst)
+            }
+
+            /// Subtracts `v`, returning the previous value.
+            pub fn fetch_sub(&self, v: $t, _order: Ordering) -> $t {
+                rt::schedule();
+                self.0.fetch_sub(v, SeqCst)
+            }
+
+            /// Compare-and-exchange; both orderings are accepted unmodelled.
+            pub fn compare_exchange(
+                &self,
+                current: $t,
+                new: $t,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$t, $t> {
+                rt::schedule();
+                self.0.compare_exchange(current, new, SeqCst, SeqCst)
+            }
+        }
+    };
+}
+
+int_atomic!(
+    /// Model-checked `AtomicUsize`.
+    AtomicUsize, AtomicUsize, usize
+);
+int_atomic!(
+    /// Model-checked `AtomicIsize`.
+    AtomicIsize, AtomicIsize, isize
+);
+int_atomic!(
+    /// Model-checked `AtomicU64`.
+    AtomicU64, AtomicU64, u64
+);
+int_atomic!(
+    /// Model-checked `AtomicU8`.
+    AtomicU8, AtomicU8, u8
+);
+
+/// Model-checked `AtomicBool`.
+#[derive(Debug)]
+pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+impl AtomicBool {
+    /// A new atomic holding `v`.
+    pub fn new(v: bool) -> Self {
+        Self(std::sync::atomic::AtomicBool::new(v))
+    }
+
+    /// Loads the value (yield point; executes `SeqCst`).
+    pub fn load(&self, _order: Ordering) -> bool {
+        rt::schedule();
+        self.0.load(SeqCst)
+    }
+
+    /// Stores `v` (yield point; executes `SeqCst`).
+    pub fn store(&self, v: bool, _order: Ordering) {
+        rt::schedule();
+        self.0.store(v, SeqCst)
+    }
+
+    /// Swaps in `v`, returning the previous value.
+    pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+        rt::schedule();
+        self.0.swap(v, SeqCst)
+    }
+
+    /// Compare-and-exchange; both orderings are accepted unmodelled.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        rt::schedule();
+        self.0.compare_exchange(current, new, SeqCst, SeqCst)
+    }
+}
+
+/// Model-checked `AtomicPtr<T>`.
+#[derive(Debug)]
+pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+impl<T> AtomicPtr<T> {
+    /// A new atomic holding `p`.
+    pub fn new(p: *mut T) -> Self {
+        Self(std::sync::atomic::AtomicPtr::new(p))
+    }
+
+    /// Loads the pointer (yield point; executes `SeqCst`).
+    pub fn load(&self, _order: Ordering) -> *mut T {
+        rt::schedule();
+        self.0.load(SeqCst)
+    }
+
+    /// Stores `p` (yield point; executes `SeqCst`).
+    pub fn store(&self, p: *mut T, _order: Ordering) {
+        rt::schedule();
+        self.0.store(p, SeqCst)
+    }
+
+    /// Swaps in `p`, returning the previous pointer.
+    pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
+        rt::schedule();
+        self.0.swap(p, SeqCst)
+    }
+
+    /// Compare-and-exchange; both orderings are accepted unmodelled.
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        rt::schedule();
+        self.0.compare_exchange(current, new, SeqCst, SeqCst)
+    }
+}

@@ -1,0 +1,139 @@
+//! Model-checked versions of `std::sync` types: `Mutex`, `Condvar`, and
+//! the [`atomic`] module. Lock acquisition, release, waits and notifies are
+//! all scheduler decision points, so every interleaving of them (within the
+//! preemption bound) is explored by [`crate::model`].
+
+pub mod atomic;
+
+use crate::rt;
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool as OsAtomicBool, Ordering::SeqCst};
+
+pub use std::sync::Arc;
+pub use std::sync::LockResult;
+
+/// A model-checked mutual-exclusion lock. Never poisons: `lock` always
+/// returns `Ok` (a panicking model thread aborts the whole model instead).
+pub struct Mutex<T: ?Sized> {
+    /// Whether some model thread holds the lock. Accesses are serialized by
+    /// the scheduler token, so this never actually contends.
+    locked: OsAtomicBool,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub fn new(data: T) -> Self {
+        Mutex {
+            locked: OsAtomicBool::new(false),
+            data: UnsafeCell::new(data),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn key(&self) -> usize {
+        self as *const _ as *const u8 as usize
+    }
+
+    /// Acquires the lock, blocking (in model time) until available.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if rt::in_model() {
+            loop {
+                rt::schedule();
+                if !self.locked.swap(true, SeqCst) {
+                    break;
+                }
+                rt::block_on_mutex(self.key());
+            }
+        } else {
+            // Outside a model, or while unwinding during a model abort:
+            // spin — the owner is unwinding too and will release.
+            while self.locked.swap(true, SeqCst) {
+                std::thread::yield_now();
+            }
+        }
+        Ok(MutexGuard { lock: self })
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases (and lets the scheduler preempt) on
+/// drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, SeqCst);
+        rt::mutex_released(self.lock.key());
+        // The release is a visible step: a blocked thread may acquire
+        // before the former owner does anything else.
+        rt::schedule();
+    }
+}
+
+/// A model-checked condition variable (no spurious wakeups; `notify_one`
+/// wakes waiters FIFO).
+pub struct Condvar {
+    /// Only here to give every condvar a distinct address to key waiters
+    /// by; never read.
+    _addr: u8,
+}
+
+impl Condvar {
+    /// A new condvar with no waiters.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Condvar { _addr: 0 }
+    }
+
+    fn key(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    /// Atomically releases `guard` and waits for a notification, then
+    /// reacquires the mutex.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let key = self.key();
+        let mutex = guard.lock;
+        // Enqueue + release + block with no intervening yield point, so a
+        // notify cannot slip between "registered" and "parked" (the shim
+        // equivalent of the atomic unlock-and-wait guarantee).
+        rt::cv_enqueue(key);
+        mutex.locked.store(false, SeqCst);
+        rt::mutex_released(mutex.key());
+        std::mem::forget(guard);
+        rt::cv_block(key);
+        mutex.lock()
+    }
+
+    /// Wakes the longest-waiting thread, if any.
+    pub fn notify_one(&self) {
+        rt::schedule();
+        rt::cv_notify(self.key(), false);
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        rt::schedule();
+        rt::cv_notify(self.key(), true);
+    }
+}

@@ -1,0 +1,44 @@
+//! Model-checked thread spawn/join.
+
+use crate::rt;
+use std::sync::{Arc, Mutex as OsMutex};
+
+/// Handle to a model thread; [`JoinHandle::join`] blocks (in model time)
+/// until the thread finishes.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<OsMutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its value. A panicking
+    /// model thread aborts the whole model, so the `Err` arm is only ever
+    /// observed while that abort is unwinding.
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::join_block(self.tid);
+        match self.result.lock().unwrap().take() {
+            Some(v) => Ok(v),
+            None => Err(Box::new("loom model thread panicked".to_string())),
+        }
+    }
+}
+
+/// Spawns a new model thread. Must be called from inside [`crate::model`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(OsMutex::new(None));
+    let slot = Arc::clone(&result);
+    let tid = rt::spawn(Box::new(move || {
+        let v = f();
+        *slot.lock().unwrap() = Some(v);
+    }));
+    JoinHandle { tid, result }
+}
+
+/// Voluntary yield point.
+pub fn yield_now() {
+    rt::schedule();
+}

@@ -1,0 +1,122 @@
+//! Self-tests for the loom shim: the explorer must (a) enumerate every
+//! interleaving of small programs, (b) catch classic race bugs by finding
+//! the failing schedule, and (c) flag deadlocks instead of hanging.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use std::collections::HashSet;
+use std::sync::Mutex as OsMutex;
+
+#[test]
+fn explores_both_orders_of_two_stores() {
+    let outcomes: &'static OsMutex<HashSet<usize>> =
+        Box::leak(Box::new(OsMutex::new(HashSet::new())));
+    loom::model(move || {
+        let a = Arc::new(AtomicUsize::new(0));
+        let a2 = Arc::clone(&a);
+        let h = loom::thread::spawn(move || a2.store(1, Ordering::SeqCst));
+        a.store(2, Ordering::SeqCst);
+        h.join().unwrap();
+        outcomes.lock().unwrap().insert(a.load(Ordering::SeqCst));
+    });
+    // Both "1 last" and "2 last" schedules must have been explored.
+    assert_eq!(*outcomes.lock().unwrap(), HashSet::from([1, 2]));
+}
+
+#[test]
+#[should_panic]
+fn finds_lost_update_race() {
+    // Two threads do a non-atomic read-modify-write; some interleaving
+    // loses an update. The model must find it and fail.
+    loom::model(|| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let a2 = Arc::clone(&a);
+        let h = loom::thread::spawn(move || {
+            let v = a2.load(Ordering::SeqCst);
+            a2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = a.load(Ordering::SeqCst);
+        a.store(v + 1, Ordering::SeqCst);
+        h.join().unwrap();
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+    });
+}
+
+#[test]
+fn mutex_makes_read_modify_write_atomic() {
+    loom::model(|| {
+        let m = Arc::new(Mutex::new(0usize));
+        let m2 = Arc::clone(&m);
+        let h = loom::thread::spawn(move || {
+            let mut g = m2.lock().unwrap();
+            *g += 1;
+        });
+        {
+            let mut g = m.lock().unwrap();
+            *g += 1;
+        }
+        h.join().unwrap();
+        assert_eq!(*m.lock().unwrap(), 2);
+    });
+}
+
+#[test]
+fn condvar_wakeup_is_never_lost() {
+    // Waiter parks until the flag is set; the notifier sets then notifies
+    // under the lock. In every interleaving the waiter must wake — a lost
+    // wakeup would surface as a model deadlock.
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = loom::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock().unwrap();
+            while !*ready {
+                ready = cv.wait(ready).unwrap();
+            }
+        });
+        let (m, cv) = &*pair;
+        {
+            let mut ready = m.lock().unwrap();
+            *ready = true;
+            cv.notify_one();
+        }
+        h.join().unwrap();
+    });
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn deadlock_is_reported() {
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        // Nobody ever notifies: the model must flag the deadlock.
+        let h = loom::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let g = m.lock().unwrap();
+            drop(cv.wait(g));
+        });
+        h.join().unwrap();
+    });
+}
+
+#[test]
+fn preemption_bound_limits_but_does_not_break_small_models() {
+    // A 3-thread model small enough to finish fast; the assertion holds in
+    // every schedule, so the model must pass.
+    loom::model(|| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                loom::thread::spawn(move || a.fetch_add(1, Ordering::SeqCst))
+            })
+            .collect();
+        a.fetch_add(1, Ordering::SeqCst);
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load(Ordering::SeqCst), 3);
+    });
+}

@@ -136,6 +136,72 @@ fn serial_and_parallel_agree_across_the_sweep() {
     );
 }
 
+/// Deque-churn stress profile: worker deques start on deliberately tiny
+/// ring buffers (8 slots) while the capacity gate is raised far above
+/// them, so sustained splitting forces repeated Chase–Lev `grow` cycles —
+/// buffer swap, retire, reclaim — underneath concurrent steals. The
+/// results must stay bit-identical to the serial driver, and the profile
+/// must actually exercise `grow` (asserted via the engine report) or it
+/// is testing nothing.
+#[test]
+fn deque_churn_profile_stays_exact_and_exercises_grow() {
+    let config = bounded_config();
+    let hard = SimulatedParams {
+        taxa: (14, 18),
+        loci: (5, 7),
+        missing: (0.5, 0.7),
+        pattern: MissingPattern::Clustered,
+        shape: ShapeModel::Uniform,
+    };
+    let mut total_grows = 0u64;
+    let mut total_steals = 0u64;
+    let mut verified = 0usize;
+    for i in 0..6 {
+        let d = simulated_dataset(&hard, 9090, i);
+        let Ok(p) = d.problem() else { continue };
+        let mut serial_sink = CollectNewick::with_cap(&d.taxa, COLLECT_CAP);
+        let serial = run_serial(&p, &config, &mut serial_sink).expect("serial");
+        if !serial.complete() {
+            continue;
+        }
+        let serial_set = canonical_stand_set([serial_sink.out]);
+        for threads in [2usize, 4, 8] {
+            let mut pcfg = ParallelConfig::with_threads(threads);
+            pcfg.queue_capacity = Some(256); // far above the 8-slot buffers
+            pcfg.steal_seed = i;
+            let (par, sinks) = run_parallel_with_sinks(&p, &config, &pcfg, |_| {
+                CollectNewick::with_cap(&d.taxa, COLLECT_CAP)
+            })
+            .expect("parallel");
+            assert!(
+                par.complete(),
+                "{} threads={threads}: spurious stop",
+                d.name
+            );
+            assert_eq!(
+                par.stats, serial.stats,
+                "{} threads={threads}: counters diverged under churn",
+                d.name
+            );
+            let par_set = canonical_stand_set(sinks.into_iter().map(|s| s.out));
+            assert_eq!(
+                par_set, serial_set,
+                "{} threads={threads}: stand sets diverged under churn",
+                d.name
+            );
+            total_grows += par.scheduler.deque_grows;
+            total_steals += par.scheduler.steals;
+        }
+        verified += 1;
+    }
+    assert!(verified >= 3, "only {verified} churn instances enumerable");
+    assert!(
+        total_grows > 0,
+        "capacity 256 over 8-slot initial buffers never forced a grow — churn profile is inert"
+    );
+    assert!(total_steals > 0, "churn profile never stole");
+}
+
 /// The first instance in the sweep whose complete enumeration crosses both
 /// thresholds, so shrunken limits are guaranteed to fire.
 fn limit_tripping_instance(min_trees: u64, min_states: u64) -> (Dataset, u64, u64) {
