@@ -227,8 +227,8 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     if let Some(s) = &sched {
         writeln!(
             out,
-            "scheduler: {} splits, {} steals ({} empty sweeps), {} parks, {} injected",
-            s.splits, s.steals, s.failed_steals, s.parks, s.injected
+            "scheduler: {} splits, {} steals ({} empty sweeps), {} parks, {} injected, {} deque grows",
+            s.splits, s.steals, s.failed_steals, s.parks, s.injected, s.deque_grows
         )
         .unwrap();
     }

@@ -213,6 +213,9 @@ impl<'p> Explorer<'p> {
     /// The branches are re-inserted at the cursor, restoring the original
     /// enumeration order.
     pub fn unsplit_top(&mut self, branches: Vec<EdgeId>) {
+        // Returning branches to a frame that does not exist would silently
+        // drop them from the enumeration (missed stands).
+        // xlint: allow(panic-freedom) — this corruption must be loud
         let f = self.stack.last_mut().expect("unsplit with no frame");
         let at = f.cursor;
         f.branches.splice(at..at, branches);
@@ -239,10 +242,13 @@ impl<'p> Explorer<'p> {
                 self.state.undo(&step);
                 return StepEvent::StandTree;
             }
-            let next = self
-                .state
-                .select_next()
-                .expect("incomplete state must have a next taxon");
+            // An incomplete state always offers a next taxon; if that
+            // invariant ever broke, counting the branch as a dead end
+            // degrades gracefully instead of tearing the worker down.
+            let Some(next) = self.state.select_next() else {
+                self.state.undo(&step);
+                return StepEvent::DeadEnd;
+            };
             if next.branches.is_empty() {
                 self.state.undo(&step);
                 return StepEvent::DeadEnd;
@@ -255,7 +261,11 @@ impl<'p> Explorer<'p> {
             });
             StepEvent::Entered
         } else {
-            let f = self.stack.pop().expect("checked non-empty");
+            let Some(f) = self.stack.pop() else {
+                // Unreachable — `last_mut` above proved non-empty — but
+                // finishing is the graceful answer if that ever changes.
+                return StepEvent::Finished;
+            };
             if let Some(step) = &f.step {
                 self.state.undo(step);
             }

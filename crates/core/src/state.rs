@@ -162,6 +162,7 @@ impl<'p> SearchState<'p> {
             .remaining
             .iter()
             .position(|&t| t == taxon)
+            // xlint: allow(panic-freedom) — a taxon outside `remaining` means the frame stack is corrupt; going on would enumerate wrong stands
             .expect("inserting a taxon that is not remaining");
         self.remaining.remove(remaining_idx);
         let ins = self.agile.insert_leaf_on_edge(taxon, edge);
@@ -221,7 +222,9 @@ impl<'p> SearchState<'p> {
             let (map, targets): (&AttachMap, &[Option<Split>]) = match &self.incremental {
                 Some(inc) => (inc.agile_map(ci), inc.targets(ci)),
                 None => (
+                    // xlint: allow(panic-freedom) — the recompute loop above filled this cell; a miss would silently admit wrong branches
                     scratch.agile_maps[ci].as_ref().expect("ensured above"),
+                    // xlint: allow(panic-freedom) — same invariant as the map cell directly above
                     scratch.targets[ci].as_ref().expect("ensured above"),
                 ),
             };

@@ -114,6 +114,8 @@ impl GlobalCounters {
             StopCause::StateLimit => CAUSE_STATES,
             StopCause::TimeLimit => CAUSE_TIME,
         };
+        // ordering: Relaxed failure — losing the first-writer race needs no
+        // edge; the winning cause was already published with AcqRel.
         let _ = self
             .cause
             .compare_exchange(CAUSE_NONE, c, Ordering::AcqRel, Ordering::Relaxed);

@@ -27,7 +27,7 @@
 //! (`pool.rs`) enforces single ownership at runtime by checking workers
 //! out through [`crate::pool::WorkerHandle`].
 
-use crate::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use crate::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use crate::sync::Mutex;
 
 /// One growable ring buffer generation.
@@ -51,11 +51,15 @@ impl<T> Buffer<T> {
 
     #[inline]
     fn get(&self, i: isize) -> *mut T {
+        // ordering: Relaxed — slot reads are the benign race of Chase–Lev;
+        // visibility is carried by the fences/CAS on `top` and `bottom`.
         self.slots[i as usize & (self.cap - 1)].load(Ordering::Relaxed)
     }
 
     #[inline]
     fn put(&self, i: isize, p: *mut T) {
+        // ordering: Relaxed — the Release fence in `push` (and the SeqCst
+        // buffer swap in `grow`) publishes slot writes before they matter.
         self.slots[i as usize & (self.cap - 1)].store(p, Ordering::Relaxed);
     }
 }
@@ -100,8 +104,10 @@ pub struct StealDeque<T> {
     /// proves no thief can still hold a retired buffer pointer.
     steals_in_flight: AtomicUsize,
     /// Diagnostic: times the buffer grew (read by the pool's report; not
-    /// part of the synchronization protocol, hence plain `std` atomic).
-    grows: std::sync::atomic::AtomicU64,
+    /// part of the synchronization protocol, but routed through the
+    /// facade so the loom models see it — `tests/loom_deque.rs` asserts
+    /// the counter is coherent with the grows a schedule performed).
+    grows: AtomicU64,
 }
 
 // The deque hands `T` across threads (owner pushes, thief receives).
@@ -120,7 +126,7 @@ impl<T> StealDeque<T> {
             retired: Mutex::new(Vec::new()),
             retired_len: AtomicUsize::new(0),
             steals_in_flight: AtomicUsize::new(0),
-            grows: std::sync::atomic::AtomicU64::new(0),
+            grows: AtomicU64::new(0),
         }
     }
 
@@ -129,6 +135,9 @@ impl<T> StealDeque<T> {
     /// point-in-time approximation — exact when the deque is quiescent,
     /// which is all the capacity hint and the termination check need.
     pub fn len(&self) -> usize {
+        // ordering: SeqCst — the pool's termination check compares len()
+        // across deques; both loads join the single total order so a task
+        // published before the check cannot be missed by every observer.
         let b = self.bottom.load(Ordering::SeqCst);
         let t = self.top.load(Ordering::SeqCst);
         b.saturating_sub(t).max(0) as usize
@@ -141,45 +150,66 @@ impl<T> StealDeque<T> {
 
     /// Retired buffer generations not yet reclaimed (diagnostics/tests).
     pub fn retired_buffers(&self) -> usize {
+        // ordering: SeqCst — mirrors the stores in `grow`/`try_reclaim` so
+        // tests asserting on reclamation observe the post-swap value.
         self.retired_len.load(Ordering::SeqCst)
     }
 
     /// Times the buffer has grown over the deque's lifetime.
     pub fn grow_count(&self) -> u64 {
-        self.grows.load(std::sync::atomic::Ordering::Relaxed)
+        // ordering: Relaxed — monotonic diagnostic counter; readers only
+        // need an eventually-consistent tally, never an edge.
+        self.grows.load(Ordering::Relaxed)
     }
 
     /// Owner-only: pushes an item at the bottom.
     pub fn push(&self, item: T) {
         let p = Box::into_raw(Box::new(item));
+        // ordering: Relaxed — `bottom` and `buffer` are owner-written, and
+        // push runs on the owner thread, so these loads read-own-writes.
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
         let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         if b - t >= buf.cap as isize {
             self.grow(t, b);
+            // ordering: Relaxed — re-reading the owner's own swap above.
             buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         }
         buf.put(b, p);
         fence(Ordering::Release);
+        // ordering: Relaxed — the Release fence above already orders the
+        // slot write before this publish of the new `bottom` (PPoPP'13 §4).
         self.bottom.store(b + 1, Ordering::Relaxed);
     }
 
     /// Owner-only: pops the most recently pushed item (LIFO).
     pub fn pop(&self) -> Option<T> {
+        // ordering: Relaxed — owner-written cells read on the owner thread;
+        // the decrement of `bottom` is published by the SeqCst fence below.
         let b = self.bottom.load(Ordering::Relaxed) - 1;
         let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         self.bottom.store(b, Ordering::Relaxed);
+        // ordering: SeqCst — the fence pairs with the one in `steal_inner`:
+        // either the thief sees the decremented `bottom` or the owner sees
+        // the thief's `top` increment; both missing is impossible.
         fence(Ordering::SeqCst);
+        // ordering: Relaxed — ordered by the SeqCst fence directly above.
         let t = self.top.load(Ordering::Relaxed);
         if t <= b {
             // Non-empty.
             let p = buf.get(b);
             if t == b {
                 // Last item: race the thieves for it via `top`.
+                // ordering: SeqCst success — the last-item CAS must join
+                // the same total order as the thief's CAS so exactly one
+                // side wins; Relaxed failure — losing needs no edge, the
+                // item is simply conceded to the thief.
                 let won = self
                     .top
                     .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok();
+                // ordering: Relaxed — owner-only restore of `bottom`; the
+                // next synchronizing op orders it for thieves.
                 self.bottom.store(b + 1, Ordering::Relaxed);
                 if !won {
                     return None; // a thief got it
@@ -189,6 +219,8 @@ impl<T> StealDeque<T> {
         } else {
             // Already empty; restore bottom. An empty deque is a cheap
             // quiescent point to reclaim superseded buffers at.
+            // ordering: Relaxed — as above; SeqCst on `retired_len` mirrors
+            // the stores in `grow`/`try_reclaim` for the quiescence check.
             self.bottom.store(b + 1, Ordering::Relaxed);
             if self.retired_len.load(Ordering::SeqCst) > 0 {
                 self.try_reclaim();
@@ -199,10 +231,11 @@ impl<T> StealDeque<T> {
 
     /// Any thread: tries to steal the oldest item (FIFO).
     pub fn steal(&self) -> Steal<T> {
-        // Latch open *before* the buffer pointer is loaded: the owner only
-        // frees retired buffers after observing the latch at zero, and the
-        // SeqCst total order then guarantees any later thief sees the
-        // post-swap buffer pointer (see DESIGN.md §"Memory model").
+        // ordering: SeqCst — latch opens *before* the buffer pointer is
+        // loaded: the owner only frees retired buffers after observing the
+        // latch at zero, and the SeqCst total order then guarantees any
+        // later thief sees the post-swap buffer pointer (DESIGN.md
+        // §"Memory model"); the decrement closes the same latch.
         self.steals_in_flight.fetch_add(1, Ordering::SeqCst);
         let r = self.steal_inner();
         self.steals_in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -211,11 +244,17 @@ impl<T> StealDeque<T> {
 
     fn steal_inner(&self) -> Steal<T> {
         let t = self.top.load(Ordering::Acquire);
+        // ordering: SeqCst — pairs with the fence in `pop` (see there).
         fence(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::Acquire);
         if t < b {
+            // ordering: SeqCst — the buffer load must be ordered after the
+            // latch increment in `steal` for the reclamation proof.
             let buf = unsafe { &*self.buffer.load(Ordering::SeqCst) };
             let p = buf.get(t);
+            // ordering: SeqCst success — single total order with the
+            // owner's last-item CAS decides who takes the item; Relaxed
+            // failure — a lost race needs no edge, we just retry.
             if self
                 .top
                 .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
@@ -234,23 +273,27 @@ impl<T> StealDeque<T> {
     /// that loaded it before the swap may still read (stale but identical)
     /// slots from it. Earlier retirees are reclaimed here when quiescent.
     fn grow(&self, t: isize, b: isize) {
+        // ordering: Relaxed — owner reads its own buffer pointer.
         let old_ptr = self.buffer.load(Ordering::Relaxed);
         let old = unsafe { &*old_ptr };
         let new = Buffer::new(old.cap * 2);
         for i in t..b {
             new.put(i, old.get(i));
         }
-        // SeqCst so the swap is globally ordered against the thief latch;
-        // Release alone would publish the copied slots but not support the
-        // reclamation argument below.
+        // ordering: SeqCst — the swap must be globally ordered against the
+        // thief latch; Release alone would publish the copied slots but not
+        // support the reclamation argument below. Same for `retired_len`,
+        // which the quiescence checks read with SeqCst.
         self.buffer.store(Box::into_raw(new), Ordering::SeqCst);
         {
             let mut retired = self.retired.lock().unwrap();
             retired.push(old_ptr);
+            // ordering: SeqCst — see the swap comment above.
             self.retired_len.store(retired.len(), Ordering::SeqCst);
         }
-        self.grows
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // ordering: Relaxed — monotonic diagnostic counter (see
+        // `grow_count`); no reader depends on it for synchronization.
+        self.grows.fetch_add(1, Ordering::Relaxed);
         self.try_reclaim();
     }
 
@@ -265,6 +308,9 @@ impl<T> StealDeque<T> {
     /// thief's buffer load is ordered after S and returns the *new*
     /// pointer — no thief can still reference a buffer retired before L.
     fn try_reclaim(&self) {
+        // ordering: SeqCst — load L of the latch in the safety argument
+        // above; must join the total order with the swap S and latch
+        // increments A, or the proof does not hold.
         if self.steals_in_flight.load(Ordering::SeqCst) != 0 {
             return;
         }
@@ -272,6 +318,8 @@ impl<T> StealDeque<T> {
         for p in retired.drain(..) {
             drop(unsafe { Box::from_raw(p) });
         }
+        // ordering: SeqCst — mirrors the store in `grow` so the skip-check
+        // in `pop` cannot miss a pending retiree forever.
         self.retired_len.store(0, Ordering::SeqCst);
     }
 }
@@ -279,12 +327,15 @@ impl<T> StealDeque<T> {
 impl<T> Drop for StealDeque<T> {
     fn drop(&mut self) {
         // Exclusive access: drain remaining items, then free all buffers.
+        // ordering: Relaxed — `&mut self` proves no other thread exists;
+        // any prior cross-thread edge happened at the join/handoff.
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Relaxed);
         let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         for i in t..b {
             drop(unsafe { Box::from_raw(buf.get(i)) });
         }
+        // ordering: Relaxed — same exclusive-access argument as above.
         drop(unsafe { Box::from_raw(self.buffer.load(Ordering::Relaxed)) });
         for p in self.retired.lock().unwrap().drain(..) {
             drop(unsafe { Box::from_raw(p) });

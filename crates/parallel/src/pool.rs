@@ -25,13 +25,10 @@
 //! drain or an external [`TaskPool::shutdown`].
 
 use crate::deque::{Steal, StealDeque};
-use crate::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use crate::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{Condvar, Mutex};
 use crate::task::Task;
 use std::collections::VecDeque;
-// Diagnostics (victim RNG, statistics, submit tallies) deliberately stay on
-// `std` atomics even under loom — see the `crate::sync` module docs.
-use std::sync::atomic::{AtomicU64, AtomicUsize as DiagAtomicUsize};
 
 /// Per-worker scheduler statistics (steal/park/split activity), collected
 /// lock-free and snapshot via [`TaskPool::scheduler_counts`].
@@ -68,9 +65,12 @@ struct StatCells {
 
 impl StatCells {
     fn snapshot(&self) -> SchedulerCounts {
+        // ordering: Relaxed — monotonic diagnostic counters; a snapshot is
+        // a point-in-time tally, no reader derives synchronization from it.
         SchedulerCounts {
             steals: self.steals.load(Ordering::Relaxed),
             failed_steals: self.failed_steals.load(Ordering::Relaxed),
+            // ordering: Relaxed — as above.
             parks: self.parks.load(Ordering::Relaxed),
             splits: self.splits.load(Ordering::Relaxed),
         }
@@ -108,9 +108,9 @@ pub struct TaskPool {
     /// Per-deque capacity: the §III-A "split only when there is room" gate.
     capacity: usize,
     /// Tasks ever pushed through worker deques (excludes injected chunks).
-    submitted: DiagAtomicUsize,
+    submitted: AtomicUsize,
     /// Tasks ever placed in the injector.
-    injected: DiagAtomicUsize,
+    injected: AtomicUsize,
 }
 
 /// Initial per-deque ring-buffer capacity. Deliberately small and
@@ -165,8 +165,8 @@ impl TaskPool {
             cv: Condvar::new(),
             idlers: AtomicUsize::new(0),
             capacity,
-            submitted: DiagAtomicUsize::new(0),
-            injected: DiagAtomicUsize::new(0),
+            submitted: AtomicUsize::new(0),
+            injected: AtomicUsize::new(0),
         }
     }
 
@@ -193,6 +193,9 @@ impl TaskPool {
     /// test). Each handed task must be balanced by a
     /// [`WorkerHandle::task_done`].
     pub fn preregister_active(&self, n: usize) {
+        // ordering: SeqCst — all `inflight` traffic shares one total order
+        // with the parker's drain check; a weaker count could let a parked
+        // worker read zero while a handed-off chunk is still running.
         self.inflight.fetch_add(n, Ordering::SeqCst);
     }
 
@@ -200,12 +203,18 @@ impl TaskPool {
     /// initial-split chunks through here). Always succeeds; the injector
     /// is not capacity-gated.
     pub fn inject(&self, task: Task) {
+        // ordering: SeqCst — the task is counted in flight *before* it is
+        // visible, in the same total order as the drain check (see
+        // `preregister_active`); `injector_len` mirrors are SeqCst so the
+        // parker's work re-check cannot miss a just-injected task.
         self.inflight.fetch_add(1, Ordering::SeqCst);
         {
             let mut q = self.injector.lock().unwrap();
             q.push_back(task);
+            // ordering: SeqCst — mirror store; see above.
             self.injector_len.store(q.len(), Ordering::SeqCst);
         }
+        // ordering: Relaxed — monotonic diagnostic tally only.
         self.injected.fetch_add(1, Ordering::Relaxed);
         self.wake_one();
     }
@@ -235,11 +244,14 @@ impl TaskPool {
     /// Total tasks ever submitted through worker deques (excludes the
     /// injected initial chunks).
     pub fn total_submitted(&self) -> usize {
+        // ordering: Relaxed — diagnostic tally; reported after the run,
+        // when the joins have already ordered every increment.
         self.submitted.load(Ordering::Relaxed)
     }
 
     /// Total tasks ever placed in the global injector.
     pub fn total_injected(&self) -> usize {
+        // ordering: Relaxed — same as `total_submitted`.
         self.injected.load(Ordering::Relaxed)
     }
 
@@ -259,6 +271,10 @@ impl TaskPool {
     /// store) *before* this; the SeqCst fence pairs with the parker's
     /// idlers increment so either we see the idler or it sees our work.
     fn wake_one(&self) {
+        // ordering: SeqCst — the fence orders the caller's work publication
+        // before the idlers load, pairing with the parker's SeqCst idlers
+        // increment: either we see the idler (and notify) or the idler's
+        // re-check sees our work. Anything weaker reopens the lost-wakeup.
         fence(Ordering::SeqCst);
         if self.idlers.load(Ordering::SeqCst) > 0 {
             let _guard = self.park.lock().unwrap();
@@ -270,10 +286,13 @@ impl TaskPool {
     /// (xorshift64; only `wid`'s own thread touches its cell, the atomic
     /// is for shared-struct plumbing).
     fn next_rand(&self, wid: usize) -> u64 {
+        // ordering: Relaxed — the cell is only ever touched by `wid`'s own
+        // thread; the atomic exists for shared-struct plumbing, not sync.
         let mut x = self.victim_rng[wid].load(Ordering::Relaxed);
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
+        // ordering: Relaxed — thread-private cell; see above.
         self.victim_rng[wid].store(x, Ordering::Relaxed);
         x
     }
@@ -281,15 +300,22 @@ impl TaskPool {
     /// Any stealable or injected work visible right now? (Approximate —
     /// exact when quiescent, which is when the parker needs it.)
     fn any_work_visible(&self) -> bool {
+        // ordering: SeqCst — the parker's re-check must totally order with
+        // the pusher's publish + fence in `wake_one` (lost-wakeup pairing).
         self.injector_len.load(Ordering::SeqCst) > 0 || self.deques.iter().any(|d| !d.is_empty())
     }
 
     fn pop_injected(&self) -> Option<Task> {
+        // ordering: SeqCst — both mirror accesses pair with the stores in
+        // `inject`, keeping the lock-elision pre-check sound (a stale zero
+        // here would only delay, not lose, a task — but the parker's drain
+        // logic also reads this mirror, and that one must not lag).
         if self.injector_len.load(Ordering::SeqCst) == 0 {
             return None;
         }
         let mut q = self.injector.lock().unwrap();
         let t = q.pop_front();
+        // ordering: SeqCst — mirror store; see above.
         self.injector_len.store(q.len(), Ordering::SeqCst);
         t
     }
@@ -312,6 +338,7 @@ impl TaskPool {
                 }
                 match self.deques[v].steal() {
                     Steal::Success(t) => {
+                        // ordering: Relaxed — diagnostic tally only.
                         self.stats[wid].steals.fetch_add(1, Ordering::Relaxed);
                         return Some(t);
                     }
@@ -328,6 +355,7 @@ impl TaskPool {
                 break;
             }
         }
+        // ordering: Relaxed — diagnostic tally only.
         self.stats[wid]
             .failed_steals
             .fetch_add(1, Ordering::Relaxed);
@@ -375,8 +403,11 @@ impl WorkerHandle<'_> {
         }
         // Count the task *before* it becomes stealable so a fast thief
         // cannot drive `inflight` below zero.
+        // ordering: SeqCst — `inflight` shares one total order with the
+        // drain check (see `preregister_active`).
         pool.inflight.fetch_add(1, Ordering::SeqCst);
         pool.deques[self.wid].push(task);
+        // ordering: Relaxed — both are diagnostic tallies only.
         pool.submitted.fetch_add(1, Ordering::Relaxed);
         pool.stats[self.wid].splits.fetch_add(1, Ordering::Relaxed);
         pool.wake_one();
@@ -406,18 +437,26 @@ impl WorkerHandle<'_> {
             // Nothing found: park. The idlers increment happens before the
             // work re-check; together with the pusher-side fence in
             // `wake_one` this closes the sleep/lost-wakeup race.
+            // ordering: SeqCst — every `idlers` op joins the total order
+            // with the pusher's fence + load in `wake_one`; the same order
+            // covers the `inflight` drain check below.
             let mut guard = pool.park.lock().unwrap();
             pool.idlers.fetch_add(1, Ordering::SeqCst);
             loop {
                 if pool.done.load(Ordering::Acquire) {
+                    // ordering: SeqCst — see the comment on the increment.
                     pool.idlers.fetch_sub(1, Ordering::SeqCst);
                     return None;
                 }
                 if pool.any_work_visible() {
+                    // ordering: SeqCst — see the comment on the increment.
                     pool.idlers.fetch_sub(1, Ordering::SeqCst);
                     drop(guard);
                     break; // retry the full acquisition loop
                 }
+                // ordering: SeqCst — the drain check must not reorder with
+                // the visibility checks above (same total order as every
+                // `inflight` update), or a racing push could be missed.
                 if pool.inflight.load(Ordering::SeqCst) == 0 {
                     // Drained: nothing queued anywhere, nothing running.
                     pool.done.store(true, Ordering::Release);
@@ -425,6 +464,7 @@ impl WorkerHandle<'_> {
                     pool.cv.notify_all();
                     return None;
                 }
+                // ordering: Relaxed — diagnostic tally only.
                 pool.stats[self.wid].parks.fetch_add(1, Ordering::Relaxed);
                 guard = pool.cv.wait(guard).unwrap();
             }
@@ -436,6 +476,8 @@ impl WorkerHandle<'_> {
     /// last one in flight.
     pub fn task_done(&self) {
         let pool = self.pool;
+        // ordering: SeqCst — the final decrement must be totally ordered
+        // with the parker's drain check so exactly one side declares done.
         let prev = pool.inflight.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(prev > 0, "task_done without a matching visible task");
         if prev == 1 {

@@ -11,11 +11,12 @@
 //! exhaustively explore interleavings (bounded preemptions; see
 //! `shims/loom`).
 //!
-//! Purely diagnostic state — steal/park statistics, victim-selection RNG
-//! cells, submitted/injected tallies — deliberately stays on
-//! `std::sync::atomic` even under loom: it is thread-private or
-//! monotonic-counter data that no protocol decision reads, and keeping it
-//! off the model keeps the interleaving space small enough to explore.
+//! Diagnostic state — steal/park statistics, victim-selection RNG cells,
+//! submitted/injected tallies, the deque grow counter — also routes
+//! through the facade. It costs a few extra loom yield points, but it
+//! means *no* atomic in the scheduler is invisible to the model (the
+//! `xlint` sync-facade rule enforces this mechanically), and the grow
+//! counter can be asserted coherent in `tests/loom_deque.rs`.
 
 #[cfg(loom)]
 pub use loom::sync::{Condvar, Mutex, MutexGuard};

@@ -93,6 +93,35 @@ fn grow_during_steal_loses_nothing() {
     );
 }
 
+/// The grow counter rides the facade, so the model can check it: a grow
+/// that happened-before spawn is visible to the thief, the counter never
+/// runs ahead of the grows a schedule actually performed, and the final
+/// tally lands exactly on the schedule-dependent set {1, 2}.
+#[test]
+fn grow_counter_is_coherent_across_threads() {
+    loom::model(|| {
+        let d = Arc::new(StealDeque::with_min_capacity(2));
+        d.push(0usize);
+        d.push(1);
+        d.push(2); // capacity 2: exactly one grow before the thief exists
+        assert_eq!(d.grow_count(), 1);
+        let d2 = Arc::clone(&d);
+        let thief = loom::thread::spawn(move || {
+            let seen = d2.grow_count();
+            let _ = d2.steal();
+            seen
+        });
+        d.push(3);
+        d.push(4); // second grow (capacity 4) iff the thief stole nothing yet
+        let seen = thief.join().unwrap();
+        let total = d.grow_count();
+        assert!(seen >= 1, "pre-spawn grow invisible to the thief");
+        assert!(seen <= total, "thief observed more grows than happened");
+        assert!((1..=2).contains(&total), "grow count {total} out of range");
+        while d.pop().is_some() {}
+    });
+}
+
 /// Retired-buffer reclamation: once the thief is done and the owner hits
 /// a quiescent point, every superseded buffer generation must be freed —
 /// the leak this protocol replaced kept them all until drop.

@@ -12,7 +12,6 @@
 
 use crate::taxa::{TaxonId, TaxonSet};
 use crate::tree::{NodeId, Tree};
-use std::fmt::Write as _;
 
 /// Parse error with a byte offset into the input.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -222,7 +221,14 @@ fn collect_labels(p: &Parsed, out: &mut Vec<String>) {
 /// `None` for label-less childless nodes (cannot happen on valid input).
 fn build(p: &Parsed, taxa: &TaxonSet, tree: &mut Tree) -> Result<NodeId, NewickError> {
     if p.children.is_empty() {
-        let label = p.label.as_ref().expect("parser guarantees leaf labels");
+        // The grammar only accepts labelled leaves, but surface a parse
+        // error rather than trusting that invariant with a panic.
+        let Some(label) = p.label.as_ref() else {
+            return Err(NewickError {
+                at: 0,
+                msg: "unlabelled leaf node".to_string(),
+            });
+        };
         let id = taxa.get(label).ok_or_else(|| NewickError {
             at: 0,
             msg: format!("label '{label}' not in taxon set"),
@@ -239,9 +245,9 @@ fn build(p: &Parsed, taxa: &TaxonSet, tree: &mut Tree) -> Result<NodeId, NewickE
     for c in &p.children {
         handles.push(build(c, taxa, tree)?);
     }
-    if handles.len() == 1 {
+    if let [h] = handles.as_slice() {
         // Degree-2 vertex from the rooting: suppress by passing through.
-        return Ok(handles.pop().unwrap());
+        return Ok(*h);
     }
     let hub = tree.add_node(None);
     for h in handles {
@@ -350,7 +356,8 @@ pub fn to_newick(tree: &Tree, taxa: &TaxonSet) -> String {
             // Defensive: fall through to ";" rather than panic if the
             // leaf count and the leaf iterator ever disagree.
             if let Some((_, t)) = tree.leaves().next() {
-                write!(s, "{};", format_label(taxa.name(t))).unwrap();
+                s.push_str(&format_label(taxa.name(t)));
+                s.push(';');
             } else {
                 s.push(';');
             }
@@ -359,13 +366,11 @@ pub fn to_newick(tree: &Tree, taxa: &TaxonSet) -> String {
         2 => {
             let mut ts: Vec<TaxonId> = tree.leaves().map(|(_, t)| t).collect();
             ts.sort_by_key(|t| t.index());
-            write!(
-                s,
+            s.push_str(&format!(
                 "({},{});",
                 format_label(taxa.name(ts[0])),
                 format_label(taxa.name(ts[1]))
-            )
-            .unwrap();
+            ));
             return s;
         }
         _ => {}
@@ -375,13 +380,17 @@ pub fn to_newick(tree: &Tree, taxa: &TaxonSet) -> String {
         return s;
     };
     let min_taxon = TaxonId(min_member as u32);
-    let start_leaf = tree
-        .leaf(min_taxon)
-        .expect("taxon set lists a taxon with no leaf node");
-    let first_edge = *tree
-        .adjacent_edges(start_leaf)
-        .first()
-        .expect("leaf of a multi-leaf tree must have an incident edge");
+    // Defensive, like the degenerate cases above: a taxon set naming a
+    // taxon with no leaf node, or a leaf with no incident edge, means the
+    // tree is inconsistent — render the empty topology, don't panic.
+    let Some(start_leaf) = tree.leaf(min_taxon) else {
+        s.push(';');
+        return s;
+    };
+    let Some(&first_edge) = tree.adjacent_edges(start_leaf).first() else {
+        s.push(';');
+        return s;
+    };
     let hub = tree.opposite(first_edge, start_leaf);
 
     // Render the unrooted tree as (min_leaf, rest...) rooted at `hub`.

@@ -11,7 +11,6 @@ use crate::newick::{parse_newick, to_newick, NewickError};
 use crate::taxa::TaxonSet;
 use crate::tree::Tree;
 use std::collections::HashMap;
-use std::fmt::Write as _;
 
 /// A parsed NEXUS file: the taxon universe and the named trees.
 #[derive(Debug)]
@@ -22,21 +21,56 @@ pub struct NexusData {
     pub trees: Vec<(String, Tree)>,
 }
 
-/// NEXUS parse error.
+/// NEXUS parse error, one variant per way the input can be malformed.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct NexusError(pub String);
+pub enum NexusError {
+    /// The file does not start with `#NEXUS`.
+    MissingHeader,
+    /// A TRANSLATE body held an odd number of tokens (must be key/label
+    /// pairs).
+    OddTranslate {
+        /// How many tokens the body actually held.
+        tokens: usize,
+    },
+    /// A TREE command without the mandatory `name = tree` shape.
+    BadTreeCommand {
+        /// The offending command text.
+        command: String,
+    },
+    /// Neither a TAXA nor a TREES block contributed any content.
+    NoContent,
+    /// An embedded Newick string failed to parse.
+    Newick(NewickError),
+}
 
 impl std::fmt::Display for NexusError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "nexus error: {}", self.0)
+        match self {
+            NexusError::MissingHeader => write!(f, "nexus error: missing #NEXUS header"),
+            NexusError::OddTranslate { tokens } => {
+                write!(f, "nexus error: odd TRANSLATE token count ({tokens})")
+            }
+            NexusError::BadTreeCommand { command } => {
+                write!(f, "nexus error: bad TREE command: {command}")
+            }
+            NexusError::NoContent => write!(f, "nexus error: no TAXA or TREES content found"),
+            NexusError::Newick(e) => write!(f, "nexus error: {e}"),
+        }
     }
 }
 
-impl std::error::Error for NexusError {}
+impl std::error::Error for NexusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NexusError::Newick(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<NewickError> for NexusError {
     fn from(e: NewickError) -> Self {
-        NexusError(e.to_string())
+        NexusError::Newick(e)
     }
 }
 
@@ -94,6 +128,13 @@ fn keyword(cmd: &str) -> String {
         .next()
         .unwrap_or_default()
         .to_ascii_lowercase()
+}
+
+/// The command body after its leading (ASCII) keyword; empty when the
+/// command is somehow shorter than the keyword (a panicky slice here was
+/// the old behaviour).
+fn strip_keyword<'a>(cmd: &'a str, kw: &str) -> &'a str {
+    cmd.trim_start().get(kw.len()..).unwrap_or("")
 }
 
 /// Tokenizes a label list (TAXLABELS / TRANSLATE bodies): whitespace- and
@@ -216,7 +257,7 @@ pub fn parse_nexus(input: &str) -> Result<NexusData, NexusError> {
     let stripped = strip_comments(input);
     if !stripped.trim_start().starts_with("#NEXUS") && !stripped.trim_start().starts_with("#nexus")
     {
-        return Err(NexusError("missing #NEXUS header".into()));
+        return Err(NexusError::MissingHeader);
     }
     let cmds = commands(
         stripped
@@ -242,24 +283,24 @@ pub fn parse_nexus(input: &str) -> Result<NexusData, NexusError> {
             }
             "end" | "endblock" => block = None,
             "taxlabels" if block.as_deref() == Some("taxa") => {
-                let body = cmd.trim_start()["taxlabels".len()..].to_string();
-                taxlabels = label_tokens(&body);
+                taxlabels = label_tokens(strip_keyword(cmd, "taxlabels"));
             }
             "translate" if block.as_deref() == Some("trees") => {
-                let body = cmd.trim_start()["translate".len()..].to_string();
-                let toks = label_tokens(&body);
+                let toks = label_tokens(strip_keyword(cmd, "translate"));
                 if !toks.len().is_multiple_of(2) {
-                    return Err(NexusError("odd TRANSLATE token count".into()));
+                    return Err(NexusError::OddTranslate { tokens: toks.len() });
                 }
                 for pair in toks.chunks(2) {
                     translate.insert(pair[0].clone(), pair[1].clone());
                 }
             }
             "tree" if block.as_deref() == Some("trees") => {
-                let rest = cmd.trim_start()["tree".len()..].trim();
-                let (name, newick) = rest
-                    .split_once('=')
-                    .ok_or_else(|| NexusError(format!("bad TREE command: {cmd}")))?;
+                let rest = strip_keyword(cmd, "tree").trim();
+                let (name, newick) =
+                    rest.split_once('=')
+                        .ok_or_else(|| NexusError::BadTreeCommand {
+                            command: cmd.clone(),
+                        })?;
                 // Strip rooting annotations like &U / &R that survive
                 // comment stripping when written without brackets.
                 let newick = newick
@@ -275,7 +316,7 @@ pub fn parse_nexus(input: &str) -> Result<NexusData, NexusError> {
         }
     }
     if tree_sources.is_empty() && taxlabels.is_empty() {
-        return Err(NexusError("no TAXA or TREES content found".into()));
+        return Err(NexusError::NoContent);
     }
 
     // Build the shared universe: declared taxa first, then tree leaves.
@@ -308,7 +349,7 @@ pub fn parse_nexus(input: &str) -> Result<NexusData, NexusError> {
 /// TRANSLATE — labels are written inline, quoted when necessary).
 pub fn write_nexus(taxa: &TaxonSet, trees: &[(String, &Tree)]) -> String {
     let mut s = String::from("#NEXUS\n\nBEGIN TAXA;\n");
-    writeln!(s, "  DIMENSIONS NTAX={};", taxa.len()).unwrap();
+    s.push_str(&format!("  DIMENSIONS NTAX={};\n", taxa.len()));
     s.push_str("  TAXLABELS");
     for (_, name) in taxa.iter() {
         s.push(' ');
@@ -316,7 +357,11 @@ pub fn write_nexus(taxa: &TaxonSet, trees: &[(String, &Tree)]) -> String {
     }
     s.push_str(";\nEND;\n\nBEGIN TREES;\n");
     for (name, tree) in trees {
-        writeln!(s, "  TREE {} = [&U] {}", name, to_newick(tree, taxa)).unwrap();
+        s.push_str(&format!(
+            "  TREE {} = [&U] {}\n",
+            name,
+            to_newick(tree, taxa)
+        ));
     }
     s.push_str("END;\n");
     s
@@ -385,12 +430,45 @@ END;
     }
 
     #[test]
-    fn errors() {
-        assert!(parse_nexus("not nexus").is_err());
-        assert!(parse_nexus("#NEXUS\nBEGIN TREES;\nEND;\n").is_err());
-        assert!(
-            parse_nexus("#NEXUS\nBEGIN TREES;\nTRANSLATE 1 A, 2;\nTREE t=(A,B,C);\nEND;").is_err()
+    fn missing_header_is_typed() {
+        assert_eq!(
+            parse_nexus("not nexus").unwrap_err(),
+            NexusError::MissingHeader
         );
+    }
+
+    #[test]
+    fn empty_blocks_are_typed() {
+        assert_eq!(
+            parse_nexus("#NEXUS\nBEGIN TREES;\nEND;\n").unwrap_err(),
+            NexusError::NoContent
+        );
+    }
+
+    #[test]
+    fn odd_translate_is_typed() {
+        assert_eq!(
+            parse_nexus("#NEXUS\nBEGIN TREES;\nTRANSLATE 1 A, 2;\nTREE t=(A,B,C);\nEND;")
+                .unwrap_err(),
+            NexusError::OddTranslate { tokens: 3 }
+        );
+    }
+
+    #[test]
+    fn equals_less_tree_command_is_typed() {
+        let err = parse_nexus("#NEXUS\nBEGIN TREES;\nTREE broken (A,B,C);\nEND;").unwrap_err();
+        assert!(
+            matches!(&err, NexusError::BadTreeCommand { command } if command.contains("broken")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_embedded_newick_is_typed() {
+        let err = parse_nexus("#NEXUS\nBEGIN TREES;\nTREE t = ((A,B;\nEND;").unwrap_err();
+        assert!(matches!(err, NexusError::Newick(_)), "{err:?}");
+        // The byte-offset detail of the inner error survives the wrapping.
+        assert!(err.to_string().contains("newick error"), "{err}");
     }
 
     #[test]

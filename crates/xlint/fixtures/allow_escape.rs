@@ -1,0 +1,23 @@
+//! Fixture: the escape hatch suppresses exactly what it names.
+pub fn allowed_same_line(x: Option<u8>) -> u8 {
+    x.unwrap() // xlint: allow(panic-freedom) — invariant: caller checked is_some
+}
+
+pub fn allowed_line_above(x: Option<u8>) -> u8 {
+    // xlint: allow(panic-freedom) — invariant: fixture demonstrates the hatch
+    x.unwrap()
+}
+
+pub fn wrong_rule_named(x: Option<u8>) -> u8 {
+    // xlint: allow(no-stray-io) — names a different rule, does not suppress
+    x.unwrap() // live finding 1
+}
+
+pub fn missing_reason(x: Option<u8>) -> u8 {
+    // xlint: allow(panic-freedom)
+    x.unwrap() // live finding 2 (and the bare allow is finding 3)
+}
+
+pub fn plain(x: Option<u8>) -> u8 {
+    x.unwrap() // live finding 4
+}

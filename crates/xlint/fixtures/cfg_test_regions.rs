@@ -1,0 +1,39 @@
+//! Fixture: test regions are exempt, `not(test)` is not.
+pub fn live_one(x: Option<u8>) -> u8 {
+    x.unwrap() // live finding 1
+}
+
+#[cfg(not(test))]
+pub fn not_test_is_production(x: Option<u8>) -> u8 {
+    x.unwrap() // live finding 2: cfg(not(test)) is production code
+}
+
+#[test]
+fn attr_test_fn() {
+    Some(1).unwrap();
+    panic!("fine in tests");
+}
+
+#[cfg(test)]
+fn cfg_test_helper() {
+    None::<u8>.expect("also fine");
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    #[test]
+    fn inner() {
+        Some(2).unwrap();
+        Some(3).expect("covered by the region");
+    }
+}
+
+mod test_utils {
+    pub fn helper() {
+        Some(4).unwrap(); // `mod test_*` counts as a test region
+    }
+}
+
+pub fn live_two() {
+    panic!("live finding 3");
+}

@@ -1,0 +1,9 @@
+//! Fixture: panic sites hidden in (nested) comments must not count.
+// a line comment with foo.unwrap() and panic!("x") in it
+/* a block comment: bar.expect("nope") */
+/* outer /* nested inner with baz.unwrap() */ still the outer comment,
+   so this .expect( and this panic!() are dead text too */
+/**/ /* tight empty comment, then /* deep /* deeper */ */ done */
+pub fn real_site(x: Option<u32>) -> u32 {
+    x.unwrap() // the only live finding in this file
+}

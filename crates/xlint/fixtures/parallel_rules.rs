@@ -1,0 +1,37 @@
+//! Fixture for the crates/parallel scopes: facade, ordering, stray I/O.
+use std::sync::atomic::{AtomicUsize, Ordering}; // live: sync-facade
+
+pub fn spawny() {
+    std::thread::spawn(|| {}); // live: sync-facade
+    std::thread::yield_now(); // fine: only spawn is fenced off
+}
+
+pub struct C(AtomicUsize);
+
+impl C {
+    pub fn bump(&self) -> usize {
+        // ordering: monotonic diagnostic counter, no ordering required.
+        self.0.fetch_add(1, Ordering::Relaxed) // justified
+    }
+
+    /* spacer so the justification above is out of the window below */
+
+    pub fn read(&self) -> usize {
+        self.0.load(Ordering::SeqCst) // live: ordering-justification
+    }
+    pub fn read_acq(&self) -> usize {
+        self.0.load(Ordering::Acquire) // Acquire needs no justification
+    }
+    pub fn read_run_merged(&self) -> usize {
+        // ordering: Relaxed — the marker line of this justification sits
+        // more than the window above the use, but consecutive comment
+        // lines merge into one run and coverage extends through the
+        // run's last line, so the load below is still justified (a
+        // regression guard for multi-line justification blocks).
+        self.0.load(Ordering::Relaxed) // justified via run merge
+    }
+    pub fn shout(&self) {
+        println!("value = {}", self.read()); // live: no-stray-io
+        eprintln!("again"); // live: no-stray-io
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: literals containing panic-ish text must not count.
+pub fn strings() -> Vec<String> {
+    vec![
+        "calling foo.unwrap() here".to_string(),
+        r"raw: bar.expect(oops) and panic!".to_string(),
+        r#"hash-raw with "quotes" and x.unwrap() inside"#.to_string(),
+        r##"deeper "# raw with y.expect("msg") text"##.to_string(),
+        String::from_utf8_lossy(b"byte str with z.unwrap()").into_owned(),
+        'u'.to_string(),     // char literal, not the start of unwrap
+        "\" escaped quote then fake .unwrap() \\".to_string(),
+    ]
+}
+pub fn live(v: Vec<String>) -> String {
+    let lifetime_ok: &'static str = "labels";
+    v.into_iter().next().expect(lifetime_ok) // the only live finding
+}

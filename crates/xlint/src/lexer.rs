@@ -1,0 +1,469 @@
+//! A hand-written lexer for the subset of Rust that a source linter must
+//! understand to avoid false positives: it tokenizes identifiers and
+//! punctuation while correctly skipping over line comments, (nested) block
+//! comments, string / char / byte / raw-string literals and lifetimes, and
+//! it tracks which tokens live inside test code (`#[test]`, `#[cfg(test)]`
+//! in any boolean combination except under `not(..)`, and `mod tests`-style
+//! modules).
+//!
+//! The lexer is deliberately lossless about *position* (1-based start and
+//! end lines per token) and about *comments* (they are emitted as tokens,
+//! not discarded), because two of the rules read comment text: the
+//! `// ordering:` justification window and the `// xlint: allow(..)`
+//! escape hatch.
+
+/// Token classification. Only the distinctions the rules need.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers are stripped of `r#`).
+    Ident,
+    /// A single punctuation byte (`::` is two `Punct(':')` tokens).
+    Punct(char),
+    /// Line or block comment; `text` is the full comment including markers.
+    Comment,
+    /// String literal of any flavour (`"…"`, `b"…"`, `r#"…"#`, `c"…"`);
+    /// `text` is the literal's inner content.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Numeric literal (digits plus alphanumeric suffix bytes; `1.5` lexes
+    /// as two numbers around a `.` — irrelevant for linting).
+    Num,
+}
+
+/// One token with its source span (line-granular) and test-region flag.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what is stored per kind).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+    /// 1-based line the token ends on (differs from `line` only for
+    /// multi-line comments and strings).
+    pub end_line: usize,
+    /// True when the token sits inside test-only code; filled by
+    /// [`mark_test_regions`], `false` straight out of [`lex`].
+    pub in_test: bool,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn starts_with(&self, pat: &[u8]) -> bool {
+        self.src[self.pos..].starts_with(pat)
+    }
+
+    fn text(&self, from: usize) -> String {
+        String::from_utf8_lossy(&self.src[from..self.pos]).into_owned()
+    }
+
+    fn tok(&self, kind: TokKind, text: String, line: usize) -> Tok {
+        Tok {
+            kind,
+            text,
+            line,
+            end_line: self.line,
+            in_test: false,
+        }
+    }
+
+    /// `//…` to end of line (the newline itself is left for the main loop).
+    fn line_comment(&mut self) -> Tok {
+        let start = self.pos;
+        let line = self.line;
+        while self.peek(0).is_some_and(|b| b != b'\n') {
+            self.pos += 1;
+        }
+        self.tok(TokKind::Comment, self.text(start), line)
+    }
+
+    /// `/* … */` with nesting, as Rust defines it.
+    fn block_comment(&mut self) -> Tok {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while depth > 0 && self.pos < self.src.len() {
+            if self.starts_with(b"/*") {
+                depth += 1;
+                self.pos += 2;
+            } else if self.starts_with(b"*/") {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                if self.peek(0) == Some(b'\n') {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        self.tok(TokKind::Comment, self.text(start), line)
+    }
+
+    /// `"…"` with backslash escapes (also used for `b"…"` / `c"…"` bodies).
+    fn string(&mut self) -> Tok {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        let start = self.pos;
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'\\') => self.pos += 2,
+                Some(b'"') => break,
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        let text = self.text(start);
+        if self.peek(0) == Some(b'"') {
+            self.pos += 1;
+        }
+        self.tok(TokKind::Str, text, line)
+    }
+
+    /// `r"…"` / `r#"…"#` / `br##"…"##` — the quote closes only when
+    /// followed by the same number of `#`s that opened it.
+    fn raw_string(&mut self) -> Tok {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote (caller verified it is there)
+        let start = self.pos;
+        let mut content_end = self.src.len();
+        while self.pos < self.src.len() {
+            if self.peek(0) == Some(b'\n') {
+                self.line += 1;
+            }
+            if self.peek(0) == Some(b'"') {
+                let closes = (1..=hashes).all(|k| self.peek(k) == Some(b'#'));
+                if closes {
+                    content_end = self.pos;
+                    self.pos += 1 + hashes;
+                    break;
+                }
+            }
+            self.pos += 1;
+        }
+        let text =
+            String::from_utf8_lossy(&self.src[start..content_end.min(self.pos)]).into_owned();
+        self.tok(TokKind::Str, text, line)
+    }
+
+    /// Disambiguates `'a'` (char), `'\n'` (char), `'a` / `'_` (lifetime)
+    /// and a stray `'`.
+    fn char_or_lifetime(&mut self) -> Tok {
+        let line = self.line;
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: scan to the unescaped closing quote.
+                let start = self.pos;
+                self.pos += 2;
+                loop {
+                    match self.peek(0) {
+                        None => break,
+                        Some(b'\\') => self.pos += 2,
+                        Some(b'\'') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(_) => self.pos += 1,
+                    }
+                }
+                self.tok(TokKind::Char, self.text(start), line)
+            }
+            Some(c) if c != b'\'' && self.peek(1 + utf8_len(c)) == Some(b'\'') => {
+                // 'x' — one char (possibly multi-byte) then a closing quote.
+                let start = self.pos;
+                self.pos += 2 + utf8_len(c);
+                self.tok(TokKind::Char, self.text(start), line)
+            }
+            Some(c) if is_ident_start(c) => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+                self.tok(TokKind::Lifetime, self.text(start), line)
+            }
+            _ => {
+                self.pos += 1;
+                self.tok(TokKind::Punct('\''), "'".into(), line)
+            }
+        }
+    }
+
+    /// An identifier — or, when the identifier is a literal prefix
+    /// (`r`, `b`, `br`, `c`, `cr`), the literal it prefixes.
+    fn ident_or_prefixed_literal(&mut self) -> Tok {
+        let line = self.line;
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        let word = &self.src[start..self.pos];
+        match word {
+            b"r" | b"br" | b"cr" => {
+                if self.peek(0) == Some(b'"') {
+                    return self.raw_string();
+                }
+                if self.peek(0) == Some(b'#') {
+                    // `r#"…"#` et al. — or the raw identifier `r#ident`.
+                    let mut k = 0;
+                    while self.peek(k) == Some(b'#') {
+                        k += 1;
+                    }
+                    if self.peek(k) == Some(b'"') {
+                        return self.raw_string();
+                    }
+                    if word == b"r" && k == 1 && self.peek(1).is_some_and(is_ident_start) {
+                        self.pos += 1; // consume '#', token text is the bare name
+                        let istart = self.pos;
+                        while self.peek(0).is_some_and(is_ident_continue) {
+                            self.pos += 1;
+                        }
+                        return self.tok(TokKind::Ident, self.text(istart), line);
+                    }
+                }
+            }
+            b"b" | b"c" => {
+                if self.peek(0) == Some(b'"') {
+                    return self.string();
+                }
+                if word == b"b" && self.peek(0) == Some(b'\'') {
+                    return self.char_or_lifetime();
+                }
+            }
+            _ => {}
+        }
+        self.tok(TokKind::Ident, self.text(start), line)
+    }
+
+    fn number(&mut self) -> Tok {
+        let line = self.line;
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        self.tok(TokKind::Num, self.text(start), line)
+    }
+}
+
+/// Tokenizes `src`. Tokens come back in source order with `in_test` unset;
+/// call [`mark_test_regions`] (or use [`lex_marked`]) to fill it.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = lx.peek(0) {
+        match b {
+            b'\n' => {
+                lx.line += 1;
+                lx.pos += 1;
+            }
+            _ if b.is_ascii_whitespace() => lx.pos += 1,
+            b'/' if lx.peek(1) == Some(b'/') => {
+                let t = lx.line_comment();
+                out.push(t);
+            }
+            b'/' if lx.peek(1) == Some(b'*') => {
+                let t = lx.block_comment();
+                out.push(t);
+            }
+            b'"' => {
+                let t = lx.string();
+                out.push(t);
+            }
+            b'\'' => {
+                let t = lx.char_or_lifetime();
+                out.push(t);
+            }
+            _ if is_ident_start(b) => {
+                let t = lx.ident_or_prefixed_literal();
+                out.push(t);
+            }
+            _ if b.is_ascii_digit() => {
+                let t = lx.number();
+                out.push(t);
+            }
+            _ => {
+                let line = lx.line;
+                lx.pos += 1;
+                let t = lx.tok(TokKind::Punct(b as char), (b as char).to_string(), line);
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: [`lex`] followed by [`mark_test_regions`].
+pub fn lex_marked(src: &str) -> Vec<Tok> {
+    let mut toks = lex(src);
+    mark_test_regions(&mut toks);
+    toks
+}
+
+/// Returns true when the attribute token group `[..]` (given without the
+/// leading `#`) puts the following item under test compilation: it contains
+/// the ident `test` anywhere except directly under `not(..)`. Covers
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, not(loom)))]`, … while
+/// leaving `#[cfg(not(test))]` as production code.
+fn attr_is_test(group: &[&Tok]) -> bool {
+    for (k, t) in group.iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "test" {
+            let negated = k >= 2
+                && group[k - 1].kind == TokKind::Punct('(')
+                && group[k - 2].kind == TokKind::Ident
+                && group[k - 2].text == "not";
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Fills [`Tok::in_test`]: a token is test code when it lies in the body of
+/// an item annotated `#[test]` / `#[cfg(…test…)]`, inside a `mod tests`-like
+/// module, or after an inner `#![cfg(…test…)]` attribute of its enclosing
+/// block (whole-file for a crate-level one).
+pub fn mark_test_regions(toks: &mut [Tok]) {
+    let mut depth = 0usize;
+    // Brace depths at which a test region opened; a region ends when `}`
+    // returns the depth to the recorded value. `usize::MAX` = never.
+    let mut regions: Vec<usize> = Vec::new();
+    // A test attribute (or `mod tests` header) was seen; the next `{` opens
+    // its body, a `;` at the same depth ends the (body-less) item.
+    let mut armed = false;
+    let mut armed_depth = 0usize;
+    let mut i = 0;
+    while i < toks.len() {
+        let in_test = armed || !regions.is_empty();
+        toks[i].in_test = in_test;
+        match toks[i].kind.clone() {
+            TokKind::Comment => {}
+            TokKind::Punct('#') => {
+                // Attribute? `#[..]` or inner `#![..]`.
+                let mut j = i + 1;
+                while toks.get(j).is_some_and(|t| t.kind == TokKind::Comment) {
+                    j += 1;
+                }
+                let inner = toks.get(j).is_some_and(|t| t.kind == TokKind::Punct('!'));
+                if inner {
+                    j += 1;
+                    while toks.get(j).is_some_and(|t| t.kind == TokKind::Comment) {
+                        j += 1;
+                    }
+                }
+                if toks.get(j).is_some_and(|t| t.kind == TokKind::Punct('[')) {
+                    // Collect the bracket group.
+                    let mut bd = 0usize;
+                    let mut k = j;
+                    let mut group: Vec<usize> = Vec::new();
+                    while k < toks.len() {
+                        match toks[k].kind {
+                            TokKind::Punct('[') => bd += 1,
+                            TokKind::Punct(']') => {
+                                bd -= 1;
+                                if bd == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        group.push(k);
+                        toks[k].in_test = in_test;
+                        k += 1;
+                    }
+                    if k < toks.len() {
+                        toks[k].in_test = in_test;
+                    }
+                    let refs: Vec<&Tok> = group.iter().map(|&g| &toks[g]).collect();
+                    if attr_is_test(&refs) {
+                        if inner {
+                            // Test region = rest of the enclosing block.
+                            regions.push(if depth == 0 { usize::MAX } else { depth - 1 });
+                        } else {
+                            armed = true;
+                            armed_depth = depth;
+                        }
+                    }
+                    i = k + 1;
+                    continue;
+                }
+            }
+            TokKind::Punct('{') => {
+                if armed {
+                    regions.push(depth);
+                    armed = false;
+                }
+                depth += 1;
+            }
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while regions.last() == Some(&depth) {
+                    regions.pop();
+                }
+            }
+            TokKind::Punct(';') if armed && depth == armed_depth => {
+                armed = false;
+            }
+            TokKind::Ident if toks[i].text == "mod" => {
+                let mut j = i + 1;
+                while toks.get(j).is_some_and(|t| t.kind == TokKind::Comment) {
+                    j += 1;
+                }
+                if toks.get(j).is_some_and(|t| {
+                    t.kind == TokKind::Ident
+                        && (t.text == "tests" || t.text.starts_with("test_") || t.text == "test")
+                }) {
+                    armed = true;
+                    armed_depth = depth;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}

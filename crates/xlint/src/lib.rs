@@ -1,0 +1,275 @@
+//! `xlint` — the workspace's in-repo invariant linter.
+//!
+//! A dependency-free static-analysis pass in the same spirit as
+//! `shims/loom`: the project's unwritten rules (sync facade, memory-ordering
+//! justification, panic-freedom of parse/driver paths, no stray I/O in
+//! libraries) become machine-checked, with a `// xlint: allow(<rule>) —
+//! <reason>` escape hatch for justified exceptions and a checked-in
+//! baseline (`xlint.baseline`) that freezes — but never grows — legacy
+//! debt. See DESIGN.md §"Static analysis" for the policy and `src/rules.rs`
+//! for the rule definitions.
+//!
+//! Run it as `cargo run -p xlint` (human output) or
+//! `cargo run -p xlint -- --format json` (machine-readable). Exit status is
+//! non-zero when any non-baselined finding — or a stale baseline entry —
+//! exists, which is what makes the CI job blocking.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_file, Finding, RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Result of a workspace scan, after baseline application.
+pub struct Report {
+    /// Live findings: not allowed, not baselined. Non-empty ⇒ exit 1.
+    pub findings: Vec<Finding>,
+    /// Findings matched (and consumed) by baseline entries.
+    pub baselined: usize,
+    /// Baseline entries that matched nothing — the debt they froze is gone,
+    /// so they must be deleted (stale entries also fail the run: the
+    /// baseline may only shrink deliberately).
+    pub stale: Vec<String>,
+}
+
+impl Report {
+    /// True when the run should exit 0.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Collects every `.rs` file under any rule's scope, repo-relative with
+/// `/` separators, sorted for deterministic output.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut set = std::collections::BTreeSet::new();
+    for rule in RULES {
+        for prefix in rule.scope {
+            let dir = root.join(prefix);
+            if dir.is_dir() {
+                walk(&dir, root, &mut set)?;
+            } else if dir.is_file() {
+                if let Some(rel) = relpath(&dir, root) {
+                    set.insert(rel);
+                }
+            }
+        }
+    }
+    Ok(set.into_iter().collect())
+}
+
+fn relpath(p: &Path, root: &Path) -> Option<String> {
+    let rel = p.strip_prefix(root).ok()?;
+    let mut s = String::new();
+    for c in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&c.as_os_str().to_string_lossy());
+    }
+    Some(s)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut std::collections::BTreeSet<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        let name = p.file_name().map(|n| n.to_string_lossy().into_owned());
+        let hidden = name.as_deref().is_some_and(|n| n.starts_with('.'));
+        if p.is_dir() {
+            if !hidden && name.as_deref() != Some("target") {
+                walk(&p, root, out)?;
+            }
+        } else if !hidden && p.extension().is_some_and(|e| e == "rs") {
+            if let Some(rel) = relpath(&p, root) {
+                out.insert(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Scans the workspace under `root` and returns all findings (allow
+/// escapes applied, baseline not yet applied).
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for rel in workspace_files(root)? {
+        let src = fs::read_to_string(root.join(&rel))?;
+        findings.extend(check_file(&rel, &src));
+    }
+    Ok(findings)
+}
+
+/// The frozen-debt baseline: tab-separated `rule<TAB>path<TAB>snippet`
+/// lines (`#` comments and blank lines ignored). Matching is by trimmed
+/// source line, not line number, so entries survive unrelated edits.
+pub struct Baseline {
+    entries: Vec<(String, String, String)>,
+}
+
+impl Baseline {
+    /// Loads `path`; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> io::Result<Baseline> {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(Self::parse(&text))
+    }
+
+    /// Parses baseline text (see type docs for the format).
+    pub fn parse(text: &str) -> Baseline {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.splitn(3, '\t');
+            if let (Some(r), Some(p), Some(s)) = (it.next(), it.next(), it.next()) {
+                entries.push((r.to_string(), p.to_string(), s.to_string()));
+            }
+        }
+        Baseline { entries }
+    }
+
+    /// Renders findings as baseline text (used by `--write-baseline`).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut s = String::from(
+            "# xlint frozen debt. One entry per tolerated finding:\n\
+             # rule<TAB>path<TAB>trimmed source line.\n\
+             # Entries may only be removed (by fixing the debt); xlint fails on\n\
+             # stale entries and on findings not listed here.\n",
+        );
+        let mut rows: Vec<String> = findings
+            .iter()
+            .map(|f| format!("{}\t{}\t{}", f.rule, f.path, f.snippet))
+            .collect();
+        rows.sort();
+        for r in rows {
+            s.push_str(&r);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Splits `findings` into live ones and baseline-consumed ones; each
+    /// entry absorbs at most one finding, leftovers are reported stale.
+    pub fn apply(&self, findings: Vec<Finding>) -> Report {
+        let mut used = vec![false; self.entries.len()];
+        let mut live = Vec::new();
+        let mut baselined = 0usize;
+        'next: for f in findings {
+            for (k, (r, p, s)) in self.entries.iter().enumerate() {
+                if !used[k] && *r == f.rule && *p == f.path && *s == f.snippet {
+                    used[k] = true;
+                    baselined += 1;
+                    continue 'next;
+                }
+            }
+            live.push(f);
+        }
+        let stale = self
+            .entries
+            .iter()
+            .zip(&used)
+            .filter(|(_, &u)| !u)
+            .map(|((r, p, s), _)| format!("{r}\t{p}\t{s}"))
+            .collect();
+        Report {
+            findings: live,
+            baselined,
+            stale,
+        }
+    }
+}
+
+/// Minimal JSON string escaping (the linter is dependency-free).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a [`Report`] as a single JSON object.
+pub fn render_json(report: &Report) -> String {
+    let mut s = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+             \"message\": \"{}\", \"snippet\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message),
+            json_escape(&f.snippet)
+        ));
+    }
+    if !report.findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str(&format!(
+        "],\n  \"baselined\": {},\n  \"stale_baseline\": [",
+        report.baselined
+    ));
+    for (i, e) in report.stale.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{}\"", json_escape(e)));
+    }
+    if !report.stale.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Renders a [`Report`] for humans.
+pub fn render_human(report: &Report) -> String {
+    let mut s = String::new();
+    for f in &report.findings {
+        s.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            f.path, f.line, f.rule, f.message, f.snippet
+        ));
+    }
+    for e in &report.stale {
+        s.push_str(&format!(
+            "stale baseline entry (debt was fixed — delete the line): {e}\n"
+        ));
+    }
+    if report.clean() {
+        s.push_str(&format!(
+            "xlint: clean ({} baselined finding(s) tolerated)\n",
+            report.baselined
+        ));
+    } else {
+        s.push_str(&format!(
+            "xlint: {} finding(s), {} stale baseline entr(y/ies), {} baselined\n",
+            report.findings.len(),
+            report.stale.len(),
+            report.baselined
+        ));
+    }
+    s
+}

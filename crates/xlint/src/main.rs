@@ -1,0 +1,120 @@
+//! CLI entry point: `cargo run -p xlint [-- --format json] [--root DIR]`.
+//!
+//! Exit status: 0 when the workspace is clean (baselined debt tolerated),
+//! 1 on any live finding or stale baseline entry, 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xlint::{scan_workspace, Baseline};
+
+const USAGE: &str = "\
+xlint — workspace invariant linter
+
+USAGE:
+    cargo run -p xlint [-- OPTIONS]
+
+OPTIONS:
+    --format <human|json>   output format (default: human)
+    --root <DIR>            workspace root (default: the repo this binary
+                            was built from)
+    --baseline <FILE>       frozen-debt file (default: <root>/xlint.baseline)
+    --write-baseline        rewrite the baseline to freeze current findings
+    --list-rules            print the rules and exit
+    --help                  this text
+";
+
+fn main() -> ExitCode {
+    let mut format = String::from("human");
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "human" || f == "json" => format = f,
+                _ => return usage_error("expected `--format human|json`"),
+            },
+            "--root" => match args.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => return usage_error("expected a directory after --root"),
+            },
+            "--baseline" => match args.next() {
+                Some(b) => baseline_path = Some(PathBuf::from(b)),
+                None => return usage_error("expected a file after --baseline"),
+            },
+            "--write-baseline" => write_baseline = true,
+            "--list-rules" => {
+                for r in xlint::RULES {
+                    println!(
+                        "{:24} {}",
+                        r.name,
+                        r.desc.split_whitespace().collect::<Vec<_>>().join(" ")
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Default root: the workspace this binary was compiled from — makes
+    // `cargo run -p xlint` work from any cwd inside the repo.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("xlint.baseline"));
+
+    let findings = match scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xlint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        let text = Baseline::render(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("xlint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "xlint: froze {} finding(s) into {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("xlint: cannot read {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = baseline.apply(findings);
+    match format.as_str() {
+        "json" => print!("{}", xlint::render_json(&report)),
+        _ => print!("{}", xlint::render_human(&report)),
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("xlint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,345 @@
+//! The rule engine: four workspace invariants (L1–L4), the
+//! `// xlint: allow(<rule>) — <reason>` escape hatch, and the per-file
+//! check driver.
+//!
+//! | rule                     | invariant                                            |
+//! |--------------------------|------------------------------------------------------|
+//! | `sync-facade`            | no `std::sync`/`std::thread::spawn` in `crates/parallel` outside `sync.rs` |
+//! | `ordering-justification` | every `Ordering::SeqCst`/`Relaxed` carries `// ordering:` nearby |
+//! | `panic-freedom`          | no `.unwrap()` / `.expect(` / `panic!` in `phylo`/`core` library code |
+//! | `no-stray-io`            | no `println!`/`eprintln!` in library crates          |
+//!
+//! All rules ignore test code (see `lexer::mark_test_regions`), comments
+//! and string literals. Scopes are path prefixes relative to the repo root
+//! with `/` separators.
+
+use crate::lexer::{lex_marked, Tok, TokKind};
+use std::collections::HashSet;
+
+/// How many lines above a use an `// ordering:` comment may sit and still
+/// justify it (same line always counts).
+const ORDERING_WINDOW: usize = 4;
+
+/// One rule violation (or escape-hatch misuse) at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (`sync-facade`, …, or `allow-syntax` for a malformed
+    /// escape comment).
+    pub rule: &'static str,
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+    /// The trimmed source line (doubles as the baseline fingerprint, so
+    /// entries survive unrelated line-number drift).
+    pub snippet: String,
+}
+
+/// A lint rule: name, what it protects, and where it applies.
+pub struct Rule {
+    /// Stable rule name used in findings, allow-comments and the baseline.
+    pub name: &'static str,
+    /// One-line description (shown by `--help` and in DESIGN.md).
+    pub desc: &'static str,
+    /// Path prefixes the rule applies to.
+    pub scope: &'static [&'static str],
+    /// Path prefixes exempt from the rule (checked after `scope`).
+    pub exempt: &'static [&'static str],
+}
+
+/// All rules, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "sync-facade",
+        desc: "scheduler code must import sync primitives through parallel::sync \
+               (std::sync / std::thread::spawn bypass the loom model)",
+        scope: &["crates/parallel/src"],
+        exempt: &["crates/parallel/src/sync.rs"],
+    },
+    Rule {
+        name: "ordering-justification",
+        desc: "every Ordering::SeqCst / Ordering::Relaxed site needs a nearby \
+               `// ordering:` comment explaining why",
+        scope: &["crates/parallel/src"],
+        exempt: &[],
+    },
+    Rule {
+        name: "panic-freedom",
+        desc: "no .unwrap() / .expect( / panic! in phylo/core library code \
+               (parse, I/O and driver paths return typed errors)",
+        scope: &["crates/phylo/src", "crates/core/src"],
+        exempt: &[],
+    },
+    Rule {
+        name: "no-stray-io",
+        desc: "library crates must not println!/eprintln! (results go through \
+               sink / EngineReport; binaries and the bench harness may print)",
+        scope: &[
+            "src",
+            "crates/phylo/src",
+            "crates/core/src",
+            "crates/parallel/src",
+            "crates/sim/src",
+            "crates/datagen/src",
+            "crates/superb/src",
+            "crates/msa/src",
+            "crates/cli/src",
+        ],
+        exempt: &["crates/datagen/src/bin", "crates/cli/src/main.rs"],
+    },
+];
+
+fn path_applies(path: &str, prefixes: &[&str]) -> bool {
+    prefixes
+        .iter()
+        .any(|p| path == *p || path.starts_with(&format!("{p}/")))
+}
+
+/// True when `rule` covers `path`.
+pub fn rule_covers(rule: &Rule, path: &str) -> bool {
+    path_applies(path, rule.scope) && !path_applies(path, rule.exempt)
+}
+
+/// An `xlint: allow(rule)` escape comment, attached to the lines it covers.
+struct Allow {
+    rule: String,
+    /// The comment's last line; it suppresses findings there and one below.
+    end_line: usize,
+    used: std::cell::Cell<bool>,
+}
+
+/// Comment-derived context for one file: ordering-justified lines and
+/// allow escapes.
+struct CommentIndex {
+    ordering_lines: HashSet<usize>,
+    allows: Vec<Allow>,
+    bad_allows: Vec<Finding>,
+}
+
+impl CommentIndex {
+    fn build(path: &str, toks: &[Tok], lines: &[&str]) -> Self {
+        let mut ordering_lines = HashSet::new();
+        let mut allows = Vec::new();
+        let mut bad_allows = Vec::new();
+        // A `//` block is one comment per line to the lexer; merge
+        // consecutive-line comments into runs so a multi-line
+        // `// ordering:` justification covers through its last line.
+        let comments: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Comment).collect();
+        let mut i = 0;
+        while i < comments.len() {
+            let mut j = i;
+            while j + 1 < comments.len() && comments[j + 1].line == comments[j].end_line + 1 {
+                j += 1;
+            }
+            if let Some(marker) = comments[i..=j]
+                .iter()
+                .find(|c| c.text.contains("ordering:"))
+            {
+                for l in marker.line..=comments[j].end_line {
+                    ordering_lines.insert(l);
+                }
+            }
+            i = j + 1;
+        }
+        for t in toks {
+            if t.kind != TokKind::Comment {
+                continue;
+            }
+            let mut rest = t.text.as_str();
+            while let Some(at) = rest.find("xlint: allow(") {
+                let after = &rest[at + "xlint: allow(".len()..];
+                let Some(close) = after.find(')') else {
+                    break;
+                };
+                let rule = after[..close].trim().to_string();
+                let reason = after[close + 1..]
+                    .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+                    .trim();
+                if rule.is_empty() || reason.is_empty() {
+                    bad_allows.push(Finding {
+                        rule: "allow-syntax",
+                        path: path.to_string(),
+                        line: t.line,
+                        message: "escape hatch must name a rule and give a reason: \
+                                  `// xlint: allow(<rule>) — <reason>`"
+                            .to_string(),
+                        snippet: snippet_at(lines, t.line),
+                    });
+                } else {
+                    allows.push(Allow {
+                        rule,
+                        end_line: t.end_line,
+                        used: std::cell::Cell::new(false),
+                    });
+                }
+                rest = &after[close + 1..];
+            }
+        }
+        CommentIndex {
+            ordering_lines,
+            allows,
+            bad_allows,
+        }
+    }
+
+    fn ordering_justified(&self, line: usize) -> bool {
+        (line.saturating_sub(ORDERING_WINDOW)..=line).any(|l| self.ordering_lines.contains(&l))
+    }
+
+    /// Consumes a matching allow for (`rule`, `line`) if one exists.
+    fn allowed(&self, rule: &str, line: usize) -> bool {
+        for a in &self.allows {
+            if a.rule == rule && (a.end_line == line || a.end_line + 1 == line) {
+                a.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn snippet_at(lines: &[&str], line: usize) -> String {
+    lines
+        .get(line - 1)
+        .map(|l| l.trim())
+        .unwrap_or("")
+        .to_string()
+}
+
+/// True when code tokens starting at `i` spell the `::`-separated path
+/// `segs` (comments between segments are tolerated by pre-filtering).
+fn path_seq(toks: &[&Tok], i: usize, segs: &[&str]) -> bool {
+    let mut k = i;
+    for (si, seg) in segs.iter().enumerate() {
+        if si > 0 {
+            if !(toks.get(k).is_some_and(|t| t.kind == TokKind::Punct(':'))
+                && toks
+                    .get(k + 1)
+                    .is_some_and(|t| t.kind == TokKind::Punct(':')))
+            {
+                return false;
+            }
+            k += 2;
+        }
+        if !toks
+            .get(k)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == *seg)
+        {
+            return false;
+        }
+        k += 1;
+    }
+    true
+}
+
+/// Runs every applicable rule over one file. `path` must be repo-relative
+/// with `/` separators; scoping and the escape hatch are applied here, the
+/// baseline is applied by the caller.
+pub fn check_file(path: &str, src: &str) -> Vec<Finding> {
+    let toks = lex_marked(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let idx = CommentIndex::build(path, &toks, &lines);
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| t.kind != TokKind::Comment && !t.in_test)
+        .collect();
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut push = |rule: &'static str, line: usize, message: String| {
+        raw.push(Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+            snippet: snippet_at(&lines, line),
+        });
+    };
+
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is = |k: char| code.get(i + 1).is_some_and(|n| n.kind == TokKind::Punct(k));
+        let prev_is = |k: char| i > 0 && code[i - 1].kind == TokKind::Punct(k);
+        match t.text.as_str() {
+            "std" => {
+                if path_seq(&code, i, &["std", "sync"]) {
+                    push(
+                        "sync-facade",
+                        t.line,
+                        "`std::sync` bypasses the `parallel::sync` facade (invisible to loom)"
+                            .to_string(),
+                    );
+                } else if path_seq(&code, i, &["std", "thread", "spawn"]) {
+                    push(
+                        "sync-facade",
+                        t.line,
+                        "`std::thread::spawn` bypasses the `parallel::sync` facade".to_string(),
+                    );
+                }
+            }
+            // `Ordering::SeqCst` / `Ordering::Relaxed` need justification;
+            // Acquire/Release pairs document themselves by pairing.
+            "Ordering"
+                if (path_seq(&code, i, &["Ordering", "SeqCst"])
+                    || path_seq(&code, i, &["Ordering", "Relaxed"]))
+                    && !idx.ordering_justified(t.line) =>
+            {
+                let which = &code[i + 3].text;
+                push(
+                    "ordering-justification",
+                    t.line,
+                    format!("`Ordering::{which}` without a nearby `// ordering:` comment"),
+                );
+            }
+            "unwrap" if prev_is('.') && next_is('(') => {
+                push(
+                    "panic-freedom",
+                    t.line,
+                    "`.unwrap()` in library code — return a typed error instead".to_string(),
+                );
+            }
+            "expect" if prev_is('.') && next_is('(') => {
+                push(
+                    "panic-freedom",
+                    t.line,
+                    "`.expect(..)` in library code — return a typed error instead".to_string(),
+                );
+            }
+            "panic" if next_is('!') => {
+                push(
+                    "panic-freedom",
+                    t.line,
+                    "`panic!` in library code — return a typed error instead".to_string(),
+                );
+            }
+            "println" | "eprintln" if next_is('!') => {
+                push(
+                    "no-stray-io",
+                    t.line,
+                    format!(
+                        "`{}!` in a library crate — route output through a sink/report",
+                        t.text
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    let mut out: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| {
+            RULES
+                .iter()
+                .find(|r| r.name == f.rule)
+                .is_some_and(|r| rule_covers(r, path))
+        })
+        .filter(|f| !idx.allowed(f.rule, f.line))
+        .collect();
+    out.extend(idx.bad_allows);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}

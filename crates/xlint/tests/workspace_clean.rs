@@ -1,0 +1,106 @@
+//! End-to-end checks of the `xlint` binary: the real workspace must be
+//! clean at HEAD (this is the acceptance gate CI enforces), and injected
+//! violations must flip the exit status.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_xlint"))
+        .args(args)
+        .output()
+        .expect("spawn xlint")
+}
+
+#[test]
+fn workspace_at_head_is_clean() {
+    let root = repo_root();
+    let out = run(&["--root", root.to_str().expect("utf-8 path")]);
+    assert!(
+        out.status.success(),
+        "xlint found violations at HEAD:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("xlint: clean"), "{text}");
+}
+
+#[test]
+fn injected_violation_fails_with_json_detail() {
+    // Build a miniature workspace with one facade bypass.
+    let dir = std::env::temp_dir().join(format!("xlint-e2e-{}", std::process::id()));
+    let src_dir = dir.join("crates/parallel/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        "pub fn bad() { std::thread::spawn(|| {}); }\n",
+    )
+    .expect("write fixture");
+
+    let out = run(&[
+        "--root",
+        dir.to_str().expect("utf-8 path"),
+        "--format",
+        "json",
+    ]);
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(out.status.code(), Some(1), "expected a lint failure");
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"rule\": \"sync-facade\""), "{json}");
+    assert!(json.contains("crates/parallel/src/bad.rs"), "{json}");
+}
+
+#[test]
+fn stale_baseline_entry_fails() {
+    let dir = std::env::temp_dir().join(format!("xlint-stale-{}", std::process::id()));
+    std::fs::create_dir_all(dir.join("crates/core/src")).expect("mkdir");
+    std::fs::write(dir.join("crates/core/src/ok.rs"), "pub fn ok() {}\n").expect("write");
+    std::fs::write(
+        dir.join("xlint.baseline"),
+        "panic-freedom\tcrates/core/src/ok.rs\tgone.unwrap()\n",
+    )
+    .expect("write baseline");
+
+    let out = run(&["--root", dir.to_str().expect("utf-8 path")]);
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stale baseline entry"), "{text}");
+}
+
+#[test]
+fn write_baseline_then_clean() {
+    let dir = std::env::temp_dir().join(format!("xlint-freeze-{}", std::process::id()));
+    std::fs::create_dir_all(dir.join("crates/phylo/src")).expect("mkdir");
+    std::fs::write(
+        dir.join("crates/phylo/src/debt.rs"),
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    )
+    .expect("write");
+    let root = dir.to_str().expect("utf-8 path").to_string();
+
+    // Dirty before freezing…
+    assert_eq!(run(&["--root", &root]).status.code(), Some(1));
+    // …freeze…
+    assert!(run(&["--root", &root, "--write-baseline"]).status.success());
+    // …clean after, and the baseline file documents the frozen entry.
+    let out = run(&["--root", &root]);
+    let baseline = std::fs::read_to_string(dir.join("xlint.baseline")).expect("baseline");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        baseline.contains("panic-freedom\tcrates/phylo/src/debt.rs"),
+        "{baseline}"
+    );
+}

@@ -68,6 +68,13 @@ macro_rules! int_atomic {
                 self.0.compare_exchange(current, new, SeqCst, SeqCst)
             }
         }
+
+        impl Default for $name {
+            /// A new atomic holding zero (mirrors `std`).
+            fn default() -> Self {
+                Self::new(0)
+            }
+        }
     };
 }
 
