@@ -1,0 +1,61 @@
+//! Smoke — CI-sized end-to-end run with metrics export.
+//!
+//! Not a paper experiment: this target exists so CI can exercise the full
+//! bench stack (datagen → parallel engine → observability export) on a
+//! small simulated instance in seconds, and archive the schema-versioned
+//! run-metrics JSON as the per-commit perf trajectory artifact
+//! (`BENCH_smoke.json` by default; override with `SMOKE_OUT`).
+
+use gentrius_bench::{banner, bench_config};
+use gentrius_datagen::scenario::long_runner;
+use gentrius_parallel::obs::{json, write_run_metrics, METRICS_VERSION};
+use gentrius_parallel::{run_parallel, ParallelConfig};
+use std::time::Duration;
+
+fn main() {
+    banner(
+        "SMOKE",
+        "CI smoke: engine + observability export on a small instance",
+        "finishes in seconds; writes valid schema-v1 run metrics",
+    );
+    let mut config = bench_config(50_000, 100_000);
+    // Belt-and-braces for shared CI runners: the run-monitor turns this
+    // into a hard wall-clock ceiling even if the counts never trip.
+    config.stopping.max_time = Some(Duration::from_secs(30));
+
+    let dataset = long_runner(0);
+    let problem = dataset.problem().expect("generated dataset is valid");
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get().min(4))
+        .unwrap_or(2);
+    let mut pcfg = ParallelConfig::with_threads(threads);
+    pcfg.trace = true;
+    let result = run_parallel(&problem, &config, &pcfg).expect("smoke run");
+
+    println!(
+        "\n{:<16} {:>8} {:>12} {:>12} {:>10}",
+        "dataset", "threads", "stand trees", "states", "seconds"
+    );
+    println!(
+        "{:<16} {:>8} {:>12} {:>12} {:>10.3}",
+        dataset.name,
+        threads,
+        result.stats.stand_trees,
+        result.stats.intermediate_states,
+        result.elapsed.as_secs_f64()
+    );
+    println!(
+        "stop: {:?}; monitor ticks: {}; heartbeats: {}",
+        result.stop,
+        result.monitor.ticks,
+        result.monitor.heartbeats.len()
+    );
+
+    let out = std::env::var("SMOKE_OUT").unwrap_or_else(|_| "BENCH_smoke.json".to_string());
+    let mut buf = Vec::new();
+    write_run_metrics(&mut buf, &result, &pcfg.flush).expect("serialize metrics");
+    let doc = String::from_utf8(buf).expect("metrics are UTF-8");
+    json::validate(doc.trim_end()).expect("metrics must be valid JSON");
+    std::fs::write(&out, &doc).expect("write metrics file");
+    println!("\nwrote run metrics (schema v{METRICS_VERSION}) to {out}");
+}

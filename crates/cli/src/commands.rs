@@ -48,6 +48,7 @@ USAGE:
                    [--threads N] [--max-trees N] [--max-states N] [--max-hours H]
                    [--no-dynamic] [--initial-tree IDX] [--incremental]
                    [--print-trees] [--output FILE]
+                   [--metrics-json FILE] [--trace-json FILE]
   gentrius induced --species FILE --pam FILE
   gentrius gen     --kind sim|emp [--seed S] [--index I] [--scale paper|scaled]
                    [--output FILE]  |  gen --scenario NAME [--output FILE]
@@ -66,6 +67,10 @@ USAGE:
 
 Input formats: tree files hold one Newick per line; PAM files hold
 '<taxon> <0/1 row>' lines; dataset files use the gentrius dataset v1 format.
+Observability: --metrics-json writes a schema-versioned run-metrics JSON
+document; --trace-json writes a Chrome-trace-event timeline (load it in
+Perfetto or chrome://tracing). Either flag routes the run through the
+parallel engine, even with --threads 1.
 ";
 
 /// Dispatches a full command line (without the program name).
@@ -206,17 +211,49 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     )
     .unwrap();
 
-    let (stats, stop, elapsed, mut newicks, sched) = if threads <= 1 {
+    let metrics_path = a.get("metrics-json");
+    let trace_path = a.get("trace-json");
+    // The exports serialize a ParallelRunResult, so either flag routes the
+    // run through the parallel engine (which supports --threads 1).
+    let use_parallel = threads > 1 || metrics_path.is_some() || trace_path.is_some();
+
+    let mut export_lines = String::new();
+    let (stats, stop, elapsed, mut newicks, sched) = if !use_parallel {
         let mut sink = CollectNewick::with_cap(&taxa, cap);
         let r = problem_run_serial(&problem, &config, &mut sink)?;
         (r.stats, r.stop, r.elapsed, sink.out, None)
     } else {
-        let pcfg = ParallelConfig::with_threads(threads);
+        let mut pcfg = ParallelConfig::with_threads(threads);
+        pcfg.trace = trace_path.is_some();
         let (r, sinks) = run_parallel_with_sinks(&problem, &config, &pcfg, |_| {
             CollectNewick::with_cap(&taxa, cap)
         })
         .map_err(|e| CliError(e.to_string()))?;
         let merged = canonical_stand_set(sinks.into_iter().map(|s| s.out));
+        if let Some(path) = metrics_path {
+            let mut f =
+                std::fs::File::create(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            gentrius_parallel::obs::write_run_metrics(&mut f, &r, &pcfg.flush)
+                .map_err(|e| CliError(format!("{path}: {e}")))?;
+            writeln!(
+                export_lines,
+                "wrote run metrics (schema v{}) to {path}",
+                gentrius_parallel::obs::METRICS_VERSION
+            )
+            .unwrap();
+        }
+        if let Some(path) = trace_path {
+            let mut f =
+                std::fs::File::create(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            gentrius_parallel::obs::write_chrome_trace(&mut f, &r)
+                .map_err(|e| CliError(format!("{path}: {e}")))?;
+            let spans: usize = r.workers.iter().map(|w| w.spans.len()).sum();
+            writeln!(
+                export_lines,
+                "wrote chrome trace ({spans} task spans) to {path}"
+            )
+            .unwrap();
+        }
         (r.stats, r.stop, r.elapsed, merged, Some(r.scheduler))
     };
 
@@ -234,6 +271,7 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     }
     writeln!(out, "status: {}", stop_str(stop)).unwrap();
     writeln!(out, "time: {:.3}s", elapsed.as_secs_f64()).unwrap();
+    out.push_str(&export_lines);
 
     if want_trees {
         newicks.sort();
@@ -455,7 +493,9 @@ fn cmd_verify(a: &ParsedArgs) -> Result<String, CliError> {
     )
     .unwrap();
 
-    let pcfg = ParallelConfig::with_threads(threads.max(2));
+    // `--threads N` is honored as given (the engine supports a single
+    // worker); it used to be silently bumped to 2.
+    let pcfg = ParallelConfig::with_threads(threads.max(1));
     let (par, par_sinks) = run_parallel_with_sinks(&problem, &config, &pcfg, |_| {
         CollectNewick::with_cap(&taxa, 2_000_000)
     })
@@ -855,6 +895,87 @@ mod tests {
         let q = write_tmp("superb2.nwk", "((A,B),(C,D));\n((E,F),(G,H));\n");
         let out2 = run_strs(&["superb", "--trees", q.to_str().unwrap()]).unwrap();
         assert!(out2.contains("no comprehensive taxon"), "{out2}");
+    }
+
+    #[test]
+    fn stand_metrics_json_export_is_valid_and_versioned() {
+        let p = write_tmp("metrics.nwk", "((A,B),(C,D));\n((A,E),(F,G));\n");
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        let mj = dir.join("run_metrics.json");
+        // --threads 1 must also work: the flag routes through the
+        // parallel engine with a single worker.
+        let out = run_strs(&[
+            "stand",
+            "--trees",
+            p.to_str().unwrap(),
+            "--threads",
+            "1",
+            "--metrics-json",
+            mj.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("wrote run metrics (schema v1)"), "{out}");
+        let text = std::fs::read_to_string(&mj).unwrap();
+        gentrius_parallel::obs::json::validate(&text).unwrap();
+        assert!(
+            text.starts_with("{\"schema\":\"gentrius-run-metrics\",\"version\":1,"),
+            "{text}"
+        );
+        assert!(text.contains("\"threads\":1"), "{text}");
+        assert!(text.contains("\"monitor\":{\"ticks\":"), "{text}");
+    }
+
+    #[test]
+    fn stand_trace_json_spans_match_tasks_executed() {
+        let p = write_tmp(
+            "tracejson.nwk",
+            "((A,B),(C,D));\n((A,E),(F,G));\n((C,F),(H,I));\n",
+        );
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        let mj = dir.join("trace_metrics.json");
+        let tj = dir.join("trace_events.json");
+        let out = run_strs(&[
+            "stand",
+            "--trees",
+            p.to_str().unwrap(),
+            "--threads",
+            "3",
+            "--metrics-json",
+            mj.to_str().unwrap(),
+            "--trace-json",
+            tj.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("wrote chrome trace ("), "{out}");
+        let trace = std::fs::read_to_string(&tj).unwrap();
+        gentrius_parallel::obs::json::validate(&trace).unwrap();
+        assert!(trace.contains("\"traceEvents\":["), "{trace}");
+        // One named track per worker…
+        assert_eq!(trace.matches("\"thread_name\"").count(), 3);
+        // …and exactly one "X" (complete) event per executed task, as
+        // counted by the metrics export of the same run.
+        let metrics = std::fs::read_to_string(&mj).unwrap();
+        let tasks: u64 = metrics
+            .match_indices("\"tasks_executed\":")
+            .map(|(i, pat)| {
+                metrics[i + pat.len()..]
+                    .chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse::<u64>()
+                    .unwrap()
+            })
+            .sum();
+        assert!(tasks >= 1);
+        assert_eq!(trace.matches("\"ph\":\"X\"").count() as u64, tasks);
+    }
+
+    #[test]
+    fn verify_honors_a_single_thread() {
+        let p = write_tmp("verify1.nwk", "((A,B),(C,D));\n((C,D),(E,F));\n");
+        let out = run_strs(&["verify", "--trees", p.to_str().unwrap(), "--threads", "1"]).unwrap();
+        assert!(out.contains("(1 threads)"), "{out}");
+        assert!(out.contains("verdict: PASS"), "{out}");
     }
 
     #[test]

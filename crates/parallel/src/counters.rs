@@ -6,8 +6,21 @@
 //! 2^13 states and 2^10 dead ends respectively (empirically tuned there to
 //! a 2–5% speedup at 16 threads). Each flush also evaluates the stopping
 //! rules and, if one fires, raises a global stop flag that all workers poll.
-//! As in the paper, this means limits can be overshot by up to one batch per
-//! thread — the final counts are exact for the work actually performed.
+//!
+//! Overshoot semantics differ per rule class, and the distinction matters:
+//!
+//! * the two **count limits** (rules 1–2) can only be overshot by work that
+//!   was already performed before the deciding flush — at most one batch
+//!   per thread, as in the paper; the final counts are exact for the work
+//!   actually done;
+//! * the **wall-clock limit** (rule 3) is *not* safely enforceable from
+//!   flushes alone: a run whose workers are parked on the idle condvar, or
+//!   progressing below every flush threshold, never reaches
+//!   [`GlobalCounters::add_and_check`] and would overshoot `max_time`
+//!   without bound. The flush-path clock check below is therefore only a
+//!   fast path; the authoritative enforcement is the engine's run monitor
+//!   ([`crate::obs::monitor`]), which re-examines the clock every tick and
+//!   wakes parked workers when it raises the stop.
 
 use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use gentrius_core::config::{StopCause, StoppingRules};
@@ -122,20 +135,41 @@ impl GlobalCounters {
         self.stop.store(true, Ordering::Release);
     }
 
+    /// True once the wall-clock budget (rule 3) is exhausted. Polled by
+    /// the run monitor ([`crate::obs::monitor`]) every tick and by the
+    /// flush fast path below.
+    pub fn time_limit_exceeded(&self) -> bool {
+        match self.rules.max_time {
+            Some(max) => self.started.elapsed() >= max,
+            None => false,
+        }
+    }
+
     /// Snapshot of the flushed totals.
+    ///
+    /// Reads `dead_ends` *before* `intermediate_states`, pairing with the
+    /// publication order in [`GlobalCounters::add_and_check`]: every batch
+    /// publishes its states before its dead ends, so any dead-end count a
+    /// snapshot observes is covered by an already-visible state count and
+    /// `dead_ends <= intermediate_states` holds at *every* snapshot (the
+    /// differential harness asserts this on live heartbeat samples).
     pub fn snapshot(&self) -> RunStats {
+        let dead_ends = self.dead_ends.load(Ordering::Acquire);
+        let intermediate_states = self.intermediate_states.load(Ordering::Acquire);
+        let stand_trees = self.stand_trees.load(Ordering::Acquire);
         RunStats {
-            stand_trees: self.stand_trees.load(Ordering::Acquire),
-            intermediate_states: self.intermediate_states.load(Ordering::Acquire),
-            dead_ends: self.dead_ends.load(Ordering::Acquire),
+            stand_trees,
+            intermediate_states,
+            dead_ends,
         }
     }
 
     /// Adds a batch to the globals and evaluates the stopping rules.
+    ///
+    /// States are published before dead ends (see
+    /// [`GlobalCounters::snapshot`] for the pairing). The clock check at
+    /// the end is only the fast path for rule 3 — see the module docs.
     fn add_and_check(&self, trees: u64, states: u64, dead: u64) {
-        if dead > 0 {
-            self.dead_ends.fetch_add(dead, Ordering::AcqRel);
-        }
         if trees > 0 {
             let total = self.stand_trees.fetch_add(trees, Ordering::AcqRel) + trees;
             if let Some(max) = self.rules.max_stand_trees {
@@ -152,10 +186,11 @@ impl GlobalCounters {
                 }
             }
         }
-        if let Some(max) = self.rules.max_time {
-            if self.started.elapsed() >= max {
-                self.raise_stop(StopCause::TimeLimit);
-            }
+        if dead > 0 {
+            self.dead_ends.fetch_add(dead, Ordering::AcqRel);
+        }
+        if self.time_limit_exceeded() {
+            self.raise_stop(StopCause::TimeLimit);
         }
     }
 }

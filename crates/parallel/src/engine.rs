@@ -4,6 +4,7 @@
 //! path-replay tasks thereafter.
 
 use crate::counters::{FlushThresholds, GlobalCounters, LocalCounters};
+use crate::obs::monitor::{spawn_monitor, MonitorConfig, MonitorReport, MonitorShared};
 use crate::pool::{SchedulerCounts, TaskPool, WorkerHandle};
 use crate::task::{paper_queue_capacity, partition_branches, Task};
 use gentrius_core::config::{GentriusConfig, MappingMode, StopCause};
@@ -37,6 +38,11 @@ pub struct ParallelConfig {
     /// Record per-worker task spans (wall-clock seconds since engine
     /// start) in the [`WorkerReport`]s.
     pub trace: bool,
+    /// Run-monitor settings (`None` disables the supervisor thread). The
+    /// monitor is what enforces the wall-clock stopping rule — counter
+    /// flushes cannot, because parked or starved workers never flush — so
+    /// disable it only in tests that deliberately model the old behavior.
+    pub monitor: Option<MonitorConfig>,
 }
 
 impl ParallelConfig {
@@ -49,6 +55,7 @@ impl ParallelConfig {
             min_remaining_for_split: 3,
             steal_seed: 0,
             trace: false,
+            monitor: Some(MonitorConfig::default()),
         }
     }
 
@@ -137,9 +144,10 @@ impl EngineReport {
 /// Outcome of a parallel run.
 #[derive(Clone, Debug)]
 pub struct ParallelRunResult {
-    /// Global counters (exact totals of the work performed; stopping-rule
-    /// limits may be overshot by up to one flush batch per thread, as in
-    /// the paper).
+    /// Global counters (exact totals of the work performed). Count-based
+    /// stopping limits may be overshot by up to one flush batch per
+    /// thread, as in the paper; the wall-clock limit is enforced by the
+    /// run monitor to within about one monitor tick.
     pub stats: RunStats,
     /// The stopping rule that fired, if any.
     pub stop: Option<StopCause>,
@@ -157,6 +165,8 @@ pub struct ParallelRunResult {
     pub scheduler: EngineReport,
     /// Per-worker reports, in thread order.
     pub workers: Vec<WorkerReport>,
+    /// What the run monitor observed (all-default when disabled).
+    pub monitor: MonitorReport,
 }
 
 impl ParallelRunResult {
@@ -213,137 +223,183 @@ where
                 stolen_tasks: 0,
                 scheduler: EngineReport::empty(pcfg.threads),
                 workers: vec![WorkerReport::default(); pcfg.threads],
+                monitor: MonitorReport::default(),
             },
             sinks,
         ));
     }
 
     let global = GlobalCounters::new(config.stopping.clone());
+    // The pool exists for the whole run (even though workers only spawn in
+    // phase 3) so the monitor can wake parked threads and sample scheduler
+    // state from its very first tick.
+    let pool = TaskPool::with_seed(pcfg.threads, pcfg.capacity(), pcfg.steal_seed);
+    let monitor_shared = pcfg.monitor.as_ref().map(MonitorShared::new);
 
-    // ------------------------------------------------------------------
-    // Phase 1 — serial prefix: identical across all threads (the paper has
-    // every thread redo it; we run it once on the main thread and count it
-    // once, so totals match the serial run exactly).
-    // ------------------------------------------------------------------
-    let state = new_state(problem, initial, config);
-    let mut prefix_ex = Explorer::new_root(state);
-    let mut prefix_local = LocalCounters::new(&global, pcfg.flush);
-    loop {
-        if global.stopped() {
-            break;
+    // One scope holds the monitor and (later) the workers. Every return
+    // path below must call `finish` on the monitor before the scope
+    // closes, or the scope would wait on a supervisor that never quits.
+    let (result, returned_sinks) = std::thread::scope(|scope| {
+        if let Some(shared) = &monitor_shared {
+            spawn_monitor(scope, shared, &global, &pool, started);
         }
-        if prefix_ex.finished() {
-            break;
+        // If anything below unwinds (a worker panic propagating through
+        // `join().expect`), the monitor must still be told to quit, or the
+        // scope's implicit join would hang the unwind forever.
+        struct MonitorQuitGuard<'a>(Option<&'a MonitorShared>);
+        impl Drop for MonitorQuitGuard<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    if let Some(shared) = self.0 {
+                        shared.quit();
+                    }
+                }
+            }
         }
-        if prefix_ex.top().map(|f| f.pending()).unwrap_or(0) >= 2 {
-            break; // reached the initial-split state I_0
-        }
-        count_event(prefix_ex.step(&mut prefix_sink), &mut prefix_local);
-    }
-    let prefix_stats = prefix_local.totals();
-    prefix_local.flush();
-    drop(prefix_local);
+        let _monitor_guard = MonitorQuitGuard(monitor_shared.as_ref());
+        let finish_monitor = || match &monitor_shared {
+            Some(shared) => shared.finish(&global, &pool, started),
+            None => MonitorReport::default(),
+        };
 
-    if prefix_ex.finished() || global.stopped() {
-        // The whole search (or the stopping budget) fit in the prefix.
+        // --------------------------------------------------------------
+        // Phase 1 — serial prefix: identical across all threads (the
+        // paper has every thread redo it; we run it once on the main
+        // thread and count it once, so totals match the serial run
+        // exactly). The monitor already supervises this phase: a
+        // wall-clock limit expiring mid-prefix stops it within a tick.
+        // --------------------------------------------------------------
+        let state = new_state(problem, initial, config);
+        let mut prefix_ex = Explorer::new_root(state);
+        let mut prefix_local = LocalCounters::new(&global, pcfg.flush);
+        loop {
+            if global.stopped() {
+                break;
+            }
+            if prefix_ex.finished() {
+                break;
+            }
+            if prefix_ex.top().map(|f| f.pending()).unwrap_or(0) >= 2 {
+                break; // reached the initial-split state I_0
+            }
+            count_event(prefix_ex.step(&mut prefix_sink), &mut prefix_local);
+        }
+        let prefix_stats = prefix_local.totals();
+        prefix_local.flush();
+        drop(prefix_local);
+
+        if prefix_ex.finished() || global.stopped() {
+            // The whole search (or the stopping budget) fit in the prefix.
+            let monitor = finish_monitor();
+            sinks.push(prefix_sink);
+            let stats = global.snapshot();
+            return (
+                ParallelRunResult {
+                    stats,
+                    stop: global.stop_cause(),
+                    elapsed: started.elapsed(),
+                    threads: pcfg.threads,
+                    initial_tree: initial,
+                    prefix: prefix_stats,
+                    stolen_tasks: 0,
+                    scheduler: EngineReport::empty(pcfg.threads),
+                    workers: vec![WorkerReport::default(); pcfg.threads],
+                    monitor,
+                },
+                sinks,
+            );
+        }
+
+        // --------------------------------------------------------------
+        // Phase 2 — initial split: distribute the admissible branches of
+        // I_0's next taxon over the threads as uniformly as possible
+        // (Fig. 2a; with fewer branches than threads the surplus threads
+        // start parked and are fed by work stealing, the queue-based
+        // equivalent of Fig. 2b).
+        // --------------------------------------------------------------
+        let split_frame = prefix_ex.top().expect("I_0 has a frame");
+        let split_taxon = split_frame.taxon;
+        let split_branches: Vec<EdgeId> = split_frame.branches[split_frame.cursor..].to_vec();
+        let prefix_path: Vec<(TaxonId, EdgeId)> = prefix_ex.path_from_base();
+        drop(prefix_ex);
+
+        let chunks = partition_branches(&split_branches, pcfg.threads);
+        // The initial chunks go through the global injector: any worker
+        // may pick one up, surplus workers park until splits reach their
+        // deques. (If the monitor already shut the pool down, workers see
+        // `done` and exit without touching the injected tasks.)
+        for branches in chunks {
+            pool.inject(Task::at_split(split_taxon, branches));
+        }
+
+        // --------------------------------------------------------------
+        // Phase 3 — thread pool with per-worker steal deques.
+        // --------------------------------------------------------------
+        let mut worker_sinks: Vec<Option<S>> =
+            (0..pcfg.threads).map(|t| Some(make_sink(1 + t))).collect();
+        // Workers get their own (inner) scope because they borrow
+        // phase-2 locals like `prefix_path`; the monitor in the outer
+        // scope keeps supervising them throughout.
+        let results: Vec<(WorkerReport, S)> = std::thread::scope(|wscope| {
+            let mut handles = Vec::with_capacity(pcfg.threads);
+            for (tid, sink_slot) in worker_sinks.iter_mut().enumerate() {
+                let sink = sink_slot.take().expect("sink prepared per worker");
+                let pool = &pool;
+                let global = &global;
+                let prefix_path = &prefix_path;
+                let started_at = started;
+                handles.push(wscope.spawn(move || {
+                    worker_loop(
+                        problem,
+                        config,
+                        pcfg,
+                        initial,
+                        prefix_path,
+                        pool.worker(tid),
+                        global,
+                        sink,
+                        started_at,
+                    )
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let monitor = finish_monitor();
+
+        let sched_counts = pool.scheduler_counts();
+        let mut workers = Vec::with_capacity(pcfg.threads);
         sinks.push(prefix_sink);
-        let stats = global.snapshot();
-        return Ok((
+        for (tid, (mut report, sink)) in results.into_iter().enumerate() {
+            report.sched = sched_counts[tid];
+            workers.push(report);
+            sinks.push(sink);
+        }
+
+        (
             ParallelRunResult {
-                stats,
+                stats: global.snapshot(),
                 stop: global.stop_cause(),
                 elapsed: started.elapsed(),
                 threads: pcfg.threads,
                 initial_tree: initial,
                 prefix: prefix_stats,
-                stolen_tasks: 0,
-                scheduler: EngineReport::empty(pcfg.threads),
-                workers: vec![WorkerReport::default(); pcfg.threads],
+                stolen_tasks: pool.total_submitted(),
+                scheduler: EngineReport::from_counts(
+                    sched_counts,
+                    pool.total_injected() as u64,
+                    pool.total_deque_grows(),
+                ),
+                workers,
+                monitor,
             },
             sinks,
-        ));
-    }
-
-    // ------------------------------------------------------------------
-    // Phase 2 — initial split: distribute the admissible branches of I_0's
-    // next taxon over the threads as uniformly as possible (Fig. 2a; with
-    // fewer branches than threads the surplus threads start parked and are
-    // fed by work stealing, the queue-based equivalent of Fig. 2b).
-    // ------------------------------------------------------------------
-    let split_frame = prefix_ex.top().expect("I_0 has a frame");
-    let split_taxon = split_frame.taxon;
-    let split_branches: Vec<EdgeId> = split_frame.branches[split_frame.cursor..].to_vec();
-    let prefix_path: Vec<(TaxonId, EdgeId)> = prefix_ex.path_from_base();
-    drop(prefix_ex);
-
-    let chunks = partition_branches(&split_branches, pcfg.threads);
-    let pool = TaskPool::with_seed(pcfg.threads, pcfg.capacity(), pcfg.steal_seed);
-    // The initial chunks go through the global injector: any worker may
-    // pick one up, surplus workers park until splits reach their deques.
-    for branches in chunks {
-        pool.inject(Task::at_split(split_taxon, branches));
-    }
-
-    // ------------------------------------------------------------------
-    // Phase 3 — thread pool with per-worker steal deques.
-    // ------------------------------------------------------------------
-    let mut worker_sinks: Vec<Option<S>> =
-        (0..pcfg.threads).map(|t| Some(make_sink(1 + t))).collect();
-    let results: Vec<(WorkerReport, S)> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(pcfg.threads);
-        for (tid, sink_slot) in worker_sinks.iter_mut().enumerate() {
-            let sink = sink_slot.take().expect("sink prepared per worker");
-            let pool = &pool;
-            let global = &global;
-            let prefix_path = &prefix_path;
-            let started_at = started;
-            handles.push(scope.spawn(move || {
-                worker_loop(
-                    problem,
-                    config,
-                    pcfg,
-                    initial,
-                    prefix_path,
-                    pool.worker(tid),
-                    global,
-                    sink,
-                    started_at,
-                )
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
+        )
     });
 
-    let sched_counts = pool.scheduler_counts();
-    let mut workers = Vec::with_capacity(pcfg.threads);
-    sinks.push(prefix_sink);
-    for (tid, (mut report, sink)) in results.into_iter().enumerate() {
-        report.sched = sched_counts[tid];
-        workers.push(report);
-        sinks.push(sink);
-    }
-
-    Ok((
-        ParallelRunResult {
-            stats: global.snapshot(),
-            stop: global.stop_cause(),
-            elapsed: started.elapsed(),
-            threads: pcfg.threads,
-            initial_tree: initial,
-            prefix: prefix_stats,
-            stolen_tasks: pool.total_submitted(),
-            scheduler: EngineReport::from_counts(
-                sched_counts,
-                pool.total_injected() as u64,
-                pool.total_deque_grows(),
-            ),
-            workers,
-        },
-        sinks,
-    ))
+    Ok((result, returned_sinks))
 }
 
 fn new_state<'p>(

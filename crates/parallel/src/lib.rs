@@ -19,13 +19,21 @@
 //!   worker only splits while its own deque has room (§III-A), so the
 //!   capacity ablation keeps its meaning;
 //! * **batched atomic counters** for stand trees / intermediate states /
-//!   dead ends, with stopping rules evaluated on flush (limits may be
-//!   overshot by at most one batch per thread, as in the paper);
+//!   dead ends, with the count-based stopping rules evaluated on flush
+//!   (count limits may be overshot by at most one batch per thread, as in
+//!   the paper). The wall-clock rule is enforced by the engine's **run
+//!   monitor** ([`obs::monitor`]): a supervisor thread that ticks every
+//!   ~50 ms, raises `StopCause::TimeLimit` when the budget runs out, and
+//!   wakes parked workers — flush-side checks alone cannot bound time
+//!   overshoot, because parked or starved workers never flush;
 //! * termination detection via a single in-flight task count, with idle
 //!   workers parked on a condition variable (the paper's
 //!   `std::condition_variable` construction; the mutex guards nothing but
 //!   the parking) and per-worker steal/park/split statistics surfaced
-//!   through [`engine::EngineReport`].
+//!   through [`engine::EngineReport`];
+//! * an **observability layer** ([`obs`]): the run monitor's heartbeat
+//!   ring, a schema-versioned run-metrics JSON export, and a
+//!   Chrome-trace-event export of the per-worker task timeline.
 //!
 //! ## Scheduler testing
 //!
@@ -71,6 +79,7 @@
 pub mod counters;
 pub mod deque;
 pub mod engine;
+pub mod obs;
 pub mod pool;
 pub mod sync;
 pub mod task;
@@ -81,5 +90,6 @@ pub use engine::{
     run_parallel, run_parallel_with_sinks, EngineReport, ParallelConfig, ParallelRunResult,
     TaskSpan, WorkerReport,
 };
+pub use obs::{Heartbeat, MonitorConfig, MonitorReport};
 pub use pool::{SchedulerCounts, TaskPool, WorkerHandle};
 pub use task::{paper_queue_capacity, partition_branches, Task};

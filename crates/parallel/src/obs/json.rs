@@ -1,0 +1,396 @@
+//! Minimal hand-rolled JSON emitter and syntax validator.
+//!
+//! The workspace is dependency-free, so the metrics and trace exporters
+//! cannot lean on `serde`. This module provides the two halves they need:
+//! a push-style [`JsonWriter`] that produces compact, valid JSON (comma
+//! placement and string escaping handled centrally, so exporters cannot
+//! emit malformed output), and a recursive-descent [`validate`] checker
+//! used by the test suites to assert that exported files actually parse.
+
+use std::fmt::Write as _;
+
+/// Push-style JSON emitter. Values and `key`/value pairs are appended in
+/// document order; commas and `:` separators are inserted automatically.
+/// The writer is infallible (it builds a `String`); callers stream the
+/// result to an `io::Write` in one call.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// One entry per open container: `true` once it holds a value (so the
+    /// next value needs a comma first).
+    stack: Vec<bool>,
+    /// A key was just written; the next value must not emit a comma.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn before_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some(has) = self.stack.last_mut() {
+            if *has {
+                self.buf.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.before_value();
+        self.buf.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.buf.push('}');
+        self
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.before_value();
+        self.buf.push('[');
+        self.stack.push(false);
+        self
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.buf.push(']');
+        self
+    }
+
+    /// Writes an object key; the next call must write its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.before_value();
+        self.write_escaped(k);
+        self.buf.push(':');
+        self.pending_key = true;
+        self
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.before_value();
+        self.write_escaped(s);
+        self
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.before_value();
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Writes a float value (`null` for non-finite values, which bare JSON
+    /// cannot represent).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.before_value();
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.before_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Writes a `null`.
+    pub fn null(&mut self) -> &mut Self {
+        self.before_value();
+        self.buf.push_str("null");
+        self
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.buf, "\\u{:04x}", c as u32);
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed JSON container");
+        self.buf
+    }
+}
+
+/// Validates that `text` is one complete JSON value (RFC 8259 syntax).
+/// Returns the byte offset and a message on the first error.
+pub fn validate(text: &str) -> Result<(), String> {
+    let b = text.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.ws();
+    p.value()?;
+    p.ws();
+    if p.i != b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn err<T>(&self, msg: &str) -> Result<T, String> {
+        Err(format!("{msg} at byte {}", self.i))
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            self.err("bad literal")
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.i += 1; // '{'
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            if self.b.get(self.i) != Some(&b':') {
+                return self.err("expected ':'");
+            }
+            self.i += 1;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.i += 1; // '['
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        if self.b.get(self.i) != Some(&b'"') {
+            return self.err("expected '\"'");
+        }
+        self.i += 1;
+        while let Some(&c) = self.b.get(self.i) {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                if !self.b.get(self.i).is_some_and(|h| h.is_ascii_hexdigit()) {
+                                    return self.err("bad \\u escape");
+                                }
+                                self.i += 1;
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                }
+                0x00..=0x1f => return self.err("raw control character in string"),
+                _ => self.i += 1,
+            }
+        }
+        self.err("unterminated string")
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| -> Result<(), String> {
+            if !p.b.get(p.i).is_some_and(|c| c.is_ascii_digit()) {
+                return p.err("expected digit");
+            }
+            while p.b.get(p.i).is_some_and(|c| c.is_ascii_digit()) {
+                p.i += 1;
+            }
+            Ok(())
+        };
+        // Integer part: one zero, or a nonzero-led run.
+        if self.b.get(self.i) == Some(&b'0') {
+            self.i += 1;
+        } else {
+            digits(self)?;
+        }
+        if self.b.get(self.i) == Some(&b'.') {
+            self.i += 1;
+            digits(self)?;
+        }
+        if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.b.get(self.i), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            digits(self)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_valid_nested_documents() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("name").string("he said \"hi\"\n");
+        w.key("n").u64(42);
+        w.key("x").f64(0.125);
+        w.key("inf").f64(f64::INFINITY);
+        w.key("ok").bool(true);
+        w.key("none").null();
+        w.key("list").begin_array();
+        w.u64(1).u64(2);
+        w.begin_object()
+            .key("deep")
+            .string("tab\there")
+            .end_object();
+        w.end_array();
+        w.end_object();
+        let s = w.finish();
+        validate(&s).unwrap();
+        assert!(s.contains("\"x\":0.125"), "{s}");
+        assert!(s.contains("\"inf\":null"), "{s}");
+        assert!(s.contains("\\\"hi\\\""), "{s}");
+    }
+
+    #[test]
+    fn validator_accepts_rfc_cases() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-0.5e+10",
+            "0",
+            "\"\\u00e9\"",
+            "{\"a\":[1,2,{\"b\":null}],\"c\":\"x\"}",
+            "  [ 1 , 2 ]  ",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "\"unterminated",
+            "[1] trailing",
+            "{\"a\":1,}",
+            "nul",
+            "\"bad \\q escape\"",
+        ] {
+            assert!(validate(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let mut w = JsonWriter::new();
+        w.string("\u{1}bell");
+        let s = w.finish();
+        assert_eq!(s, "\"\\u0001bell\"");
+        validate(&s).unwrap();
+    }
+}

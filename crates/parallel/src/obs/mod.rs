@@ -1,0 +1,30 @@
+//! Observability for the parallel engine: the run monitor and the two
+//! JSON exporters.
+//!
+//! Three pieces, layered bottom-up:
+//!
+//! * [`json`] — a dependency-free push-style JSON emitter plus a
+//!   recursive-descent validator (the workspace bans external crates, so
+//!   `serde` is out).
+//! * [`monitor`] — the engine's supervisor thread. This is where the
+//!   wall-clock stopping rule is actually enforced: counter flushes alone
+//!   cannot bound `max_time` overshoot (parked or starved workers never
+//!   flush), so the monitor ticks every ~50 ms, raises
+//!   `StopCause::TimeLimit` when the budget runs out, wakes parked
+//!   workers, and samples per-worker progress into a heartbeat ring.
+//! * [`metrics`] / [`trace`] — exporters over [`ParallelRunResult`]: a
+//!   schema-versioned run-metrics document (`--metrics-json`) and a
+//!   Chrome-trace-event timeline of the per-worker task spans
+//!   (`--trace-json`). Both write to an `io::Write` handed in by the
+//!   caller; nothing in this module prints.
+//!
+//! [`ParallelRunResult`]: crate::engine::ParallelRunResult
+
+pub mod json;
+pub mod metrics;
+pub mod monitor;
+pub mod trace;
+
+pub use metrics::{render_run_metrics, write_run_metrics, METRICS_SCHEMA, METRICS_VERSION};
+pub use monitor::{enforce_time_limit, Heartbeat, MonitorConfig, MonitorReport};
+pub use trace::{render_chrome_trace, write_chrome_trace};

@@ -1,0 +1,72 @@
+//! Chrome-trace-event export of the engine's per-worker task timeline.
+//!
+//! [`crate::engine::TaskSpan`]s (collected when [`ParallelConfig::trace`]
+//! is on) become a document loadable by Perfetto / `chrome://tracing` /
+//! `about:tracing`: one metadata-named track per worker, one `"X"`
+//! (complete) event per executed task, timestamps and durations in
+//! microseconds since engine start. The replayed-path length rides along
+//! in `args.path_len`, so steal depth is visible straight from the
+//! timeline.
+//!
+//! [`ParallelConfig::trace`]: crate::engine::ParallelConfig::trace
+
+use super::json::JsonWriter;
+use crate::engine::ParallelRunResult;
+use std::io;
+
+/// Process id used for every event (one engine run = one process track).
+const TRACE_PID: u64 = 1;
+
+/// Renders `result`'s task spans as a Chrome trace-event document
+/// (compact JSON, no trailing newline). Workers with no spans still get a
+/// named track, so thread counts are visible even for starved workers.
+pub fn render_chrome_trace(result: &ParallelRunResult) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("displayTimeUnit").string("ms");
+    w.key("traceEvents").begin_array();
+    w.begin_object();
+    w.key("name").string("process_name");
+    w.key("ph").string("M");
+    w.key("pid").u64(TRACE_PID);
+    w.key("tid").u64(0);
+    w.key("args").begin_object();
+    w.key("name").string("gentrius parallel engine");
+    w.end_object();
+    w.end_object();
+    for (tid, worker) in result.workers.iter().enumerate() {
+        w.begin_object();
+        w.key("name").string("thread_name");
+        w.key("ph").string("M");
+        w.key("pid").u64(TRACE_PID);
+        w.key("tid").u64(tid as u64);
+        w.key("args").begin_object();
+        w.key("name").string(&format!("worker-{tid}"));
+        w.end_object();
+        w.end_object();
+        for span in &worker.spans {
+            w.begin_object();
+            w.key("name").string("task");
+            w.key("ph").string("X");
+            w.key("pid").u64(TRACE_PID);
+            w.key("tid").u64(tid as u64);
+            w.key("ts").f64(span.start * 1e6);
+            w.key("dur").f64((span.end - span.start).max(0.0) * 1e6);
+            w.key("args").begin_object();
+            w.key("path_len").u64(span.path_len as u64);
+            w.end_object();
+            w.end_object();
+        }
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Writes the Chrome trace-event document for `result` to `out`, newline
+/// terminated.
+pub fn write_chrome_trace<W: io::Write>(out: &mut W, result: &ParallelRunResult) -> io::Result<()> {
+    let doc = render_chrome_trace(result);
+    out.write_all(doc.as_bytes())?;
+    out.write_all(b"\n")
+}

@@ -19,10 +19,10 @@
 //! counter can be asserted coherent in `tests/loom_deque.rs`.
 
 #[cfg(loom)]
-pub use loom::sync::{Condvar, Mutex, MutexGuard};
+pub use loom::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
 
 #[cfg(not(loom))]
-pub use std::sync::{Condvar, Mutex, MutexGuard};
+pub use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
 
 /// Atomic types and fences (`loom`-swappable).
 pub mod atomic {

@@ -1,0 +1,96 @@
+//! Loom models of monitor-initiated stopping: the monitor's
+//! `enforce_time_limit` action races parked and mid-flush workers, and in
+//! every schedule the stop must be observed, parked workers must wake
+//! (no lost wakeups), and the pool must reach its terminal state. Build
+//! and run with
+//! `RUSTFLAGS="--cfg loom" cargo test -p gentrius-parallel --test loom_monitor`.
+//!
+//! The models use `max_time = 0`, which makes `time_limit_exceeded`
+//! deterministically true — loom has no clock, so the interesting part is
+//! not *when* the monitor fires but how its raise + shutdown interleaves
+//! with the workers' park/flush protocols.
+#![cfg(loom)]
+
+use gentrius_core::config::{StopCause, StoppingRules};
+use gentrius_parallel::obs::enforce_time_limit;
+use gentrius_parallel::{FlushThresholds, GlobalCounters, LocalCounters, TaskPool};
+use loom::sync::Arc;
+use std::time::Duration;
+
+fn expired_clock() -> StoppingRules {
+    StoppingRules {
+        max_stand_trees: None,
+        max_intermediate_states: None,
+        max_time: Some(Duration::ZERO),
+    }
+}
+
+/// The headline schedule: a worker may be anywhere in its park sequence
+/// (idlers increment, work re-check, condvar wait) when the monitor
+/// enforces the time limit. The worker must return `None` in every
+/// interleaving — a missed wake deadlocks the model.
+#[test]
+fn monitor_stop_wakes_a_parked_worker() {
+    loom::model(|| {
+        let g = Arc::new(GlobalCounters::new(expired_clock()));
+        let p = Arc::new(TaskPool::new(2, 4));
+        // Worker 0 notionally owns a preregistered chunk, so worker 1
+        // cannot self-drain the pool; only the monitor can release it.
+        p.preregister_active(1);
+        let p2 = Arc::clone(&p);
+        let parked = loom::thread::spawn(move || p2.worker(1).next_task());
+        // One monitor tick.
+        assert!(enforce_time_limit(&g, &p));
+        assert_eq!(g.stop_cause(), Some(StopCause::TimeLimit));
+        assert!(parked.join().unwrap().is_none());
+        assert!(p.is_done());
+    });
+}
+
+/// The monitor races a worker that is mid-flush when both a count limit
+/// and the wall-clock limit are breachable: whichever raise wins the CAS
+/// must stick (first-writer-wins), the flusher's own shutdown path and
+/// the monitor's must compose idempotently, and a concurrently parked
+/// worker must still be released.
+#[test]
+fn monitor_stop_races_a_flushing_worker() {
+    loom::model(|| {
+        let rules = StoppingRules {
+            max_stand_trees: Some(0),
+            max_intermediate_states: None,
+            max_time: Some(Duration::ZERO),
+        };
+        let g = Arc::new(GlobalCounters::new(rules));
+        let p = Arc::new(TaskPool::new(2, 4));
+        p.preregister_active(1); // the flusher's in-flight chunk
+        let (g2, p2) = (Arc::clone(&g), Arc::clone(&p));
+        let flusher = loom::thread::spawn(move || {
+            let w = p2.worker(0);
+            let mut local = LocalCounters::new(&g2, FlushThresholds::unbatched());
+            local.intermediate_state();
+            // Flushes; breaches the 0-tree limit.
+            local.stand_tree();
+            // The engine's worker loop: having observed the stop, shut
+            // the pool down so parked peers wake.
+            if g2.stopped() {
+                p2.shutdown();
+            }
+            local.flush();
+            w.task_done();
+        });
+        let p3 = Arc::clone(&p);
+        let parked = loom::thread::spawn(move || p3.worker(1).next_task());
+        // One monitor tick, racing both workers.
+        assert!(enforce_time_limit(&g, &p));
+        flusher.join().unwrap();
+        assert!(parked.join().unwrap().is_none());
+        // Exactly one cause won, and it stayed won.
+        let cause = g.stop_cause().expect("a stop was raised");
+        assert!(
+            cause == StopCause::TimeLimit || cause == StopCause::StandTreeLimit,
+            "unexpected cause {cause:?}"
+        );
+        assert!(p.is_done());
+        assert_eq!(g.snapshot().stand_trees, 1, "flush lost in the race");
+    });
+}

@@ -1,0 +1,112 @@
+//! Regression test for the wall-clock stopping bug the run monitor fixes.
+//!
+//! Before the monitor existed, `max_time` was evaluated only inside
+//! `GlobalCounters::add_and_check`, i.e. only when a worker flushed its
+//! local counter batch. A run whose workers never reach the flush
+//! thresholds (or sit parked on the idle condvar) re-examined the clock
+//! *never*, so the limit could be overshot without bound — at the old
+//! HEAD, this test ran until killed. With the monitor, the engine stops
+//! within a small multiple of the limit regardless of flush activity.
+
+#![cfg(not(loom))]
+
+use gentrius_core::config::{GentriusConfig, StopCause, StoppingRules};
+use gentrius_core::problem::StandProblem;
+use gentrius_parallel::{run_parallel, FlushThresholds, MonitorConfig, ParallelConfig};
+use phylo::newick::parse_forest;
+use std::time::{Duration, Instant};
+
+/// Two long caterpillar trees sharing only the taxa `X` and `Y`: the
+/// joint constraints are so loose that almost every insertion position is
+/// admissible, making the stand astronomically large — the run cannot
+/// finish on its own and must be cut off by a stopping rule.
+fn blowup_problem() -> StandProblem {
+    let a = "((((((((A1,A2),A3),A4),A5),A6),A7),X),Y);";
+    let b = "((((((((B1,B2),B3),B4),B5),B6),B7),X),Y);";
+    let (_, trees) = parse_forest([a, b]).unwrap();
+    StandProblem::from_constraints(trees).unwrap()
+}
+
+fn time_only(limit: Duration) -> GentriusConfig {
+    GentriusConfig {
+        stopping: StoppingRules {
+            max_stand_trees: None,
+            max_intermediate_states: None,
+            max_time: Some(limit),
+        },
+        ..GentriusConfig::default()
+    }
+}
+
+/// Flush thresholds no run will ever reach: the flush-side time check
+/// (the old, buggy enforcement point) never executes.
+fn unreachable_flush() -> FlushThresholds {
+    FlushThresholds {
+        stand_trees: u64::MAX,
+        intermediate_states: u64::MAX,
+        dead_ends: u64::MAX,
+    }
+}
+
+#[test]
+fn time_limit_stops_starved_workers_via_monitor() {
+    let limit = Duration::from_millis(50);
+    let mut pcfg = ParallelConfig::with_threads(4);
+    pcfg.flush = unreachable_flush();
+    let t0 = Instant::now();
+    let r = run_parallel(&blowup_problem(), &time_only(limit), &pcfg).unwrap();
+    let wall = t0.elapsed();
+    assert_eq!(r.stop, Some(StopCause::TimeLimit));
+    assert!(
+        wall < Duration::from_secs(1),
+        "50ms limit took {wall:?} to enforce (unbounded overshoot bug?)"
+    );
+    assert!(r.monitor.time_limit_raised);
+    assert!(r.monitor.ticks >= 1);
+    assert!(!r.monitor.heartbeats.is_empty());
+    // Work actually happened before the cutoff.
+    assert!(r.stats.intermediate_states > 0);
+}
+
+#[test]
+fn heartbeats_sample_per_worker_progress() {
+    let limit = Duration::from_millis(80);
+    let mut pcfg = ParallelConfig::with_threads(3);
+    pcfg.flush = unreachable_flush();
+    pcfg.monitor = Some(MonitorConfig {
+        tick: Duration::from_millis(5),
+        heartbeat_capacity: 1024,
+    });
+    let r = run_parallel(&blowup_problem(), &time_only(limit), &pcfg).unwrap();
+    assert_eq!(r.stop, Some(StopCause::TimeLimit));
+    assert!(
+        r.monitor.heartbeats.len() >= 2,
+        "{}",
+        r.monitor.heartbeats.len()
+    );
+    for h in &r.monitor.heartbeats {
+        assert_eq!(h.per_worker.len(), 3);
+    }
+    for pair in r.monitor.heartbeats.windows(2) {
+        assert!(pair[0].elapsed_secs <= pair[1].elapsed_secs);
+    }
+    // The final heartbeat is sampled at shutdown, after every worker
+    // flushed its remaining batch, so it must agree with the run totals.
+    let last = r.monitor.heartbeats.last().unwrap();
+    assert_eq!(last.stats, r.stats);
+}
+
+#[test]
+fn disabled_monitor_still_enforces_time_on_flushes() {
+    // With the monitor off, enforcement falls back to the flush-side
+    // check — reachable thresholds keep it working (the pre-monitor
+    // behavior for busy workers).
+    let limit = Duration::from_millis(50);
+    let mut pcfg = ParallelConfig::with_threads(2);
+    pcfg.flush = FlushThresholds::unbatched();
+    pcfg.monitor = None;
+    let r = run_parallel(&blowup_problem(), &time_only(limit), &pcfg).unwrap();
+    assert_eq!(r.stop, Some(StopCause::TimeLimit));
+    assert_eq!(r.monitor.ticks, 0);
+    assert!(r.monitor.heartbeats.is_empty());
+}

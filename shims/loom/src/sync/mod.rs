@@ -9,6 +9,7 @@ use crate::rt;
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool as OsAtomicBool, Ordering::SeqCst};
+use std::time::Duration;
 
 pub use std::sync::Arc;
 pub use std::sync::LockResult;
@@ -90,6 +91,21 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     }
 }
 
+/// Result of a [`Condvar::wait_timeout`]; mirrors
+/// `std::sync::WaitTimeoutResult`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed (always the
+    /// case in the model; see [`Condvar::wait_timeout`]).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
 /// A model-checked condition variable (no spurious wakeups; `notify_one`
 /// wakes waiters FIFO).
 pub struct Condvar {
@@ -123,6 +139,27 @@ impl Condvar {
         std::mem::forget(guard);
         rt::cv_block(key);
         mutex.lock()
+    }
+
+    /// Releases `guard`, waits for up to `dur`, and reacquires the mutex.
+    ///
+    /// Model time has no clock, so the timeout is modeled as *elapsing
+    /// immediately*: the lock is released (a scheduler decision point, so
+    /// other threads can run and mutate the shared state), then
+    /// reacquired, and the result always reports a timeout. This is the
+    /// sound abstraction for timed waits used as periodic-polling sleeps —
+    /// the caller must behave correctly when the wait returns without a
+    /// notification, and the model exercises exactly that path on every
+    /// iteration.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let mutex = guard.lock;
+        drop(guard); // releases the lock and yields to the scheduler
+        let reacquired = mutex.lock().expect("shim mutexes never poison");
+        Ok((reacquired, WaitTimeoutResult { timed_out: true }))
     }
 
     /// Wakes the longest-waiting thread, if any.

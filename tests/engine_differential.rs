@@ -18,11 +18,42 @@ use gentrius_core::{
 use gentrius_datagen::{
     empirical_dataset, simulated_dataset, Dataset, EmpiricalParams, MissingPattern, SimulatedParams,
 };
-use gentrius_parallel::{run_parallel, run_parallel_with_sinks, FlushThresholds, ParallelConfig};
+use gentrius_parallel::{
+    run_parallel, run_parallel_with_sinks, FlushThresholds, MonitorConfig, ParallelConfig,
+    ParallelRunResult,
+};
 use phylo::generate::ShapeModel;
 
 const COLLECT_CAP: usize = 80_000;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The accounting invariant behind `LocalCounters::dead_end`: the
+/// `explore.rs` call sites record every dead end *alongside* an
+/// intermediate state, so no snapshot — final, prefix, per-worker, or a
+/// heartbeat taken mid-run by the monitor — may ever show more dead ends
+/// than intermediate states. A violation means double or missed
+/// accounting at a call site (or a counter-publication reorder).
+fn assert_dead_end_invariant(stats: &gentrius_core::RunStats, ctx: &str) {
+    assert!(
+        stats.dead_ends <= stats.intermediate_states,
+        "{ctx}: dead_ends {} > intermediate_states {}",
+        stats.dead_ends,
+        stats.intermediate_states
+    );
+}
+
+/// Applies the dead-end invariant to every snapshot a parallel run
+/// exposes.
+fn assert_run_invariants(par: &ParallelRunResult, ctx: &str) {
+    assert_dead_end_invariant(&par.stats, &format!("{ctx}: totals"));
+    assert_dead_end_invariant(&par.prefix, &format!("{ctx}: prefix"));
+    for (w, report) in par.workers.iter().enumerate() {
+        assert_dead_end_invariant(&report.stats, &format!("{ctx}: worker {w}"));
+    }
+    for (i, hb) in par.monitor.heartbeats.iter().enumerate() {
+        assert_dead_end_invariant(&hb.stats, &format!("{ctx}: heartbeat {i}"));
+    }
+}
 
 /// ~50 instances spanning all four missingness regimes plus the empirical
 /// generator — small enough to enumerate fully, varied enough to exercise
@@ -93,6 +124,7 @@ fn serial_and_parallel_agree_across_the_sweep() {
         if serial.stats.dead_ends > 0 {
             with_dead_ends += 1;
         }
+        assert_dead_end_invariant(&serial.stats, &format!("{} serial", d.name));
         let serial_set = canonical_stand_set([serial_sink.out]);
         for threads in THREAD_COUNTS {
             let (par, sinks) = run_parallel_with_sinks(
@@ -112,6 +144,7 @@ fn serial_and_parallel_agree_across_the_sweep() {
                 "{} threads={threads}: counters diverged",
                 d.name
             );
+            assert_run_invariants(&par, &format!("{} threads={threads}", d.name));
             let par_set = canonical_stand_set(sinks.into_iter().map(|s| s.out));
             assert_eq!(
                 par_set, serial_set,
@@ -169,6 +202,14 @@ fn deque_churn_profile_stays_exact_and_exercises_grow() {
             let mut pcfg = ParallelConfig::with_threads(threads);
             pcfg.queue_capacity = Some(256); // far above the 8-slot buffers
             pcfg.steal_seed = i;
+            // A fast monitor tick makes the heartbeats sample the global
+            // counters *while* workers are flushing, stressing the
+            // snapshot-safe publication order behind the dead-end
+            // invariant.
+            pcfg.monitor = Some(MonitorConfig {
+                tick: std::time::Duration::from_millis(1),
+                heartbeat_capacity: 4096,
+            });
             let (par, sinks) = run_parallel_with_sinks(&p, &config, &pcfg, |_| {
                 CollectNewick::with_cap(&d.taxa, COLLECT_CAP)
             })
@@ -183,6 +224,7 @@ fn deque_churn_profile_stays_exact_and_exercises_grow() {
                 "{} threads={threads}: counters diverged under churn",
                 d.name
             );
+            assert_run_invariants(&par, &format!("{} churn threads={threads}", d.name));
             let par_set = canonical_stand_set(sinks.into_iter().map(|s| s.out));
             assert_eq!(
                 par_set, serial_set,
@@ -321,5 +363,25 @@ fn time_limit_fires_in_both_engines() {
             "{} threads={threads}",
             d.name
         );
+    }
+    // With the run monitor supervising the clock, even *unreachable* flush
+    // thresholds cannot defer the limit (the flush-side check alone could
+    // miss it forever on parked/starved workers).
+    for threads in [1usize, 4] {
+        let mut pcfg = ParallelConfig::with_threads(threads);
+        pcfg.flush = FlushThresholds {
+            stand_trees: u64::MAX,
+            intermediate_states: u64::MAX,
+            dead_ends: u64::MAX,
+        };
+        let par = run_parallel(&p, &config, &pcfg).expect("parallel");
+        assert_eq!(
+            par.stop,
+            Some(StopCause::TimeLimit),
+            "{} threads={threads} (huge thresholds)",
+            d.name
+        );
+        assert!(par.monitor.time_limit_raised);
+        assert_run_invariants(&par, &format!("{} time-limit threads={threads}", d.name));
     }
 }
