@@ -1,0 +1,250 @@
+//! Throughput — enumeration rates across the mapping kernels.
+//!
+//! Measures states/sec and dead-ends/sec for every mapping engine
+//! (`Recompute`, `Incremental`, `EdgeIndexed`) on the seeded simulated
+//! instances and the crafted caterpillar blow-up, serially and through the
+//! parallel engine at 1/2/4/8 threads, and writes the whole grid to
+//! `BENCH_5.json` (override the path with `BENCH5_OUT`) via the
+//! workspace's hand-rolled JSON writer.
+//!
+//! The bench is also a gate, and exits non-zero when either fails:
+//!
+//! 1. **conformance** — per instance, all serial runs must report
+//!    identical counters regardless of mapping mode, and every complete
+//!    parallel run must reproduce the complete serial totals exactly;
+//! 2. **performance** — on the medium simulated instance the edge-indexed
+//!    kernels must deliver at least 1.5x the states/sec of the `Recompute`
+//!    oracle, the claimed payoff of the flat `SplitId` representation.
+
+use gentrius_bench::{banner, bench_config};
+use gentrius_core::{run_serial, CountOnly, GentriusConfig, MappingMode, RunStats, StandProblem};
+use gentrius_datagen::scenario::{
+    heuristics_showcase, long_runner, plateau_with_chunks, trap_showcase,
+};
+use gentrius_parallel::obs::json::{self, JsonWriter};
+use gentrius_parallel::{run_parallel, ParallelConfig};
+
+const MODES: [MappingMode; 3] = [
+    MappingMode::Recompute,
+    MappingMode::Incremental,
+    MappingMode::EdgeIndexed,
+];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const SERIAL_REPS: usize = 3;
+const SPEEDUP_GATE: f64 = 1.5;
+
+/// One measured run of the grid.
+struct Cell {
+    stats: RunStats,
+    secs: f64,
+    complete: bool,
+}
+
+impl Cell {
+    fn states_per_sec(&self) -> f64 {
+        self.stats.intermediate_states as f64 / self.secs
+    }
+
+    fn dead_ends_per_sec(&self) -> f64 {
+        self.stats.dead_ends as f64 / self.secs
+    }
+}
+
+fn config(mapping: MappingMode) -> GentriusConfig {
+    GentriusConfig {
+        mapping,
+        ..bench_config(50_000, 100_000)
+    }
+}
+
+/// Serial cell: best wall-clock of [`SERIAL_REPS`] runs (the counters are
+/// deterministic, so only the timing varies).
+fn serial_cell(problem: &StandProblem, mapping: MappingMode) -> Cell {
+    let cfg = config(mapping);
+    let mut best: Option<Cell> = None;
+    for _ in 0..SERIAL_REPS {
+        let r = run_serial(problem, &cfg, &mut CountOnly).expect("serial run");
+        let secs = r.elapsed.as_secs_f64().max(1e-9);
+        if best.as_ref().is_none_or(|b| secs < b.secs) {
+            best = Some(Cell {
+                stats: r.stats,
+                secs,
+                complete: r.stop.is_none(),
+            });
+        }
+    }
+    best.expect("SERIAL_REPS > 0")
+}
+
+fn parallel_cell(problem: &StandProblem, mapping: MappingMode, threads: usize) -> Cell {
+    let cfg = config(mapping);
+    let pcfg = ParallelConfig::with_threads(threads);
+    let r = run_parallel(problem, &cfg, &pcfg).expect("parallel run");
+    Cell {
+        complete: r.complete(),
+        stats: r.stats,
+        secs: r.elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+fn emit_cell(w: &mut JsonWriter, cell: &Cell, threads: Option<usize>) {
+    w.begin_object();
+    if let Some(t) = threads {
+        w.key("threads").u64(t as u64);
+    }
+    w.key("stand_trees").u64(cell.stats.stand_trees);
+    w.key("intermediate_states")
+        .u64(cell.stats.intermediate_states);
+    w.key("dead_ends").u64(cell.stats.dead_ends);
+    w.key("seconds").f64(cell.secs);
+    w.key("states_per_sec").f64(cell.states_per_sec());
+    w.key("dead_ends_per_sec").f64(cell.dead_ends_per_sec());
+    w.key("complete").bool(cell.complete);
+    w.end_object();
+}
+
+fn main() {
+    banner(
+        "THROUGHPUT",
+        "mapping-kernel enumeration rates (states/sec, dead-ends/sec)",
+        "edge-indexed kernels beat per-state recomputation by >= 1.5x on \
+         the medium simulated instance; all modes enumerate identically",
+    );
+
+    // (dataset, role) — long-runner-0 is the medium simulated instance the
+    // speedup gate applies to; plateau-craft-5 is the caterpillar blow-up.
+    let instances = [
+        (long_runner(0), "simulated-medium"),
+        (heuristics_showcase(), "simulated-small"),
+        (trap_showcase().0, "simulated-deadend"),
+        (plateau_with_chunks(5), "caterpillar-blowup"),
+    ];
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema").string("gentrius-throughput-bench");
+    w.key("version").u64(1);
+    w.key("issue").u64(5);
+    w.key("limits").begin_object();
+    w.key("max_stand_trees").u64(50_000);
+    w.key("max_intermediate_states").u64(100_000);
+    w.end_object();
+    w.key("instances").begin_array();
+
+    let mut gate_speedup = None;
+    for (dataset, role) in &instances {
+        let problem = dataset.problem().expect("scenario dataset is valid");
+        println!(
+            "\n{} ({role}: {} constraints, {} taxa)",
+            dataset.name,
+            problem.constraints().len(),
+            problem.num_taxa()
+        );
+        println!(
+            "{:<14} {:>8} {:>10} {:>10} {:>9} {:>12} {:>14}",
+            "mapping", "threads", "states", "deadends", "secs", "states/s", "dead-ends/s"
+        );
+
+        w.begin_object();
+        w.key("name").string(&dataset.name);
+        w.key("role").string(role);
+        w.key("modes").begin_array();
+
+        let mut serial_stats: Option<RunStats> = None;
+        let mut recompute_rate = None;
+        for mode in MODES {
+            let serial = serial_cell(&problem, mode);
+            // Conformance gate 1: the serial driver is deterministic, so
+            // the counters may not depend on the mapping engine at all.
+            match &serial_stats {
+                None => serial_stats = Some(serial.stats),
+                Some(reference) => assert_eq!(
+                    reference, &serial.stats,
+                    "{} {mode}: serial counters diverged across mapping modes",
+                    dataset.name
+                ),
+            }
+            println!(
+                "{:<14} {:>8} {:>10} {:>10} {:>9.3} {:>12.0} {:>14.0}",
+                mode.as_str(),
+                "serial",
+                serial.stats.intermediate_states,
+                serial.stats.dead_ends,
+                serial.secs,
+                serial.states_per_sec(),
+                serial.dead_ends_per_sec()
+            );
+            if *role == "simulated-medium" {
+                match mode {
+                    MappingMode::Recompute => recompute_rate = Some(serial.states_per_sec()),
+                    MappingMode::EdgeIndexed => {
+                        let base = recompute_rate.expect("Recompute measured first");
+                        gate_speedup = Some(serial.states_per_sec() / base);
+                    }
+                    MappingMode::Incremental => {}
+                }
+            }
+
+            w.begin_object();
+            w.key("mapping").string(mode.as_str());
+            w.key("serial");
+            emit_cell(&mut w, &serial, None);
+            w.key("parallel").begin_array();
+            for threads in THREADS {
+                let par = parallel_cell(&problem, mode, threads);
+                // Conformance gate 2: a complete parallel run must land on
+                // the complete serial totals exactly.
+                if par.complete && serial.complete {
+                    assert_eq!(
+                        serial.stats, par.stats,
+                        "{} {mode} threads={threads}: parallel totals diverged from serial",
+                        dataset.name
+                    );
+                }
+                println!(
+                    "{:<14} {:>8} {:>10} {:>10} {:>9.3} {:>12.0} {:>14.0}",
+                    mode.as_str(),
+                    threads,
+                    par.stats.intermediate_states,
+                    par.stats.dead_ends,
+                    par.secs,
+                    par.states_per_sec(),
+                    par.dead_ends_per_sec()
+                );
+                emit_cell(&mut w, &par, Some(threads));
+            }
+            w.end_array(); // parallel
+            w.end_object(); // mode
+        }
+        w.end_array(); // modes
+        w.end_object(); // instance
+    }
+    w.end_array(); // instances
+
+    let speedup = gate_speedup.expect("medium instance measured");
+    w.key("gates").begin_object();
+    w.key("serial_counters_identical_across_modes").bool(true);
+    w.key("complete_parallel_totals_match_serial").bool(true);
+    w.key("edge_indexed_vs_recompute_states_per_sec")
+        .f64(speedup);
+    w.key("speedup_gate_min").f64(SPEEDUP_GATE);
+    w.end_object();
+    w.end_object();
+
+    let doc = w.finish();
+    json::validate(&doc).expect("emitted document must be valid JSON");
+    let out = std::env::var("BENCH5_OUT").unwrap_or_else(|_| "BENCH_5.json".to_string());
+    std::fs::write(&out, doc + "\n").expect("write BENCH_5.json");
+    println!("\nwrote throughput grid to {out}");
+    println!(
+        "edge-indexed vs recompute on the medium simulated instance: {speedup:.2}x \
+         (gate: >= {SPEEDUP_GATE}x)"
+    );
+    // Performance gate — after the JSON is on disk so a regression still
+    // leaves the numbers behind for inspection.
+    assert!(
+        speedup >= SPEEDUP_GATE,
+        "edge-indexed kernels only reached {speedup:.2}x of the Recompute \
+         states/sec on the medium simulated instance (gate: {SPEEDUP_GATE}x)"
+    );
+}

@@ -46,7 +46,8 @@ gentrius — phylogenetic stand enumeration (Rust reproduction of parallel Gentr
 USAGE:
   gentrius stand   --trees FILE | (--species FILE --pam FILE)
                    [--threads N] [--max-trees N] [--max-states N] [--max-hours H]
-                   [--no-dynamic] [--initial-tree IDX] [--incremental]
+                   [--no-dynamic] [--initial-tree IDX]
+                   [--mapping recompute|incremental|edge-indexed]
                    [--print-trees] [--output FILE]
                    [--metrics-json FILE] [--trace-json FILE]
   gentrius induced --species FILE --pam FILE
@@ -176,10 +177,11 @@ fn config_from(a: &ParsedArgs) -> Result<GentriusConfig, CliError> {
             max_intermediate_states: Some(max_states),
             max_time: Some(Duration::from_secs_f64(max_hours * 3600.0)),
         },
-        mapping: if a.has("incremental") {
-            MappingMode::Incremental
-        } else {
-            MappingMode::Recompute
+        mapping: match a.get("mapping") {
+            // `--incremental` predates `--mapping` and is kept as an alias.
+            None if a.has("incremental") => MappingMode::Incremental,
+            None => MappingMode::default(),
+            Some(v) => v.parse::<MappingMode>().map_err(CliError)?,
         },
     })
 }
@@ -258,6 +260,7 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     };
 
     writeln!(out, "threads: {threads}").unwrap();
+    writeln!(out, "mapping: {}", config.mapping).unwrap();
     writeln!(out, "stand trees: {}", stats.stand_trees).unwrap();
     writeln!(out, "intermediate states: {}", stats.intermediate_states).unwrap();
     writeln!(out, "dead ends: {}", stats.dead_ends).unwrap();
@@ -479,6 +482,7 @@ fn cmd_verify(a: &ParsedArgs) -> Result<String, CliError> {
         .get_parsed("threads", 2usize)
         .map_err(|e| CliError(e.to_string()))?;
     let mut out = String::new();
+    writeln!(out, "mapping: {}", config.mapping).unwrap();
 
     let mut serial_sink = CollectNewick::with_cap(&taxa, 2_000_000);
     let serial = gentrius_core::run_serial(&problem, &config, &mut serial_sink)
@@ -701,6 +705,29 @@ mod tests {
                 .to_string()
         };
         assert_eq!(grab(&s1), grab(&s2));
+    }
+
+    #[test]
+    fn mapping_flag_selects_engine_and_rejects_junk() {
+        let p = write_tmp("mapping.nwk", "((A,B),(C,D));\n((C,D),(E,F));\n");
+        let path = p.to_str().unwrap();
+        let default = run_strs(&["stand", "--trees", path]).unwrap();
+        assert!(default.contains("mapping: edge-indexed"), "{default}");
+        let grab = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("stand trees:"))
+                .unwrap()
+                .to_string()
+        };
+        for mode in ["recompute", "incremental", "edge-indexed"] {
+            let out = run_strs(&["stand", "--trees", path, "--mapping", mode]).unwrap();
+            assert!(out.contains(&format!("mapping: {mode}")), "{out}");
+            assert_eq!(grab(&out), grab(&default), "mode {mode}");
+        }
+        // Legacy alias still works and still means incremental.
+        let legacy = run_strs(&["stand", "--trees", path, "--incremental"]).unwrap();
+        assert!(legacy.contains("mapping: incremental"), "{legacy}");
+        assert!(run_strs(&["stand", "--trees", path, "--mapping", "hash"]).is_err());
     }
 
     #[test]

@@ -46,13 +46,51 @@ pub enum TaxonOrderRule {
 /// How per-constraint projections are maintained across insertions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum MappingMode {
-    /// Recompute all attachment maps at every state (reference engine).
-    #[default]
+    /// Recompute all attachment maps at every state — the oracle engine
+    /// every other mode is conformance-checked against.
     Recompute,
-    /// Patch maps incrementally on insert/remove with an undo log (the
-    /// scheme the paper's implementation uses; §V notes it costs 15–30% of
-    /// total runtime to maintain).
+    /// Patch `Arc<Split>`-based maps incrementally on insert/remove with an
+    /// undo log (the scheme the paper's implementation uses; §V notes it
+    /// costs 15–30% of total runtime to maintain).
     Incremental,
+    /// Flat `Vec<SplitId>` kernels indexed by `EdgeId` with arena-interned
+    /// splits, patched on insert/undone on remove: the admissibility test
+    /// collapses to one integer compare per (edge, constraint). The
+    /// default.
+    #[default]
+    EdgeIndexed,
+}
+
+impl MappingMode {
+    /// Stable CLI/metrics name of the mode.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MappingMode::Recompute => "recompute",
+            MappingMode::Incremental => "incremental",
+            MappingMode::EdgeIndexed => "edge-indexed",
+        }
+    }
+}
+
+impl std::fmt::Display for MappingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for MappingMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "recompute" => Ok(MappingMode::Recompute),
+            "incremental" => Ok(MappingMode::Incremental),
+            "edge-indexed" | "edgeindexed" => Ok(MappingMode::EdgeIndexed),
+            other => Err(format!(
+                "unknown mapping mode '{other}' (expected recompute, incremental or edge-indexed)"
+            )),
+        }
+    }
 }
 
 /// The three stopping rules of §II-B. `None` disables a rule.
@@ -157,7 +195,23 @@ mod tests {
         let c = GentriusConfig::default();
         assert_eq!(c.initial_tree, InitialTreeRule::MaxOverlap);
         assert_eq!(c.taxon_order, TaxonOrderRule::Dynamic);
-        assert_eq!(c.mapping, MappingMode::Recompute);
+        assert_eq!(c.mapping, MappingMode::EdgeIndexed);
+    }
+
+    #[test]
+    fn mapping_mode_round_trips_through_names() {
+        for mode in [
+            MappingMode::Recompute,
+            MappingMode::Incremental,
+            MappingMode::EdgeIndexed,
+        ] {
+            assert_eq!(mode.as_str().parse::<MappingMode>(), Ok(mode));
+        }
+        assert_eq!(
+            "edgeindexed".parse::<MappingMode>(),
+            Ok(MappingMode::EdgeIndexed)
+        );
+        assert!("hashmap".parse::<MappingMode>().is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The serial Gentrius driver: runs the [`Explorer`] to completion while
 //! accounting and enforcing the stopping rules.
 
-use crate::config::{GentriusConfig, MappingMode, StopCause};
+use crate::config::{GentriusConfig, StopCause};
 use crate::explore::{Explorer, StepEvent};
 use crate::problem::{ProblemError, StandProblem};
 use crate::sink::StandSink;
@@ -66,9 +66,7 @@ pub fn run_serial<S: StandSink>(
 
     let mut state = SearchState::new(problem, initial, &config.taxon_order)
         .map_err(ProblemError::BadTaxonOrder)?;
-    if config.mapping == MappingMode::Incremental {
-        state.enable_incremental();
-    }
+    state.enable_mapping(config.mapping);
     let mut explorer = Explorer::new_root(state);
     let mut stats = RunStats::new();
     let mut stop = None;
@@ -119,7 +117,7 @@ pub fn run_serial<S: StandSink>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{InitialTreeRule, StoppingRules, TaxonOrderRule};
+    use crate::config::{InitialTreeRule, MappingMode, StoppingRules, TaxonOrderRule};
     use crate::sink::CountOnly;
     use phylo::newick::parse_forest;
 
@@ -256,19 +254,30 @@ mod tests {
     }
 
     #[test]
-    fn incremental_mapping_matches_recompute() {
+    fn all_mapping_modes_match_recompute() {
         let p = problem(&["((A,B),(C,D));", "((C,D),(E,F));", "((A,F),(G,B));"]);
-        let rec = run_serial(&p, &GentriusConfig::exhaustive(), &mut CountOnly).unwrap();
-        let inc = run_serial(
+        let rec = run_serial(
             &p,
             &GentriusConfig {
-                mapping: MappingMode::Incremental,
+                mapping: MappingMode::Recompute,
                 stopping: StoppingRules::unlimited(),
                 ..GentriusConfig::default()
             },
             &mut CountOnly,
         )
         .unwrap();
-        assert_eq!(rec.stats, inc.stats);
+        for mapping in [MappingMode::Incremental, MappingMode::EdgeIndexed] {
+            let alt = run_serial(
+                &p,
+                &GentriusConfig {
+                    mapping,
+                    stopping: StoppingRules::unlimited(),
+                    ..GentriusConfig::default()
+                },
+                &mut CountOnly,
+            )
+            .unwrap();
+            assert_eq!(rec.stats, alt.stats, "{mapping}");
+        }
     }
 }

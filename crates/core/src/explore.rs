@@ -422,6 +422,56 @@ mod tests {
     }
 
     #[test]
+    fn split_top_refuses_single_pending_and_exhausted_frames() {
+        // One missing taxon (E): every insertion completes the tree, so the
+        // root frame stays on top while its cursor walks to the end — the
+        // only way to exercise split_top on a partially-consumed frame
+        // without a frame push in between.
+        let (_, p) = setup(&["((A,B),(C,D));", "((A,B),(C,E));"]);
+        let state = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let mut ex = Explorer::new_root(state);
+        let total = ex.top().unwrap().branches.len();
+        assert!(total >= 2, "test premise: multi-branch frame");
+        let mut sink = CountOnly;
+        while ex.top().unwrap().pending() > 1 {
+            assert_eq!(ex.step(&mut sink), StepEvent::StandTree);
+        }
+        // pending == 1: give would be 0, so the split is refused outright
+        // rather than returning an empty branch set.
+        assert!(ex.split_top().is_none());
+        assert_eq!(ex.step(&mut sink), StepEvent::StandTree);
+        let top = ex.top().unwrap();
+        assert_eq!(top.cursor, top.branches.len(), "cursor at end");
+        assert_eq!(top.pending(), 0);
+        assert!(ex.split_top().is_none());
+        // The exhausted frame pops and the space is done.
+        assert_eq!(ex.step(&mut sink), StepEvent::Finished);
+        assert!(ex.split_top().is_none(), "no frame left to split");
+    }
+
+    #[test]
+    fn unsplit_with_advanced_cursor_restores_branches_exactly() {
+        let (_, p) = setup(&["((A,B),(C,D));", "((A,B),(C,E));"]);
+        let state = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let mut ex = Explorer::new_root(state);
+        let before = ex.top().unwrap().branches.clone();
+        assert_eq!(before.len(), 3, "E has three admissible branches");
+        let mut sink = CountOnly;
+        assert_eq!(ex.step(&mut sink), StepEvent::StandTree); // cursor -> 1
+        let taken = ex.split_top().unwrap();
+        // The split takes from the cursor position: the untried suffix's
+        // front, never the already-consumed prefix.
+        assert_eq!(taken[..], before[1..1 + taken.len()]);
+        ex.unsplit_top(taken);
+        let top = ex.top().unwrap();
+        assert_eq!(top.branches, before, "exact order restored");
+        assert_eq!(top.cursor, 1, "consumed prefix untouched");
+        // The remaining enumeration proceeds as if the split never happened.
+        let (trees, _, _) = run_to_end(&mut ex);
+        assert_eq!(trees as usize, before.len() - 1);
+    }
+
+    #[test]
     fn abort_frames_restores_base_state() {
         let (_, p) = setup(&["((A,B),(C,D));", "((A,E),(F,G));"]);
         let state = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();

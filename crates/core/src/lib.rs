@@ -36,6 +36,7 @@
 pub mod analysis;
 pub mod config;
 pub mod driver;
+pub mod edge_index;
 pub mod explore;
 pub mod incremental;
 pub mod mapping;

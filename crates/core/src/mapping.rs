@@ -28,9 +28,9 @@
 //! subtree has no edges and every branch is admissible.
 
 use phylo::bitset::BitSet;
-use phylo::split::Split;
+use phylo::split::{Split, SplitArena, SplitId};
 use phylo::taxa::TaxonId;
-use phylo::tree::{EdgeId, Tree};
+use phylo::tree::{EdgeId, NodeId, Tree};
 use std::sync::Arc;
 
 /// The attachment projection of every edge of a tree onto the common
@@ -133,6 +133,158 @@ pub fn missing_taxon_targets(tree: &Tree, c: &BitSet) -> Vec<Option<Split>> {
         out[taxon.index()] = map[pendant.index()].as_deref().cloned();
     }
     out
+}
+
+/// Reusable buffers for [`project_edges_into`] / [`project_targets_into`].
+///
+/// One instance lives inside the edge-indexed kernel and is threaded
+/// through every rebuild, so the steady-state explore loop performs no
+/// per-node heap allocation: the per-node below-sets, the inherit vector
+/// and the traversal buffers are all recycled across rebuilds.
+pub struct ProjectionScratch {
+    /// `below[v]` = C-taxa in the subtree below node `v`'s parent edge.
+    below: Vec<BitSet>,
+    /// Nearest-Steiner-ancestor split id per node (top-down inherit pass).
+    inherit: Vec<SplitId>,
+    order: Vec<(NodeId, Option<EdgeId>)>,
+    stack: Vec<(NodeId, Option<EdgeId>)>,
+}
+
+impl ProjectionScratch {
+    /// Creates empty scratch; buffers grow on first use and are reused.
+    pub fn new() -> Self {
+        ProjectionScratch {
+            below: Vec::new(),
+            inherit: Vec::new(),
+            order: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+}
+
+impl Default for ProjectionScratch {
+    fn default() -> Self {
+        ProjectionScratch::new()
+    }
+}
+
+/// Mutable access to two distinct slots of a slice (the bottom-up fold
+/// unions a child's below-set into its parent's without cloning).
+fn two_mut<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+/// Edge-indexed variant of [`attachment_map`]: writes the projection of
+/// every live edge of `tree` onto the common subtree of `c` into `map`
+/// (indexed by `EdgeId`, dead slots are [`SplitId::NONE`]), interning the
+/// splits into `arena`. Returns `false` for the degenerate `|C| ≤ 1` case
+/// (every branch admissible; `map` contents are then meaningless).
+///
+/// Equal splits intern to equal ids, so two projections built against the
+/// same arena compare with a single `u32` equality per edge.
+pub fn project_edges_into(
+    tree: &Tree,
+    c: &BitSet,
+    arena: &mut SplitArena,
+    scratch: &mut ProjectionScratch,
+    map: &mut Vec<SplitId>,
+) -> bool {
+    debug_assert!(c.is_subset(tree.taxa()), "C must be common taxa");
+    if c.count() < 2 {
+        return false;
+    }
+    // Root at the C-leaf with the smallest taxon id (deterministic). The
+    // subset assertion above guarantees the leaf exists; degrade to
+    // all-admissible rather than panic if the contract is ever broken.
+    let Some(root) = c.min_member().and_then(|m| tree.leaf(TaxonId(m as u32))) else {
+        debug_assert!(false, "C-taxon missing from tree");
+        return false;
+    };
+    tree.preorder_into(root, &mut scratch.stack, &mut scratch.order);
+
+    // Bottom-up: C-taxa below each node's parent edge.
+    let nodes = tree.node_id_bound();
+    while scratch.below.len() < nodes {
+        scratch.below.push(BitSet::new(tree.universe()));
+    }
+    for &(v, _) in &scratch.order {
+        let below = &mut scratch.below[v.index()];
+        below.clear();
+        if let Some(t) = tree.taxon(v) {
+            if c.contains(t.index()) {
+                below.insert(t.index());
+            }
+        }
+    }
+    for i in (0..scratch.order.len()).rev() {
+        let (v, pe) = scratch.order[i];
+        if let Some(pe) = pe {
+            let parent = tree.opposite(pe, v);
+            let (pb, vb) = two_mut(&mut scratch.below, parent.index(), v.index());
+            pb.union_with(vb);
+        }
+    }
+
+    // Top-down: Steiner edges intern their own split; hanging edges inherit
+    // the id of the nearest ancestor Steiner edge.
+    map.clear();
+    map.resize(tree.edge_id_bound(), SplitId::NONE);
+    scratch.inherit.clear();
+    scratch.inherit.resize(nodes, SplitId::NONE);
+    for &(v, pe) in &scratch.order {
+        let Some(pe) = pe else { continue };
+        let parent = tree.opposite(pe, v);
+        let sid = if scratch.below[v.index()].is_empty() {
+            let inherited = scratch.inherit[parent.index()];
+            debug_assert!(
+                !inherited.is_none(),
+                "hanging edge with no Steiner ancestor"
+            );
+            inherited
+        } else {
+            arena.intern_side(&scratch.below[v.index()], c)
+        };
+        map[pe.index()] = sid;
+        scratch.inherit[v.index()] = sid;
+    }
+    true
+}
+
+/// Edge-indexed variant of [`missing_taxon_targets`]: fills `out` (indexed
+/// by taxon id over the whole universe) with the id of the common-subtree
+/// edge each taxon of `tree`'s leaf set outside `c` must subdivide —
+/// [`SplitId::NONE`] for taxa in `c`, absent taxa, or when `|C| ≤ 1`
+/// (in which case `false` is returned). `cons_map` is scratch for the
+/// constraint tree's own edge projection. Interns into the same `arena`
+/// as the agile projection so target and projection ids are comparable.
+pub fn project_targets_into(
+    tree: &Tree,
+    c: &BitSet,
+    arena: &mut SplitArena,
+    scratch: &mut ProjectionScratch,
+    cons_map: &mut Vec<SplitId>,
+    out: &mut Vec<SplitId>,
+) -> bool {
+    out.clear();
+    out.resize(tree.universe(), SplitId::NONE);
+    if !project_edges_into(tree, c, arena, scratch, cons_map) {
+        return false;
+    }
+    for (leaf, taxon) in tree.leaves() {
+        if c.contains(taxon.index()) {
+            continue;
+        }
+        let pendant = tree.adjacent_edges(leaf)[0];
+        out[taxon.index()] = cons_map[pendant.index()];
+    }
+    true
 }
 
 #[cfg(test)]
@@ -252,6 +404,59 @@ mod tests {
                         "trial {trial}: taxon {t:?} edge {e:?}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_indexed_projection_matches_arc_machinery() {
+        use phylo::generate::{random_tree, ShapeModel};
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        let universe = 12usize;
+        let mut arena = SplitArena::new(universe);
+        let mut scratch = ProjectionScratch::new();
+        let (mut map, mut cons_map, mut targets) = (Vec::new(), Vec::new(), Vec::new());
+        for trial in 0..40 {
+            let ids: Vec<TaxonId> = (0..universe as u32).map(TaxonId).collect();
+            let source = random_tree(universe, &ids, ShapeModel::Uniform, &mut rng);
+            let mut shuffled = ids.clone();
+            shuffled.shuffle(&mut rng);
+            let w_size = rng.gen_range(3..=8);
+            let y_size = rng.gen_range(4..=9);
+            let w = BitSet::from_iter(universe, shuffled[..w_size].iter().map(|t| t.index()));
+            shuffled.shuffle(&mut rng);
+            let y = BitSet::from_iter(universe, shuffled[..y_size].iter().map(|t| t.index()));
+            let agile = restrict(&source, &w);
+            let cons = restrict(&source, &y);
+            let c = agile.taxa().intersection(cons.taxa());
+
+            let reference = attachment_map(&agile, &c);
+            let projected = project_edges_into(&agile, &c, &mut arena, &mut scratch, &mut map);
+            assert_eq!(projected, !reference.all_admissible(), "trial {trial}");
+            if projected {
+                for e in agile.edges() {
+                    let via_arena = arena.get(map[e.index()]).map(|s| s.side());
+                    let via_arc = reference.get(e).map(|s| s.side());
+                    assert_eq!(via_arena, via_arc, "trial {trial}, edge {e:?}");
+                }
+            }
+
+            let ref_targets = missing_taxon_targets(&cons, &c);
+            let has_targets = project_targets_into(
+                &cons,
+                &c,
+                &mut arena,
+                &mut scratch,
+                &mut cons_map,
+                &mut targets,
+            );
+            assert_eq!(has_targets, projected, "trial {trial}");
+            for t in 0..universe {
+                let via_arena = arena.get(targets[t]).map(|s| s.side());
+                let via_arc = ref_targets[t].as_ref().map(|s| s.side());
+                assert_eq!(via_arena, via_arc, "trial {trial}, taxon {t}");
             }
         }
     }

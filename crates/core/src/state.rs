@@ -8,11 +8,12 @@
 //! projections are recomputed per state; the incremental engine patches
 //! them on insert/remove.
 
-use crate::config::TaxonOrderRule;
+use crate::config::{MappingMode, TaxonOrderRule};
+use crate::edge_index::EdgeIndexedMaps;
 use crate::incremental::IncrementalMaps;
 use crate::mapping::{attachment_map, missing_taxon_targets, AttachMap};
 use crate::problem::StandProblem;
-use phylo::split::Split;
+use phylo::split::{Split, SplitId};
 use phylo::taxa::TaxonId;
 use phylo::tree::{EdgeId, Insertion, Tree};
 
@@ -59,6 +60,17 @@ enum OrderEngine {
     Static,
 }
 
+/// The projection-maintenance engine backing admissibility queries — the
+/// runtime counterpart of [`MappingMode`].
+enum MapsEngine {
+    /// Rebuild projections per query batch (the oracle).
+    Recompute,
+    /// Arc-based maps patched on insert/remove.
+    Incremental(IncrementalMaps),
+    /// Flat edge-indexed kernels (the default).
+    EdgeIndexed(Box<EdgeIndexedMaps>),
+}
+
 /// Mutable Gentrius search state over a borrowed problem.
 pub struct SearchState<'p> {
     problem: &'p StandProblem,
@@ -67,8 +79,11 @@ pub struct SearchState<'p> {
     /// Taxa not yet inserted, in selection-rule order.
     remaining: Vec<TaxonId>,
     order: OrderEngine,
-    /// Incrementally maintained projections, if enabled.
-    incremental: Option<IncrementalMaps>,
+    /// Live projections per the configured [`MappingMode`].
+    engine: MapsEngine,
+    /// Reusable query buffers (see [`QueryScratch`]); kept on the state so
+    /// the selection loop allocates nothing per candidate taxon.
+    scratch: QueryScratch,
 }
 
 impl<'p> SearchState<'p> {
@@ -126,14 +141,30 @@ impl<'p> SearchState<'p> {
             agile,
             remaining,
             order: engine,
-            incremental: None,
+            engine: MapsEngine::Recompute,
+            scratch: QueryScratch::new(),
         })
+    }
+
+    /// Installs the projection engine for `mode` (must be called on the
+    /// root state, before any insertion). A fresh state starts in
+    /// [`MappingMode::Recompute`].
+    pub fn enable_mapping(&mut self, mode: MappingMode) {
+        self.engine = match mode {
+            MappingMode::Recompute => MapsEngine::Recompute,
+            MappingMode::Incremental => {
+                MapsEngine::Incremental(IncrementalMaps::new(self.problem, &self.agile))
+            }
+            MappingMode::EdgeIndexed => {
+                MapsEngine::EdgeIndexed(Box::new(EdgeIndexedMaps::new(self.problem, &self.agile)))
+            }
+        };
     }
 
     /// Switches this state to the incremental mapping engine (must be
     /// called on the root state, before any insertion).
     pub fn enable_incremental(&mut self) {
-        self.incremental = Some(IncrementalMaps::new(self.problem, &self.agile));
+        self.enable_mapping(MappingMode::Incremental);
     }
 
     /// The problem this state explores.
@@ -166,13 +197,24 @@ impl<'p> SearchState<'p> {
             .expect("inserting a taxon that is not remaining");
         self.remaining.remove(remaining_idx);
         let ins = self.agile.insert_leaf_on_edge(taxon, edge);
-        if let Some(inc) = &mut self.incremental {
-            if self.remaining.is_empty() {
-                // Completion: the state is emitted and undone without any
-                // admissibility query — skip the (expensive) map update.
-                inc.after_insert_unqueried();
-            } else {
-                inc.after_insert(self.problem, &self.agile, &ins);
+        // Completion: the state is emitted and undone without any
+        // admissibility query — skip the (expensive) map update.
+        let unqueried = self.remaining.is_empty();
+        match &mut self.engine {
+            MapsEngine::Recompute => {}
+            MapsEngine::Incremental(inc) => {
+                if unqueried {
+                    inc.after_insert_unqueried();
+                } else {
+                    inc.after_insert(self.problem, &self.agile, &ins);
+                }
+            }
+            MapsEngine::EdgeIndexed(ei) => {
+                if unqueried {
+                    ei.after_insert_unqueried();
+                } else {
+                    ei.after_insert(self.problem, &self.agile, &ins);
+                }
             }
         }
         AppliedStep { ins, remaining_idx }
@@ -180,8 +222,10 @@ impl<'p> SearchState<'p> {
 
     /// Exactly undoes [`SearchState::apply`] (LIFO discipline required).
     pub fn undo(&mut self, step: &AppliedStep) {
-        if let Some(inc) = &mut self.incremental {
-            inc.before_remove(&step.ins);
+        match &mut self.engine {
+            MapsEngine::Recompute => {}
+            MapsEngine::Incremental(inc) => inc.before_remove(&step.ins),
+            MapsEngine::EdgeIndexed(ei) => ei.before_remove(&step.ins),
         }
         self.agile.remove_insertion(&step.ins);
         self.remaining.insert(step.remaining_idx, step.ins.taxon);
@@ -189,58 +233,22 @@ impl<'p> SearchState<'p> {
 
     /// The admissible branches of `taxon` at the current state, in
     /// increasing edge-id order (the canonical branch enumeration order).
+    ///
+    /// Allocates its own scratch, so it stays callable through `&self`;
+    /// the hot path is [`SearchState::select_next`], which reuses the
+    /// state-owned buffers instead.
     pub fn admissible_branches(&self, taxon: TaxonId) -> Vec<EdgeId> {
-        let mut scratch = ConstraintScratch::new(self.problem.constraints().len());
-        self.admissible_with_scratch(taxon, &mut scratch)
-    }
-
-    fn admissible_with_scratch(
-        &self,
-        taxon: TaxonId,
-        scratch: &mut ConstraintScratch,
-    ) -> Vec<EdgeId> {
-        let cis = self.problem.constraints_of_taxon(taxon.index());
-        // Recompute mode fills the per-state scratch lazily; the
-        // incremental engine already holds live maps.
-        if self.incremental.is_none() {
-            for &ci in cis {
-                let ci = ci as usize;
-                if scratch.agile_maps[ci].is_none() {
-                    let cons = &self.problem.constraints()[ci];
-                    let c = self.agile.taxa().intersection(cons.taxa());
-                    scratch.agile_maps[ci] = Some(attachment_map(&self.agile, &c));
-                    scratch.targets[ci] = Some(missing_taxon_targets(cons, &c));
-                }
-            }
-        }
-        // Collect (agile map, target split) for each constraint containing
-        // the taxon whose common-taxa overlap is >= 2; a constraint with
-        // |C| <= 1 has no target and admits every branch.
-        let mut checks: Vec<(&AttachMap, &Split)> = Vec::new();
-        for &ci in cis {
-            let ci = ci as usize;
-            let (map, targets): (&AttachMap, &[Option<Split>]) = match &self.incremental {
-                Some(inc) => (inc.agile_map(ci), inc.targets(ci)),
-                None => (
-                    // xlint: allow(panic-freedom) — the recompute loop above filled this cell; a miss would silently admit wrong branches
-                    scratch.agile_maps[ci].as_ref().expect("ensured above"),
-                    // xlint: allow(panic-freedom) — same invariant as the map cell directly above
-                    scratch.targets[ci].as_ref().expect("ensured above"),
-                ),
-            };
-            if let Some(target) = &targets[taxon.index()] {
-                checks.push((map, target));
-            }
-        }
+        let mut scratch = QueryScratch::new();
+        scratch.reset(self.problem.constraints().len());
         let mut out = Vec::new();
-        'edges: for e in self.agile.edges() {
-            for &(map, target) in &checks {
-                if map.get(e) != Some(target) {
-                    continue 'edges;
-                }
-            }
-            out.push(e);
-        }
+        admissible_into(
+            self.problem,
+            &self.agile,
+            &self.engine,
+            &mut scratch,
+            taxon,
+            &mut out,
+        );
         out
     }
 
@@ -251,57 +259,182 @@ impl<'p> SearchState<'p> {
     /// insertion*: the remaining taxon with the fewest admissible branches
     /// (ties → smallest taxon id; a zero-branch taxon short-circuits, which
     /// is what makes dead ends detectable immediately).
-    pub fn select_next(&self) -> Option<NextTaxon> {
+    ///
+    /// Takes `&mut self` only to reuse the state-owned query buffers; the
+    /// logical state (tree, remaining taxa, projections) is not modified.
+    pub fn select_next(&mut self) -> Option<NextTaxon> {
         if self.remaining.is_empty() {
             return None;
         }
-        let mut scratch = ConstraintScratch::new(self.problem.constraints().len());
-        let OrderEngine::Dynamic(tie) = self.order else {
-            let taxon = self.remaining[0];
-            let branches = self.admissible_with_scratch(taxon, &mut scratch);
+        // Destructure so the engine/scratch borrows are disjoint.
+        let SearchState {
+            problem,
+            agile,
+            remaining,
+            order,
+            engine,
+            scratch,
+        } = self;
+        scratch.reset(problem.constraints().len());
+        let mut cand = std::mem::take(&mut scratch.cand);
+        let OrderEngine::Dynamic(tie) = *order else {
+            let taxon = remaining[0];
+            admissible_into(problem, agile, engine, scratch, taxon, &mut cand);
+            let branches = cand.clone();
+            scratch.cand = cand;
             return Some(NextTaxon { taxon, branches });
         };
         let rank = |t: TaxonId| match tie {
             // Lower rank wins on branch-count ties.
             DynamicTie::SmallestId => (0usize, t.index()),
             DynamicTie::MostConstraints => (
-                usize::MAX - self.problem.constraints_of_taxon(t.index()).len(),
+                usize::MAX - problem.constraints_of_taxon(t.index()).len(),
                 t.index(),
             ),
         };
-        let mut best: Option<NextTaxon> = None;
-        for &taxon in &self.remaining {
-            let branches = self.admissible_with_scratch(taxon, &mut scratch);
-            if branches.is_empty() {
-                return Some(NextTaxon { taxon, branches });
+        let mut best_buf = std::mem::take(&mut scratch.best);
+        let mut best: Option<TaxonId> = None;
+        for &taxon in remaining.iter() {
+            admissible_into(problem, agile, engine, scratch, taxon, &mut cand);
+            if cand.is_empty() {
+                scratch.cand = cand;
+                scratch.best = best_buf;
+                return Some(NextTaxon {
+                    taxon,
+                    branches: Vec::new(),
+                });
             }
-            let better = match &best {
+            let better = match best {
                 None => true,
                 Some(b) => {
-                    branches.len() < b.branches.len()
-                        || (branches.len() == b.branches.len() && rank(taxon) < rank(b.taxon))
+                    cand.len() < best_buf.len()
+                        || (cand.len() == best_buf.len() && rank(taxon) < rank(b))
                 }
             };
             if better {
-                best = Some(NextTaxon { taxon, branches });
+                std::mem::swap(&mut cand, &mut best_buf);
+                best = Some(taxon);
             }
         }
-        best
+        let choice = best.map(|taxon| NextTaxon {
+            taxon,
+            branches: best_buf.clone(),
+        });
+        scratch.cand = cand;
+        scratch.best = best_buf;
+        choice
     }
 }
 
-/// Per-state lazily-filled projection caches, one slot per constraint.
-struct ConstraintScratch {
-    agile_maps: Vec<Option<AttachMap>>,
-    targets: Vec<Option<Vec<Option<Split>>>>,
+/// Computes the admissible branches of `taxon` into `out` (cleared first),
+/// in increasing edge-id order. Free function over disjoint borrows so
+/// [`SearchState::select_next`] can thread the state-owned scratch through
+/// without fighting the borrow checker.
+fn admissible_into(
+    problem: &StandProblem,
+    agile: &Tree,
+    engine: &MapsEngine,
+    scratch: &mut QueryScratch,
+    taxon: TaxonId,
+    out: &mut Vec<EdgeId>,
+) {
+    out.clear();
+    let cis = problem.constraints_of_taxon(taxon.index());
+    if let MapsEngine::EdgeIndexed(ei) = engine {
+        // Flat kernels: one u32 compare per (edge, constraint).
+        scratch.ei_checks.clear();
+        for &ci in cis {
+            let ci = ci as usize;
+            let target = ei.target_id(ci, taxon);
+            if !target.is_none() {
+                scratch.ei_checks.push((ci, target));
+            }
+        }
+        'edges: for e in agile.edges() {
+            for &(ci, target) in &scratch.ei_checks {
+                if ei.projection_id(ci, e) != target {
+                    continue 'edges;
+                }
+            }
+            out.push(e);
+        }
+        return;
+    }
+    // Recompute mode fills the per-state scratch lazily; the incremental
+    // engine already holds live maps.
+    if let MapsEngine::Recompute = engine {
+        for &ci in cis {
+            let ci = ci as usize;
+            if scratch.agile_maps[ci].is_none() {
+                let cons = &problem.constraints()[ci];
+                let c = agile.taxa().intersection(cons.taxa());
+                scratch.agile_maps[ci] = Some(attachment_map(agile, &c));
+                scratch.targets[ci] = Some(missing_taxon_targets(cons, &c));
+            }
+        }
+    }
+    // Collect (agile map, target split) for each constraint containing
+    // the taxon whose common-taxa overlap is >= 2; a constraint with
+    // |C| <= 1 has no target and admits every branch.
+    let mut checks: Vec<(&AttachMap, &Split)> = Vec::new();
+    for &ci in cis {
+        let ci = ci as usize;
+        let (map, targets): (&AttachMap, &[Option<Split>]) = match engine {
+            MapsEngine::Incremental(inc) => (inc.agile_map(ci), inc.targets(ci)),
+            _ => (
+                // xlint: allow(panic-freedom) — the recompute loop above filled this cell; a miss would silently admit wrong branches
+                scratch.agile_maps[ci].as_ref().expect("ensured above"),
+                // xlint: allow(panic-freedom) — same invariant as the map cell directly above
+                scratch.targets[ci].as_ref().expect("ensured above"),
+            ),
+        };
+        if let Some(target) = &targets[taxon.index()] {
+            checks.push((map, target));
+        }
+    }
+    'edges: for e in agile.edges() {
+        for &(map, target) in &checks {
+            if map.get(e) != Some(target) {
+                continue 'edges;
+            }
+        }
+        out.push(e);
+    }
 }
 
-impl ConstraintScratch {
-    fn new(n: usize) -> Self {
-        ConstraintScratch {
-            agile_maps: vec![None; n],
-            targets: vec![None; n],
+/// Reusable per-state query buffers: the recompute mode's lazily-filled
+/// projection caches (one slot per constraint, invalidated per selection)
+/// plus the candidate/best branch buffers and the edge-indexed check list
+/// that keep the selection loop allocation-free.
+struct QueryScratch {
+    agile_maps: Vec<Option<AttachMap>>,
+    targets: Vec<Option<Vec<Option<Split>>>>,
+    /// `(constraint, target id)` pairs for the edge-indexed fast path.
+    ei_checks: Vec<(usize, SplitId)>,
+    /// Branches of the candidate taxon under evaluation.
+    cand: Vec<EdgeId>,
+    /// Branches of the best candidate so far.
+    best: Vec<EdgeId>,
+}
+
+impl QueryScratch {
+    fn new() -> Self {
+        QueryScratch {
+            agile_maps: Vec::new(),
+            targets: Vec::new(),
+            ei_checks: Vec::new(),
+            cand: Vec::new(),
+            best: Vec::new(),
         }
+    }
+
+    /// Invalidates the recompute caches (the agile tree changed since the
+    /// last query batch) without shrinking any buffer.
+    fn reset(&mut self, n_constraints: usize) {
+        self.agile_maps.clear();
+        self.agile_maps.resize(n_constraints, None);
+        self.targets.clear();
+        self.targets.resize_with(n_constraints, || None);
     }
 }
 
@@ -382,7 +515,7 @@ mod tests {
         // E is pinned to one branch; the taxa of the weakly-overlapping
         // constraint are free → dynamic must pick E first.
         let p = problem(&["((A,B),(C,D));", "((A,B),(C,E));", "((F,G),(H,A));"]);
-        let s = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let mut s = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
         let next = s.select_next().unwrap();
         assert_eq!(next.taxon, TaxonId(4)); // E: 3 branches vs 5 for F,G,H
         assert_eq!(next.branches.len(), 3);
@@ -391,10 +524,10 @@ mod tests {
     #[test]
     fn by_id_order_ignores_branch_counts() {
         let p = problem(&["((A,B),(C,D));", "((A,B),(C,E));", "((F,G),(H,A));"]);
-        let s = SearchState::new(&p, 0, &TaxonOrderRule::ById).unwrap();
+        let mut s = SearchState::new(&p, 0, &TaxonOrderRule::ById).unwrap();
         let next = s.select_next().unwrap();
         assert_eq!(next.taxon, TaxonId(4)); // smallest missing id happens to be E
-        let s2 = SearchState::new(
+        let mut s2 = SearchState::new(
             &p,
             0,
             &TaxonOrderRule::Fixed(vec![TaxonId(5), TaxonId(6), TaxonId(7), TaxonId(4)]),
@@ -408,7 +541,7 @@ mod tests {
     fn most_constrained_first_orders_by_constraint_count() {
         // E appears in two constraints, F/G/H in one → E first.
         let p = problem(&["((A,B),(C,D));", "((A,B),(C,E));", "((F,G),(H,E));"]);
-        let s = SearchState::new(&p, 0, &TaxonOrderRule::MostConstrainedFirst).unwrap();
+        let mut s = SearchState::new(&p, 0, &TaxonOrderRule::MostConstrainedFirst).unwrap();
         assert_eq!(s.remaining()[0], TaxonId(4)); // E
         let next = s.select_next().unwrap();
         assert_eq!(next.taxon, TaxonId(4));
@@ -421,8 +554,8 @@ mod tests {
         // constraint-count tie-break prefers G while the id tie-break
         // prefers F.
         let p = problem(&["((A,B),(C,D));", "((F,G),(H,A));", "((G,B),(I,J));"]);
-        let by_id = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
-        let by_cons = SearchState::new(&p, 0, &TaxonOrderRule::DynamicByConstraints).unwrap();
+        let mut by_id = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let mut by_cons = SearchState::new(&p, 0, &TaxonOrderRule::DynamicByConstraints).unwrap();
         let a = by_id.select_next().unwrap();
         let b = by_cons.select_next().unwrap();
         assert_eq!(a.branches.len(), b.branches.len());
@@ -435,7 +568,7 @@ mod tests {
     fn conflicting_constraint_yields_zero_branches() {
         // Constraints force E both next to C and next to A — impossible.
         let p = problem(&["((A,B),(C,D));", "((A,B),(C,E));", "((E,A),(B,C));"]);
-        let s = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
+        let mut s = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
         let next = s.select_next().unwrap();
         assert_eq!(next.taxon, TaxonId(4));
         assert!(next.branches.is_empty());

@@ -7,7 +7,7 @@ use crate::counters::{FlushThresholds, GlobalCounters, LocalCounters};
 use crate::obs::monitor::{spawn_monitor, MonitorConfig, MonitorReport, MonitorShared};
 use crate::pool::{SchedulerCounts, TaskPool, WorkerHandle};
 use crate::task::{paper_queue_capacity, partition_branches, Task};
-use gentrius_core::config::{GentriusConfig, MappingMode, StopCause};
+use gentrius_core::config::{GentriusConfig, StopCause};
 use gentrius_core::explore::{Explorer, StepEvent};
 use gentrius_core::problem::{ProblemError, StandProblem};
 use gentrius_core::sink::{CountOnly, StandSink};
@@ -409,9 +409,7 @@ fn new_state<'p>(
 ) -> SearchState<'p> {
     let mut state = SearchState::new(problem, initial, &config.taxon_order)
         .expect("validated problem must build a state");
-    if config.mapping == MappingMode::Incremental {
-        state.enable_incremental();
-    }
+    state.enable_mapping(config.mapping);
     state
 }
 

@@ -471,7 +471,23 @@ impl Tree {
     /// caterpillar trees cannot overflow the stack.
     pub fn preorder(&self, root: NodeId) -> Vec<(NodeId, Option<EdgeId>)> {
         let mut order = Vec::with_capacity(self.n_nodes);
-        let mut stack: Vec<(NodeId, Option<EdgeId>)> = vec![(root, None)];
+        let mut stack = Vec::new();
+        self.preorder_into(root, &mut stack, &mut order);
+        order
+    }
+
+    /// [`Tree::preorder`] into caller-owned buffers (`stack` is DFS
+    /// scratch, `order` receives the result); both are cleared first. Lets
+    /// the projection kernels traverse without allocating per rebuild.
+    pub fn preorder_into(
+        &self,
+        root: NodeId,
+        stack: &mut Vec<(NodeId, Option<EdgeId>)>,
+        order: &mut Vec<(NodeId, Option<EdgeId>)>,
+    ) {
+        order.clear();
+        stack.clear();
+        stack.push((root, None));
         while let Some((v, pe)) = stack.pop() {
             order.push((v, pe));
             // Reverse so the first adjacency is processed first: makes the
@@ -482,7 +498,6 @@ impl Tree {
                 }
             }
         }
-        order
     }
 
     /// Any live node, preferring a leaf (useful as a traversal root).

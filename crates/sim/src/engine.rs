@@ -18,7 +18,7 @@
 
 use crate::cost::CostModel;
 use crate::trace::{Segment, Timeline};
-use gentrius_core::config::{GentriusConfig, MappingMode, StopCause};
+use gentrius_core::config::{GentriusConfig, StopCause};
 use gentrius_core::explore::{Explorer, StepEvent};
 use gentrius_core::problem::{ProblemError, StandProblem};
 use gentrius_core::sink::CountOnly;
@@ -223,9 +223,7 @@ pub fn simulate(
     let new_state = || {
         let mut s = SearchState::new(problem, initial, &config.taxon_order)
             .expect("validated problem must build a state");
-        if config.mapping == MappingMode::Incremental {
-            s.enable_incremental();
-        }
+        s.enable_mapping(config.mapping);
         s
     };
 

@@ -12,8 +12,8 @@
 //! overshoot.
 
 use gentrius_core::{
-    canonical_stand_set, run_serial, CollectNewick, CountOnly, GentriusConfig, StopCause,
-    StoppingRules,
+    canonical_stand_set, run_serial, CollectNewick, CountOnly, GentriusConfig, MappingMode,
+    StopCause, StoppingRules,
 };
 use gentrius_datagen::{
     empirical_dataset, simulated_dataset, Dataset, EmpiricalParams, MissingPattern, SimulatedParams,
@@ -166,6 +166,102 @@ fn serial_and_parallel_agree_across_the_sweep() {
     assert!(
         saw_steal,
         "no run ever stole a task — the scheduler was not exercised"
+    );
+}
+
+/// The mapping-kernel conformance matrix: every fully-enumerable instance
+/// of the sweep runs under every mapping engine — Recompute (the oracle),
+/// Incremental and EdgeIndexed — serially and at 2/4/8 threads. All twelve
+/// cells must reproduce the oracle's counters and canonical stand set
+/// exactly, and every snapshot a parallel run exposes (totals, prefix,
+/// per-worker, heartbeats) must satisfy the dead-end invariant. This is
+/// the gate that lets the flat edge-indexed kernels be the default: any
+/// divergence from the recompute projections shows up as a counter or
+/// stand-set mismatch here.
+#[test]
+fn mapping_mode_conformance_matrix() {
+    const MODES: [MappingMode; 3] = [
+        MappingMode::Recompute,
+        MappingMode::Incremental,
+        MappingMode::EdgeIndexed,
+    ];
+    let sweep = differential_sweep();
+    let mut verified = 0usize;
+    let mut with_dead_ends = 0usize;
+    for d in &sweep {
+        let Ok(p) = d.problem() else { continue };
+        // Serial Recompute is the oracle cell every other cell must match.
+        let oracle_cfg = GentriusConfig {
+            mapping: MappingMode::Recompute,
+            ..bounded_config()
+        };
+        let mut oracle_sink = CollectNewick::with_cap(&d.taxa, COLLECT_CAP);
+        let oracle = run_serial(&p, &oracle_cfg, &mut oracle_sink).expect("oracle");
+        if !oracle.complete() {
+            continue; // exact identity needs a complete enumeration
+        }
+        assert_dead_end_invariant(&oracle.stats, &format!("{} oracle", d.name));
+        if oracle.stats.dead_ends > 0 {
+            with_dead_ends += 1;
+        }
+        let oracle_set = canonical_stand_set([oracle_sink.out]);
+        for mode in MODES {
+            let config = GentriusConfig {
+                mapping: mode,
+                ..bounded_config()
+            };
+            if mode != MappingMode::Recompute {
+                // The Recompute serial cell *is* the oracle; don't rerun it.
+                let mut sink = CollectNewick::with_cap(&d.taxa, COLLECT_CAP);
+                let serial = run_serial(&p, &config, &mut sink).expect("serial");
+                assert_eq!(
+                    serial.stats, oracle.stats,
+                    "{} {mode} serial: counters diverged",
+                    d.name
+                );
+                assert_eq!(
+                    canonical_stand_set([sink.out]),
+                    oracle_set,
+                    "{} {mode} serial: stand set diverged",
+                    d.name
+                );
+            }
+            for threads in [2usize, 4, 8] {
+                let (par, sinks) = run_parallel_with_sinks(
+                    &p,
+                    &config,
+                    &ParallelConfig::with_threads(threads),
+                    |_| CollectNewick::with_cap(&d.taxa, COLLECT_CAP),
+                )
+                .expect("parallel");
+                assert!(
+                    par.complete(),
+                    "{} {mode} threads={threads}: spurious stop",
+                    d.name
+                );
+                assert_eq!(
+                    par.stats, oracle.stats,
+                    "{} {mode} threads={threads}: counters diverged",
+                    d.name
+                );
+                assert_run_invariants(&par, &format!("{} {mode} threads={threads}", d.name));
+                assert_eq!(
+                    canonical_stand_set(sinks.into_iter().map(|s| s.out)),
+                    oracle_set,
+                    "{} {mode} threads={threads}: stand set diverged",
+                    d.name
+                );
+            }
+        }
+        verified += 1;
+    }
+    assert!(
+        verified >= 35,
+        "too few fully-enumerable instances ({verified})"
+    );
+    assert!(
+        with_dead_ends >= 1,
+        "matrix lost its dead-end instances — kernels' undo paths not stressed"
     );
 }
 
