@@ -106,7 +106,7 @@ fn bench_parallel_primitives(c: &mut Criterion) {
         // A phantom in-flight task keeps the pool from declaring itself
         // drained between iterations (termination detection is one-shot).
         pool.preregister_active(1);
-        let task = Task::at_split(TaxonId(0), vec![phylo::EdgeId(3), phylo::EdgeId(7)]);
+        let task = Task::probe(TaxonId(0), vec![phylo::EdgeId(3), phylo::EdgeId(7)]);
         b.iter(|| {
             worker.try_push(black_box(task.clone())).expect("room");
             let t = worker.next_task().expect("just pushed");
@@ -120,7 +120,7 @@ fn bench_parallel_primitives(c: &mut Criterion) {
         let owner = pool.worker(0);
         let thief = pool.worker(1);
         pool.preregister_active(1);
-        let task = Task::at_split(TaxonId(0), vec![phylo::EdgeId(3), phylo::EdgeId(7)]);
+        let task = Task::probe(TaxonId(0), vec![phylo::EdgeId(3), phylo::EdgeId(7)]);
         b.iter(|| {
             owner.try_push(black_box(task.clone())).expect("room");
             let t = thief.next_task().expect("just pushed");

@@ -3,8 +3,8 @@
 
 use crate::args::ParsedArgs;
 use gentrius_core::{
-    canonical_stand_set, CollectNewick, GentriusConfig, InitialTreeRule, MappingMode, StandProblem,
-    StopCause, StoppingRules, TaxonOrderRule,
+    canonical_stand_set, BatchingSink, CollectNewick, GentriusConfig, InitialTreeRule, MappingMode,
+    StandProblem, StopCause, StoppingRules, TaxonOrderRule,
 };
 use gentrius_datagen::{
     empirical_dataset, simulated_dataset, Dataset, EmpiricalParams, SimulatedParams,
@@ -50,6 +50,8 @@ USAGE:
                    [--mapping recompute|incremental|edge-indexed]
                    [--print-trees] [--output FILE]
                    [--metrics-json FILE] [--trace-json FILE]
+                   [--no-adaptive-split] [--stop-poll-stride N]
+                   [--emit-batch N] [--coarse-flush]
   gentrius induced --species FILE --pam FILE
   gentrius gen     --kind sim|emp [--seed S] [--index I] [--scale paper|scaled]
                    [--output FILE]  |  gen --scenario NAME [--output FILE]
@@ -72,6 +74,12 @@ Observability: --metrics-json writes a schema-versioned run-metrics JSON
 document; --trace-json writes a Chrome-trace-event timeline (load it in
 Perfetto or chrome://tracing). Either flag routes the run through the
 parallel engine, even with --threads 1.
+Scheduler tuning (parallel runs): --no-adaptive-split disables the
+steal-to-execute granularity controller (workers then always publish
+stealable frames); --stop-poll-stride N polls the stop flag every N
+steps instead of the default 64; --emit-batch N buffers N stand trees
+per worker before forwarding them to the collector; --coarse-flush
+raises the counter-flush thresholds for blow-up instances.
 ";
 
 /// Dispatches a full command line (without the program name).
@@ -83,6 +91,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "incremental",
             "print-trees",
             "no-steal",
+            "no-adaptive-split",
+            "coarse-flush",
             "trace",
             "likelihood",
             "help",
@@ -227,11 +237,34 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     } else {
         let mut pcfg = ParallelConfig::with_threads(threads);
         pcfg.trace = trace_path.is_some();
-        let (r, sinks) = run_parallel_with_sinks(&problem, &config, &pcfg, |_| {
-            CollectNewick::with_cap(&taxa, cap)
-        })
-        .map_err(|e| CliError(e.to_string()))?;
-        let merged = canonical_stand_set(sinks.into_iter().map(|s| s.out));
+        pcfg.adaptive_split = !a.has("no-adaptive-split");
+        pcfg.stop_poll_stride = a
+            .get_parsed("stop-poll-stride", pcfg.stop_poll_stride)
+            .map_err(|e| CliError(e.to_string()))?;
+        if a.has("coarse-flush") {
+            pcfg.flush = gentrius_parallel::FlushThresholds::coarse();
+        }
+        let emit_batch: usize = a
+            .get_parsed("emit-batch", 1usize)
+            .map_err(|e| CliError(e.to_string()))?;
+        // Batching only pays when trees are kept: a count-only collector
+        // (cap 0) discards immediately, so buffering would add clones for
+        // nothing.
+        let (r, merged) = if want_trees && emit_batch > 1 {
+            let (r, sinks) = run_parallel_with_sinks(&problem, &config, &pcfg, |_| {
+                BatchingSink::new(CollectNewick::with_cap(&taxa, cap), emit_batch)
+            })
+            .map_err(|e| CliError(e.to_string()))?;
+            let merged = canonical_stand_set(sinks.into_iter().map(|s| s.into_inner().out));
+            (r, merged)
+        } else {
+            let (r, sinks) = run_parallel_with_sinks(&problem, &config, &pcfg, |_| {
+                CollectNewick::with_cap(&taxa, cap)
+            })
+            .map_err(|e| CliError(e.to_string()))?;
+            let merged = canonical_stand_set(sinks.into_iter().map(|s| s.out));
+            (r, merged)
+        };
         if let Some(path) = metrics_path {
             let mut f =
                 std::fs::File::create(path).map_err(|e| CliError(format!("{path}: {e}")))?;
@@ -267,8 +300,8 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     if let Some(s) = &sched {
         writeln!(
             out,
-            "scheduler: {} splits, {} steals ({} empty sweeps), {} parks, {} injected, {} deque grows",
-            s.splits, s.steals, s.failed_steals, s.parks, s.injected, s.deque_grows
+            "scheduler: {} tasks, {} splits, {} steals ({} empty sweeps), {} parks, {} injected, {} deque grows",
+            s.executed, s.splits, s.steals, s.failed_steals, s.parks, s.injected, s.deque_grows
         )
         .unwrap();
     }
@@ -941,15 +974,50 @@ mod tests {
             mj.to_str().unwrap(),
         ])
         .unwrap();
-        assert!(out.contains("wrote run metrics (schema v1)"), "{out}");
+        assert!(out.contains("wrote run metrics (schema v2)"), "{out}");
         let text = std::fs::read_to_string(&mj).unwrap();
         gentrius_parallel::obs::json::validate(&text).unwrap();
         assert!(
-            text.starts_with("{\"schema\":\"gentrius-run-metrics\",\"version\":1,"),
+            text.starts_with("{\"schema\":\"gentrius-run-metrics\",\"version\":2,"),
             "{text}"
         );
         assert!(text.contains("\"threads\":1"), "{text}");
         assert!(text.contains("\"monitor\":{\"ticks\":"), "{text}");
+    }
+
+    #[test]
+    fn stand_tuning_flags_parse_and_preserve_the_stand_set() {
+        let p = write_tmp(
+            "tuning.nwk",
+            "((A,B),(C,D));\n((A,E),(F,G));\n((C,F),(H,I));\n",
+        );
+        let base = run_strs(&["stand", "--trees", p.to_str().unwrap(), "--print-trees"]).unwrap();
+        let tuned = run_strs(&[
+            "stand",
+            "--trees",
+            p.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--print-trees",
+            "--no-adaptive-split",
+            "--stop-poll-stride",
+            "8",
+            "--emit-batch",
+            "4",
+            "--coarse-flush",
+        ])
+        .unwrap();
+        // The tuning knobs change scheduling and buffering, never results:
+        // the printed stand set (every line ending in ';') must match the
+        // serial default exactly.
+        let trees = |s: &str| {
+            s.lines()
+                .filter(|l| l.ends_with(';'))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(trees(&base), trees(&tuned));
+        assert!(tuned.contains("scheduler: "), "{tuned}");
     }
 
     #[test]

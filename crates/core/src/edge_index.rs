@@ -29,6 +29,7 @@ use phylo::taxa::TaxonId;
 use phylo::tree::{EdgeId, Insertion, Tree};
 
 /// Flat projection state for one constraint tree.
+#[derive(Clone)]
 struct EdgeKernel {
     /// `C = W ∩ Y_i`, kept in sync with the agile tree's taxa.
     c: BitSet,
@@ -207,6 +208,21 @@ impl EdgeIndexedMaps {
             }
         }
         self.undo.push(frame);
+    }
+
+    /// Clones the *live* kernel state only — projections, targets and
+    /// arenas — with empty undo stacks and pools. Sound for task handoff
+    /// because a resumed task never undoes below its resume point: the undo
+    /// frames it pushes from here on are exactly the ones it will pop.
+    pub fn fork_live(&self) -> Self {
+        EdgeIndexedMaps {
+            per: self.per.clone(),
+            undo: Vec::new(),
+            scratch: ProjectionScratch::new(),
+            cons_map: Vec::new(),
+            pool: Vec::new(),
+            frame_pool: Vec::new(),
+        }
     }
 
     /// Reverts the most recent [`EdgeIndexedMaps::after_insert`]. Call

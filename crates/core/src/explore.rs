@@ -187,6 +187,29 @@ impl<'p> Explorer<'p> {
         });
     }
 
+    /// Installs a task frame on a state that is *already positioned* at the
+    /// task's start state `I_c` (resumed from a
+    /// [`crate::state::StateSnapshot`] — no base insertions, no kernel
+    /// replay). The frame carries `step: None`, so exhausting it never
+    /// undoes below the resume point. Requires an idle explorer.
+    pub fn resume_task(&mut self, taxon: TaxonId, branches: Vec<EdgeId>) {
+        assert!(self.finished(), "resume_task on a busy explorer");
+        assert!(self.base.is_empty(), "previous task base not unwound");
+        self.stack.push(Frame {
+            step: None,
+            taxon,
+            branches,
+            cursor: 0,
+        });
+    }
+
+    /// Number of insertions currently applied on top of this explorer's
+    /// start state: the replayed base plus the exploration's own applied
+    /// frames. This is the depth a snapshot taken *now* would carry.
+    pub fn applied_depth(&self) -> usize {
+        self.base.len() + self.stack.iter().filter(|f| f.step.is_some()).count()
+    }
+
     /// Unwinds the task base replayed by [`Explorer::begin_task`],
     /// returning the state to `I_0`. The task's frames must be exhausted.
     pub fn end_task(&mut self) {

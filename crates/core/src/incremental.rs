@@ -25,6 +25,7 @@ use phylo::bitset::BitSet;
 use phylo::split::Split;
 use phylo::tree::{Insertion, Tree};
 
+#[derive(Clone)]
 struct ConstraintMaps {
     /// `C = W ∩ Y_i`, kept in sync with the agile tree's taxa.
     c: BitSet,
@@ -121,6 +122,16 @@ impl IncrementalMaps {
             }
         }
         self.undo.push(frame);
+    }
+
+    /// Clones the *live* projections only, with an empty undo stack. Sound
+    /// for task handoff because a resumed task never undoes below its
+    /// resume point: the undo frames it pushes are exactly those it pops.
+    pub fn fork_live(&self) -> Self {
+        IncrementalMaps {
+            per: self.per.clone(),
+            undo: Vec::new(),
+        }
     }
 
     /// Reverts the most recent [`IncrementalMaps::after_insert`]. Call

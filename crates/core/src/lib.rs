@@ -52,7 +52,9 @@ pub use config::{
 };
 pub use driver::{run_serial, RunResult};
 pub use problem::{ProblemError, StandProblem};
-pub use sink::{canonical_stand_set, CollectNewick, CollectTrees, CountOnly, StandSink};
+pub use sink::{
+    canonical_stand_set, BatchingSink, CollectNewick, CollectTrees, CountOnly, StandSink,
+};
 pub use stats::RunStats;
 
 use phylo::pam::Pam;

@@ -85,6 +85,87 @@ impl<F: FnMut(&Tree)> StandSink for F {
     }
 }
 
+/// Batches stand-tree emission: buffers up to `batch` owned copies and
+/// forwards them to the inner sink in one burst.
+///
+/// On blow-up instances the engine emits hundreds of thousands of stand
+/// trees per second, and each emission happens inside the worker hot loop.
+/// Wrapping an expensive sink (serialization, I/O) in a `BatchingSink`
+/// moves that cost off the per-state path and amortizes it over `batch`
+/// trees. Buffered trees are recycled through a spare pool so steady-state
+/// batching performs no allocation beyond the first `batch` clones.
+///
+/// Trees still in the buffer are flushed on [`Drop`], so no stand tree is
+/// ever lost; use [`BatchingSink::into_inner`] to flush explicitly and
+/// recover the wrapped sink.
+pub struct BatchingSink<S: StandSink> {
+    inner: Option<S>,
+    buf: Vec<Tree>,
+    spare: Vec<Tree>,
+    batch: usize,
+}
+
+impl<S: StandSink> BatchingSink<S> {
+    /// Wraps `inner`, forwarding in bursts of `batch` trees (a `batch` of
+    /// 0 or 1 degenerates to pass-through).
+    pub fn new(inner: S, batch: usize) -> Self {
+        BatchingSink {
+            inner: Some(inner),
+            buf: Vec::new(),
+            spare: Vec::new(),
+            batch: batch.max(1),
+        }
+    }
+
+    /// Forwards every buffered tree to the inner sink, preserving
+    /// generation order, and recycles the buffers.
+    pub fn flush(&mut self) {
+        if let Some(inner) = &mut self.inner {
+            for t in &self.buf {
+                inner.stand_tree(t);
+            }
+        }
+        // Emptied buffers become spares; `stand_tree` refills them with
+        // `clone_from` so steady-state batching reuses their allocations.
+        self.spare.append(&mut self.buf);
+    }
+
+    /// Flushes any remaining trees and returns the wrapped sink.
+    pub fn into_inner(mut self) -> S {
+        self.flush();
+        // xlint: allow(panic-freedom) — `inner` is Some from construction until this consuming call; None here is internal invariant corruption, not a caller error.
+        self.inner
+            .take()
+            .expect("inner sink present until into_inner")
+    }
+
+    /// Number of trees currently buffered (for tests and diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl<S: StandSink> StandSink for BatchingSink<S> {
+    fn stand_tree(&mut self, tree: &Tree) {
+        match self.spare.pop() {
+            Some(mut t) => {
+                t.clone_from(tree);
+                self.buf.push(t);
+            }
+            None => self.buf.push(tree.clone()),
+        }
+        if self.buf.len() >= self.batch {
+            self.flush();
+        }
+    }
+}
+
+impl<S: StandSink> Drop for BatchingSink<S> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 /// Merges per-worker canonical Newick collections into one sorted stand
 /// set. Parallel runs emit stand trees in a schedule-dependent order across
 /// workers; the §IV identity check ("the parallel version generates the
@@ -130,6 +211,47 @@ mod tests {
             vec![],
         ]);
         assert_eq!(merged, vec!["(T0,T1);", "(T0,T1);", "(T2,T3);"]);
+    }
+
+    #[test]
+    fn batching_sink_flushes_at_capacity_and_on_drop() {
+        let taxa = TaxonSet::with_synthetic(4);
+        let t = Tree::two_leaf(4, phylo::TaxonId(0), phylo::TaxonId(1));
+        let mut b = BatchingSink::new(CollectNewick::with_cap(&taxa, 100), 3);
+        b.stand_tree(&t);
+        b.stand_tree(&t);
+        assert_eq!(b.buffered(), 2, "below batch size nothing is forwarded");
+        b.stand_tree(&t);
+        assert_eq!(b.buffered(), 0, "third tree triggered the flush");
+        b.stand_tree(&t);
+        let inner = b.into_inner();
+        assert_eq!(inner.out.len(), 4, "into_inner flushed the remainder");
+        // Drop-path flush: buffered trees reach the inner sink even when
+        // the wrapper is simply dropped.
+        let mut count = 0usize;
+        {
+            let counter = |_: &Tree| count += 1;
+            let mut b = BatchingSink::new(counter, 64);
+            b.stand_tree(&t);
+            b.stand_tree(&t);
+        }
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn batching_sink_preserves_generation_order() {
+        let trees = [
+            Tree::two_leaf(4, phylo::TaxonId(0), phylo::TaxonId(1)),
+            Tree::two_leaf(4, phylo::TaxonId(2), phylo::TaxonId(3)),
+            Tree::two_leaf(4, phylo::TaxonId(0), phylo::TaxonId(2)),
+        ];
+        let taxa = TaxonSet::with_synthetic(4);
+        let mut b = BatchingSink::new(CollectNewick::with_cap(&taxa, 100), 2);
+        for t in &trees {
+            b.stand_tree(t);
+        }
+        let out = b.into_inner().out;
+        assert_eq!(out, vec!["(T0,T1);", "(T2,T3);", "(T0,T2);"]);
     }
 
     #[test]

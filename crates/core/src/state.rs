@@ -60,6 +60,62 @@ enum OrderEngine {
     Static,
 }
 
+/// An owned, problem-independent copy of a [`SearchState`]: the agile
+/// tree, the remaining taxa and the *live* projection engine state (with
+/// empty undo stacks). This is the replay-free task-handoff payload: a
+/// thief rebuilds a working state in O(state) via
+/// [`SearchState::resume`] instead of replaying the path through the
+/// mapping kernels.
+pub struct StateSnapshot {
+    agile: Tree,
+    remaining: Vec<TaxonId>,
+    order: OrderEngine,
+    engine: MapsEngine,
+}
+
+impl StateSnapshot {
+    /// A minimal placeholder snapshot (empty tree, no taxa, recompute
+    /// engine) for scheduler tests and probes that never resume it.
+    pub fn sentinel() -> Self {
+        StateSnapshot {
+            agile: Tree::new(0),
+            remaining: Vec::new(),
+            order: OrderEngine::Static,
+            engine: MapsEngine::Recompute,
+        }
+    }
+
+    /// Number of taxa already inserted beyond nothing — used only for
+    /// diagnostics (`snapshot_depth` in task spans).
+    pub fn remaining_count(&self) -> usize {
+        self.remaining.len()
+    }
+}
+
+impl Clone for StateSnapshot {
+    fn clone(&self) -> Self {
+        StateSnapshot {
+            agile: self.agile.clone(),
+            remaining: self.remaining.clone(),
+            order: self.order,
+            engine: match &self.engine {
+                MapsEngine::Recompute => MapsEngine::Recompute,
+                MapsEngine::Incremental(inc) => MapsEngine::Incremental(inc.fork_live()),
+                MapsEngine::EdgeIndexed(ei) => MapsEngine::EdgeIndexed(Box::new(ei.fork_live())),
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for StateSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateSnapshot")
+            .field("leaves", &self.agile.leaf_count())
+            .field("remaining", &self.remaining.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// The projection-maintenance engine backing admissibility queries — the
 /// runtime counterpart of [`MappingMode`].
 enum MapsEngine {
@@ -170,6 +226,38 @@ impl<'p> SearchState<'p> {
     /// The problem this state explores.
     pub fn problem(&self) -> &'p StandProblem {
         self.problem
+    }
+
+    /// Captures an owned [`StateSnapshot`] of the current logical state.
+    /// The projection engines are forked *live-only* (empty undo stacks),
+    /// which is sound because a resumed task never undoes below its resume
+    /// point. Costs one O(state) clone — paid by the splitter, not the
+    /// thief.
+    pub fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot {
+            agile: self.agile.clone(),
+            remaining: self.remaining.clone(),
+            order: self.order,
+            engine: match &self.engine {
+                MapsEngine::Recompute => MapsEngine::Recompute,
+                MapsEngine::Incremental(inc) => MapsEngine::Incremental(inc.fork_live()),
+                MapsEngine::EdgeIndexed(ei) => MapsEngine::EdgeIndexed(Box::new(ei.fork_live())),
+            },
+        }
+    }
+
+    /// Rebuilds a working state from a snapshot taken over the same
+    /// `problem`. Moves the owned snapshot data — the thief side of a task
+    /// handoff performs no clone and no kernel replay.
+    pub fn resume(problem: &'p StandProblem, snap: StateSnapshot) -> SearchState<'p> {
+        SearchState {
+            problem,
+            agile: snap.agile,
+            remaining: snap.remaining,
+            order: snap.order,
+            engine: snap.engine,
+            scratch: QueryScratch::new(),
+        }
     }
 
     /// True when the agile tree contains every taxon of `X`.

@@ -156,6 +156,51 @@ pub fn find_trap_instance(
     })
 }
 
+/// The dead-end blow-up role: a trap-family instance whose *complete*
+/// enumeration is large (hundreds of thousands of events) and dead-end
+/// dominated. Because the enumeration completes, serial and parallel runs
+/// perform identical total work, which makes wall-clock throughput
+/// comparisons between them exact — the scaling-regression gate
+/// (BENCH_6) is built on this instance and [`blowup_showcase`].
+pub fn deadend_blowup() -> Dataset {
+    simulated_dataset(&trap_params(), SCENARIO_SEED, DEADEND_BLOWUP_INDEX)
+}
+
+/// Pre-searched index for [`deadend_blowup`] (probe: complete serial
+/// enumeration of 192,375 trees, 204,299 intermediate states, 82,620
+/// dead ends — a backtracking-heavy workload long enough to time
+/// reliably). Re-pin with [`find_deadend_blowup`] if the workspace RNG
+/// stream changes.
+pub const DEADEND_BLOWUP_INDEX: u64 = 19;
+
+/// Searches for a [`deadend_blowup`] instance: fully enumerable under a
+/// large budget, at least `min_states` intermediate states, and dead
+/// ends at least a third of the states.
+pub fn find_deadend_blowup(
+    seed: u64,
+    start: u64,
+    budget: u64,
+    min_states: u64,
+) -> Option<(u64, Dataset)> {
+    use gentrius_core::{run_serial, CountOnly};
+    let params = trap_params();
+    find_instance(&params, seed, start, budget, |d| {
+        let Ok(problem) = d.problem() else {
+            return false;
+        };
+        let cfg = GentriusConfig {
+            stopping: StoppingRules::counts(1_000_000, 400_000),
+            ..GentriusConfig::default()
+        };
+        let Ok(r) = run_serial(&problem, &cfg, &mut CountOnly) else {
+            return false;
+        };
+        r.complete()
+            && r.stats.intermediate_states >= min_states
+            && r.stats.dead_ends * 3 >= r.stats.intermediate_states
+    })
+}
+
 /// Searches for a heuristics-showcase instance: fully enumerable within
 /// the budget, with a stand of at least `min_trees` trees and at least
 /// `min_states` intermediate states.
@@ -201,14 +246,36 @@ pub fn plateau_showcase_3() -> Dataset {
 /// set by how far apart `y`'s two anchoring quartets sit on the
 /// caterpillar).
 pub fn plateau_with_chunks(chunks: usize) -> Dataset {
+    plateau_family(chunks, 1)
+}
+
+/// The caterpillar blow-up instance: the plateau construction with a
+/// *large* free fan (`plateau_family(5, 3)`, six free taxa). Every free
+/// taxon is admissible on every edge, so the stand size explodes
+/// combinatorially (~10^9 topologies) and an enumeration under bench
+/// limits spends its whole budget in wide, uniform frames — the §IV
+/// blow-up regime where per-state work is cheap and engine overhead
+/// (task handoff, stop polling, counter flushing) dominates scaling.
+pub fn blowup_showcase() -> Dataset {
+    let mut d = plateau_family(5, 3);
+    d.name = "caterpillar-blowup".to_string();
+    d
+}
+
+/// The shared plateau/blow-up construction: a caterpillar with a pinned
+/// chain, the `chunks`-edge initial-split taxon `y`, and `free_pairs`
+/// three-leaf fan constraints contributing `2 * free_pairs` taxa that are
+/// admissible everywhere.
+fn plateau_family(chunks: usize, free_pairs: usize) -> Dataset {
     use phylo::taxa::TaxonSet;
     use phylo::tree::Tree;
     use phylo::TaxonId;
 
     assert!(chunks == 3 || chunks == 5, "supported plateau sizes: 3, 5");
+    assert!(free_pairs >= 1, "at least one free fan pair");
     let k = 6usize; // chain length
     let m = 27usize; // caterpillar taxa c_0..c_26
-    let n = m + k + 1 + 2; // + y + f1 + f2
+    let n = m + k + 1 + 2 * free_pairs; // + y + f1..f_{2*free_pairs}
     let mut taxa = TaxonSet::new();
     for i in 0..m {
         taxa.intern(&format!("c{i}"));
@@ -217,14 +284,14 @@ pub fn plateau_with_chunks(chunks: usize) -> Dataset {
         taxa.intern(&format!("z{i}"));
     }
     taxa.intern("y");
-    taxa.intern("f1");
-    taxa.intern("f2");
+    for i in 1..=2 * free_pairs {
+        taxa.intern(&format!("f{i}"));
+    }
     debug_assert_eq!(taxa.len(), n);
     let c = |i: usize| TaxonId(i as u32);
     let z = |i: usize| TaxonId((m + i - 1) as u32);
     let y = TaxonId((m + k) as u32);
-    let f1 = TaxonId((m + k + 1) as u32);
-    let f2 = TaxonId((m + k + 2) as u32);
+    let f = |i: usize| TaxonId((m + k + i) as u32);
 
     // Caterpillar (((c0,c1),c2),c3)... on all c's: the initial agile tree.
     let mut caterpillar = Tree::three_leaf(n, c(0), c(1), c(2));
@@ -261,8 +328,10 @@ pub fn plateau_with_chunks(chunks: usize) -> Dataset {
         constraints.push(quartet(y, c(2), c(3), c(4)));
     }
     // Free fan taxa: a 3-leaf constraint sharing a single taxon with the
-    // agile tree keeps f1/f2 admissible everywhere.
-    constraints.push(Tree::three_leaf(n, f1, f2, c(0)));
+    // agile tree keeps each f-pair admissible everywhere.
+    for i in 0..free_pairs {
+        constraints.push(Tree::three_leaf(n, f(2 * i + 1), f(2 * i + 2), c(0)));
+    }
 
     Dataset {
         name: format!("plateau-craft-{chunks}"),

@@ -1,7 +1,9 @@
 //! The parallel Gentrius engine (§III): deterministic serial prefix up to
 //! the initial-split state `I_0`, uniform distribution of the split
 //! branches over the workers, and thread-pool work stealing with
-//! path-replay tasks thereafter.
+//! snapshot-handoff tasks thereafter (a task carries a resumable
+//! [`gentrius_core::state::StateSnapshot`] instead of a replayable path —
+//! see `task.rs` for the trade-off).
 
 use crate::counters::{FlushThresholds, GlobalCounters, LocalCounters};
 use crate::obs::monitor::{spawn_monitor, MonitorConfig, MonitorReport, MonitorShared};
@@ -14,7 +16,6 @@ use gentrius_core::sink::{CountOnly, StandSink};
 use gentrius_core::state::SearchState;
 use gentrius_core::stats::RunStats;
 use phylo::ops::compatible;
-use phylo::taxa::TaxonId;
 use phylo::tree::EdgeId;
 use std::time::{Duration, Instant};
 
@@ -43,6 +44,16 @@ pub struct ParallelConfig {
     /// flushes cannot, because parked or starved workers never flush — so
     /// disable it only in tests that deliberately model the old behavior.
     pub monitor: Option<MonitorConfig>,
+    /// Adaptive task granularity: gate split publication on the observed
+    /// steal-to-execute ratio (sampled each monitor tick), so workers stop
+    /// paying for state snapshots once the pool is saturated. A single
+    /// worker under this mode never splits at all (nobody can steal).
+    pub adaptive_split: bool,
+    /// Steps between polls of the shared stop flag in the worker hot loop.
+    /// Larger strides keep the (cheap but shared) flag read off the
+    /// per-state path; the stop-overshoot bound grows by at most one
+    /// stride per worker. Tests asserting tight overshoot bounds set 1.
+    pub stop_poll_stride: usize,
 }
 
 impl ParallelConfig {
@@ -56,6 +67,8 @@ impl ParallelConfig {
             steal_seed: 0,
             trace: false,
             monitor: Some(MonitorConfig::default()),
+            adaptive_split: true,
+            stop_poll_stride: 64,
         }
     }
 
@@ -69,12 +82,14 @@ impl ParallelConfig {
 /// start (recorded only with [`ParallelConfig::trace`]).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TaskSpan {
-    /// Seconds from engine start when the task began (replay included).
+    /// Seconds from engine start when the task began (resume included).
     pub start: f64,
     /// Seconds from engine start when the worker went idle again.
     pub end: f64,
-    /// Length of the replayed path (steal depth diagnostics).
-    pub path_len: usize,
+    /// Insertions between `I_0` and the task's snapshot state (steal depth
+    /// diagnostics; 0 for the initial-split chunks). Replaces the old
+    /// replayed-path length, which is always 0 under snapshot handoff.
+    pub snapshot_depth: usize,
 }
 
 /// Per-worker diagnostics (load balance, §III's motivation).
@@ -102,6 +117,9 @@ pub struct EngineReport {
     pub parks: u64,
     /// Tasks split off and pushed onto worker deques.
     pub splits: u64,
+    /// Tasks completed across all workers (the adaptive controller's
+    /// steal-to-execute denominator).
+    pub executed: u64,
     /// Initial-split chunks routed through the global injector.
     pub injected: u64,
     /// Deque ring-buffer doublings across all workers (the Chase–Lev
@@ -125,6 +143,7 @@ impl EngineReport {
             failed_steals: total.failed_steals,
             parks: total.parks,
             splits: total.splits,
+            executed: total.executed,
             injected,
             deque_grows,
             per_worker,
@@ -233,7 +252,9 @@ where
     // The pool exists for the whole run (even though workers only spawn in
     // phase 3) so the monitor can wake parked threads and sample scheduler
     // state from its very first tick.
-    let pool = TaskPool::with_seed(pcfg.threads, pcfg.capacity(), pcfg.steal_seed);
+    let mut pool = TaskPool::with_seed(pcfg.threads, pcfg.capacity(), pcfg.steal_seed);
+    pool.set_adaptive(pcfg.adaptive_split);
+    let pool = pool;
     let monitor_shared = pcfg.monitor.as_ref().map(MonitorShared::new);
 
     // One scope holds the monitor and (later) the workers. Every return
@@ -320,7 +341,13 @@ where
         let split_frame = prefix_ex.top().expect("I_0 has a frame");
         let split_taxon = split_frame.taxon;
         let split_branches: Vec<EdgeId> = split_frame.branches[split_frame.cursor..].to_vec();
-        let prefix_path: Vec<(TaxonId, EdgeId)> = prefix_ex.path_from_base();
+        // One snapshot of the I_0 state serves every chunk; workers resume
+        // it directly instead of replaying the prefix path per task. Every
+        // frame below the top is exhausted (the phase-1 loop breaks the
+        // moment a frame has ≥2 pending), so the snapshot + split branches
+        // cover the remaining search space exactly.
+        let split_depth = prefix_ex.applied_depth();
+        let split_snapshot = prefix_ex.state().snapshot();
         drop(prefix_ex);
 
         let chunks = partition_branches(&split_branches, pcfg.threads);
@@ -329,37 +356,32 @@ where
         // deques. (If the monitor already shut the pool down, workers see
         // `done` and exit without touching the injected tasks.)
         for branches in chunks {
-            pool.inject(Task::at_split(split_taxon, branches));
+            pool.inject(Task::new(
+                split_snapshot.clone(),
+                split_taxon,
+                branches,
+                split_depth,
+            ));
         }
+        drop(split_snapshot);
 
         // --------------------------------------------------------------
         // Phase 3 — thread pool with per-worker steal deques.
         // --------------------------------------------------------------
         let mut worker_sinks: Vec<Option<S>> =
             (0..pcfg.threads).map(|t| Some(make_sink(1 + t))).collect();
-        // Workers get their own (inner) scope because they borrow
-        // phase-2 locals like `prefix_path`; the monitor in the outer
-        // scope keeps supervising them throughout.
+        // Workers get their own (inner) scope so the per-run borrows stay
+        // local; the monitor in the outer scope keeps supervising them
+        // throughout.
         let results: Vec<(WorkerReport, S)> = std::thread::scope(|wscope| {
             let mut handles = Vec::with_capacity(pcfg.threads);
             for (tid, sink_slot) in worker_sinks.iter_mut().enumerate() {
                 let sink = sink_slot.take().expect("sink prepared per worker");
                 let pool = &pool;
                 let global = &global;
-                let prefix_path = &prefix_path;
                 let started_at = started;
                 handles.push(wscope.spawn(move || {
-                    worker_loop(
-                        problem,
-                        config,
-                        pcfg,
-                        initial,
-                        prefix_path,
-                        pool.worker(tid),
-                        global,
-                        sink,
-                        started_at,
-                    )
+                    worker_loop(problem, pcfg, pool.worker(tid), global, sink, started_at)
                 }));
             }
             handles
@@ -429,12 +451,23 @@ fn count_event(ev: StepEvent, local: &mut LocalCounters<'_>) {
 /// Attempts to carve a task out of the explorer's current state and submit
 /// it onto the calling worker's own deque (paper §III-A task-creation
 /// conditions: ≥2 pending branches, own deque below capacity, enough
-/// remaining taxa to be worth stealing).
-fn maybe_submit(ex: &mut Explorer<'_>, worker: &WorkerHandle<'_>, min_remaining: usize) {
+/// remaining taxa to be worth stealing — plus the adaptive granularity
+/// gate). The gates are ordered cheapest-first; only once all pass is the
+/// O(state) snapshot taken. `base_depth` is the executing task's own
+/// snapshot depth, so published depths accumulate along steal chains.
+fn maybe_submit(
+    ex: &mut Explorer<'_>,
+    worker: &WorkerHandle<'_>,
+    min_remaining: usize,
+    base_depth: usize,
+) {
     if ex.remaining_taxa() < min_remaining {
         return;
     }
     if !worker.has_room_hint() {
+        return;
+    }
+    if !worker.split_allowed() {
         return;
     }
     if ex.top().map(|f| f.pending()).unwrap_or(0) < 2 {
@@ -443,24 +476,21 @@ fn maybe_submit(ex: &mut Explorer<'_>, worker: &WorkerHandle<'_>, min_remaining:
     let Some(branches) = ex.split_top() else {
         return;
     };
-    let task = Task {
-        path: ex.path_from_base(),
-        taxon: ex.top().expect("split implies a frame").taxon,
+    let task = Task::new(
+        ex.state().snapshot(),
+        ex.top().expect("split implies a frame").taxon,
         branches,
-    };
+        base_depth + ex.applied_depth(),
+    );
     if let Err(task) = worker.try_push(task) {
         // Raced to a full deque (or a stopped pool): keep the branches.
         ex.unsplit_top(task.branches);
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn worker_loop<S: StandSink>(
     problem: &StandProblem,
-    config: &GentriusConfig,
     pcfg: &ParallelConfig,
-    initial: usize,
-    prefix_path: &[(TaxonId, EdgeId)],
     worker: WorkerHandle<'_>,
     global: &GlobalCounters,
     mut sink: S,
@@ -478,31 +508,38 @@ fn worker_loop<S: StandSink>(
     }
     let _guard = PanicGuard(worker.pool());
 
-    // Private copy of the search state, advanced to I_0 once; the anchor
-    // steps stay applied for the whole worker lifetime.
-    let mut state = new_state(problem, initial, config);
-    let mut anchor = Vec::with_capacity(prefix_path.len());
-    for &(t, e) in prefix_path {
-        anchor.push(state.apply(t, e));
-    }
-    let mut ex = Explorer::new_idle(state);
     let mut local = LocalCounters::new(global, pcfg.flush);
     let mut tasks_executed = 0usize;
     let mut spans: Vec<TaskSpan> = Vec::new();
+    let stride = pcfg.stop_poll_stride.max(1);
 
     // Initial chunks arrive through the pool's global injector; everything
-    // after that comes off this worker's own deque or is stolen.
+    // after that comes off this worker's own deque or is stolen. Each task
+    // carries its own resumable state: no shared anchor, no replay, no
+    // unwind — the explorer is simply dropped when the task finishes.
     while let Some(task) = worker.next_task() {
         tasks_executed += 1;
         let span_start = pcfg.trace.then(|| started.elapsed().as_secs_f64());
-        let span_path_len = task.path.len();
-        ex.begin_task(&task.path, task.taxon, task.branches);
+        let snapshot_depth = task.depth;
+        let state = SearchState::resume(problem, task.snapshot);
+        let mut ex = Explorer::new_idle(state);
+        ex.resume_task(task.taxon, task.branches);
         // The received frame itself may be splittable (Fig. 2b's group
         // separation happens via the scheduler).
-        maybe_submit(&mut ex, &worker, pcfg.min_remaining_for_split);
+        maybe_submit(
+            &mut ex,
+            &worker,
+            pcfg.min_remaining_for_split,
+            snapshot_depth,
+        );
+        let mut until_poll = 1usize;
         loop {
-            if global.stopped() {
-                break;
+            until_poll -= 1;
+            if until_poll == 0 {
+                until_poll = stride;
+                if global.stopped() {
+                    break;
+                }
             }
             let ev = ex.step(&mut sink);
             if ev == StepEvent::Finished {
@@ -510,24 +547,26 @@ fn worker_loop<S: StandSink>(
             }
             count_event(ev, &mut local);
             if ev == StepEvent::Entered {
-                maybe_submit(&mut ex, &worker, pcfg.min_remaining_for_split);
+                maybe_submit(
+                    &mut ex,
+                    &worker,
+                    pcfg.min_remaining_for_split,
+                    snapshot_depth,
+                );
             }
         }
         if let Some(start) = span_start {
             spans.push(TaskSpan {
                 start,
                 end: started.elapsed().as_secs_f64(),
-                path_len: span_path_len,
+                snapshot_depth,
             });
         }
         if global.stopped() {
-            ex.abort_frames();
-            ex.end_task();
             worker.task_done();
             worker.pool().shutdown();
             break;
         }
-        ex.end_task();
         worker.task_done();
     }
 

@@ -12,12 +12,17 @@
 //!   (LIFO for itself, FIFO for thieves), idle workers steal from
 //!   randomly selected victims, and a small global injector seeds the
 //!   initial-split chunks. Tasks carry half of the current state's
-//!   admissible branches together with the *path* `I_0 → I_c` (portable
-//!   `(taxon, edge)` insertions); the receiving thread replays the path
-//!   on its private agile-tree copy and continues from there. The paper's
-//!   bounded central queue survives as a *per-deque* capacity hint: a
-//!   worker only splits while its own deque has room (§III-A), so the
-//!   capacity ablation keeps its meaning;
+//!   admissible branches together with an owned **state snapshot** (agile
+//!   tree + remaining-taxa order + mapping engines forked live-only); the
+//!   receiving thread resumes the snapshot directly in O(depth) instead
+//!   of replaying the `I_0 → I_c` insertion path in O(depth × kernel).
+//!   The paper's bounded central queue survives as a *per-deque* capacity
+//!   hint: a worker only splits while its own deque has room (§III-A), so
+//!   the capacity ablation keeps its meaning — and because a split now
+//!   costs an O(state) clone, an **adaptive split gate** driven by the
+//!   run monitor's sampled steal-to-execute ratio closes publication
+//!   while the pool is saturated (with an idlers override so a parked
+//!   thief is never starved);
 //! * **batched atomic counters** for stand trees / intermediate states /
 //!   dead ends, with the count-based stopping rules evaluated on flush
 //!   (count limits may be overshot by at most one batch per thread, as in
@@ -53,8 +58,9 @@
 //! built with `RUSTFLAGS="--cfg loom"`. The loom suites
 //! (`tests/loom_*.rs`) exhaustively enumerate schedules (up to a
 //! preemption bound) of the deque's push/pop/steal/grow paths, the
-//! counters' flush → stop-flag protocol, and the pool's park/wake and
-//! termination detection. Weak-memory coverage beyond loom's
+//! counters' flush → stop-flag protocol, the pool's park/wake and
+//! termination detection, and the snapshot-handoff publication and
+//! adaptive-gate protocols (`loom_handoff.rs`). Weak-memory coverage beyond loom's
 //! sequentially consistent exploration comes from the Miri and TSan CI
 //! jobs (`.github/workflows/concurrency.yml`).
 //!

@@ -27,7 +27,11 @@ pub const METRICS_SCHEMA: &str = "gentrius-run-metrics";
 
 /// Current schema version. Bump on any breaking change to the document
 /// layout and regenerate the golden fixture.
-pub const METRICS_VERSION: u64 = 1;
+///
+/// v2: scheduler objects (aggregate and per-worker) gained `executed`
+/// (tasks completed — the denominator of the adaptive-granularity
+/// controller's steal-to-execute ratio).
+pub const METRICS_VERSION: u64 = 2;
 
 fn stop_cause_str(stop: Option<StopCause>) -> Option<&'static str> {
     match stop {
@@ -52,6 +56,7 @@ fn sched_object(w: &mut JsonWriter, s: &SchedulerCounts) {
     w.key("failed_steals").u64(s.failed_steals);
     w.key("parks").u64(s.parks);
     w.key("splits").u64(s.splits);
+    w.key("executed").u64(s.executed);
     w.end_object();
 }
 
@@ -98,6 +103,7 @@ pub fn render_run_metrics(result: &ParallelRunResult, flush: &FlushThresholds) -
     w.key("failed_steals").u64(result.scheduler.failed_steals);
     w.key("parks").u64(result.scheduler.parks);
     w.key("splits").u64(result.scheduler.splits);
+    w.key("executed").u64(result.scheduler.executed);
     w.key("injected").u64(result.scheduler.injected);
     w.key("deque_grows").u64(result.scheduler.deque_grows);
     w.end_object();

@@ -181,10 +181,38 @@ pub fn enforce_time_limit(global: &GlobalCounters, pool: &TaskPool) -> bool {
     true
 }
 
+/// The adaptive-granularity controller, as a pure action over one
+/// heartbeat interval: given the previous tick's total steal/execute
+/// counts, sample the new totals and open or close the pool's split gate.
+///
+/// Heuristic: the pool is *saturated* when the interval saw real task
+/// throughput (at least one completed task per worker) but steals claimed
+/// ≤ 1/4 of it — everyone had local work, so publishing more stealable
+/// frames (each costing a state snapshot) is pure overhead. Any other
+/// interval — steal-heavy, or too quiet to judge — opens the gate, and a
+/// parked worker overrides a closed gate instantly via
+/// [`crate::WorkerHandle::split_allowed`]. Returns the new gate state.
+pub fn adapt_split_gate(pool: &TaskPool, prev_steals: &mut u64, prev_executed: &mut u64) -> bool {
+    let mut steals = 0u64;
+    let mut executed = 0u64;
+    for c in pool.scheduler_counts() {
+        steals += c.steals;
+        executed += c.executed;
+    }
+    let d_steals = steals.saturating_sub(*prev_steals);
+    let d_executed = executed.saturating_sub(*prev_executed);
+    *prev_steals = steals;
+    *prev_executed = executed;
+    let saturated = d_executed >= pool.workers() as u64 && d_steals * 4 <= d_executed;
+    pool.set_split_gate(!saturated);
+    !saturated
+}
+
 /// Spawns the monitor thread into the engine's worker scope. The thread
 /// runs until [`MonitorShared::finish`] is called: each tick it enforces
-/// the wall-clock rule and samples a heartbeat, then sleeps on the shared
-/// condvar for up to one tick (so shutdown wakes it instantly).
+/// the wall-clock rule, retunes the adaptive split gate and samples a
+/// heartbeat, then sleeps on the shared condvar for up to one tick (so
+/// shutdown wakes it instantly).
 pub fn spawn_monitor<'scope, 'env: 'scope>(
     scope: &'scope std::thread::Scope<'scope, 'env>,
     shared: &'env MonitorShared,
@@ -193,6 +221,8 @@ pub fn spawn_monitor<'scope, 'env: 'scope>(
     started: Instant,
 ) {
     scope.spawn(move || {
+        let mut prev_steals = 0u64;
+        let mut prev_executed = 0u64;
         let mut st = shared.state.lock().unwrap();
         loop {
             if st.quit {
@@ -201,6 +231,7 @@ pub fn spawn_monitor<'scope, 'env: 'scope>(
             }
             st.ticks += 1;
             enforce_time_limit(global, pool);
+            adapt_split_gate(pool, &mut prev_steals, &mut prev_executed);
             push_heartbeat(&mut st, global, pool, started);
             let (guard, _timeout) = shared.cv.wait_timeout(st, shared.tick).unwrap();
             st = guard;
@@ -251,6 +282,38 @@ mod tests {
         assert!(enforce_time_limit(&g, &p));
         assert_eq!(g.stop_cause(), Some(StopCause::StandTreeLimit));
         assert!(p.is_done(), "parked workers must still be released");
+    }
+
+    #[test]
+    fn adaptive_controller_tracks_the_steal_to_execute_ratio() {
+        use crate::task::Task;
+        use phylo::taxa::TaxonId;
+
+        let mut p = TaskPool::new(2, 8);
+        p.set_adaptive(true);
+        let (mut prev_s, mut prev_e) = (0u64, 0u64);
+        // Quiet interval: nothing executed — the gate stays open.
+        assert!(adapt_split_gate(&p, &mut prev_s, &mut prev_e));
+        // Steal-free throughput: worker 0 runs 4 of its own tasks.
+        {
+            let w = p.worker(0);
+            for i in 0..4 {
+                w.try_push(Task::probe(TaxonId(0), vec![phylo::tree::EdgeId(i)]))
+                    .unwrap();
+            }
+            for _ in 0..4 {
+                let _ = w.next_task().unwrap();
+                w.task_done();
+            }
+        }
+        assert!(
+            !adapt_split_gate(&p, &mut prev_s, &mut prev_e),
+            "saturated interval must close the gate"
+        );
+        assert!(!p.worker(0).split_allowed());
+        // The next interval shows no progress: the gate reopens.
+        assert!(adapt_split_gate(&p, &mut prev_s, &mut prev_e));
+        assert!(p.worker(0).split_allowed());
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! is on) become a document loadable by Perfetto / `chrome://tracing` /
 //! `about:tracing`: one metadata-named track per worker, one `"X"`
 //! (complete) event per executed task, timestamps and durations in
-//! microseconds since engine start. The replayed-path length rides along
-//! in `args.path_len`, so steal depth is visible straight from the
+//! microseconds since engine start. The task's snapshot depth (insertions
+//! between `I_0` and its resume state) rides along in
+//! `args.snapshot_depth`, so steal depth is visible straight from the
 //! timeline.
 //!
 //! [`ParallelConfig::trace`]: crate::engine::ParallelConfig::trace
@@ -53,7 +54,7 @@ pub fn render_chrome_trace(result: &ParallelRunResult) -> String {
             w.key("ts").f64(span.start * 1e6);
             w.key("dur").f64((span.end - span.start).max(0.0) * 1e6);
             w.key("args").begin_object();
-            w.key("path_len").u64(span.path_len as u64);
+            w.key("snapshot_depth").u64(span.snapshot_depth as u64);
             w.end_object();
             w.end_object();
         }

@@ -42,6 +42,8 @@ pub struct SchedulerCounts {
     pub parks: u64,
     /// Tasks this worker split off and pushed onto its own deque.
     pub splits: u64,
+    /// Tasks this worker finished executing ([`WorkerHandle::task_done`]).
+    pub executed: u64,
 }
 
 impl SchedulerCounts {
@@ -51,6 +53,7 @@ impl SchedulerCounts {
         self.failed_steals += other.failed_steals;
         self.parks += other.parks;
         self.splits += other.splits;
+        self.executed += other.executed;
     }
 }
 
@@ -61,6 +64,7 @@ struct StatCells {
     failed_steals: AtomicU64,
     parks: AtomicU64,
     splits: AtomicU64,
+    executed: AtomicU64,
 }
 
 impl StatCells {
@@ -73,6 +77,7 @@ impl StatCells {
             // ordering: Relaxed — as above.
             parks: self.parks.load(Ordering::Relaxed),
             splits: self.splits.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
         }
     }
 }
@@ -111,6 +116,15 @@ pub struct TaskPool {
     submitted: AtomicUsize,
     /// Tasks ever placed in the injector.
     injected: AtomicUsize,
+    /// Adaptive-granularity gate: while closed, workers skip publishing
+    /// stealable frames (the pool is saturated). Opened/closed by the run
+    /// monitor from the observed steal-to-execute ratio; an `idlers > 0`
+    /// override in [`WorkerHandle::split_allowed`] keeps starving thieves
+    /// fed between monitor ticks.
+    split_gate: AtomicBool,
+    /// Whether the adaptive gate is consulted at all. Plain bool: set once
+    /// via [`TaskPool::set_adaptive`] before the pool is shared.
+    adaptive: bool,
 }
 
 /// Initial per-deque ring-buffer capacity. Deliberately small and
@@ -167,7 +181,30 @@ impl TaskPool {
             capacity,
             submitted: AtomicUsize::new(0),
             injected: AtomicUsize::new(0),
+            split_gate: AtomicBool::new(true),
+            adaptive: false,
         }
+    }
+
+    /// Turns the adaptive-granularity gate on or off. Must be called
+    /// before the pool is shared across threads (takes `&mut self`).
+    pub fn set_adaptive(&mut self, on: bool) {
+        self.adaptive = on;
+        // Entering adaptive mode always starts with the gate open — the
+        // monitor has observed nothing yet, so the static §III-A gates
+        // alone should govern until the first heartbeat delta.
+        // ordering: Relaxed — advisory throttling hint (see set_split_gate).
+        self.split_gate.store(true, Ordering::Relaxed);
+    }
+
+    /// Opens or closes the adaptive split gate (the run monitor drives
+    /// this from heartbeat deltas). A no-op for workers unless the pool
+    /// was configured with [`TaskPool::set_adaptive`].
+    pub fn set_split_gate(&self, open: bool) {
+        // ordering: Relaxed — the gate is an advisory throttling hint; a
+        // worker acting on a stale value only publishes (or skips) one
+        // extra task, never affects correctness or termination.
+        self.split_gate.store(open, Ordering::Relaxed);
     }
 
     /// Number of worker slots (deques).
@@ -390,9 +427,35 @@ impl WorkerHandle<'_> {
         self.pool.deques[self.wid].len() < self.pool.capacity
     }
 
+    /// The adaptive-granularity gate: should this worker publish a
+    /// stealable frame right now? Always `true` without adaptive mode.
+    /// With it: never split on a 1-worker pool (nobody can steal, so every
+    /// snapshot would be pure overhead), otherwise follow the
+    /// monitor-driven gate — with an instant override when any worker is
+    /// parked, so a starving thief is fed at the victim's next step
+    /// instead of waiting out a monitor tick.
+    #[inline]
+    pub fn split_allowed(&self) -> bool {
+        let pool = self.pool;
+        if !pool.adaptive {
+            return true;
+        }
+        if pool.deques.len() == 1 {
+            return false;
+        }
+        // ordering: Relaxed — both reads are advisory throttling hints; a
+        // stale value costs at most one extra (or one deferred) split and
+        // the idlers override re-fires on every subsequent step.
+        pool.split_gate.load(Ordering::Relaxed) || pool.idlers.load(Ordering::Relaxed) > 0
+    }
+
     /// Tries to push a split-off task onto this worker's own deque; fails
     /// when the deque is at capacity or the pool is done. Wakes one parked
     /// thread on success.
+    // The Err variant returns ownership of the (snapshot-bearing, hence
+    // large) task so the caller can unsplit without cloning; boxing it
+    // would add a heap round-trip on the split path for a cold branch.
+    #[allow(clippy::result_large_err)]
     pub fn try_push(&self, task: Task) -> Result<(), Task> {
         let pool = self.pool;
         if pool.done.load(Ordering::Acquire) {
@@ -476,6 +539,11 @@ impl WorkerHandle<'_> {
     /// last one in flight.
     pub fn task_done(&self) {
         let pool = self.pool;
+        // ordering: Relaxed — diagnostic tally (feeds the adaptive
+        // controller's steal-to-execute ratio; advisory only).
+        pool.stats[self.wid]
+            .executed
+            .fetch_add(1, Ordering::Relaxed);
         // ordering: SeqCst — the final decrement must be totally ordered
         // with the parker's drain check so exactly one side declares done.
         let prev = pool.inflight.fetch_sub(1, Ordering::SeqCst);
@@ -501,7 +569,42 @@ mod tests {
     use phylo::tree::EdgeId;
 
     fn task(i: u32) -> Task {
-        Task::at_split(TaxonId(0), vec![EdgeId(i)])
+        Task::probe(TaxonId(0), vec![EdgeId(i)])
+    }
+
+    #[test]
+    fn split_gate_defaults_open_and_only_binds_adaptive_pools() {
+        let mut p = TaskPool::new(2, 4);
+        assert!(p.worker(0).split_allowed(), "non-adaptive: always allowed");
+        p.set_split_gate(false);
+        assert!(p.worker(0).split_allowed(), "gate ignored without adaptive");
+        p.set_adaptive(true);
+        assert!(p.worker(0).split_allowed(), "gate starts open");
+        p.set_split_gate(false);
+        assert!(!p.worker(0).split_allowed(), "closed gate blocks splits");
+        p.set_split_gate(true);
+        assert!(p.worker(0).split_allowed());
+    }
+
+    #[test]
+    fn adaptive_single_worker_never_splits() {
+        let mut p = TaskPool::new(1, 4);
+        p.set_adaptive(true);
+        assert!(!p.worker(0).split_allowed());
+    }
+
+    #[test]
+    fn executed_counts_track_task_done() {
+        let p = TaskPool::new(1, 4);
+        let w = p.worker(0);
+        w.try_push(task(0)).unwrap();
+        w.try_push(task(1)).unwrap();
+        let _ = w.next_task().unwrap();
+        w.task_done();
+        assert_eq!(p.scheduler_counts()[0].executed, 1);
+        let _ = w.next_task().unwrap();
+        w.task_done();
+        assert_eq!(p.scheduler_counts()[0].executed, 2);
     }
 
     #[test]

@@ -1,35 +1,60 @@
 //! Tasks: the unit of work exchanged between threads (§III-A).
 //!
-//! A task is exactly the paper's two-component structure:
-//!
-//! 1. a *path* from the initial-split state `I_0` to a desired intermediate
-//!    state `I_c` — the taxa to add, their insertion order and positions
-//!    (edge ids, portable across threads thanks to the arena's
-//!    deterministic id recycling);
-//! 2. the very next taxon to insert at `I_c` and a precomputed subset of
-//!    its admissible branches.
+//! The paper describes a task as a *path* from the initial-split state
+//! `I_0` to a desired intermediate state `I_c`, which the receiving thread
+//! replays through the mapping kernels. With the PR 5 edge-indexed kernels
+//! per-state work became so cheap that replaying `O(depth)` insertions per
+//! steal dominated; tasks now carry a [`StateSnapshot`] instead — an owned
+//! copy of the agile tree, the remaining taxa and the *live* projection
+//! state — so a thief resumes in one `O(state)` move with zero kernel
+//! work. The snapshot clone is paid once, by the splitter, at publish
+//! time.
 
+use gentrius_core::state::StateSnapshot;
 use phylo::taxa::TaxonId;
 use phylo::tree::EdgeId;
 
-/// A stealable unit of work, relative to the initial-split state `I_0`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A stealable unit of work: a resumable state plus the frontier to
+/// explore from it.
+#[derive(Clone, Debug)]
 pub struct Task {
-    /// Insertions taking an agile tree from `I_0` to `I_c`.
-    pub path: Vec<(TaxonId, EdgeId)>,
+    /// Owned state at `I_c`, resumable without replay.
+    pub snapshot: StateSnapshot,
     /// The taxon to insert at `I_c`.
     pub taxon: TaxonId,
     /// The branch subset assigned to this task.
     pub branches: Vec<EdgeId>,
+    /// Insertions applied between `I_0` and `I_c` (diagnostics: the
+    /// `snapshot_depth` of the task's trace span).
+    pub depth: usize,
 }
 
 impl Task {
-    /// A task at `I_0` itself (empty path) — the initial-split chunks.
-    pub fn at_split(taxon: TaxonId, branches: Vec<EdgeId>) -> Self {
+    /// A task resuming `snapshot` on `taxon` × `branches`, `depth`
+    /// insertions past `I_0`.
+    pub fn new(
+        snapshot: StateSnapshot,
+        taxon: TaxonId,
+        branches: Vec<EdgeId>,
+        depth: usize,
+    ) -> Self {
         Task {
-            path: Vec::new(),
+            snapshot,
             taxon,
             branches,
+            depth,
+        }
+    }
+
+    /// A scheduler-test probe: carries a sentinel snapshot that is never
+    /// resumed. Lets deque/pool/loom tests construct tasks without a
+    /// [`gentrius_core::problem::StandProblem`].
+    pub fn probe(taxon: TaxonId, branches: Vec<EdgeId>) -> Self {
+        Task {
+            snapshot: StateSnapshot::sentinel(),
+            taxon,
+            branches,
+            depth: 0,
         }
     }
 }
@@ -72,6 +97,15 @@ mod tests {
 
     fn e(i: u32) -> EdgeId {
         EdgeId(i)
+    }
+
+    #[test]
+    fn probe_tasks_carry_their_branches() {
+        let t = Task::probe(TaxonId(3), vec![e(1), e(4)]);
+        assert_eq!(t.taxon, TaxonId(3));
+        assert_eq!(t.branches, vec![e(1), e(4)]);
+        assert_eq!(t.depth, 0);
+        assert_eq!(t.snapshot.remaining_count(), 0);
     }
 
     #[test]

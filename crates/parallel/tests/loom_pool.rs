@@ -11,7 +11,7 @@ use phylo::taxa::TaxonId;
 use phylo::tree::EdgeId;
 
 fn task(i: u32) -> Task {
-    Task::at_split(TaxonId(0), vec![EdgeId(i)])
+    Task::probe(TaxonId(0), vec![EdgeId(i)])
 }
 
 /// The lost-wakeup hazard: worker 1 may be anywhere in its park sequence

@@ -1,8 +1,8 @@
-//! Golden-file test for the schema-v1 run-metrics export: a fully
+//! Golden-file test for the schema-v2 run-metrics export: a fully
 //! synthetic [`ParallelRunResult`] with fixed values must serialize
 //! byte-for-byte to the checked-in fixture. Any intentional schema change
 //! must bump `METRICS_VERSION` and regenerate
-//! `tests/golden/run_metrics_v1.json` (the failure message prints the
+//! `tests/golden/run_metrics_v2.json` (the failure message prints the
 //! actual document).
 
 #![cfg(not(loom))]
@@ -25,19 +25,20 @@ fn stats(trees: u64, states: u64, dead: u64) -> RunStats {
     }
 }
 
-fn sched(steals: u64, failed: u64, parks: u64, splits: u64) -> SchedulerCounts {
+fn sched(steals: u64, failed: u64, parks: u64, splits: u64, executed: u64) -> SchedulerCounts {
     SchedulerCounts {
         steals,
         failed_steals: failed,
         parks,
         splits,
+        executed,
     }
 }
 
 /// A synthetic two-worker run with every field pinned to a deterministic
 /// value (durations chosen so `f64` formatting is exact).
 fn fixture_result() -> (ParallelRunResult, FlushThresholds) {
-    let per_worker = vec![sched(3, 1, 2, 5), sched(0, 4, 3, 1)];
+    let per_worker = vec![sched(3, 1, 2, 5, 5), sched(0, 4, 3, 1, 3)];
     let result = ParallelRunResult {
         stats: stats(40, 100, 12),
         stop: Some(StopCause::TimeLimit),
@@ -51,6 +52,7 @@ fn fixture_result() -> (ParallelRunResult, FlushThresholds) {
             failed_steals: 5,
             parks: 5,
             splits: 6,
+            executed: 8,
             injected: 2,
             deque_grows: 1,
             per_worker: per_worker.clone(),
@@ -64,12 +66,12 @@ fn fixture_result() -> (ParallelRunResult, FlushThresholds) {
                     TaskSpan {
                         start: 0.0,
                         end: 0.0625,
-                        path_len: 0,
+                        snapshot_depth: 0,
                     },
                     TaskSpan {
                         start: 0.0625,
                         end: 0.125,
-                        path_len: 3,
+                        snapshot_depth: 3,
                     },
                 ],
             },
@@ -88,7 +90,7 @@ fn fixture_result() -> (ParallelRunResult, FlushThresholds) {
                 Heartbeat {
                     elapsed_secs: 0.0625,
                     stats: stats(8, 20, 2),
-                    per_worker: vec![sched(1, 0, 1, 2), sched(0, 2, 1, 0)],
+                    per_worker: vec![sched(1, 0, 1, 2, 2), sched(0, 2, 1, 0, 1)],
                 },
                 Heartbeat {
                     elapsed_secs: 0.125,
@@ -103,16 +105,16 @@ fn fixture_result() -> (ParallelRunResult, FlushThresholds) {
 }
 
 #[test]
-fn schema_v1_round_trips_against_the_golden_fixture() {
-    assert_eq!(METRICS_VERSION, 1, "bump the fixture with the schema");
+fn schema_v2_round_trips_against_the_golden_fixture() {
+    assert_eq!(METRICS_VERSION, 2, "bump the fixture with the schema");
     let (result, flush) = fixture_result();
     let doc = render_run_metrics(&result, &flush);
     validate(&doc).expect("export must be valid JSON");
-    let golden = include_str!("golden/run_metrics_v1.json");
+    let golden = include_str!("golden/run_metrics_v2.json");
     assert_eq!(
         doc,
         golden.trim_end(),
-        "metrics schema drifted from the v1 fixture; if intentional, bump \
+        "metrics schema drifted from the v2 fixture; if intentional, bump \
          METRICS_VERSION and regenerate the fixture. Actual:\n{doc}"
     );
 }
@@ -140,7 +142,7 @@ fn real_run_exports_validate_and_carry_the_header() {
     let r = run_parallel(&problem, &GentriusConfig::exhaustive(), &pcfg).unwrap();
     let doc = render_run_metrics(&r, &pcfg.flush);
     validate(&doc).unwrap();
-    assert!(doc.starts_with("{\"schema\":\"gentrius-run-metrics\",\"version\":1,"));
+    assert!(doc.starts_with("{\"schema\":\"gentrius-run-metrics\",\"version\":2,"));
     assert!(doc.contains("\"stop_cause\":null"));
     assert!(doc.contains("\"monitor\":{\"ticks\":"));
 }

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 
 /// A synthetic task carrying `id` in its branch list.
 fn task(id: usize) -> Task {
-    Task::at_split(TaxonId(0), vec![EdgeId(id as u32)])
+    Task::probe(TaxonId(0), vec![EdgeId(id as u32)])
 }
 
 fn id_of(t: &Task) -> usize {

@@ -114,6 +114,7 @@ impl SplitId {
 /// while backtracking. Interning an already-present split is allocation-free
 /// (hash-bucket probe comparing stored words), so the steady state of the
 /// explore loop allocates nothing per node.
+#[derive(Clone)]
 pub struct SplitArena {
     splits: Vec<Split>,
     hashes: Vec<u64>,

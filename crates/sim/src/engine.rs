@@ -25,9 +25,23 @@ use gentrius_core::sink::CountOnly;
 use gentrius_core::state::SearchState;
 use gentrius_core::stats::RunStats;
 use gentrius_parallel::counters::FlushThresholds;
-use gentrius_parallel::task::{paper_queue_capacity, partition_branches, Task};
+use gentrius_parallel::task::{paper_queue_capacity, partition_branches};
 use phylo::ops::compatible;
+use phylo::taxa::TaxonId;
+use phylo::tree::EdgeId;
 use std::collections::VecDeque;
+
+/// The paper's path-replay task structure. The real engine moved to
+/// snapshot handoff (`gentrius_parallel::task::Task` now carries a
+/// resumable state), but the simulator keeps the paper's model: its cost
+/// accounting charges `CostModel::replay_per_insertion` per path entry,
+/// which is exactly the §IV phenomenon being simulated.
+#[derive(Clone, Debug)]
+struct SimTask {
+    path: Vec<(TaxonId, EdgeId)>,
+    taxon: TaxonId,
+    branches: Vec<EdgeId>,
+}
 
 /// Virtual-machine configuration for one simulation.
 #[derive(Clone, Debug)]
@@ -290,12 +304,21 @@ pub fn simulate(
     // the submitting worker's own deque (owner end = back, steal end =
     // front); idle workers pop their own deque LIFO, then steal FIFO from
     // a randomized victim, then fall back to the injector.
-    let mut injector: VecDeque<(Task, usize)> = chunks
+    let mut injector: VecDeque<(SimTask, usize)> = chunks
         .iter()
         .enumerate()
-        .map(|(i, chunk)| (Task::at_split(split_taxon, chunk.clone()), i))
+        .map(|(i, chunk)| {
+            (
+                SimTask {
+                    path: Vec::new(),
+                    taxon: split_taxon,
+                    branches: chunk.clone(),
+                },
+                i,
+            )
+        })
         .collect();
-    let mut deques: Vec<VecDeque<(Task, usize)>> =
+    let mut deques: Vec<VecDeque<(SimTask, usize)>> =
         (0..sim.threads).map(|_| VecDeque::new()).collect();
     let mut victim_rng: Vec<u64> = (0..sim.threads)
         .map(|w| splitmix64(sim.victim_seed ^ (w as u64 + 1)) | 1)
@@ -420,7 +443,7 @@ pub fn simulate(
                 && w.ex.top().map(|f| f.pending()).unwrap_or(0) >= 2
             {
                 if let Some(branches) = w.ex.split_top() {
-                    let task = Task {
+                    let task = SimTask {
                         path: w.ex.path_from_base(),
                         taxon: w.ex.top().expect("frame after split").taxon,
                         branches,

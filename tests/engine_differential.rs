@@ -340,6 +340,94 @@ fn deque_churn_profile_stays_exact_and_exercises_grow() {
     assert!(total_steals > 0, "churn profile never stole");
 }
 
+/// Steal-heavy stress profile for the snapshot-handoff task model: tiny
+/// flush thresholds force counter traffic on every few events, small deque
+/// ring buffers plus a raised capacity gate maximise split/steal churn,
+/// and per-step stop polling keeps every worker responsive. A stolen task
+/// now carries a full `StateSnapshot` (not a replay path), so this profile
+/// hammers exactly the snapshot/clone/resume path under all three mapping
+/// engines at 1/2/4/8 threads and demands bit-identical stand sets plus
+/// the dead-end invariant on every counter snapshot.
+#[test]
+fn steal_heavy_snapshot_handoff_stays_exact_across_modes() {
+    const MODES: [MappingMode; 3] = [
+        MappingMode::Recompute,
+        MappingMode::Incremental,
+        MappingMode::EdgeIndexed,
+    ];
+    let hard = SimulatedParams {
+        taxa: (14, 18),
+        loci: (5, 7),
+        missing: (0.5, 0.7),
+        pattern: MissingPattern::Clustered,
+        shape: ShapeModel::Uniform,
+    };
+    let mut verified = 0usize;
+    let mut total_steals = 0u64;
+    for i in 0..4 {
+        let d = simulated_dataset(&hard, 6161, i);
+        let Ok(p) = d.problem() else { continue };
+        let mut serial_sink = CollectNewick::with_cap(&d.taxa, COLLECT_CAP);
+        let serial = run_serial(&p, &bounded_config(), &mut serial_sink).expect("serial");
+        if !serial.complete() {
+            continue;
+        }
+        let serial_set = canonical_stand_set([serial_sink.out]);
+        for mode in MODES {
+            let config = GentriusConfig {
+                mapping: mode,
+                ..bounded_config()
+            };
+            for threads in THREAD_COUNTS {
+                let mut pcfg = ParallelConfig::with_threads(threads);
+                // Tiny batches: flush-driven global-counter traffic on
+                // nearly every event.
+                pcfg.flush = FlushThresholds {
+                    stand_trees: 2,
+                    intermediate_states: 2,
+                    dead_ends: 2,
+                };
+                // Small initial ring buffers under a raised capacity gate:
+                // sustained splitting, stealing and deque growth.
+                pcfg.queue_capacity = Some(128);
+                pcfg.steal_seed = i ^ (threads as u64) << 8;
+                pcfg.stop_poll_stride = 1;
+                let (par, sinks) = run_parallel_with_sinks(&p, &config, &pcfg, |_| {
+                    CollectNewick::with_cap(&d.taxa, COLLECT_CAP)
+                })
+                .expect("parallel");
+                assert!(
+                    par.complete(),
+                    "{} {mode} threads={threads}: spurious stop",
+                    d.name
+                );
+                assert_eq!(
+                    par.stats, serial.stats,
+                    "{} {mode} threads={threads}: counters diverged under steal stress",
+                    d.name
+                );
+                assert_run_invariants(&par, &format!("{} {mode} steal threads={threads}", d.name));
+                let par_set = canonical_stand_set(sinks.into_iter().map(|s| s.out));
+                assert_eq!(
+                    par_set, serial_set,
+                    "{} {mode} threads={threads}: stand sets diverged under steal stress",
+                    d.name
+                );
+                total_steals += par.scheduler.steals;
+            }
+        }
+        verified += 1;
+    }
+    assert!(
+        verified >= 2,
+        "only {verified} steal-stress instances enumerable"
+    );
+    assert!(
+        total_steals > 0,
+        "steal-stress profile never stole a snapshot task — profile is inert"
+    );
+}
+
 /// The first instance in the sweep whose complete enumeration crosses both
 /// thresholds, so shrunken limits are guaranteed to fire.
 fn limit_tripping_instance(min_trees: u64, min_states: u64) -> (Dataset, u64, u64) {
@@ -378,6 +466,9 @@ fn stand_tree_limit_fires_in_both_engines_with_bounded_overshoot() {
             intermediate_states: batch,
             dead_ends: batch,
         };
+        // The overshoot bound below assumes every worker re-checks the stop
+        // flag after each step; stride 1 restores that per-step poll.
+        pcfg.stop_poll_stride = 1;
         let par = run_parallel(&p, &config, &pcfg).expect("parallel");
         assert_eq!(
             par.stop,
@@ -416,6 +507,9 @@ fn state_limit_fires_in_both_engines_with_bounded_overshoot() {
             intermediate_states: batch,
             dead_ends: batch,
         };
+        // Per-step stop polling keeps the overshoot bound tight (see the
+        // stand-tree variant above).
+        pcfg.stop_poll_stride = 1;
         let par = run_parallel(&p, &config, &pcfg).expect("parallel");
         assert_eq!(
             par.stop,
