@@ -4,12 +4,18 @@
 //! bench stack (datagen → parallel engine → observability export) on a
 //! small simulated instance in seconds, and archive the schema-versioned
 //! run-metrics JSON as the per-commit perf trajectory artifact
-//! (`BENCH_smoke.json` by default; override with `SMOKE_OUT`).
+//! (`BENCH_smoke.json` by default; override with `SMOKE_OUT`). It also
+//! streams the same instance's stand into a `.stand` container and
+//! verifies the readback (`BENCH_smoke.stand`; override with
+//! `CONTAINER_OUT`), so the on-disk path is exercised every commit.
 
 use gentrius_bench::{banner, bench_config};
+use gentrius_core::run_serial;
 use gentrius_datagen::scenario::long_runner;
 use gentrius_parallel::obs::{json, write_run_metrics, METRICS_VERSION};
 use gentrius_parallel::{run_parallel, ParallelConfig};
+use gentrius_standfile::{Container, ContainerSink};
+use std::path::Path;
 use std::time::Duration;
 
 fn main() {
@@ -58,4 +64,28 @@ fn main() {
     json::validate(doc.trim_end()).expect("metrics must be valid JSON");
     std::fs::write(&out, &doc).expect("write metrics file");
     println!("\nwrote run metrics (schema v{METRICS_VERSION}) to {out}");
+
+    // Container artifact: stream the same instance into a `.stand` file
+    // and verify the readback end-to-end (encode, block framing, footer
+    // index, random access).
+    let cont_out =
+        std::env::var("CONTAINER_OUT").unwrap_or_else(|_| "BENCH_smoke.stand".to_string());
+    let mut sink = ContainerSink::create(Path::new(&cont_out), &dataset.taxa);
+    let serial = run_serial(&problem, &config, &mut sink).expect("serial container run");
+    let summary = sink.finish().expect("finish container");
+    assert_eq!(
+        summary.trees, serial.stats.stand_trees,
+        "container must hold every generated stand tree"
+    );
+    let mut container = Container::open(Path::new(&cont_out)).expect("reopen container");
+    assert_eq!(container.len(), summary.trees);
+    if !container.is_empty() {
+        container
+            .newick(container.len() - 1)
+            .expect("random access to the last tree");
+    }
+    println!(
+        "wrote stand container ({} trees, {} blocks) to {cont_out}",
+        summary.trees, summary.blocks
+    );
 }

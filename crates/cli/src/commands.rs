@@ -11,10 +11,13 @@ use gentrius_datagen::{
 };
 use gentrius_parallel::{run_parallel_with_sinks, ParallelConfig};
 use gentrius_sim::{simulate, SimConfig};
+use gentrius_standfile::{merge_segments, Container, ContainerSink, StandfileError};
 use phylo::newick::{parse_forest, to_newick};
 use phylo::pam::Pam;
 use phylo::taxa::TaxonSet;
 use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Top-level error type for the CLI.
@@ -48,10 +51,12 @@ USAGE:
                    [--threads N] [--max-trees N] [--max-states N] [--max-hours H]
                    [--no-dynamic] [--initial-tree IDX]
                    [--mapping recompute|incremental|edge-indexed]
-                   [--print-trees] [--output FILE]
+                   [--print-trees] [--output FILE[.stand]] [--max-collect N]
                    [--metrics-json FILE] [--trace-json FILE]
                    [--no-adaptive-split] [--stop-poll-stride N]
                    [--emit-batch N] [--coarse-flush]
+  gentrius stand export --input FILE --output FILE
+  gentrius stand cat FILE.stand [--from N] [--count M]
   gentrius induced --species FILE --pam FILE
   gentrius gen     --kind sim|emp [--seed S] [--index I] [--scale paper|scaled]
                    [--output FILE]  |  gen --scenario NAME [--output FILE]
@@ -70,6 +75,15 @@ USAGE:
 
 Input formats: tree files hold one Newick per line; PAM files hold
 '<taxon> <0/1 row>' lines; dataset files use the gentrius dataset v1 format.
+Stand containers: an --output path ending in .stand streams stand trees
+into an append-only block-compressed container (bounded memory; random
+access by tree index) instead of collecting Newick strings in RAM;
+--print-trees then reads the trees back from the container. 'stand
+export' converts container <-> Newick (the direction is sniffed from the
+input file's magic); 'stand cat' pages trees out of a container by index
+range. The legacy Newick collect paths keep at most --max-collect trees
+(default 10000000) in memory and report 'truncated: true' plus a warning
+when the cap drops trees.
 Observability: --metrics-json writes a schema-versioned run-metrics JSON
 document; --trace-json writes a Chrome-trace-event timeline (load it in
 Perfetto or chrome://tracing). Either flag routes the run through the
@@ -103,7 +117,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         return Ok(USAGE.to_string());
     }
     match parsed.positional.first().map(|s| s.as_str()) {
-        Some("stand") => cmd_stand(&parsed),
+        Some("stand") => match parsed.positional.get(1).map(|s| s.as_str()) {
+            Some("export") => cmd_stand_export(&parsed),
+            Some("cat") => cmd_stand_cat(&parsed),
+            _ => cmd_stand(&parsed),
+        },
         Some("induced") => cmd_induced(&parsed),
         Some("gen") => cmd_gen(&parsed),
         Some("sim") => cmd_sim(&parsed),
@@ -211,8 +229,22 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     let threads: usize = a
         .get_parsed("threads", 1usize)
         .map_err(|e| CliError(e.to_string()))?;
-    let want_trees = a.has("print-trees") || a.get("output").is_some();
-    let cap = if want_trees { 10_000_000 } else { 0 };
+    let output = a.get("output");
+    // An output path ending in `.stand` selects the streaming container
+    // path: trees go to disk as they are generated, memory stays bounded
+    // by one block, and no in-memory collection cap applies.
+    let container_output = output.filter(|p| p.ends_with(".stand"));
+    let legacy_output = if container_output.is_some() {
+        None
+    } else {
+        output
+    };
+    let max_collect: usize = a
+        .get_parsed("max-collect", 10_000_000usize)
+        .map_err(|e| CliError(e.to_string()))?;
+    let want_collect =
+        legacy_output.is_some() || (a.has("print-trees") && container_output.is_none());
+    let cap = if want_collect { max_collect } else { 0 };
 
     let mut out = String::new();
     writeln!(
@@ -230,10 +262,19 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     let use_parallel = threads > 1 || metrics_path.is_some() || trace_path.is_some();
 
     let mut export_lines = String::new();
-    let (stats, stop, elapsed, mut newicks, sched) = if !use_parallel {
-        let mut sink = CollectNewick::with_cap(&taxa, cap);
-        let r = problem_run_serial(&problem, &config, &mut sink)?;
-        (r.stats, r.stop, r.elapsed, sink.out, None)
+    let (stats, stop, elapsed, mut newicks, sched, container_summary) = if !use_parallel {
+        if let Some(path) = container_output {
+            let mut sink = ContainerSink::create(Path::new(path), &taxa);
+            let r = problem_run_serial(&problem, &config, &mut sink)?;
+            let summary = sink
+                .finish()
+                .map_err(|e| CliError(format!("{path}: {e}")))?;
+            (r.stats, r.stop, r.elapsed, Vec::new(), None, Some(summary))
+        } else {
+            let mut sink = CollectNewick::with_cap(&taxa, cap);
+            let r = problem_run_serial(&problem, &config, &mut sink)?;
+            (r.stats, r.stop, r.elapsed, sink.out, None, None)
+        }
     } else {
         let mut pcfg = ParallelConfig::with_threads(threads);
         pcfg.trace = trace_path.is_some();
@@ -250,20 +291,44 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
         // Batching only pays when trees are kept: a count-only collector
         // (cap 0) discards immediately, so buffering would add clones for
         // nothing.
-        let (r, merged) = if want_trees && emit_batch > 1 {
+        let (r, merged, csum) = if let Some(path) = container_output {
+            // One container segment per engine context (0 = the serial
+            // prefix, 1.. = workers), merged by raw block copy afterwards:
+            // workers never contend on one writer, and encoding runs off
+            // the per-state hot loop behind a BatchingSink.
+            let seg_path = |i: usize| PathBuf::from(format!("{path}.seg{i}"));
+            let (r, sinks) = run_parallel_with_sinks(&problem, &config, &pcfg, |i| {
+                BatchingSink::new(
+                    ContainerSink::create(&seg_path(i), &taxa),
+                    emit_batch.max(64),
+                )
+            })
+            .map_err(|e| CliError(e.to_string()))?;
+            let mut segs = Vec::new();
+            for (i, s) in sinks.into_iter().enumerate() {
+                let p = seg_path(i);
+                s.into_inner()
+                    .finish()
+                    .map_err(|e| CliError(format!("{}: {e}", p.display())))?;
+                segs.push(p);
+            }
+            let summary = merge_segments(Path::new(path), &taxa, &segs)
+                .map_err(|e| CliError(format!("{path}: {e}")))?;
+            (r, Vec::new(), Some(summary))
+        } else if want_collect && emit_batch > 1 {
             let (r, sinks) = run_parallel_with_sinks(&problem, &config, &pcfg, |_| {
                 BatchingSink::new(CollectNewick::with_cap(&taxa, cap), emit_batch)
             })
             .map_err(|e| CliError(e.to_string()))?;
             let merged = canonical_stand_set(sinks.into_iter().map(|s| s.into_inner().out));
-            (r, merged)
+            (r, merged, None)
         } else {
             let (r, sinks) = run_parallel_with_sinks(&problem, &config, &pcfg, |_| {
                 CollectNewick::with_cap(&taxa, cap)
             })
             .map_err(|e| CliError(e.to_string()))?;
             let merged = canonical_stand_set(sinks.into_iter().map(|s| s.out));
-            (r, merged)
+            (r, merged, None)
         };
         if let Some(path) = metrics_path {
             let mut f =
@@ -289,7 +354,7 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
             )
             .unwrap();
         }
-        (r.stats, r.stop, r.elapsed, merged, Some(r.scheduler))
+        (r.stats, r.stop, r.elapsed, merged, Some(r.scheduler), csum)
     };
 
     writeln!(out, "threads: {threads}").unwrap();
@@ -297,6 +362,24 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     writeln!(out, "stand trees: {}", stats.stand_trees).unwrap();
     writeln!(out, "intermediate states: {}", stats.intermediate_states).unwrap();
     writeln!(out, "dead ends: {}", stats.dead_ends).unwrap();
+    // Honesty about the in-memory collection cap: the engine counted every
+    // stand tree, but the collectors keep at most --max-collect each.
+    let collected = newicks.len() as u64;
+    let truncated = want_collect && collected < stats.stand_trees;
+    if truncated {
+        writeln!(
+            out,
+            "truncated: true (collected {collected} of {} stand trees)",
+            stats.stand_trees
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "warning: in-memory collection capped at --max-collect {max_collect}; \
+             raise it or stream to a container with --output FILE.stand"
+        )
+        .unwrap();
+    }
     if let Some(s) = &sched {
         writeln!(
             out,
@@ -309,12 +392,54 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     writeln!(out, "time: {:.3}s", elapsed.as_secs_f64()).unwrap();
     out.push_str(&export_lines);
 
-    if want_trees {
+    if let Some(path) = container_output {
+        if let Some(csum) = container_summary {
+            writeln!(
+                out,
+                "wrote {} trees to {path} ({} blocks, .stand container)",
+                csum.trees, csum.blocks
+            )
+            .unwrap();
+        }
+        if a.has("print-trees") {
+            // Read back from the container instead of teeing into RAM
+            // during the run; sorted so the printed set matches the
+            // collect path's canonical order.
+            let mut c =
+                Container::open(Path::new(path)).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let mut all = Vec::with_capacity(usize::try_from(c.len()).unwrap_or(0));
+            c.for_each_newick(0, u64::MAX, |_, nwk| {
+                all.push(nwk.to_string());
+                Ok(())
+            })
+            .map_err(|e| CliError(format!("{path}: {e}")))?;
+            all.sort();
+            for t in &all {
+                writeln!(out, "{t}").unwrap();
+            }
+        }
+    } else if want_collect {
         newicks.sort();
-        if let Some(path) = a.get("output") {
-            std::fs::write(path, newicks.join("\n") + "\n")
-                .map_err(|e| CliError(format!("{path}: {e}")))?;
-            writeln!(out, "wrote {} trees to {path}", newicks.len()).unwrap();
+        if let Some(path) = legacy_output {
+            // One line at a time through a BufWriter: `join` would build a
+            // second full copy of the stand in memory first.
+            let file = std::fs::File::create(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let mut w = std::io::BufWriter::new(file);
+            for t in &newicks {
+                writeln!(w, "{t}").map_err(|e| CliError(format!("{path}: {e}")))?;
+            }
+            w.flush().map_err(|e| CliError(format!("{path}: {e}")))?;
+            if truncated {
+                writeln!(
+                    out,
+                    "wrote {} of {} trees to {path}",
+                    newicks.len(),
+                    stats.stand_trees
+                )
+                .unwrap();
+            } else {
+                writeln!(out, "wrote {} trees to {path}", newicks.len()).unwrap();
+            }
         }
         if a.has("print-trees") {
             for t in &newicks {
@@ -325,10 +450,88 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn problem_run_serial(
+/// Converts between `.stand` containers and Newick tree files; the
+/// direction is chosen by sniffing the input file's leading magic.
+fn cmd_stand_export(a: &ParsedArgs) -> Result<String, CliError> {
+    let (Some(input), Some(output)) = (a.get("input"), a.get("output")) else {
+        return err(
+            "stand export requires --input FILE (a .stand container or a Newick \
+             tree file) and --output FILE",
+        );
+    };
+    let mut head = [0u8; 8];
+    {
+        use std::io::Read as _;
+        let mut f = std::fs::File::open(input).map_err(|e| CliError(format!("{input}: {e}")))?;
+        // A short read leaves `head` without the magic, which routes tiny
+        // files down the Newick path — correct, since no valid container
+        // is under 8 bytes.
+        let _ = f.read(&mut head);
+    }
+    if &head == gentrius_standfile::container::MAGIC {
+        let mut c =
+            Container::open(Path::new(input)).map_err(|e| CliError(format!("{input}: {e}")))?;
+        let file = std::fs::File::create(output).map_err(|e| CliError(format!("{output}: {e}")))?;
+        let mut w = std::io::BufWriter::new(file);
+        c.for_each_newick(0, u64::MAX, |_, nwk| {
+            writeln!(w, "{nwk}").map_err(StandfileError::from)
+        })
+        .map_err(|e| CliError(format!("{output}: {e}")))?;
+        w.flush().map_err(|e| CliError(format!("{output}: {e}")))?;
+        Ok(format!(
+            "exported {} trees from {input} to {output} (Newick)\n",
+            c.len()
+        ))
+    } else {
+        let text = std::fs::read_to_string(input).map_err(|e| CliError(format!("{input}: {e}")))?;
+        let (taxa, trees) = parse_forest(text.lines()).map_err(|e| CliError(e.to_string()))?;
+        let mut sink = ContainerSink::create(Path::new(output), &taxa);
+        for t in &trees {
+            use gentrius_core::StandSink as _;
+            sink.stand_tree(t);
+        }
+        let s = sink
+            .finish()
+            .map_err(|e| CliError(format!("{output}: {e}")))?;
+        Ok(format!(
+            "packed {} trees from {input} into {output} ({} blocks, .stand container)\n",
+            s.trees, s.blocks
+        ))
+    }
+}
+
+/// Pages trees out of a `.stand` container by index range without loading
+/// the whole stand (one decoded block in memory at a time).
+fn cmd_stand_cat(a: &ParsedArgs) -> Result<String, CliError> {
+    let Some(path) = a
+        .positional
+        .get(2)
+        .map(|s| s.as_str())
+        .or_else(|| a.get("input"))
+    else {
+        return err("stand cat requires a container path: gentrius stand cat FILE.stand [--from N] [--count M]");
+    };
+    let mut c = Container::open(Path::new(path)).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let from: u64 = a
+        .get_parsed("from", 0u64)
+        .map_err(|e| CliError(e.to_string()))?;
+    let count: u64 = a
+        .get_parsed("count", u64::MAX)
+        .map_err(|e| CliError(e.to_string()))?;
+    let mut out = String::new();
+    c.for_each_newick(from, from.saturating_add(count), |_, nwk| {
+        out.push_str(nwk);
+        out.push('\n');
+        Ok(())
+    })
+    .map_err(|e| CliError(format!("{path}: {e}")))?;
+    Ok(out)
+}
+
+fn problem_run_serial<S: gentrius_core::StandSink>(
     problem: &StandProblem,
     config: &GentriusConfig,
-    sink: &mut CollectNewick<'_>,
+    sink: &mut S,
 ) -> Result<gentrius_core::RunResult, CliError> {
     gentrius_core::run_serial(problem, config, sink).map_err(|e| CliError(e.to_string()))
 }
@@ -1071,6 +1274,203 @@ mod tests {
         let out = run_strs(&["verify", "--trees", p.to_str().unwrap(), "--threads", "1"]).unwrap();
         assert!(out.contains("(1 threads)"), "{out}");
         assert!(out.contains("verdict: PASS"), "{out}");
+    }
+
+    #[test]
+    fn stand_reports_truncation_when_collect_cap_hit() {
+        let p = write_tmp("trunc.nwk", "((A,B),(C,D));\n((C,D),(E,F));\n");
+        let path = p.to_str().unwrap();
+        // Uncapped baseline: how many trees the stand actually holds.
+        let full = run_strs(&["stand", "--trees", path, "--print-trees"]).unwrap();
+        let total = full.lines().filter(|l| l.ends_with(';')).count();
+        assert!(
+            total > 2,
+            "need a stand with more than 2 trees, got {total}"
+        );
+        assert!(!full.contains("truncated:"), "{full}");
+
+        let out = run_strs(&[
+            "stand",
+            "--trees",
+            path,
+            "--print-trees",
+            "--max-collect",
+            "2",
+        ])
+        .unwrap();
+        assert!(
+            out.contains(&format!(
+                "truncated: true (collected 2 of {total} stand trees)"
+            )),
+            "{out}"
+        );
+        assert!(
+            out.contains("warning: in-memory collection capped"),
+            "{out}"
+        );
+        assert_eq!(out.lines().filter(|l| l.ends_with(';')).count(), 2, "{out}");
+
+        // File output is honest about the shortfall too.
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        let o = dir.join("trunc.out.nwk");
+        let out = run_strs(&[
+            "stand",
+            "--trees",
+            path,
+            "--output",
+            o.to_str().unwrap(),
+            "--max-collect",
+            "2",
+        ])
+        .unwrap();
+        assert!(
+            out.contains(&format!("wrote 2 of {total} trees to")),
+            "{out}"
+        );
+        let written = std::fs::read_to_string(&o).unwrap();
+        assert_eq!(written.lines().count(), 2);
+    }
+
+    #[test]
+    fn stand_container_output_roundtrips_through_cat() {
+        let p = write_tmp("cont.nwk", "((A,B),(C,D));\n((C,D),(E,F));\n");
+        let path = p.to_str().unwrap();
+        let expected: Vec<String> = run_strs(&["stand", "--trees", path, "--print-trees"])
+            .unwrap()
+            .lines()
+            .filter(|l| l.ends_with(';'))
+            .map(str::to_string)
+            .collect();
+
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        let cont = dir.join("cont.stand");
+        let cpath = cont.to_str().unwrap();
+        let out = run_strs(&["stand", "--trees", path, "--output", cpath]).unwrap();
+        assert!(out.contains(".stand container"), "{out}");
+        assert!(
+            out.contains(&format!("wrote {} trees to {cpath}", expected.len())),
+            "{out}"
+        );
+        // No in-memory cap applies on the streaming path.
+        assert!(!out.contains("truncated:"), "{out}");
+
+        // `stand cat` reproduces the exact canonical Newick set.
+        let cat = run_strs(&["stand", "cat", cpath]).unwrap();
+        let mut got: Vec<String> = cat.lines().map(str::to_string).collect();
+        got.sort();
+        assert_eq!(got, expected);
+
+        // Paging: --from/--count slice the container's native order.
+        let page = run_strs(&["stand", "cat", cpath, "--from", "1", "--count", "2"]).unwrap();
+        assert_eq!(page.lines().count(), 2);
+        assert_eq!(page.lines().next(), cat.lines().nth(1));
+
+        // --print-trees with a container output reads back from the file.
+        let printed =
+            run_strs(&["stand", "--trees", path, "--output", cpath, "--print-trees"]).unwrap();
+        let shown: Vec<String> = printed
+            .lines()
+            .filter(|l| l.ends_with(';'))
+            .map(str::to_string)
+            .collect();
+        assert_eq!(shown, expected);
+    }
+
+    #[test]
+    fn stand_container_parallel_merges_segments() {
+        let p = write_tmp("contpar.nwk", "((A,B),(C,D));\n((A,E),(F,G));\n");
+        let path = p.to_str().unwrap();
+        let expected: Vec<String> = run_strs(&["stand", "--trees", path, "--print-trees"])
+            .unwrap()
+            .lines()
+            .filter(|l| l.ends_with(';'))
+            .map(str::to_string)
+            .collect();
+
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        let cont = dir.join("contpar.stand");
+        let cpath = cont.to_str().unwrap();
+        let out = run_strs(&[
+            "stand",
+            "--trees",
+            path,
+            "--threads",
+            "3",
+            "--output",
+            cpath,
+        ])
+        .unwrap();
+        assert!(out.contains(".stand container"), "{out}");
+        // Per-context segments are merged into the final file and deleted.
+        for i in 0..4 {
+            assert!(
+                !dir.join(format!("contpar.stand.seg{i}")).exists(),
+                "segment {i} left behind"
+            );
+        }
+        let cat = run_strs(&["stand", "cat", cpath]).unwrap();
+        let mut got: Vec<String> = cat.lines().map(str::to_string).collect();
+        got.sort();
+        assert_eq!(got, expected, "parallel container must hold the same stand");
+    }
+
+    #[test]
+    fn stand_export_converts_both_directions() {
+        let p = write_tmp("exp.nwk", "((A,B),(C,D));\n((C,D),(E,F));\n");
+        let path = p.to_str().unwrap();
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        let cont = dir.join("exp.stand");
+        let back = dir.join("exp.back.nwk");
+        let cpath = cont.to_str().unwrap();
+
+        // Enumerate into a container, export to Newick, re-pack to a
+        // container, and export again: the tree list must be stable.
+        run_strs(&["stand", "--trees", path, "--output", cpath]).unwrap();
+        let msg = run_strs(&[
+            "stand",
+            "export",
+            "--input",
+            cpath,
+            "--output",
+            back.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("exported"), "{msg}");
+        let first = std::fs::read_to_string(&back).unwrap();
+        assert!(first.lines().count() > 0);
+        assert!(first.lines().all(|l| l.ends_with(';')));
+
+        let cont2 = dir.join("exp2.stand");
+        let msg = run_strs(&[
+            "stand",
+            "export",
+            "--input",
+            back.to_str().unwrap(),
+            "--output",
+            cont2.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("packed"), "{msg}");
+        let cat = run_strs(&["stand", "cat", cont2.to_str().unwrap()]).unwrap();
+        // Canonical Newick depends on taxon interning order, which differs
+        // between the two files; compare tree-by-tree under one universe.
+        let (taxa, t1) = parse_forest(first.lines()).unwrap();
+        let canon1: Vec<String> = t1.iter().map(|t| to_newick(t, &taxa)).collect();
+        let canon2: Vec<String> = cat
+            .lines()
+            .map(|l| to_newick(&phylo::newick::parse_newick(l, &taxa).unwrap(), &taxa))
+            .collect();
+        assert_eq!(
+            canon2, canon1,
+            "Newick -> container -> Newick preserves every tree in order"
+        );
+    }
+
+    #[test]
+    fn stand_cat_rejects_non_containers() {
+        let p = write_tmp("notacont.nwk", "((A,B),(C,D));\n");
+        assert!(run_strs(&["stand", "cat", p.to_str().unwrap()]).is_err());
+        assert!(run_strs(&["stand", "cat"]).is_err());
     }
 
     #[test]

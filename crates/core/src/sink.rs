@@ -97,7 +97,10 @@ impl<F: FnMut(&Tree)> StandSink for F {
 ///
 /// Trees still in the buffer are flushed on [`Drop`], so no stand tree is
 /// ever lost; use [`BatchingSink::into_inner`] to flush explicitly and
-/// recover the wrapped sink.
+/// recover the wrapped sink. The drop-path flush is skipped while the
+/// thread is panicking: forwarding to an arbitrary inner sink could panic
+/// again and abort the process, turning a reportable worker panic into a
+/// hard crash.
 pub struct BatchingSink<S: StandSink> {
     inner: Option<S>,
     buf: Vec<Tree>,
@@ -133,9 +136,9 @@ impl<S: StandSink> BatchingSink<S> {
     /// Flushes any remaining trees and returns the wrapped sink.
     pub fn into_inner(mut self) -> S {
         self.flush();
-        // xlint: allow(panic-freedom) — `inner` is Some from construction until this consuming call; None here is internal invariant corruption, not a caller error.
         self.inner
             .take()
+            // xlint: allow(panic-freedom) — `inner` is Some from construction until this consuming call; None here is internal invariant corruption, not a caller error.
             .expect("inner sink present until into_inner")
     }
 
@@ -162,7 +165,9 @@ impl<S: StandSink> StandSink for BatchingSink<S> {
 
 impl<S: StandSink> Drop for BatchingSink<S> {
     fn drop(&mut self) {
-        self.flush();
+        if !std::thread::panicking() {
+            self.flush();
+        }
     }
 }
 
@@ -252,6 +257,27 @@ mod tests {
         }
         let out = b.into_inner().out;
         assert_eq!(out, vec!["(T0,T1);", "(T2,T3);", "(T0,T2);"]);
+    }
+
+    #[test]
+    fn batching_sink_skips_drop_flush_during_panic() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let t = Tree::two_leaf(4, phylo::TaxonId(0), phylo::TaxonId(1));
+        let forwarded = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let counter = |_: &Tree| {
+                forwarded.fetch_add(1, Ordering::SeqCst);
+            };
+            let mut b = BatchingSink::new(counter, 64);
+            b.stand_tree(&t);
+            panic!("worker failure with trees buffered");
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            forwarded.load(Ordering::SeqCst),
+            0,
+            "unwind-path drop must not forward into the inner sink"
+        );
     }
 
     #[test]

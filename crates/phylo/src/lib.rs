@@ -30,6 +30,7 @@ pub mod newick;
 pub mod nexus;
 pub mod ops;
 pub mod pam;
+pub mod phylo2vec;
 pub mod shape;
 pub mod split;
 pub mod taxa;

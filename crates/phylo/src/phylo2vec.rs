@@ -1,0 +1,461 @@
+//! phylo2vec-style integer-vector encoding of binary unrooted trees.
+//!
+//! A binary unrooted tree on taxa `t0 < t1 < … < t_{n-1}` is written as the
+//! integer vector of its *canonical insertion trace*: starting from the
+//! unique tree on `{t0, t1}`, taxon `t_i` (`i ≥ 2`) is inserted on edge
+//! `code[i-2]` of the partial tree, where edges are numbered in allocation
+//! order (the order [`Tree::insert_leaf_on_edge`] assigns ids on a fresh
+//! arena — a partial tree on `k` leaves has exactly the contiguous edge ids
+//! `0 .. 2k-3`). The trace is unique, so `encode ∘ decode ≡ id` on codes
+//! and `decode ∘ encode` reproduces the topology exactly.
+//!
+//! Properties the stand container relies on (per the phylo2vec paper):
+//!
+//! * **O(n) integers per tree** instead of an O(n·label) Newick string;
+//! * element `code[i]` is bounded by `2i+1`, so varints stay at one byte
+//!   for all but the deepest insertions;
+//! * trees that share the insertion history of their first `k` taxa share
+//!   the first `k-2` vector entries — sibling stand trees emitted by the
+//!   depth-first search differ only in a short suffix, which the container
+//!   exploits with prefix-delta compression;
+//! * the vector is trivially hashable, giving a cheap cross-shard
+//!   topology key.
+
+use crate::bitset::BitSet;
+use crate::taxa::TaxonId;
+use crate::tree::{EdgeId, NodeId, Tree};
+
+/// Errors from encoding or decoding a tree vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum P2vError {
+    /// The tree is not binary unrooted (required for `n ≥ 3` leaves).
+    NotBinary,
+    /// `code` has the wrong length for the taxon list (`n-2` entries).
+    LengthMismatch {
+        /// Number of taxa supplied.
+        taxa: usize,
+        /// Number of code entries supplied.
+        code: usize,
+    },
+    /// A code entry addresses an edge beyond the partial tree.
+    OutOfRange {
+        /// Index into the code vector.
+        index: usize,
+        /// The offending value.
+        value: u32,
+        /// Exclusive bound (`2·index + 1`).
+        bound: u32,
+    },
+    /// The taxon list is not strictly ascending.
+    TaxaNotSorted,
+    /// A taxon id is outside the declared universe.
+    TaxonOutOfUniverse {
+        /// The offending taxon id.
+        taxon: u32,
+        /// The universe size.
+        universe: usize,
+    },
+    /// An internal invariant failed (defensive; indicates a bug).
+    Internal(&'static str),
+}
+
+impl std::fmt::Display for P2vError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            P2vError::NotBinary => write!(f, "tree is not binary unrooted"),
+            P2vError::LengthMismatch { taxa, code } => {
+                write!(
+                    f,
+                    "{taxa} taxa need {} code entries, got {code}",
+                    taxa.saturating_sub(2)
+                )
+            }
+            P2vError::OutOfRange {
+                index,
+                value,
+                bound,
+            } => write!(f, "code[{index}] = {value} out of range (< {bound})"),
+            P2vError::TaxaNotSorted => write!(f, "taxon list is not strictly ascending"),
+            P2vError::TaxonOutOfUniverse { taxon, universe } => {
+                write!(f, "taxon {taxon} outside universe of {universe}")
+            }
+            P2vError::Internal(m) => write!(f, "internal phylo2vec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for P2vError {}
+
+/// A tree as its present-taxa list (strictly ascending) plus the canonical
+/// insertion-trace code (`taxa.len().saturating_sub(2)` entries).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TreeVector {
+    /// Taxa present in the tree, ascending.
+    pub taxa: Vec<TaxonId>,
+    /// Edge index chosen for each taxon from the third onward.
+    pub code: Vec<u32>,
+}
+
+impl TreeVector {
+    /// Rebuilds the tree over a universe of `universe` taxa.
+    pub fn decode(&self, universe: usize) -> Result<Tree, P2vError> {
+        decode(universe, &self.taxa, &self.code)
+    }
+}
+
+/// Encodes one tree (allocates fresh scratch; use [`Encoder`] when encoding
+/// many trees in a row).
+pub fn encode(tree: &Tree) -> Result<TreeVector, P2vError> {
+    Encoder::new().encode(tree)
+}
+
+/// Rebuilds a tree from its taxon list and insertion-trace code.
+///
+/// `taxa` must be strictly ascending and within `universe`; `code` must
+/// have `taxa.len().saturating_sub(2)` entries with `code[i] < 2i + 1`.
+pub fn decode(universe: usize, taxa: &[TaxonId], code: &[u32]) -> Result<Tree, P2vError> {
+    for w in taxa.windows(2) {
+        if w[0] >= w[1] {
+            return Err(P2vError::TaxaNotSorted);
+        }
+    }
+    if let Some(t) = taxa.iter().find(|t| t.index() >= universe) {
+        return Err(P2vError::TaxonOutOfUniverse {
+            taxon: t.0,
+            universe,
+        });
+    }
+    let n = taxa.len();
+    if code.len() != n.saturating_sub(2) {
+        return Err(P2vError::LengthMismatch {
+            taxa: n,
+            code: code.len(),
+        });
+    }
+    match n {
+        0 => return Ok(Tree::new(universe)),
+        1 => {
+            let mut t = Tree::new(universe);
+            t.add_node(Some(taxa[0]));
+            return Ok(t);
+        }
+        _ => {}
+    }
+    let mut tree = Tree::two_leaf(universe, taxa[0], taxa[1]);
+    for (j, (&c, &t)) in code.iter().zip(taxa.iter().skip(2)).enumerate() {
+        // The partial tree has j + 2 leaves and therefore 2(j+2) - 3 =
+        // 2j + 1 edges, with contiguous ids (fresh arena, no removals).
+        let bound = 2 * j as u32 + 1;
+        if c >= bound {
+            return Err(P2vError::OutOfRange {
+                index: j,
+                value: c,
+                bound,
+            });
+        }
+        tree.insert_leaf_on_edge(t, EdgeId(c));
+    }
+    Ok(tree)
+}
+
+/// Reusable-scratch encoder: amortizes the peel/rebuild buffers across many
+/// [`Encoder::encode`] calls (the stand container encodes every emitted
+/// tree on the worker hot path).
+#[derive(Default)]
+pub struct Encoder {
+    /// Peel-phase adjacency lists indexed by node id (neighbor node ids).
+    adj: Vec<Vec<u32>>,
+    /// Attachment split recorded while peeling taxon `i` (index `i - 3`).
+    splits: Vec<BitSet>,
+    /// DFS scratch for the peel phase: `(node, parent)` pairs.
+    stack: Vec<(u32, u32)>,
+    /// Rebuild phase: taxa below each edge (away from the `t0` root leaf).
+    below: Vec<BitSet>,
+    /// Rebuild preorder buffers.
+    order: Vec<(NodeId, Option<EdgeId>)>,
+    pre_stack: Vec<(NodeId, Option<EdgeId>)>,
+}
+
+impl Encoder {
+    /// A fresh encoder (buffers grow on first use).
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Encodes `tree` into its canonical [`TreeVector`].
+    pub fn encode(&mut self, tree: &Tree) -> Result<TreeVector, P2vError> {
+        let universe = tree.universe();
+        let taxa: Vec<TaxonId> = tree.taxa().iter().map(|t| TaxonId(t as u32)).collect();
+        let n = taxa.len();
+        if n <= 2 {
+            return Ok(TreeVector {
+                taxa,
+                code: Vec::new(),
+            });
+        }
+        if !tree.is_binary_unrooted() {
+            return Err(P2vError::NotBinary);
+        }
+
+        // ------------------------------------------------------------------
+        // Peel phase: remove taxa from highest to lowest on a scratch
+        // adjacency copy. Removing leaf t_i and suppressing its neighbor
+        // leaves T|{t0..t_{i-1}}; the two merged edges become the edge t_i
+        // must be inserted on during the rebuild, identified by its split
+        // (canonical side = the one not containing t0).
+        // ------------------------------------------------------------------
+        let nb = tree.node_id_bound();
+        if self.adj.len() < nb {
+            self.adj.resize(nb, Vec::new());
+        }
+        for a in self.adj.iter_mut() {
+            a.clear();
+        }
+        for e in tree.edges() {
+            let (a, b) = tree.endpoints(e);
+            self.adj[a.index()].push(b.0);
+            self.adj[b.index()].push(a.0);
+        }
+        while self.splits.len() < n - 3 {
+            self.splits.push(BitSet::new(0));
+        }
+        for i in (3..n).rev() {
+            let leaf = tree
+                .leaf(taxa[i])
+                .ok_or(P2vError::Internal("present taxon has no leaf"))?;
+            let &[mid] = self.adj[leaf.index()].as_slice() else {
+                return Err(P2vError::Internal("peeled leaf not degree 1"));
+            };
+            self.adj[mid as usize].retain(|&v| v != leaf.0);
+            let &[x, y] = self.adj[mid as usize].as_slice() else {
+                return Err(P2vError::Internal("peeled midpoint not degree 3"));
+            };
+            // Taxa on the x-side of the merged edge (DFS avoiding mid; the
+            // peeled leaf is unreachable, so the set is over {t0..t_{i-1}}).
+            let side = &mut self.splits[i - 3];
+            if side.universe() != universe {
+                *side = BitSet::new(universe);
+            } else {
+                side.clear();
+            }
+            self.stack.clear();
+            self.stack.push((x, mid));
+            let mut contains_t0 = false;
+            while let Some((v, parent)) = self.stack.pop() {
+                if let Some(t) = tree.taxon(NodeId(v)) {
+                    side.insert(t.index());
+                    contains_t0 |= t == taxa[0];
+                }
+                for &w in &self.adj[v as usize] {
+                    if w != parent {
+                        self.stack.push((w, v));
+                    }
+                }
+            }
+            if contains_t0 {
+                // Flip to the complementary side within the remaining taxa
+                // {t0..t_{i-1}} so every recorded split excludes t0.
+                let mut flipped = BitSet::new(universe);
+                for &t in taxa.iter().take(i) {
+                    if !side.contains(t.index()) {
+                        flipped.insert(t.index());
+                    }
+                }
+                *side = flipped;
+            }
+            // Suppress mid: connect x and y directly.
+            for &mut (a, b) in &mut [(x, y), (y, x)] {
+                for v in self.adj[a as usize].iter_mut() {
+                    if *v == mid {
+                        *v = b;
+                    }
+                }
+            }
+            self.adj[mid as usize].clear();
+        }
+
+        // ------------------------------------------------------------------
+        // Rebuild phase: replay the canonical insertion order, matching each
+        // recorded split against the edges of the growing partial tree
+        // (whose ids are contiguous, so the edge id *is* the code entry).
+        // ------------------------------------------------------------------
+        let mut code = vec![0u32; n - 2];
+        let mut bt = Tree::two_leaf(universe, taxa[0], taxa[1]);
+        bt.insert_leaf_on_edge(taxa[2], EdgeId(0));
+        for i in 3..n {
+            let root = bt
+                .leaf(taxa[0])
+                .ok_or(P2vError::Internal("rebuild lost the root leaf"))?;
+            bt.preorder_into(root, &mut self.pre_stack, &mut self.order);
+            let eb = bt.edge_id_bound();
+            while self.below.len() < eb {
+                self.below.push(BitSet::new(0));
+            }
+            for b in self.below.iter_mut().take(eb) {
+                if b.universe() != universe {
+                    *b = BitSet::new(universe);
+                } else {
+                    b.clear();
+                }
+            }
+            // Reverse preorder: children are processed before their parent,
+            // so each parent edge's below-set can union its children's.
+            for idx in (0..self.order.len()).rev() {
+                let (v, pe) = self.order[idx];
+                let Some(pe) = pe else { continue };
+                let mut acc = std::mem::replace(&mut self.below[pe.index()], BitSet::new(0));
+                if let Some(t) = bt.taxon(v) {
+                    acc.insert(t.index());
+                }
+                for &e in bt.adjacent_edges(v) {
+                    if e != pe {
+                        acc.union_with(&self.below[e.index()]);
+                    }
+                }
+                self.below[pe.index()] = acc;
+            }
+            let want = &self.splits[i - 3];
+            let found = bt.edges().find(|e| self.below[e.index()] == *want);
+            let Some(edge) = found else {
+                return Err(P2vError::Internal("attachment split not found"));
+            };
+            code[i - 2] = edge.0;
+            bt.insert_leaf_on_edge(taxa[i], edge);
+        }
+        Ok(TreeVector { taxa, code })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newick::{parse_forest, to_newick};
+
+    fn roundtrip(nwk: &str) {
+        let (taxa, trees) = parse_forest([nwk]).unwrap();
+        let tv = encode(&trees[0]).unwrap();
+        let back = tv.decode(taxa.len()).unwrap();
+        assert_eq!(
+            to_newick(&back, &taxa),
+            to_newick(&trees[0], &taxa),
+            "code {:?}",
+            tv.code
+        );
+    }
+
+    #[test]
+    fn tiny_trees_roundtrip() {
+        roundtrip("(A,B);");
+        roundtrip("((A,B),C);");
+        roundtrip("((A,B),(C,D));");
+        roundtrip("((A,C),(B,D));");
+        roundtrip("((A,D),(B,C));");
+    }
+
+    #[test]
+    fn caterpillar_and_balanced_roundtrip() {
+        roundtrip("(((((A,B),C),D),E),F);");
+        roundtrip("(((A,B),(C,D)),((E,F),(G,H)));");
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let tv = encode(&Tree::new(5)).unwrap();
+        assert!(tv.taxa.is_empty() && tv.code.is_empty());
+        assert_eq!(tv.decode(5).unwrap().leaf_count(), 0);
+
+        let mut one = Tree::new(5);
+        one.add_node(Some(TaxonId(3)));
+        let tv = encode(&one).unwrap();
+        assert_eq!(tv.taxa, vec![TaxonId(3)]);
+        assert!(tv.decode(5).unwrap().leaf(TaxonId(3)).is_some());
+    }
+
+    #[test]
+    fn third_taxon_code_is_always_zero() {
+        let (_taxa, trees) = parse_forest(["((A,B),C);"]).unwrap();
+        let tv = encode(&trees[0]).unwrap();
+        assert_eq!(tv.code, vec![0]);
+    }
+
+    #[test]
+    fn code_enumerates_distinct_topologies() {
+        // The 15 codes on 5 leaves (1 * 1 * 3 * 5) are exactly the 15
+        // unrooted binary topologies: decode each, re-encode, and the code
+        // must come back unchanged (bijectivity on the code side).
+        let taxa: Vec<TaxonId> = (0..5).map(TaxonId).collect();
+        let mut seen = std::collections::HashSet::new();
+        for c1 in 0..3u32 {
+            for c2 in 0..5u32 {
+                let code = vec![0, c1, c2];
+                let tree = decode(5, &taxa, &code).unwrap();
+                let tv = Encoder::new().encode(&tree).unwrap();
+                assert_eq!(tv.code, code);
+                seen.insert(tv.code);
+            }
+        }
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        let taxa: Vec<TaxonId> = (0..4).map(TaxonId).collect();
+        assert!(matches!(
+            decode(4, &taxa, &[0]),
+            Err(P2vError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            decode(4, &taxa, &[0, 3]),
+            Err(P2vError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            decode(4, &[TaxonId(1), TaxonId(0)], &[]),
+            Err(P2vError::TaxaNotSorted)
+        ));
+        assert!(matches!(
+            decode(2, &taxa, &[0, 0]),
+            Err(P2vError::TaxonOutOfUniverse { .. })
+        ));
+        assert!(matches!(
+            decode(4, &taxa, &[1, 0]),
+            Err(P2vError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn encoder_reuse_matches_fresh() {
+        let mut enc = Encoder::new();
+        let inputs = [
+            "((A,B),(C,D));",
+            "(((((A,B),C),D),E),F);",
+            "((A,E),(B,(C,D)));",
+        ];
+        for nwk in inputs {
+            let (taxa, trees) = parse_forest([nwk]).unwrap();
+            let reused = enc.encode(&trees[0]).unwrap();
+            let fresh = encode(&trees[0]).unwrap();
+            assert_eq!(reused, fresh);
+            let back = reused.decode(taxa.len()).unwrap();
+            assert_eq!(to_newick(&back, &taxa), to_newick(&trees[0], &taxa));
+        }
+    }
+
+    #[test]
+    fn random_trees_roundtrip() {
+        use crate::generate::{random_tree_on_n, ShapeModel};
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let taxa = crate::taxa::TaxonSet::with_synthetic(40);
+        let mut enc = Encoder::new();
+        for n in [3usize, 4, 7, 13, 25, 40] {
+            for _ in 0..8 {
+                let t = random_tree_on_n(n, ShapeModel::Yule, &mut rng);
+                let tv = enc.encode(&t).unwrap();
+                assert_eq!(tv.taxa.len(), n);
+                assert_eq!(tv.code.len(), n - 2);
+                let back = tv.decode(t.universe()).unwrap();
+                assert_eq!(to_newick(&back, &taxa), to_newick(&t, &taxa));
+            }
+        }
+    }
+}

@@ -246,6 +246,84 @@ proptest! {
     }
 
     #[test]
+    fn phylo2vec_roundtrip_matches_newick_roundtrip(seed in 0u64..1_000_000, n in 3usize..40) {
+        use phylo::newick::{parse_newick, to_newick};
+        use phylo::phylo2vec;
+        use phylo::taxa::TaxonSet;
+        let model = if seed % 2 == 0 { ShapeModel::Uniform } else { ShapeModel::Yule };
+        let tree = random_tree_on_n(n, model, &mut ChaCha8Rng::seed_from_u64(seed));
+        let taxa = TaxonSet::with_synthetic(n);
+        let nwk = to_newick(&tree, &taxa);
+
+        // encode ∘ decode ≡ id, where identity is judged by the canonical
+        // Newick form (two trees are equal iff their strings are).
+        let tv = phylo2vec::encode(&tree).expect("binary tree encodes");
+        prop_assert_eq!(tv.code.len(), n - 2);
+        // The documented code bounds.
+        for (j, &c) in tv.code.iter().enumerate() {
+            prop_assert!(c < 2 * j as u32 + 1, "code[{}] = {} out of bound", j, c);
+        }
+        let back = tv.decode(n).expect("own code decodes");
+        prop_assert_eq!(to_newick(&back, &taxa), nwk.clone());
+
+        // The codec agrees with the Newick round-trip: parsing the string
+        // and encoding the parsed tree yields the identical code.
+        let reparsed = parse_newick(&nwk, &taxa).expect("own output parses");
+        let tv2 = phylo2vec::encode(&reparsed).expect("reparsed tree encodes");
+        prop_assert_eq!(tv2.code, tv.code);
+    }
+
+    #[test]
+    fn phylo2vec_roundtrip_with_hostile_labels(
+        seed in 0u64..100_000,
+        n in 3usize..24,
+        raw in proptest::collection::vec(proptest::collection::vec(0usize..16, 0..8), 24),
+    ) {
+        use phylo::newick::{parse_newick, to_newick};
+        use phylo::phylo2vec;
+        use phylo::taxa::TaxonSet;
+        // Codes are label-free, so hostile labels can only break the codec
+        // through the Newick path it must agree with.
+        const POOL: [char; 16] = [
+            'a', 'Z', '0', ' ', '\t', '(', ')', ',', ':', ';', '\'', '[', ']', '_', 'é', '木',
+        ];
+        let mut taxa = TaxonSet::new();
+        for (i, ix) in raw.iter().take(n).enumerate() {
+            let mut l: String = ix.iter().map(|&j| POOL[j]).collect();
+            l.push_str(&format!("#{i}"));
+            taxa.intern(&l);
+        }
+        let tree = random_tree_on_n(n, ShapeModel::Uniform, &mut ChaCha8Rng::seed_from_u64(seed));
+        let nwk = to_newick(&tree, &taxa);
+        let reparsed = parse_newick(&nwk, &taxa).expect("hostile labels parse back");
+        let tv = phylo2vec::encode(&reparsed).expect("reparsed tree encodes");
+        let back = tv.decode(n).expect("code decodes");
+        prop_assert_eq!(to_newick(&back, &taxa), nwk);
+    }
+
+    #[test]
+    fn phylo2vec_every_valid_code_is_a_tree(
+        picks in proptest::collection::vec(0u32..u32::MAX, 1..30),
+    ) {
+        use phylo::phylo2vec;
+        use phylo::taxa::TaxonId;
+        // Draw an arbitrary in-bounds code (code[j] < 2j + 1); it must
+        // decode to a binary tree whose re-encoding is the same code —
+        // i.e. the codec is a bijection onto valid codes.
+        let code: Vec<u32> = picks
+            .iter()
+            .enumerate()
+            .map(|(j, &p)| p % (2 * j as u32 + 1))
+            .collect();
+        let n = code.len() + 2;
+        let ids: Vec<TaxonId> = (0..n as u32).map(TaxonId).collect();
+        let tree = phylo2vec::decode(n, &ids, &code).expect("in-bounds code decodes");
+        prop_assert!(tree.is_binary_unrooted());
+        let tv = phylo2vec::encode(&tree).expect("decoded tree re-encodes");
+        prop_assert_eq!(tv.code, code);
+    }
+
+    #[test]
     fn shape_stats_invariants(seed in 0u64..100_000, n in 4usize..40) {
         let tree = random_tree_on_n(n, ShapeModel::Yule, &mut ChaCha8Rng::seed_from_u64(seed));
         let s = shape_stats(&tree).expect("binary with >= 3 leaves");

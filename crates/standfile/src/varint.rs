@@ -1,0 +1,76 @@
+//! LEB128 variable-length integers — the container's only wire primitive.
+//!
+//! Stand codes are dominated by small edge indices (`code[i] < 2i + 1`), so
+//! LEB128 stores the common case in one byte while still addressing 64-bit
+//! offsets and tree counts in the footer.
+
+/// Appends `v` to `buf` as LEB128 (1–10 bytes).
+pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 integer from `data` at `*pos`, advancing it. Returns
+/// `None` on truncation or a value wider than 64 bits.
+pub fn read_u64(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        let low = u64::from(byte & 0x7f);
+        if shift >= 64 || (shift == 63 && low > 1) {
+            return None;
+        }
+        v |= low << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edges() {
+        let cases = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        for v in 0u64..128 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+        }
+    }
+
+    #[test]
+    fn truncated_and_overlong_inputs_fail() {
+        let mut pos = 0;
+        assert_eq!(read_u64(&[0x80], &mut pos), None);
+        let mut pos = 0;
+        assert_eq!(read_u64(&[], &mut pos), None);
+        // 11 continuation bytes exceed 64 bits.
+        let overlong = [0xffu8; 11];
+        let mut pos = 0;
+        assert_eq!(read_u64(&overlong, &mut pos), None);
+    }
+}

@@ -80,6 +80,7 @@ pub const RULES: &[Rule] = &[
             "src",
             "crates/phylo/src",
             "crates/core/src",
+            "crates/standfile/src",
             "crates/parallel/src",
             "crates/sim/src",
             "crates/datagen/src",
