@@ -144,6 +144,8 @@ impl GlobalCounters {
         let _ = self
             .cause
             .compare_exchange(CAUSE_NONE, c, Ordering::AcqRel, Ordering::Relaxed);
+        // ordering: Release — orders the cause publication above before the
+        // flag; `stopped()` loads the flag with Acquire, then the cause.
         self.stop.store(true, Ordering::Release);
     }
 

@@ -110,7 +110,9 @@ pub struct StealDeque<T> {
     grows: AtomicU64,
 }
 
-// The deque hands `T` across threads (owner pushes, thief receives).
+// safety: the deque hands `T` across threads (owner pushes, thief
+// receives), which is exactly `T: Send`; all shared internals are atomics
+// or mutex-protected, so `&StealDeque` is safe to share.
 unsafe impl<T: Send> Send for StealDeque<T> {}
 unsafe impl<T: Send> Sync for StealDeque<T> {}
 
@@ -165,20 +167,28 @@ impl<T> StealDeque<T> {
     /// Owner-only: pushes an item at the bottom.
     pub fn push(&self, item: T) {
         let p = Box::into_raw(Box::new(item));
-        // ordering: Relaxed — `bottom` and `buffer` are owner-written, and
-        // push runs on the owner thread, so these loads read-own-writes.
+        // ordering: Relaxed — `bottom` is owner-written and push runs on
+        // the owner thread, so this load reads-own-writes.
         let b = self.bottom.load(Ordering::Relaxed);
+        // ordering: Acquire — pairs with the thieves' SeqCst CAS on `top`
+        // so the capacity check never under-counts already-stolen slots.
         let t = self.top.load(Ordering::Acquire);
+        // ordering: Relaxed — `buffer` is owner-written (read-own-writes).
+        // safety: the pointer is valid — it is only replaced by the owner
+        // in `grow`, and retirees are freed only after thief quiescence.
         let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         if b - t >= buf.cap as isize {
             self.grow(t, b);
             // ordering: Relaxed — re-reading the owner's own swap above.
+            // safety: same pointer-validity argument as the load above.
             buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         }
         buf.put(b, p);
+        // ordering: Release fence — orders the slot write above before the
+        // publish of the new `bottom` below (PPoPP'13 §4).
         fence(Ordering::Release);
-        // ordering: Relaxed — the Release fence above already orders the
-        // slot write before this publish of the new `bottom` (PPoPP'13 §4).
+        // ordering: Relaxed — the Release fence directly above already
+        // orders the slot write before this `bottom` publish.
         self.bottom.store(b + 1, Ordering::Relaxed);
     }
 
@@ -187,6 +197,10 @@ impl<T> StealDeque<T> {
         // ordering: Relaxed — owner-written cells read on the owner thread;
         // the decrement of `bottom` is published by the SeqCst fence below.
         let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // ordering: Relaxed — owner-only buffer load and `bottom` store;
+        // the decrement is published by the SeqCst fence below.
+        // safety: the buffer pointer the owner loads is the one it last
+        // installed and stays live until it retires it.
         let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         self.bottom.store(b, Ordering::Relaxed);
         // ordering: SeqCst — the fence pairs with the one in `steal_inner`:
@@ -215,6 +229,9 @@ impl<T> StealDeque<T> {
                     return None; // a thief got it
                 }
             }
+            // safety: exactly one side takes index `b` — thieves CAS `top`
+            // past it or the owner won the last-item CAS above; `p` was
+            // created by `Box::into_raw` in `push`.
             Some(unsafe { *Box::from_raw(p) })
         } else {
             // Already empty; restore bottom. An empty deque is a cheap
@@ -246,10 +263,14 @@ impl<T> StealDeque<T> {
         let t = self.top.load(Ordering::Acquire);
         // ordering: SeqCst — pairs with the fence in `pop` (see there).
         fence(Ordering::SeqCst);
+        // ordering: Acquire — observes the owner's fence-ordered `bottom`
+        // publish so the emptiness check sees the pushed slot.
         let b = self.bottom.load(Ordering::Acquire);
         if t < b {
             // ordering: SeqCst — the buffer load must be ordered after the
             // latch increment in `steal` for the reclamation proof.
+            // safety: the latch is open, so this pointer — even one retired
+            // by a concurrent `grow` — is not freed until we decrement.
             let buf = unsafe { &*self.buffer.load(Ordering::SeqCst) };
             let p = buf.get(t);
             // ordering: SeqCst success — single total order with the
@@ -262,6 +283,8 @@ impl<T> StealDeque<T> {
             {
                 return Steal::Retry; // owner or another thief won
             }
+            // safety: the CAS succeeded, so this thief owns index `t`
+            // exclusively; `p` was created by `Box::into_raw` in `push`.
             Steal::Success(unsafe { *Box::from_raw(p) })
         } else {
             Steal::Empty
@@ -274,6 +297,9 @@ impl<T> StealDeque<T> {
     /// slots from it. Earlier retirees are reclaimed here when quiescent.
     fn grow(&self, t: isize, b: isize) {
         // ordering: Relaxed — owner reads its own buffer pointer.
+        // safety: `grow` is owner-only and the pointer it reads stays
+        // valid until retired *and* reclaimed, which cannot happen while
+        // the owner itself is still inside `grow`.
         let old_ptr = self.buffer.load(Ordering::Relaxed);
         let old = unsafe { &*old_ptr };
         let new = Buffer::new(old.cap * 2);
@@ -316,6 +342,9 @@ impl<T> StealDeque<T> {
         }
         let mut retired = self.retired.lock().unwrap();
         for p in retired.drain(..) {
+            // safety: the latch read zero after every retiring swap, so no
+            // thief still holds `p` (see the safety argument above) and
+            // each retiree is dropped exactly once (drain moves it out).
             drop(unsafe { Box::from_raw(p) });
         }
         // ordering: SeqCst — mirrors the store in `grow` so the skip-check
@@ -329,13 +358,18 @@ impl<T> Drop for StealDeque<T> {
         // Exclusive access: drain remaining items, then free all buffers.
         // ordering: Relaxed — `&mut self` proves no other thread exists;
         // any prior cross-thread edge happened at the join/handoff.
+        // safety: the same exclusivity means no thief holds any pointer.
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Relaxed);
         let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         for i in t..b {
+            // safety: slots `t..b` hold live owner-pushed boxes, each
+            // dropped exactly once here.
             drop(unsafe { Box::from_raw(buf.get(i)) });
         }
         // ordering: Relaxed — same exclusive-access argument as above.
+        // safety: the current buffer and every retiree are uniquely owned
+        // at drop; retiring moved the pointers, so no double-free.
         drop(unsafe { Box::from_raw(self.buffer.load(Ordering::Relaxed)) });
         for p in self.retired.lock().unwrap().drain(..) {
             drop(unsafe { Box::from_raw(p) });

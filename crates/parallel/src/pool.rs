@@ -506,6 +506,8 @@ impl WorkerHandle<'_> {
             let mut guard = pool.park.lock().unwrap();
             pool.idlers.fetch_add(1, Ordering::SeqCst);
             loop {
+                // ordering: Acquire — pairs with the Release `done` stores
+                // so a woken worker sees every pre-shutdown write.
                 if pool.done.load(Ordering::Acquire) {
                     // ordering: SeqCst — see the comment on the increment.
                     pool.idlers.fetch_sub(1, Ordering::SeqCst);
@@ -522,7 +524,11 @@ impl WorkerHandle<'_> {
                 // `inflight` update), or a racing push could be missed.
                 if pool.inflight.load(Ordering::SeqCst) == 0 {
                     // Drained: nothing queued anywhere, nothing running.
+                    // ordering: Release — publishes every pre-done write to
+                    // the other workers' Acquire load of `done`.
                     pool.done.store(true, Ordering::Release);
+                    // ordering: SeqCst — same total order as every other
+                    // `idlers` op (see the increment above).
                     pool.idlers.fetch_sub(1, Ordering::SeqCst);
                     pool.cv.notify_all();
                     return None;
@@ -549,6 +555,8 @@ impl WorkerHandle<'_> {
         let prev = pool.inflight.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(prev > 0, "task_done without a matching visible task");
         if prev == 1 {
+            // ordering: Release — publishes the finished task's effects
+            // before the workers' Acquire load of `done`.
             pool.done.store(true, Ordering::Release);
             let _guard = pool.park.lock().unwrap();
             pool.cv.notify_all();

@@ -145,6 +145,9 @@ pub fn decode(universe: usize, taxa: &[TaxonId], code: &[u32]) -> Result<Tree, P
     for (j, (&c, &t)) in code.iter().zip(taxa.iter().skip(2)).enumerate() {
         // The partial tree has j + 2 leaves and therefore 2(j+2) - 3 =
         // 2j + 1 edges, with contiguous ids (fresh arena, no removals).
+        // arith: node/edge ids are u32-backed, so a decodable tree has
+        // fewer than `u32::MAX / 2` leaves; the assert pins the cast.
+        debug_assert!(j <= (u32::MAX as usize - 1) / 2);
         let bound = 2 * j as u32 + 1;
         if c >= bound {
             return Err(P2vError::OutOfRange {
@@ -185,6 +188,8 @@ impl Encoder {
     /// Encodes `tree` into its canonical [`TreeVector`].
     pub fn encode(&mut self, tree: &Tree) -> Result<TreeVector, P2vError> {
         let universe = tree.universe();
+        // arith: taxon ids originate from the universe's u32-backed
+        // `TaxonId`s, so the round-trip through `usize` cannot truncate.
         let taxa: Vec<TaxonId> = tree.taxa().iter().map(|t| TaxonId(t as u32)).collect();
         let n = taxa.len();
         if n <= 2 {

@@ -24,15 +24,21 @@ pub fn read_u64(data: &[u8], pos: &mut usize) -> Option<u64> {
     let mut shift = 0u32;
     loop {
         let byte = *data.get(*pos)?;
+        // arith: `*pos` was a valid index just above, so the increment
+        // cannot overflow `usize`.
         *pos += 1;
         let low = u64::from(byte & 0x7f);
         if shift >= 64 || (shift == 63 && low > 1) {
             return None;
         }
+        // arith: in range by the rejection above — `shift <= 56` when a
+        // full 7 bits remain, and at `shift == 63` only `low <= 1` passes.
         v |= low << shift;
         if byte & 0x80 == 0 {
             return Some(v);
         }
+        // arith: bounded — the guard above rejects at 64 before `shift`
+        // can grow past 70, far below any wrap.
         shift += 7;
     }
 }

@@ -1,0 +1,47 @@
+//! Fixture: atomic-ordering dataflow — declared-vs-actual mismatches and
+//! release/relaxed asymmetry. Scanned as `crates/parallel/src/fixture.rs`.
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Flags {
+    flag: AtomicUsize,
+    data: AtomicUsize,
+    count: AtomicUsize,
+}
+
+impl Flags {
+    pub fn publish(&self) {
+        // ordering: Release — publishes the payload before the flag flips.
+        self.flag.store(1, Ordering::Release);
+    }
+
+    pub fn read_bad(&self) -> usize {
+        // ordering: Relaxed — quick look at the flag.
+        self.flag.load(Ordering::Relaxed) // FINDING: unjustified asymmetry
+    }
+
+    pub fn read_ok(&self) -> usize {
+        // ordering: Relaxed — advisory read; staleness is tolerated here.
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    pub fn mismatch(&self) -> usize {
+        // ordering: Relaxed — text left behind by a later upgrade.
+        self.data.load(Ordering::Acquire) // FINDING: comment contradicts code
+    }
+
+    pub fn good(&self) -> usize {
+        // ordering: Acquire — pairs with a Release store elsewhere.
+        self.data.load(Ordering::Acquire)
+    }
+
+    pub fn stale_seqcst(&self) -> usize {
+        // ordering: Acquire — also stale; the code disagrees.
+        self.count.load(Ordering::SeqCst) // FINDING: ordering-justification
+    }
+
+    pub fn bump(&self) {
+        // ordering: Relaxed — monotonic diagnostic counter.
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,49 @@
+//! Fixture: sink-error-latching. Scanned as
+//! `crates/standfile/src/fixture.rs`.
+
+pub struct BadSink {
+    err: Option<StandfileError>,
+}
+
+impl StandSink for BadSink {
+    fn stand_tree(&mut self, tree: &Tree) {
+        if let Err(e) = self.write(tree) {
+            self.err = Some(e); // FINDING: finish() never reads it
+        }
+    }
+
+    fn finish(self) -> Result<Summary, StandfileError> {
+        Ok(Summary::default())
+    }
+}
+
+pub struct GoodSink {
+    err: Option<StandfileError>,
+}
+
+impl StandSink for GoodSink {
+    fn stand_tree(&mut self, tree: &Tree) {
+        if let Err(e) = self.write(tree) {
+            self.err = Some(e); // ok: surfaced by the inherent finish()
+        }
+    }
+}
+
+impl GoodSink {
+    pub fn finish(mut self) -> Result<Summary, StandfileError> {
+        match self.err.take() {
+            Some(e) => Err(e),
+            None => Ok(Summary::default()),
+        }
+    }
+}
+
+pub struct NoFinish {
+    err: Option<StandfileError>,
+}
+
+impl StandSink for NoFinish {
+    fn stand_tree(&mut self, _tree: &Tree) {
+        self.err = Some(StandfileError::Full); // FINDING: no finish() at all
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: wire-format arithmetic. Scanned as
+//! `crates/standfile/src/varint.rs` (the rule scopes exact files).
+
+pub fn mixed(v: u64, n: usize, buf: &mut Vec<u8>) -> u8 {
+    let masked = (v & 0x7f) as u8; // ok: literal-masked cast
+    buf.push(masked);
+    let _narrowed = v as u32; // FINDING: bare narrowing cast
+    let _sum = n + 1; // FINDING: bare add
+    let _shifted = v << 3; // FINDING: bare shift
+    masked
+}
+
+pub fn justified(v: u64, n: usize) -> u64 {
+    // arith: the caller guarantees `n < 8`, so neither op can wrap.
+    let shifted = v << n;
+    let bumped = n + 1;
+    debug_assert!(bumped <= 8);
+    let total = bumped + 2; // ok: a guard sits in the window above
+    shifted ^ total as u64
+}

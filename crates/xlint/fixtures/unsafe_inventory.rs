@@ -1,0 +1,24 @@
+//! Fixture: unsafe-inventory. Scanned as `crates/core/src/fixture.rs`.
+
+pub struct Raw(*mut u8);
+
+// safety: the owner hands the pointer across threads only as a whole.
+unsafe impl Send for Raw {}
+
+pub fn read(r: &Raw) -> u8 {
+    // safety: `r.0` is valid for reads for the life of `r`.
+    unsafe { *r.0 }
+}
+
+pub fn write(r: &mut Raw, v: u8) {
+    unsafe { *r.0 = v } // FINDING: block without a safety comment
+}
+
+unsafe impl Sync for Raw {} // FINDING: impl without a safety comment
+
+// FINDING below: the fn itself is undocumented unsafe; the inner block
+// carries its own justification and is fine.
+pub unsafe fn offset(p: *const u8, n: usize) -> u8 {
+    // safety: the caller promises `p + n` stays in bounds.
+    unsafe { *p.add(n) }
+}

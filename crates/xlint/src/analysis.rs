@@ -1,0 +1,492 @@
+//! Per-file semantic analysis shared by every rule.
+//!
+//! [`FileAnalysis`] lexes, test-marks and parses a file exactly once; the
+//! nine rules then run over the shared token stream, item tree and comment
+//! index (before this layer, every rule re-lexed the file — 4× per file
+//! then, 9× now — which `--timing` made visible and this refactor fixed).
+//!
+//! The comment index generalizes the `// ordering:` window of the original
+//! linter into *marker runs*: consecutive-line comment runs carrying a
+//! marker (`ordering:`, `arith:`, `safety:`) justify code within
+//! [`JUSTIFY_WINDOW`] lines below the run, and rules can read the run's
+//! *text* — which is what lets the flow-aware rules check that a declared
+//! ordering actually matches the code.
+
+use crate::lexer::{lex_marked, Tok, TokKind};
+use crate::parser::{parse, ParseTree};
+
+/// How many lines above a use a marker comment may sit and still justify
+/// it (same line always counts). Shared by `ordering:`, `arith:` and
+/// `safety:` markers.
+pub const JUSTIFY_WINDOW: usize = 4;
+
+/// The five memory orderings, as they appear in source and comments.
+pub const ORDERING_NAMES: &[&str] = &["SeqCst", "AcqRel", "Acquire", "Release", "Relaxed"];
+
+/// One run of consecutive single-line comments (or one block comment),
+/// with the concatenated text rules match markers against.
+#[derive(Clone, Debug)]
+pub struct CommentRun {
+    /// 1-based first line of the run.
+    pub first_line: usize,
+    /// 1-based last line of the run.
+    pub last_line: usize,
+    /// Concatenated comment text (comment markers included).
+    pub text: String,
+}
+
+impl CommentRun {
+    /// True when this run justifies code on `line`: the run carries the
+    /// marker and ends within [`JUSTIFY_WINDOW`] lines above (the marker
+    /// line itself may sit higher — multi-line justifications count from
+    /// their marker through their last line).
+    fn covers(&self, marker_line: usize, line: usize) -> bool {
+        let lo = line.saturating_sub(JUSTIFY_WINDOW);
+        // Any covered line of the run within the window.
+        marker_line <= line
+            && self.last_line >= lo
+            && marker_line.max(lo) <= self.last_line.min(line)
+    }
+}
+
+/// An `xlint: allow(rule)` escape comment, attached to the lines it covers.
+pub struct Allow {
+    /// Rule the escape names.
+    pub rule: String,
+    /// The comment's last line; it suppresses findings there and one below.
+    pub end_line: usize,
+}
+
+/// Comment-derived context for one file: marker runs (`ordering:`,
+/// `arith:`, `safety:`), allow escapes, and malformed escapes.
+pub struct CommentIndex {
+    runs: Vec<CommentRun>,
+    /// `(run index, marker line)` per marker kind.
+    ordering_runs: Vec<(usize, usize)>,
+    arith_runs: Vec<(usize, usize)>,
+    safety_runs: Vec<(usize, usize)>,
+    /// Valid allow escapes.
+    pub allows: Vec<Allow>,
+    /// Lines of malformed allow escapes (missing rule or reason).
+    pub bad_allow_lines: Vec<usize>,
+}
+
+fn marker_line_of(toks: &[&Tok], marker: &str, lower: bool) -> Option<usize> {
+    toks.iter()
+        .find(|c| {
+            if lower {
+                c.text.to_ascii_lowercase().contains(marker)
+            } else {
+                c.text.contains(marker)
+            }
+        })
+        .map(|c| c.line)
+}
+
+impl CommentIndex {
+    /// Builds the index from the file's tokens.
+    pub fn build(toks: &[Tok]) -> Self {
+        let comments: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Comment).collect();
+        let mut runs = Vec::new();
+        let mut ordering_runs = Vec::new();
+        let mut arith_runs = Vec::new();
+        let mut safety_runs = Vec::new();
+        // A `//` block is one comment per line to the lexer; merge
+        // consecutive-line comments into runs so a multi-line
+        // justification covers through its last line.
+        let mut i = 0;
+        while i < comments.len() {
+            let mut j = i;
+            while j + 1 < comments.len() && comments[j + 1].line == comments[j].end_line + 1 {
+                j += 1;
+            }
+            let group = &comments[i..=j];
+            let mut text = String::new();
+            for c in group {
+                if !text.is_empty() {
+                    text.push('\n');
+                }
+                text.push_str(&c.text);
+            }
+            let run = CommentRun {
+                first_line: group[0].line,
+                last_line: group[j - i].end_line,
+                text,
+            };
+            let rid = runs.len();
+            if let Some(l) = marker_line_of(group, "ordering:", false) {
+                ordering_runs.push((rid, l));
+            }
+            if let Some(l) = marker_line_of(group, "arith:", false) {
+                arith_runs.push((rid, l));
+            }
+            if let Some(l) = marker_line_of(group, "safety:", true) {
+                safety_runs.push((rid, l));
+            }
+            runs.push(run);
+            i = j + 1;
+        }
+
+        let mut allows = Vec::new();
+        let mut bad_allow_lines = Vec::new();
+        for t in &comments {
+            let mut rest = t.text.as_str();
+            while let Some(at) = rest.find("xlint: allow(") {
+                let after = &rest[at + "xlint: allow(".len()..];
+                let Some(close) = after.find(')') else {
+                    break;
+                };
+                let rule = after[..close].trim().to_string();
+                let reason = after[close + 1..]
+                    .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+                    .trim();
+                if rule.is_empty() || reason.is_empty() {
+                    bad_allow_lines.push(t.line);
+                } else {
+                    allows.push(Allow {
+                        rule,
+                        end_line: t.end_line,
+                    });
+                }
+                rest = &after[close + 1..];
+            }
+        }
+        CommentIndex {
+            runs,
+            ordering_runs,
+            arith_runs,
+            safety_runs,
+            allows,
+            bad_allow_lines,
+        }
+    }
+
+    fn lookup(&self, which: &[(usize, usize)], line: usize) -> Option<&CommentRun> {
+        which
+            .iter()
+            .map(|&(rid, ml)| (&self.runs[rid], ml))
+            .filter(|(r, ml)| r.covers(*ml, line))
+            .max_by_key(|(r, _)| r.last_line)
+            .map(|(r, _)| r)
+    }
+
+    /// The concatenated text of every `// ordering:` run justifying `line`
+    /// (`None` when no run covers it). Dense atomic code legitimately has
+    /// several justification runs inside one window — a site is judged
+    /// against all of them, so a comment about a neighbouring site cannot
+    /// turn a correctly-documented one into a mismatch.
+    pub fn ordering_text(&self, line: usize) -> Option<String> {
+        let texts: Vec<&str> = self
+            .ordering_runs
+            .iter()
+            .map(|&(rid, ml)| (&self.runs[rid], ml))
+            .filter(|(r, ml)| r.covers(*ml, line))
+            .map(|(r, _)| r.text.as_str())
+            .collect();
+        if texts.is_empty() {
+            None
+        } else {
+            Some(texts.join("\n"))
+        }
+    }
+
+    /// The `// arith:` run justifying `line`, if any.
+    pub fn arith_run(&self, line: usize) -> Option<&CommentRun> {
+        self.lookup(&self.arith_runs, line)
+    }
+
+    /// The `// safety:` run justifying `line`, if any.
+    pub fn safety_run(&self, line: usize) -> Option<&CommentRun> {
+        self.lookup(&self.safety_runs, line)
+    }
+
+    /// True when a matching allow escape covers (`rule`, `line`).
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.end_line == line || a.end_line + 1 == line))
+    }
+}
+
+/// Memory orderings a comment run names, in [`ORDERING_NAMES`] order.
+pub fn named_orderings(text: &str) -> Vec<&'static str> {
+    ORDERING_NAMES
+        .iter()
+        .copied()
+        .filter(|n| text.contains(n))
+        .collect()
+}
+
+/// The fully analyzed file every rule runs against: source, tokens (with
+/// byte spans and test-region marks), item/call tree, and comment index.
+/// Built exactly once per file per scan.
+pub struct FileAnalysis {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// The file's source text.
+    pub src: String,
+    /// Lossless token stream (`in_test` filled).
+    pub toks: Vec<Tok>,
+    /// Item tree, brace matching, call sites.
+    pub tree: ParseTree,
+    /// Marker runs and allow escapes.
+    pub comments: CommentIndex,
+    /// Indices into `toks` of code tokens: not comments, not test code.
+    pub code: Vec<usize>,
+    /// Byte span of each 1-based line (index 0 unused).
+    line_spans: Vec<(usize, usize)>,
+}
+
+impl FileAnalysis {
+    /// Lexes, marks and parses `src` once.
+    pub fn analyze(path: &str, src: &str) -> FileAnalysis {
+        let toks = lex_marked(src);
+        let tree = parse(&toks);
+        let comments = CommentIndex::build(&toks);
+        let code = (0..toks.len())
+            .filter(|&i| toks[i].kind != TokKind::Comment && !toks[i].in_test)
+            .collect();
+        let mut line_spans = vec![(0, 0)];
+        let mut start = 0;
+        for (off, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_spans.push((start, off));
+                start = off + 1;
+            }
+        }
+        line_spans.push((start, src.len()));
+        FileAnalysis {
+            path: path.to_string(),
+            src: src.to_string(),
+            toks,
+            tree,
+            comments,
+            code,
+            line_spans,
+        }
+    }
+
+    /// The trimmed text of 1-based `line` (empty when out of range).
+    pub fn snippet(&self, line: usize) -> String {
+        self.line_spans
+            .get(line)
+            .map(|&(a, b)| self.src[a..b].trim().to_string())
+            .unwrap_or_default()
+    }
+
+    /// True when any line in the justify window above `line` (inclusive)
+    /// contains one of `needles` — used for `checked_*`/`debug_assert!`
+    /// guard detection by the unchecked-arithmetic rule.
+    pub fn window_contains(&self, line: usize, needles: &[&str]) -> bool {
+        let lo = line.saturating_sub(JUSTIFY_WINDOW).max(1);
+        (lo..=line).any(|l| {
+            self.line_spans
+                .get(l)
+                .is_some_and(|&(a, b)| needles.iter().any(|n| self.src[a..b].contains(n)))
+        })
+    }
+
+    /// Token at code position `k` (the comment-and-test-free view).
+    pub fn ct(&self, k: usize) -> &Tok {
+        &self.toks[self.code[k]]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Site extraction: atomics and unsafe. Shared by the rules and the
+// machine-readable inventory (`xlint --atomics-json`).
+// ---------------------------------------------------------------------------
+
+/// Atomic method names that take an `Ordering` argument.
+pub const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+/// Ops whose success effect is a write (for release-side asymmetry).
+pub const WRITE_OPS: &[&str] = &[
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+/// One extracted atomic operation site.
+#[derive(Clone, Debug)]
+pub struct AtomicSite {
+    /// 1-based line of the call.
+    pub line: usize,
+    /// Receiver field the atomic lives in (`"(fence)"` for fences).
+    pub field: String,
+    /// Operation (`load`, `store`, `compare_exchange`, …, `fence`).
+    pub op: String,
+    /// `Ordering` arguments, in argument order; CAS orderings carry their
+    /// role (`"success:SeqCst"`, `"failure:Relaxed"`), plain ops are bare.
+    pub orderings: Vec<String>,
+    /// Enclosing function, when the item parser found one.
+    pub func: Option<String>,
+    /// Text of the justifying `// ordering:` run, when present.
+    pub comment: Option<String>,
+}
+
+impl AtomicSite {
+    /// Bare ordering names (roles stripped), for checks.
+    pub fn ordering_names(&self) -> Vec<&str> {
+        self.orderings
+            .iter()
+            .map(|o| o.rsplit(':').next().unwrap_or(o))
+            .collect()
+    }
+}
+
+/// Orderings mentioned in a token range, as `Ordering::X` path tokens.
+fn orderings_in_range(fa: &FileAnalysis, range: (usize, usize)) -> Vec<String> {
+    let mut out = Vec::new();
+    let toks = &fa.toks;
+    let mut i = range.0;
+    while i + 3 <= range.1.min(toks.len()) {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == "Ordering"
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokKind::Punct(':'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokKind::Punct(':'))
+            && toks.get(i + 3).is_some_and(|t| {
+                t.kind == TokKind::Ident && ORDERING_NAMES.contains(&t.text.as_str())
+            })
+        {
+            out.push(toks[i + 3].text.clone());
+            i += 4;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Extracts every atomic op site (method calls with an `Ordering` argument
+/// plus `fence(…)` calls) outside test code.
+pub fn atomic_sites(fa: &FileAnalysis) -> Vec<AtomicSite> {
+    let mut out = Vec::new();
+    for call in &fa.tree.calls {
+        if fa.toks[call.name_tok].in_test {
+            continue;
+        }
+        let is_fence = !call.method && call.name == "fence";
+        let is_atomic = call.method && ATOMIC_OPS.contains(&call.name.as_str());
+        if !is_fence && !is_atomic {
+            continue;
+        }
+        let per_arg: Vec<Vec<String>> = call
+            .args
+            .iter()
+            .map(|&r| orderings_in_range(fa, r))
+            .collect();
+        let found: usize = per_arg.iter().map(|v| v.len()).sum();
+        if found == 0 {
+            continue; // e.g. an unrelated `load(…)` method
+        }
+        let cas = call.name.starts_with("compare_exchange");
+        let mut orderings = Vec::new();
+        for (ai, args) in per_arg.iter().enumerate() {
+            for o in args {
+                if cas && per_arg.len() >= 4 {
+                    // compare_exchange(current, new, success, failure)
+                    let role = match ai {
+                        2 => "success:",
+                        3 => "failure:",
+                        _ => "",
+                    };
+                    orderings.push(format!("{role}{o}"));
+                } else if call.name == "fetch_update" && per_arg.len() >= 3 {
+                    let role = match ai {
+                        0 => "set:",
+                        1 => "fetch:",
+                        _ => "",
+                    };
+                    orderings.push(format!("{role}{o}"));
+                } else {
+                    orderings.push(o.clone());
+                }
+            }
+        }
+        out.push(AtomicSite {
+            line: call.line,
+            field: if is_fence {
+                "(fence)".to_string()
+            } else {
+                call.recv_field.clone().unwrap_or_else(|| "(expr)".into())
+            },
+            op: if is_fence {
+                "fence".into()
+            } else {
+                call.name.clone()
+            },
+            orderings,
+            func: fa.tree.enclosing_fn(call.name_tok).map(|f| f.name.clone()),
+            comment: fa.comments.ordering_text(call.line),
+        });
+    }
+    out
+}
+
+/// One `unsafe` site.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    /// 1-based line of the `unsafe` keyword.
+    pub line: usize,
+    /// `block`, `fn`, `impl`, or `other`.
+    pub kind: &'static str,
+    /// Enclosing function, when inside one.
+    pub func: Option<String>,
+    /// True when a `// safety:` run justifies the site.
+    pub has_safety: bool,
+}
+
+/// Extracts every `unsafe` keyword site outside test code.
+pub fn unsafe_sites(fa: &FileAnalysis) -> Vec<UnsafeSite> {
+    let mut out = Vec::new();
+    for k in 0..fa.code.len() {
+        let t = fa.ct(k);
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let kind = match fa.code.get(k + 1).map(|&i| &fa.toks[i]) {
+            Some(n) if n.kind == TokKind::Punct('{') => "block",
+            Some(n) if n.kind == TokKind::Ident && n.text == "fn" => "fn",
+            Some(n) if n.kind == TokKind::Ident && n.text == "impl" => "impl",
+            Some(n) if n.kind == TokKind::Ident && n.text == "trait" => "trait",
+            _ => "other",
+        };
+        out.push(UnsafeSite {
+            line: t.line,
+            kind,
+            func: fa.tree.enclosing_fn(fa.code[k]).map(|f| f.name.clone()),
+            has_safety: fa.comments.safety_run(t.line).is_some(),
+        });
+    }
+    out
+}

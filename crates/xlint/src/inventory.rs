@@ -1,0 +1,168 @@
+//! The machine-readable invariant inventory (`xlint --atomics-json`).
+//!
+//! Two tables, both derived from the same per-file analysis the rules run
+//! on: every atomic op site in the scheduler grouped per field (with its
+//! actual `Ordering` arguments, enclosing fn and justification status),
+//! and every `unsafe` site in the workspace with its `// safety:` status.
+//! Schema-versioned (`xlint-inventory-v1`) and byte-deterministic — sorted
+//! by path, then field, then line — so CI can pin a golden fixture and
+//! diff artifacts across runs.
+
+use crate::analysis::{atomic_sites, unsafe_sites, AtomicSite, FileAnalysis, UnsafeSite};
+use crate::json_escape;
+use crate::rules::{rule_covers, RULES};
+
+/// Schema tag emitted in the JSON (bump on any shape change).
+pub const INVENTORY_SCHEMA: &str = "xlint-inventory-v1";
+
+/// One per-field group of atomic sites.
+pub struct AtomicFieldEntry {
+    /// Repo-relative path of the file the sites live in.
+    pub path: String,
+    /// Receiver field (`"(fence)"` for fences, `"(expr)"` when the
+    /// receiver is not a field chain).
+    pub field: String,
+    /// The field's sites in line order.
+    pub sites: Vec<AtomicSite>,
+}
+
+/// One `unsafe` site with its file.
+pub struct UnsafeEntry {
+    /// Repo-relative path.
+    pub path: String,
+    /// The site.
+    pub site: UnsafeSite,
+}
+
+/// The full inventory.
+pub struct Inventory {
+    /// Atomic sites per (path, field), sorted.
+    pub atomics: Vec<AtomicFieldEntry>,
+    /// Unsafe sites, sorted by (path, line).
+    pub unsafes: Vec<UnsafeEntry>,
+}
+
+/// Builds the inventory from analyzed files. Atomic sites come from files
+/// in the `atomic-ordering` scope, unsafe sites from the `unsafe-inventory`
+/// scope, so the inventory and the rules always agree on coverage.
+pub fn build_inventory(analyses: &[FileAnalysis]) -> Inventory {
+    let atomic_rule = RULES.iter().find(|r| r.name == "atomic-ordering");
+    let unsafe_rule = RULES.iter().find(|r| r.name == "unsafe-inventory");
+
+    let mut atomics: Vec<AtomicFieldEntry> = Vec::new();
+    let mut unsafes: Vec<UnsafeEntry> = Vec::new();
+    for fa in analyses {
+        if atomic_rule.is_some_and(|r| rule_covers(r, &fa.path)) {
+            let mut by_field: Vec<AtomicFieldEntry> = Vec::new();
+            for site in atomic_sites(fa) {
+                match by_field.iter_mut().find(|e| e.field == site.field) {
+                    Some(e) => e.sites.push(site),
+                    None => by_field.push(AtomicFieldEntry {
+                        path: fa.path.clone(),
+                        field: site.field.clone(),
+                        sites: vec![site],
+                    }),
+                }
+            }
+            by_field.sort_by(|a, b| a.field.cmp(&b.field));
+            for e in &mut by_field {
+                e.sites.sort_by_key(|s| s.line);
+            }
+            atomics.extend(by_field);
+        }
+        if unsafe_rule.is_some_and(|r| rule_covers(r, &fa.path)) {
+            for site in unsafe_sites(fa) {
+                unsafes.push(UnsafeEntry {
+                    path: fa.path.clone(),
+                    site,
+                });
+            }
+        }
+    }
+    // Files arrive in sorted order from `workspace_files`, but sort again
+    // so direct calls with unordered analyses stay deterministic.
+    atomics.sort_by(|a, b| (&a.path, &a.field).cmp(&(&b.path, &b.field)));
+    unsafes.sort_by(|a, b| (&a.path, a.site.line).cmp(&(&b.path, b.site.line)));
+    Inventory { atomics, unsafes }
+}
+
+fn push_opt_str(s: &mut String, key: &str, v: &Option<String>) {
+    match v {
+        Some(x) => s.push_str(&format!("\"{}\": \"{}\"", key, json_escape(x))),
+        None => s.push_str(&format!("\"{key}\": null")),
+    }
+}
+
+/// Renders the inventory as schema-versioned JSON (RFC 8259; validated by
+/// the test suite against the workspace's own validator).
+pub fn render_inventory(inv: &Inventory) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{INVENTORY_SCHEMA}\",\n"));
+    s.push_str("  \"atomics\": [");
+    for (ei, e) in inv.atomics.iter().enumerate() {
+        if ei > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"field\": \"{}\", \"sites\": [",
+            json_escape(&e.path),
+            json_escape(&e.field)
+        ));
+        for (si, site) in e.sites.iter().enumerate() {
+            if si > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n      {{\"line\": {}, \"op\": \"{}\", \"orderings\": [",
+                site.line,
+                json_escape(&site.op)
+            ));
+            for (oi, o) in site.orderings.iter().enumerate() {
+                if oi > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{}\"", json_escape(o)));
+            }
+            s.push_str("], ");
+            push_opt_str(&mut s, "fn", &site.func);
+            s.push_str(&format!(
+                ", \"justified\": {}}}",
+                if site.comment.is_some() {
+                    "true"
+                } else {
+                    "false"
+                }
+            ));
+        }
+        if !e.sites.is_empty() {
+            s.push_str("\n    ");
+        }
+        s.push_str("]}");
+    }
+    if !inv.atomics.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"unsafe\": [");
+    for (ui, u) in inv.unsafes.iter().enumerate() {
+        if ui > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"kind\": \"{}\", ",
+            json_escape(&u.path),
+            u.site.line,
+            u.site.kind
+        ));
+        push_opt_str(&mut s, "fn", &u.site.func);
+        s.push_str(&format!(
+            ", \"safety\": {}}}",
+            if u.site.has_safety { "true" } else { "false" }
+        ));
+    }
+    if !inv.unsafes.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}

@@ -33,7 +33,8 @@ pub enum TokKind {
     Num,
 }
 
-/// One token with its source span (line-granular) and test-region flag.
+/// One token with its source span (line- and byte-granular) and
+/// test-region flag.
 #[derive(Clone, Debug)]
 pub struct Tok {
     /// What kind of token this is.
@@ -45,6 +46,13 @@ pub struct Tok {
     /// 1-based line the token ends on (differs from `line` only for
     /// multi-line comments and strings).
     pub end_line: usize,
+    /// Byte offset of the token's first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the token's last byte. Tokens cover exactly
+    /// the bytes consumed for them, in order and without overlap, so the
+    /// source reconstructs losslessly from spans plus whitespace gaps
+    /// (the parser proptests pin this).
+    pub end: usize,
     /// True when the token sits inside test-only code; filled by
     /// [`mark_test_regions`], `false` straight out of [`lex`].
     pub in_test: bool,
@@ -92,6 +100,10 @@ impl<'a> Lexer<'a> {
             text,
             line,
             end_line: self.line,
+            // Byte spans are filled by the main `lex` loop, which knows the
+            // dispatch position (every handler consumes contiguously).
+            start: 0,
+            end: 0,
             in_test: false,
         }
     }
@@ -296,43 +308,34 @@ pub fn lex(src: &str) -> Vec<Tok> {
     };
     let mut out = Vec::new();
     while let Some(b) = lx.peek(0) {
-        match b {
+        // Every handler consumes contiguously from the dispatch position,
+        // so the token's byte span is exactly [start, lx.pos) afterwards.
+        let start = lx.pos;
+        let mut t = match b {
             b'\n' => {
                 lx.line += 1;
                 lx.pos += 1;
+                continue;
             }
-            _ if b.is_ascii_whitespace() => lx.pos += 1,
-            b'/' if lx.peek(1) == Some(b'/') => {
-                let t = lx.line_comment();
-                out.push(t);
+            _ if b.is_ascii_whitespace() => {
+                lx.pos += 1;
+                continue;
             }
-            b'/' if lx.peek(1) == Some(b'*') => {
-                let t = lx.block_comment();
-                out.push(t);
-            }
-            b'"' => {
-                let t = lx.string();
-                out.push(t);
-            }
-            b'\'' => {
-                let t = lx.char_or_lifetime();
-                out.push(t);
-            }
-            _ if is_ident_start(b) => {
-                let t = lx.ident_or_prefixed_literal();
-                out.push(t);
-            }
-            _ if b.is_ascii_digit() => {
-                let t = lx.number();
-                out.push(t);
-            }
+            b'/' if lx.peek(1) == Some(b'/') => lx.line_comment(),
+            b'/' if lx.peek(1) == Some(b'*') => lx.block_comment(),
+            b'"' => lx.string(),
+            b'\'' => lx.char_or_lifetime(),
+            _ if is_ident_start(b) => lx.ident_or_prefixed_literal(),
+            _ if b.is_ascii_digit() => lx.number(),
             _ => {
                 let line = lx.line;
                 lx.pos += 1;
-                let t = lx.tok(TokKind::Punct(b as char), (b as char).to_string(), line);
-                out.push(t);
+                lx.tok(TokKind::Punct(b as char), (b as char).to_string(), line)
             }
-        }
+        };
+        t.start = start;
+        t.end = lx.pos;
+        out.push(t);
     }
     out
 }

@@ -14,14 +14,20 @@
 //! non-zero when any non-baselined finding — or a stale baseline entry —
 //! exists, which is what makes the CI job blocking.
 
+pub mod analysis;
+pub mod inventory;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
-pub use rules::{check_file, Finding, RULES};
+pub use inventory::{build_inventory, render_inventory, Inventory, INVENTORY_SCHEMA};
+pub use rules::{check_analysis, check_file, rule_covers, Finding, RULES};
 
+use analysis::FileAnalysis;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Result of a workspace scan, after baseline application.
 pub struct Report {
@@ -94,15 +100,70 @@ fn walk(dir: &Path, root: &Path, out: &mut std::collections::BTreeSet<String>) -
     Ok(())
 }
 
+/// A full workspace scan: findings (allow escapes applied, baseline not
+/// yet applied), per-phase wall time, and the invariant inventory.
+pub struct ScanOutput {
+    /// All findings, in (path, line, rule) order.
+    pub findings: Vec<Finding>,
+    /// `("lex+parse", t)` followed by one `(rule name, t)` per rule —
+    /// the `--timing` output. Lexing and parsing happen once per file and
+    /// are shared by every rule, so they get their own phase entry.
+    pub timings: Vec<(String, Duration)>,
+    /// The atomic-site / unsafe inventory (`--atomics-json`).
+    pub inventory: Inventory,
+}
+
+/// Scans the workspace under `root`: every file is lexed and parsed once,
+/// then each rule runs over the shared analyses (timed per rule).
+pub fn scan_workspace_full(root: &Path) -> io::Result<ScanOutput> {
+    let t0 = Instant::now();
+    let mut analyses = Vec::new();
+    for rel in workspace_files(root)? {
+        let src = fs::read_to_string(root.join(&rel))?;
+        analyses.push(FileAnalysis::analyze(&rel, &src));
+    }
+    let mut timings = vec![("lex+parse".to_string(), t0.elapsed())];
+
+    let mut per_file_raw: Vec<Vec<Finding>> = (0..analyses.len()).map(|_| Vec::new()).collect();
+    for rule in RULES {
+        let t = Instant::now();
+        for (fi, fa) in analyses.iter().enumerate() {
+            if rule_covers(rule, &fa.path) {
+                (rule.check)(fa, &mut per_file_raw[fi]);
+            }
+        }
+        timings.push((rule.name.to_string(), t.elapsed()));
+    }
+
+    let mut findings = Vec::new();
+    for (fa, raw) in analyses.iter().zip(per_file_raw) {
+        findings.extend(rules::finish_findings(fa, raw));
+    }
+    let inventory = build_inventory(&analyses);
+    Ok(ScanOutput {
+        findings,
+        timings,
+        inventory,
+    })
+}
+
 /// Scans the workspace under `root` and returns all findings (allow
 /// escapes applied, baseline not yet applied).
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for rel in workspace_files(root)? {
-        let src = fs::read_to_string(root.join(&rel))?;
-        findings.extend(check_file(&rel, &src));
+    scan_workspace_full(root).map(|s| s.findings)
+}
+
+/// Renders `--timing` output: one line per phase, microsecond precision.
+pub fn render_timings(timings: &[(String, Duration)]) -> String {
+    let mut s = String::from("xlint timing (lex+parse shared across all rules):\n");
+    for (name, d) in timings {
+        s.push_str(&format!(
+            "  {:24} {:>9.3} ms\n",
+            name,
+            d.as_secs_f64() * 1e3
+        ));
     }
-    Ok(findings)
+    s
 }
 
 /// The frozen-debt baseline: tab-separated `rule<TAB>path<TAB>snippet`

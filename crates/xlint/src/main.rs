@@ -5,7 +5,7 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use xlint::{scan_workspace, Baseline};
+use xlint::{render_inventory, render_timings, scan_workspace_full, Baseline};
 
 const USAGE: &str = "\
 xlint — workspace invariant linter
@@ -19,6 +19,9 @@ OPTIONS:
                             was built from)
     --baseline <FILE>       frozen-debt file (default: <root>/xlint.baseline)
     --write-baseline        rewrite the baseline to freeze current findings
+    --atomics-json          print the schema-versioned atomic-site / unsafe
+                            inventory JSON and exit (does not lint)
+    --timing                print per-rule wall time to stderr
     --list-rules            print the rules and exit
     --help                  this text
 ";
@@ -28,6 +31,8 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline = false;
+    let mut atomics_json = false;
+    let mut timing = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -45,6 +50,8 @@ fn main() -> ExitCode {
                 None => return usage_error("expected a file after --baseline"),
             },
             "--write-baseline" => write_baseline = true,
+            "--atomics-json" => atomics_json = true,
+            "--timing" => timing = true,
             "--list-rules" => {
                 for r in xlint::RULES {
                     println!(
@@ -73,14 +80,23 @@ fn main() -> ExitCode {
     });
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("xlint.baseline"));
 
-    let findings = match scan_workspace(&root) {
-        Ok(f) => f,
+    let scan = match scan_workspace_full(&root) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("xlint: scan failed under {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    if timing {
+        eprint!("{}", render_timings(&scan.timings));
+    }
 
+    if atomics_json {
+        print!("{}", render_inventory(&scan.inventory));
+        return ExitCode::SUCCESS;
+    }
+
+    let findings = scan.findings;
     if write_baseline {
         let text = Baseline::render(&findings);
         if let Err(e) = std::fs::write(&baseline_path, text) {

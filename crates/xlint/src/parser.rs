@@ -1,0 +1,511 @@
+//! A lightweight item/brace-tree parser on top of the lossless lexer.
+//!
+//! This is deliberately **not** a Rust grammar: the semantic rules only
+//! need to know (a) which item (`fn` / `mod` / `impl` / `trait`) encloses a
+//! token, (b) where braced blocks open and close, and (c) where calls
+//! happen — the callee name, the receiver chain of a method call, and the
+//! token range of each argument. All three are recoverable from the token
+//! stream with a brace/paren matcher and a few keyword look-aheads, which
+//! keeps the linter dependency-free and immune to new syntax it does not
+//! care about (unknown constructs simply parse as "tokens inside some
+//! block").
+//!
+//! The parser is total: unbalanced input never panics, it just yields a
+//! best-effort tree (missing closers are clamped to the end of the file).
+//! The hostile-input proptests pin both totality and the lexer's
+//! byte-lossless spans.
+
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of item a node of the item tree is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { … }` (inline only; `mod name;` has no body to index).
+    Mod,
+    /// `fn name(…) { … }` — free functions and methods alike.
+    Fn,
+    /// `impl Type { … }` or `impl Trait for Type { … }`.
+    Impl {
+        /// Trait path's last segment, when this is a trait impl.
+        trait_name: Option<String>,
+        /// Self-type path's last segment (`String` for `impl String`, …).
+        type_name: String,
+    },
+    /// `trait Name { … }`.
+    Trait,
+}
+
+/// One node of the item tree.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// What the item is.
+    pub kind: ItemKind,
+    /// Item name (`fn`/`mod`/`trait` name; the self-type for impls).
+    pub name: String,
+    /// 1-based line of the introducing keyword.
+    pub line: usize,
+    /// Token index of the introducing keyword.
+    pub kw_tok: usize,
+    /// Token index of the body's `{` (== `body_close` when body-less).
+    pub body_open: usize,
+    /// Token index of the matching `}` (clamped to `toks.len()` when the
+    /// file ends mid-item).
+    pub body_close: usize,
+    /// Nested items, in source order.
+    pub children: Vec<Item>,
+}
+
+impl Item {
+    /// True when token index `i` lies inside this item's body.
+    pub fn contains(&self, i: usize) -> bool {
+        self.body_open < i && i < self.body_close
+    }
+}
+
+/// One call site: `name(args…)` or `recv.name(args…)`.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Callee name (the identifier directly before the `(`).
+    pub name: String,
+    /// True for method calls (`recv.name(…)`).
+    pub method: bool,
+    /// For method calls: the last plain field identifier of the receiver
+    /// chain, with trailing index groups stripped — `self.stats[w].steals`
+    /// yields `steals`, `pool.done` yields `done`, `self.0` yields `0`.
+    pub recv_field: Option<String>,
+    /// Token index of the callee identifier.
+    pub name_tok: usize,
+    /// Token index of the opening `(`.
+    pub open_paren: usize,
+    /// Token index of the matching `)` (clamped like item bodies).
+    pub close_paren: usize,
+    /// Half-open token ranges of the top-level arguments, commas excluded.
+    pub args: Vec<(usize, usize)>,
+    /// 1-based line of the callee identifier.
+    pub line: usize,
+}
+
+/// The parsed view of one file's tokens: item tree, brace matching, and
+/// call sites. Built once per file and shared by every rule.
+#[derive(Debug, Default)]
+pub struct ParseTree {
+    /// Top-level items (nesting in `Item::children`).
+    pub items: Vec<Item>,
+    /// For each token index holding `{`, the index of its matching `}`
+    /// (`toks.len()` when unclosed).
+    pub brace_match: Vec<(usize, usize)>,
+    /// Every call site, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+impl ParseTree {
+    /// Matching `}` for the `{` at token index `open` (clamped to the
+    /// token count when the brace never closes).
+    pub fn close_of(&self, open: usize, ntoks: usize) -> usize {
+        self.brace_match
+            .iter()
+            .find(|&&(o, _)| o == open)
+            .map(|&(_, c)| c)
+            .unwrap_or(ntoks)
+    }
+
+    /// Innermost `fn` item containing token index `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&Item> {
+        fn walk<'t>(items: &'t [Item], i: usize, best: &mut Option<&'t Item>) {
+            for it in items {
+                if it.contains(i) {
+                    if it.kind == ItemKind::Fn {
+                        *best = Some(it);
+                    }
+                    walk(&it.children, i, best);
+                }
+            }
+        }
+        let mut best = None;
+        walk(&self.items, i, &mut best);
+        best
+    }
+
+    /// Innermost item of any kind containing token index `i`.
+    pub fn enclosing_item(&self, i: usize) -> Option<&Item> {
+        fn walk<'t>(items: &'t [Item], i: usize, best: &mut Option<&'t Item>) {
+            for it in items {
+                if it.contains(i) {
+                    *best = Some(it);
+                    walk(&it.children, i, best);
+                }
+            }
+        }
+        let mut best = None;
+        walk(&self.items, i, &mut best);
+        best
+    }
+}
+
+fn is_ident(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Indices of non-comment tokens, with a map back to raw indices. Comments
+/// are transparent to item and call structure.
+fn code_indices(toks: &[Tok]) -> Vec<usize> {
+    (0..toks.len())
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect()
+}
+
+/// Parses the token stream into a [`ParseTree`]. Total: never panics,
+/// tolerates unbalanced and hostile input.
+pub fn parse(toks: &[Tok]) -> ParseTree {
+    let code = code_indices(toks);
+    let brace_match = match_braces(toks, &code);
+    let items = parse_items(toks, &code, &brace_match);
+    let calls = extract_calls(toks, &code);
+    ParseTree {
+        items,
+        brace_match,
+        calls,
+    }
+}
+
+/// Stack-matches `{`/`}` over the code tokens. Unmatched `{` map to
+/// `toks.len()`; unmatched `}` are ignored.
+fn match_braces(toks: &[Tok], code: &[usize]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    for &i in code {
+        match toks[i].kind {
+            TokKind::Punct('{') => stack.push(i),
+            TokKind::Punct('}') => {
+                if let Some(open) = stack.pop() {
+                    out.push((open, i));
+                }
+            }
+            _ => {}
+        }
+    }
+    for open in stack {
+        out.push((open, toks.len()));
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Matching `}` for `{` at raw index `open`, via a sorted match list.
+fn close_for(brace_match: &[(usize, usize)], open: usize, ntoks: usize) -> usize {
+    brace_match
+        .binary_search_by_key(&open, |&(o, _)| o)
+        .map(|k| brace_match[k].1)
+        .unwrap_or(ntoks)
+}
+
+/// Recursive-descent over the code tokens: collect `fn`/`mod`/`impl`/
+/// `trait` headers and recurse into their bodies.
+fn parse_items(toks: &[Tok], code: &[usize], brace_match: &[(usize, usize)]) -> Vec<Item> {
+    let mut items = Vec::new();
+    parse_region(toks, code, brace_match, 0, code.len(), &mut items, 0);
+    items
+}
+
+/// Parses code-token positions `[from, to)` (indices into `code`).
+/// `depth` bounds recursion on pathological nesting.
+fn parse_region(
+    toks: &[Tok],
+    code: &[usize],
+    brace_match: &[(usize, usize)],
+    from: usize,
+    to: usize,
+    out: &mut Vec<Item>,
+    depth: usize,
+) {
+    if depth > 64 {
+        return; // hostile nesting: stop indexing, never recurse forever
+    }
+    let mut k = from;
+    while k < to {
+        let i = code[k];
+        let t = &toks[i];
+        let header = if is_ident(t, "fn") {
+            parse_fn_header(toks, code, k, to)
+        } else if is_ident(t, "mod") {
+            parse_named_header(toks, code, k, to, ItemKind::Mod)
+        } else if is_ident(t, "trait") {
+            parse_named_header(toks, code, k, to, ItemKind::Trait)
+        } else if is_ident(t, "impl") {
+            parse_impl_header(toks, code, k, to)
+        } else {
+            None
+        };
+        let Some((kind, name, open_k)) = header else {
+            // Skip block bodies that aren't items (match arms, closures…):
+            // recursion happens through items only; stray braces just pass.
+            k += 1;
+            continue;
+        };
+        let open_i = code[open_k];
+        let close_i = close_for(brace_match, open_i, toks.len());
+        // Children live strictly inside the body's code-token range.
+        let body_end_k = code.partition_point(|&c| c < close_i);
+        let mut children = Vec::new();
+        parse_region(
+            toks,
+            code,
+            brace_match,
+            open_k + 1,
+            body_end_k,
+            &mut children,
+            depth + 1,
+        );
+        out.push(Item {
+            kind,
+            name,
+            line: t.line,
+            kw_tok: i,
+            body_open: open_i,
+            body_close: close_i,
+            children,
+        });
+        k = body_end_k.max(open_k + 1);
+        if k < code.len() && code[k] == close_i {
+            k += 1; // step past the `}` itself
+        }
+    }
+}
+
+/// `fn name …angle/paren soup… {` — finds the body `{` by skipping one
+/// balanced `(…)` group (the params) and then scanning to the first `{`
+/// at angle-free top level (the return type may mention braces only
+/// inside `(…)`/`[…]` groups, which we skip too).
+fn parse_fn_header(
+    toks: &[Tok],
+    code: &[usize],
+    k: usize,
+    to: usize,
+) -> Option<(ItemKind, String, usize)> {
+    let name_k = k + 1;
+    if name_k >= to || toks[code[name_k]].kind != TokKind::Ident {
+        return None;
+    }
+    let name = toks[code[name_k]].text.clone();
+    let mut j = name_k + 1;
+    let mut par = 0isize;
+    let mut brk = 0isize;
+    while j < to {
+        match toks[code[j]].kind {
+            TokKind::Punct('(') => par += 1,
+            TokKind::Punct(')') => par -= 1,
+            TokKind::Punct('[') => brk += 1,
+            TokKind::Punct(']') => brk -= 1,
+            TokKind::Punct('{') if par == 0 && brk == 0 => {
+                return Some((ItemKind::Fn, name, j));
+            }
+            // `fn f();` — no body (trait method, extern): not indexed.
+            TokKind::Punct(';') if par == 0 && brk == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// `mod name {` / `trait Name {` (body-less forms yield no item).
+fn parse_named_header(
+    toks: &[Tok],
+    code: &[usize],
+    k: usize,
+    to: usize,
+    kind: ItemKind,
+) -> Option<(ItemKind, String, usize)> {
+    let name_k = k + 1;
+    if name_k >= to || toks[code[name_k]].kind != TokKind::Ident {
+        return None;
+    }
+    let name = toks[code[name_k]].text.clone();
+    let mut j = name_k + 1;
+    while j < to {
+        match toks[code[j]].kind {
+            TokKind::Punct('{') => return Some((kind, name, j)),
+            TokKind::Punct(';') => return None,
+            _ => {
+                j += 1;
+            }
+        }
+    }
+    None
+}
+
+/// `impl<…> Trait for Type {` / `impl<…> Type {`. Trait and type names are
+/// the last path segment before `for` / `{`; generic arguments are skipped
+/// by ignoring idents inside `<…>` nesting.
+fn parse_impl_header(
+    toks: &[Tok],
+    code: &[usize],
+    k: usize,
+    to: usize,
+) -> Option<(ItemKind, String, usize)> {
+    let mut j = k + 1;
+    let mut angle = 0isize;
+    let mut before_for: Option<String> = None; // last top-level ident seen
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while j < to {
+        let t = &toks[code[j]];
+        match &t.kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => angle -= 1,
+            TokKind::Punct('{') if angle <= 0 => {
+                let (trait_name, type_name) = if saw_for {
+                    (before_for, after_for?)
+                } else {
+                    (None, before_for?)
+                };
+                return Some((
+                    ItemKind::Impl {
+                        trait_name,
+                        type_name: type_name.clone(),
+                    },
+                    type_name,
+                    j,
+                ));
+            }
+            TokKind::Punct(';') if angle <= 0 => return None,
+            TokKind::Ident if angle == 0 => {
+                if t.text == "for" {
+                    saw_for = true;
+                } else if t.text != "where" && t.text != "dyn" && t.text != "mut" {
+                    if saw_for {
+                        after_for = Some(t.text.clone());
+                    } else {
+                        before_for = Some(t.text.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Scans for `ident (` and `. ident (` shapes and extracts callee, receiver
+/// field and argument ranges. Keyword heads (`if (…)`, `while (…)`, …) are
+/// excluded.
+fn extract_calls(toks: &[Tok], code: &[usize]) -> Vec<CallSite> {
+    const NOT_CALLEES: &[&str] = &[
+        "if", "while", "for", "match", "return", "in", "as", "let", "fn", "move", "loop", "else",
+        "unsafe", "ref", "mut", "box", "yield", "await",
+    ];
+    let mut out = Vec::new();
+    for (k, &i) in code.iter().enumerate() {
+        if toks[i].kind != TokKind::Ident || NOT_CALLEES.contains(&toks[i].text.as_str()) {
+            continue;
+        }
+        let Some(&open_i) = code.get(k + 1) else {
+            continue;
+        };
+        if toks[open_i].kind != TokKind::Punct('(') {
+            continue;
+        }
+        let method = k > 0 && toks[code[k - 1]].kind == TokKind::Punct('.');
+        let recv_field = if method {
+            receiver_field(toks, code, k - 1)
+        } else {
+            None
+        };
+        // Match the argument parens and split top-level commas.
+        let mut depth = 0isize;
+        let mut args: Vec<(usize, usize)> = Vec::new();
+        let mut arg_start = open_i + 1;
+        let mut close_i = toks.len();
+        for &j in &code[k + 1..] {
+            match toks[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close_i = j;
+                        break;
+                    }
+                }
+                TokKind::Punct(',') if depth == 1 => {
+                    args.push((arg_start, j));
+                    arg_start = j + 1;
+                }
+                _ => {}
+            }
+        }
+        if close_i > arg_start || !args.is_empty() {
+            args.push((arg_start, close_i.min(toks.len())));
+        }
+        // An empty-parens call still deserves a site (zero args).
+        out.push(CallSite {
+            name: toks[i].text.clone(),
+            method,
+            recv_field,
+            name_tok: i,
+            open_paren: open_i,
+            close_paren: close_i,
+            args: args.into_iter().filter(|&(a, b)| b > a).collect::<Vec<_>>(),
+            line: toks[i].line,
+        });
+    }
+    out
+}
+
+/// Walks the receiver chain backwards from the `.` at code position
+/// `dot_k` and returns the last plain field identifier (index groups
+/// stripped): `self.stats[w].steals.load(…)` → `steals`.
+fn receiver_field(toks: &[Tok], code: &[usize], dot_k: usize) -> Option<String> {
+    let mut k = dot_k; // points at the `.` before the callee
+    let mut field: Option<String> = None;
+    loop {
+        if k == 0 {
+            break;
+        }
+        k -= 1;
+        let t = &toks[code[k]];
+        match &t.kind {
+            // Skip a balanced index/call group backwards.
+            TokKind::Punct(']') | TokKind::Punct(')') => {
+                let mut depth = 0isize;
+                loop {
+                    let t = &toks[code[k]];
+                    match t.kind {
+                        TokKind::Punct(']') | TokKind::Punct(')') => depth += 1,
+                        TokKind::Punct('[') | TokKind::Punct('(') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if k == 0 {
+                        return field;
+                    }
+                    k -= 1;
+                }
+            }
+            TokKind::Ident | TokKind::Num => {
+                if field.is_none() && t.text != "self" {
+                    field = Some(t.text.clone());
+                }
+                // A further `.`/`::` continues the chain; anything else
+                // terminates it.
+                if k == 0 {
+                    break;
+                }
+                let prev = &toks[code[k - 1]];
+                match prev.kind {
+                    TokKind::Punct('.') | TokKind::Punct(':') => {
+                        k -= 1; // consume the separator and continue
+                    }
+                    _ => break,
+                }
+            }
+            TokKind::Punct('.') | TokKind::Punct(':') => {}
+            _ => break,
+        }
+    }
+    field
+}

@@ -114,6 +114,78 @@ fn multiline_tokens_report_line_spans() {
 }
 
 #[test]
+fn atomic_ordering_mismatches_and_asymmetry_fire_exactly() {
+    let src = include_str!("../fixtures/atomic_ordering.rs");
+    let f = check_file("crates/parallel/src/fixture.rs", src);
+    assert_eq!(count(&f, "atomic-ordering"), 2, "findings: {f:#?}");
+    // The declared-vs-actual bugfix on SeqCst/Relaxed token sites stays
+    // with ordering-justification (stable fingerprints).
+    assert_eq!(count(&f, "ordering-justification"), 1, "findings: {f:#?}");
+    assert_eq!(f.len(), 3);
+    assert!(f
+        .iter()
+        .any(|x| x.message.contains("Relaxed load of `flag`")));
+    assert!(f
+        .iter()
+        .any(|x| x.message.contains("`data.load` uses Acquire")));
+    assert!(f.iter().any(|x| x
+        .message
+        .contains("`Ordering::SeqCst` but its `// ordering:` comment declares Acquire")));
+}
+
+#[test]
+fn lock_scope_flags_park_wait_and_kernels() {
+    let src = include_str!("../fixtures/lock_scope.rs");
+    let f = check_file("crates/parallel/src/fixture.rs", src);
+    assert_eq!(count(&f, "lock-scope"), 3, "findings: {f:#?}");
+    assert_eq!(f.len(), 3);
+    assert!(f.iter().any(|x| x.message.contains("`park()`")));
+    assert!(f
+        .iter()
+        .any(|x| x.message.contains("does not consume `MutexGuard` `ga`")));
+    assert!(f
+        .iter()
+        .any(|x| x.message.contains("explore kernel `step`")));
+}
+
+#[test]
+fn sink_error_latching_requires_finish_to_surface() {
+    let src = include_str!("../fixtures/sink_latching.rs");
+    let f = check_file("crates/standfile/src/fixture.rs", src);
+    assert_eq!(count(&f, "sink-error-latching"), 2, "findings: {f:#?}");
+    assert_eq!(f.len(), 2);
+    assert!(f
+        .iter()
+        .any(|x| x.message.contains("`finish()` never reads `self.err`")));
+    assert!(f.iter().any(|x| x.message.contains("no `finish()` body")));
+}
+
+#[test]
+fn unchecked_arithmetic_fires_exactly_in_wire_scope() {
+    let src = include_str!("../fixtures/unchecked_arith.rs");
+    let f = check_file("crates/standfile/src/varint.rs", src);
+    assert_eq!(count(&f, "unchecked-arithmetic"), 3, "findings: {f:#?}");
+    assert_eq!(f.len(), 3);
+    assert!(f.iter().any(|x| x.message.contains("`as u32`")));
+    assert!(f.iter().any(|x| x.message.contains("unchecked `+`")));
+    assert!(f.iter().any(|x| x.message.contains("unchecked `<<`")));
+    // The same content outside the wire-format scope is silent.
+    let f = check_file("crates/standfile/src/other.rs", src);
+    assert_eq!(count(&f, "unchecked-arithmetic"), 0, "findings: {f:#?}");
+}
+
+#[test]
+fn unsafe_inventory_requires_safety_comments() {
+    let src = include_str!("../fixtures/unsafe_inventory.rs");
+    let f = check_file("crates/core/src/fixture.rs", src);
+    assert_eq!(count(&f, "unsafe-inventory"), 3, "findings: {f:#?}");
+    assert_eq!(f.len(), 3);
+    assert!(f.iter().any(|x| x.message.contains("`unsafe` block")));
+    assert!(f.iter().any(|x| x.message.contains("`unsafe` impl")));
+    assert!(f.iter().any(|x| x.message.contains("`unsafe` fn")));
+}
+
+#[test]
 fn baseline_freezes_and_goes_stale() {
     let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
     let findings = check_file("crates/core/src/debt.rs", src);

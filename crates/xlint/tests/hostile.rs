@@ -1,0 +1,77 @@
+//! Hostile-input properties for the lexer and item parser: arbitrary
+//! concatenations of Rust-ish fragments — raw strings, byte strings, nested
+//! block comments, unbalanced braces inside strings, unterminated
+//! everything — must never panic anywhere in the analysis pipeline, and the
+//! token stream must reconstruct the input byte-for-byte (token spans plus
+//! whitespace-only gaps partition the file).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use xlint::analysis::FileAnalysis;
+
+fn fragment() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("fn f() { g(); }\n"),
+        Just("r#\"raw \\ no escapes { \"#"),
+        Just("b\"bytes \\x7f\" "),
+        Just("br##\"{ unbalanced \"# still raw\"##"),
+        Just("/* outer /* inner */ tail */"),
+        Just("\"{ { {\""),
+        Just("'}'"),
+        Just("'\\u{7f}'"),
+        Just("// ordering: Relaxed — comment\n"),
+        Just("/* unterminated"),
+        Just("\"unterminated str"),
+        Just("r#\"unterminated raw"),
+        Just("#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n"),
+        Just("impl StandSink for S { fn finish(self) {} }\n"),
+        Just("let x = a.load(Ordering::SeqCst);\n"),
+        Just("unsafe { *p }\n"),
+        Just("} } {"),
+        Just("<< + as u8 "),
+        Just(" \t\n"),
+        Just("λ≤ unicode idents 'λ' "),
+        Just("let s: &'static str = \"s\";\n"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn analysis_never_panics_and_lexing_is_byte_lossless(
+        parts in vec(fragment(), 0..12)
+    ) {
+        let src: String = parts.concat();
+        // Totality: lex, test-marking, parse, comment index, all 9 rules.
+        let fa = FileAnalysis::analyze("crates/parallel/src/fixture.rs", &src);
+        let _ = xlint::check_analysis(&fa);
+        // Losslessness: spans are ascending and non-overlapping, every gap
+        // is pure whitespace, so `gaps + spans` reconstruct the input
+        // byte-for-byte. Literal kinds store *content* in `text` (quotes,
+        // prefixes and `#` fences live only in the span); for every other
+        // kind the text is exactly the span.
+        let bytes = src.as_bytes();
+        let mut rebuilt = Vec::with_capacity(bytes.len());
+        let mut pos = 0usize;
+        for t in &fa.toks {
+            prop_assert!(t.start >= pos, "overlap at byte {}", t.start);
+            prop_assert!(t.start <= t.end && t.end <= bytes.len());
+            prop_assert!(
+                bytes[pos..t.start].iter().all(|b| b.is_ascii_whitespace()),
+                "non-whitespace gap before byte {}",
+                t.start
+            );
+            rebuilt.extend_from_slice(&bytes[pos..t.start]);
+            rebuilt.extend_from_slice(&bytes[t.start..t.end]);
+            use xlint::lexer::TokKind;
+            if !matches!(t.kind, TokKind::Str | TokKind::Char | TokKind::Lifetime) {
+                prop_assert_eq!(t.text.as_bytes(), &bytes[t.start..t.end]);
+            }
+            pos = t.end;
+        }
+        prop_assert!(bytes[pos..].iter().all(|b| b.is_ascii_whitespace()));
+        rebuilt.extend_from_slice(&bytes[pos..]);
+        prop_assert_eq!(rebuilt.as_slice(), bytes);
+    }
+}

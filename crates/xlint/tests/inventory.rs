@@ -1,0 +1,56 @@
+//! The machine-readable invariant inventory (`xlint --atomics-json`):
+//! byte-exact golden fixture, RFC 8259 validity (checked with the
+//! workspace's own validator), and the schema pin.
+
+use xlint::analysis::FileAnalysis;
+use xlint::{build_inventory, render_inventory, INVENTORY_SCHEMA};
+
+/// The inventory rendered over the two inventory-bearing fixtures — stable
+/// input, so the output is pinned byte-for-byte in
+/// `fixtures/inventory_golden.json`.
+fn fixture_inventory() -> String {
+    let analyses = vec![
+        FileAnalysis::analyze(
+            "crates/parallel/src/fixture.rs",
+            include_str!("../fixtures/atomic_ordering.rs"),
+        ),
+        FileAnalysis::analyze(
+            "crates/core/src/fixture.rs",
+            include_str!("../fixtures/unsafe_inventory.rs"),
+        ),
+    ];
+    render_inventory(&build_inventory(&analyses))
+}
+
+#[test]
+fn inventory_matches_golden_fixture_byte_for_byte() {
+    let actual = fixture_inventory();
+    let golden = include_str!("../fixtures/inventory_golden.json");
+    assert_eq!(
+        actual, golden,
+        "inventory drifted from fixtures/inventory_golden.json — \
+         regenerate the golden if the schema change is deliberate"
+    );
+}
+
+#[test]
+fn inventory_is_rfc8259_valid_and_schema_pinned() {
+    let actual = fixture_inventory();
+    gentrius_parallel::obs::json::validate(&actual).expect("inventory JSON must be RFC 8259 valid");
+    assert_eq!(INVENTORY_SCHEMA, "xlint-inventory-v1");
+    assert!(actual.contains("\"schema\": \"xlint-inventory-v1\""));
+}
+
+#[test]
+fn live_workspace_inventory_is_rfc8259_valid() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let scan = xlint::scan_workspace_full(&root).expect("scan workspace");
+    let json = render_inventory(&scan.inventory);
+    gentrius_parallel::obs::json::validate(&json)
+        .expect("live inventory JSON must be RFC 8259 valid");
+    // The Chase-Lev deque and the loom shim must be present: the atomics
+    // table carries the deque's fields, the unsafe table the shim's cell
+    // projections.
+    assert!(json.contains("crates/parallel/src/deque.rs"));
+    assert!(json.contains("shims/loom/src/sync/mod.rs"));
+}

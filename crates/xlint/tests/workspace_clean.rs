@@ -31,6 +31,63 @@ fn workspace_at_head_is_clean() {
 }
 
 #[test]
+fn all_nine_rules_are_registered() {
+    let names: Vec<&str> = xlint::RULES.iter().map(|r| r.name).collect();
+    assert_eq!(
+        names,
+        [
+            "sync-facade",
+            "ordering-justification",
+            "panic-freedom",
+            "no-stray-io",
+            "atomic-ordering",
+            "lock-scope",
+            "sink-error-latching",
+            "unchecked-arithmetic",
+            "unsafe-inventory",
+        ]
+    );
+}
+
+#[test]
+fn atomics_json_emits_schema_versioned_inventory() {
+    let root = repo_root();
+    let out = run(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--atomics-json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.contains("\"schema\": \"xlint-inventory-v1\""),
+        "{json}"
+    );
+    assert!(json.contains("\"atomics\""), "{json}");
+    assert!(json.contains("\"unsafe\""), "{json}");
+}
+
+#[test]
+fn timing_flag_reports_per_rule_wall_time() {
+    let root = repo_root();
+    let out = run(&["--root", root.to_str().expect("utf-8 path"), "--timing"]);
+    assert!(out.status.success());
+    let timing = String::from_utf8_lossy(&out.stderr);
+    assert!(timing.contains("lex+parse"), "{timing}");
+    for rule in xlint::RULES {
+        assert!(
+            timing.contains(rule.name),
+            "missing {}: {timing}",
+            rule.name
+        );
+    }
+}
+
+#[test]
 fn injected_violation_fails_with_json_detail() {
     // Build a miniature workspace with one facade bypass.
     let dir = std::env::temp_dir().join(format!("xlint-e2e-{}", std::process::id()));

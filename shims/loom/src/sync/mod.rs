@@ -23,6 +23,9 @@ pub struct Mutex<T: ?Sized> {
     data: UnsafeCell<T>,
 }
 
+// safety: the `UnsafeCell` contents only move across threads under the
+// lock, so `T: Send` suffices; `Sync` needs no `T: Sync` because shared
+// access to the data always goes through exclusive lock acquisition.
 unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
 unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 
@@ -71,12 +74,16 @@ pub struct MutexGuard<'a, T: ?Sized> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
+        // safety: the guard proves the lock is held, so no other thread
+        // can touch the cell until this guard drops.
         unsafe { &*self.lock.data.get() }
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
+        // safety: exclusive access for the same reason as `deref`, plus
+        // `&mut self` rules out aliasing through this guard.
         unsafe { &mut *self.lock.data.get() }
     }
 }
