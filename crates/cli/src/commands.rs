@@ -2,23 +2,31 @@
 //! (plus optional file side effects) so the logic is directly testable.
 
 use crate::args::ParsedArgs;
+use gentrius_core::state::StateSnapshot;
 use gentrius_core::{
     canonical_stand_set, BatchingSink, CollectNewick, GentriusConfig, InitialTreeRule, MappingMode,
-    StandProblem, StopCause, StoppingRules, TaxonOrderRule,
+    RunStats, StandProblem, StopCause, StoppingRules, TaxonOrderRule,
 };
 use gentrius_datagen::{
     empirical_dataset, simulated_dataset, Dataset, EmpiricalParams, SimulatedParams,
 };
-use gentrius_parallel::{run_parallel_with_sinks, ParallelConfig};
+use gentrius_parallel::{
+    run_parallel_epoch, run_parallel_with_sinks, ParallelConfig, ParallelRunResult, ResumeFrontier,
+    Task,
+};
 use gentrius_sim::{simulate, SimConfig};
-use gentrius_standfile::{merge_segments, Container, ContainerSink, StandfileError};
+use gentrius_standfile::{
+    merge_segments, Checkpoint, CkptTask, Container, ContainerSink, ContainerSummary,
+    StandfileError,
+};
 use phylo::newick::{parse_forest, to_newick};
 use phylo::pam::Pam;
-use phylo::taxa::TaxonSet;
+use phylo::taxa::{TaxonId, TaxonSet};
+use phylo::tree::{EdgeId, Tree};
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Top-level error type for the CLI.
 #[derive(Debug)]
@@ -54,7 +62,10 @@ USAGE:
                    [--print-trees] [--output FILE[.stand]] [--max-collect N]
                    [--metrics-json FILE] [--trace-json FILE]
                    [--no-adaptive-split] [--stop-poll-stride N]
-                   [--emit-batch N] [--coarse-flush]
+                   [--emit-batch N] [--coarse-flush] [--checkpoint-every SECS]
+  gentrius stand resume FILE.standckpt [--threads N] [--checkpoint-every SECS]
+                   [--emit-batch N] [--no-adaptive-split] [--stop-poll-stride N]
+                   [--coarse-flush]
   gentrius stand export --input FILE --output FILE
   gentrius stand cat FILE.stand [--from N] [--count M]
   gentrius induced --species FILE --pam FILE
@@ -84,6 +95,14 @@ input file's magic); 'stand cat' pages trees out of a container by index
 range. The legacy Newick collect paths keep at most --max-collect trees
 (default 10000000) in memory and report 'truncated: true' plus a warning
 when the cap drops trees.
+Checkpointing: --checkpoint-every SECS (requires --output FILE.stand)
+periodically quiesces the workers, writes the pending search frontier to
+a FILE.standckpt sidecar (atomically: tmp + rename) and keeps going; the
+same checkpoint is written when the wall-clock limit fires. 'stand
+resume FILE.standckpt' re-injects that frontier and appends to the same
+container, so a killed or timed-out run loses at most one checkpoint
+interval of work. Counters are cumulative across resumes; the final
+container is identical to an uninterrupted run's.
 Observability: --metrics-json writes a schema-versioned run-metrics JSON
 document; --trace-json writes a Chrome-trace-event timeline (load it in
 Perfetto or chrome://tracing). Either flag routes the run through the
@@ -120,6 +139,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("stand") => match parsed.positional.get(1).map(|s| s.as_str()) {
             Some("export") => cmd_stand_export(&parsed),
             Some("cat") => cmd_stand_cat(&parsed),
+            Some("resume") => cmd_stand_resume(&parsed),
             _ => cmd_stand(&parsed),
         },
         Some("induced") => cmd_induced(&parsed),
@@ -223,6 +243,441 @@ fn stop_str(stop: Option<StopCause>) -> &'static str {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint / resume plumbing
+// ---------------------------------------------------------------------------
+
+/// `FILE.stand` → `FILE.standckpt` (the checkpoint sidecar path).
+fn ckpt_path_for(output: &str) -> PathBuf {
+    PathBuf::from(format!("{output}ckpt"))
+}
+
+/// Removes stale segment files next to `output` — `{output}.seg{i}` from
+/// the plain parallel path and `{output}.g{gen}.seg{i}` from checkpointed
+/// epochs — except the paths in `keep` (segments a checkpoint still
+/// references). A previous crashed run at a *higher* thread count leaves
+/// segments no current-run index will ever name, so a prefix sweep of the
+/// directory is the only reliable cleanup. Returns how many files went.
+fn clean_stale_segments(output: &str, keep: &[PathBuf]) -> Result<usize, CliError> {
+    let out_path = Path::new(output);
+    let dir = match out_path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let Some(fname) = out_path.file_name().and_then(|n| n.to_str()) else {
+        return Ok(0);
+    };
+    let keep_names: Vec<std::ffi::OsString> = keep
+        .iter()
+        .filter_map(|p| p.file_name().map(Into::into))
+        .collect();
+    // A missing parent directory is not this function's error to report:
+    // creating the output will fail loudly a moment later.
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(0),
+    };
+    let mut removed = 0usize;
+    for entry in entries.flatten() {
+        if !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+            continue;
+        }
+        let name_os = entry.file_name();
+        let Some(name) = name_os.to_str() else {
+            continue;
+        };
+        let is_seg = name.strip_prefix(fname).is_some_and(|rest| {
+            rest.starts_with(".seg") || (rest.starts_with(".g") && rest.contains(".seg"))
+        });
+        if !is_seg || keep_names.contains(&name_os) {
+            continue;
+        }
+        std::fs::remove_file(entry.path())
+            .map_err(|e| CliError(format!("{}: {e}", entry.path().display())))?;
+        removed += 1;
+    }
+    Ok(removed)
+}
+
+/// Drop guard over in-flight segment files: any early return between
+/// segment creation and the final merge (a failed `finish`, a failed
+/// `merge_segments`) would otherwise orphan `.seg{i}` files on disk.
+/// Disarm after the segments have been merged (or handed over to a
+/// checkpoint that references them).
+struct SegGuard {
+    paths: Vec<PathBuf>,
+    armed: bool,
+}
+
+impl SegGuard {
+    fn new() -> Self {
+        SegGuard {
+            paths: Vec::new(),
+            armed: true,
+        }
+    }
+
+    fn track(&mut self, p: PathBuf) {
+        self.paths.push(p);
+    }
+
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SegGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            for p in &self.paths {
+                // Best effort: most tracked paths never get created
+                // (threads that emitted nothing), and cleanup must not
+                // mask the error that is already propagating.
+                let _ = std::fs::remove_file(p);
+            }
+        }
+    }
+}
+
+/// Serializes the run header + frontier into a [`Checkpoint`].
+#[allow(clippy::too_many_arguments)]
+fn build_checkpoint(
+    taxa: &TaxonSet,
+    problem: &StandProblem,
+    config: &GentriusConfig,
+    threads: usize,
+    initial_tree: usize,
+    stats: RunStats,
+    generation: u64,
+    output: &str,
+    segments: &[PathBuf],
+    tasks: &[Task],
+) -> Checkpoint {
+    let taxa_names: Vec<String> = taxa.iter().map(|(_, n)| n.to_string()).collect();
+    let constraints: Vec<String> = problem
+        .constraints()
+        .iter()
+        .map(|t| to_newick(t, taxa))
+        .collect();
+    Checkpoint {
+        problem_hash: gentrius_standfile::ckpt::problem_hash(&taxa_names, &constraints),
+        mapping: config.mapping,
+        order_code: tasks.first().map(|t| t.snapshot.order_code()).unwrap_or(0),
+        threads,
+        initial_tree,
+        stopping: config.stopping.clone(),
+        stats,
+        generation,
+        output: output.to_string(),
+        taxa: taxa_names,
+        constraints,
+        segments: segments.iter().map(|p| p.display().to_string()).collect(),
+        tasks: tasks
+            .iter()
+            .map(|t| CkptTask {
+                taxon: t.taxon.0,
+                branches: t.branches.iter().map(|e| e.0).collect(),
+                depth: t.depth as u64,
+                remaining: t.snapshot.remaining().iter().map(|x| x.0).collect(),
+                tree: t.snapshot.agile().dump_arena(),
+            })
+            .collect(),
+    }
+}
+
+/// Rebuilds the problem, config and pending tasks from a decoded
+/// checkpoint. Every reconstructed snapshot is re-validated against the
+/// reconstructed problem ([`StateSnapshot::from_parts`]), so a checkpoint
+/// that passed the checksum but carries an inconsistent frontier is
+/// rejected with an error rather than enumerating wrong stands.
+fn restore_checkpoint(
+    c: &Checkpoint,
+) -> Result<(TaxonSet, StandProblem, GentriusConfig, Vec<Task>), CliError> {
+    let mut taxa = TaxonSet::new();
+    for name in &c.taxa {
+        taxa.intern(name);
+    }
+    let mut trees = Vec::with_capacity(c.constraints.len());
+    for (i, nwk) in c.constraints.iter().enumerate() {
+        trees.push(
+            phylo::newick::parse_newick(nwk, &taxa)
+                .map_err(|e| CliError(format!("checkpoint constraint {}: {e}", i + 1)))?,
+        );
+    }
+    let problem = StandProblem::from_constraints(trees).map_err(|e| CliError(e.to_string()))?;
+    let taxon_order = match c.order_code {
+        0 => TaxonOrderRule::ById,
+        1 => TaxonOrderRule::Dynamic,
+        2 => TaxonOrderRule::DynamicByConstraints,
+        other => return err(format!("checkpoint: unknown order-engine code {other}")),
+    };
+    let config = GentriusConfig {
+        initial_tree: InitialTreeRule::Index(c.initial_tree),
+        taxon_order,
+        stopping: c.stopping.clone(),
+        mapping: c.mapping,
+    };
+    let mut tasks = Vec::with_capacity(c.tasks.len());
+    for (i, t) in c.tasks.iter().enumerate() {
+        let bad = |e: String| CliError(format!("checkpoint task {}: {e}", i + 1));
+        let tree = Tree::from_arena_dump(&t.tree).map_err(|e| bad(e.to_string()))?;
+        let remaining: Vec<TaxonId> = t.remaining.iter().map(|&x| TaxonId(x)).collect();
+        let snap = StateSnapshot::from_parts(&problem, tree, remaining, c.order_code, c.mapping)
+            .map_err(bad)?;
+        if !t.branches.is_empty() && !snap.remaining().contains(&TaxonId(t.taxon)) {
+            return Err(bad(format!("pending taxon {} is not remaining", t.taxon)));
+        }
+        let branches: Vec<EdgeId> = t.branches.iter().map(|&x| EdgeId(x)).collect();
+        tasks.push(Task::new(
+            snap,
+            TaxonId(t.taxon),
+            branches,
+            usize::try_from(t.depth).unwrap_or(usize::MAX),
+        ));
+    }
+    Ok((taxa, problem, config, tasks))
+}
+
+/// Seed state for [`run_stand_epochs`]: where the run picks up.
+struct EpochInit {
+    /// Next epoch number (namespaces this run's new segment files).
+    gen: u64,
+    /// Finalized segments from previous epochs, merged at the end.
+    segments: Vec<PathBuf>,
+    /// Counter totals carried over from previous epochs.
+    base: RunStats,
+    /// `None` → fresh run (serial prefix + initial split); `Some` →
+    /// re-inject these frontier descriptors.
+    frontier: Option<Vec<Task>>,
+}
+
+/// The checkpointed container run: repeats engine epochs, writing the
+/// pending frontier to `FILE.standckpt` every `ckpt_every` seconds, until
+/// the enumeration completes, a count limit fires, or the wall-clock
+/// budget runs out (which leaves a final checkpoint for `stand resume`).
+///
+/// Durability order per epoch: segments are finalized (footer written)
+/// *before* the checkpoint naming them is renamed into place, so a crash
+/// at any point leaves either a fully consistent checkpoint or none.
+#[allow(clippy::too_many_arguments)]
+fn run_stand_epochs(
+    taxa: &TaxonSet,
+    problem: &StandProblem,
+    config: &GentriusConfig,
+    pcfg: &ParallelConfig,
+    path: &str,
+    emit_batch: usize,
+    ckpt_every: f64,
+    init: EpochInit,
+) -> Result<(ParallelRunResult, Option<ContainerSummary>, String), CliError> {
+    let started = Instant::now();
+    let ckpt_path = ckpt_path_for(path);
+    let mut gen = init.gen;
+    let mut segments = init.segments;
+    let mut base = init.base;
+    let mut frontier = init.frontier;
+    let mut extra = String::new();
+    let mut epochs = 0u64;
+    loop {
+        // Rebase the wall-clock budget: the engine's monitor measures from
+        // epoch start, but stopping rule 3 bounds the whole invocation.
+        let mut cfg = config.clone();
+        if let Some(max) = config.stopping.max_time {
+            cfg.stopping.max_time = Some(max.saturating_sub(started.elapsed()));
+        }
+        let mut epcfg = pcfg.clone();
+        if let Some(m) = &mut epcfg.monitor {
+            m.checkpoint_every = Some(Duration::from_secs_f64(ckpt_every));
+        }
+        let gen_now = gen;
+        let seg_path = move |i: usize| PathBuf::from(format!("{path}.g{gen_now}.seg{i}"));
+        let mut guard = SegGuard::new();
+        for i in 0..=epcfg.threads {
+            guard.track(seg_path(i));
+        }
+        let resume = frontier.take().map(|tasks| ResumeFrontier { tasks, base });
+        let (mut r, sinks, captured) = run_parallel_epoch(
+            problem,
+            &cfg,
+            &epcfg,
+            |i| {
+                BatchingSink::new(
+                    ContainerSink::create(&seg_path(i), taxa),
+                    emit_batch.max(64),
+                )
+            },
+            resume,
+            true,
+        )
+        .map_err(|e| CliError(e.to_string()))?;
+        // Finalize this epoch's segments before any checkpoint can name
+        // them; segments that collected nothing are dropped immediately.
+        for (i, s) in sinks.into_iter().enumerate() {
+            let p = seg_path(i);
+            let summary = s
+                .into_inner()
+                .finish()
+                .map_err(|e| CliError(format!("{}: {e}", p.display())))?;
+            if summary.trees > 0 {
+                segments.push(p);
+            } else {
+                std::fs::remove_file(&p).map_err(|e| CliError(format!("{}: {e}", p.display())))?;
+            }
+        }
+        base = r.stats;
+        epochs += 1;
+        r.elapsed = started.elapsed();
+        let count_stop = matches!(
+            r.stop,
+            Some(StopCause::StandTreeLimit | StopCause::StateLimit)
+        );
+        if captured.is_empty() || count_stop {
+            // Terminal: the enumeration is done (or a count limit ended it
+            // for good). Merge everything and retire the checkpoint.
+            let summary = merge_segments(Path::new(path), taxa, &segments)
+                .map_err(|e| CliError(format!("{path}: {e}")))?;
+            let _ = std::fs::remove_file(&ckpt_path);
+            guard.disarm();
+            if epochs > 1 {
+                writeln!(extra, "checkpoint epochs: {epochs}").unwrap();
+            }
+            return Ok((r, Some(summary), extra));
+        }
+        gen += 1;
+        let ck = build_checkpoint(
+            taxa,
+            problem,
+            config,
+            epcfg.threads,
+            r.initial_tree,
+            r.stats,
+            gen,
+            path,
+            &segments,
+            &captured,
+        );
+        ck.write_atomic(&ckpt_path)
+            .map_err(|e| CliError(format!("{}: {e}", ckpt_path.display())))?;
+        // The checkpoint now owns this epoch's segments.
+        guard.disarm();
+        if matches!(r.stop, Some(StopCause::TimeLimit)) {
+            writeln!(extra, "checkpoint epochs: {epochs}").unwrap();
+            writeln!(
+                extra,
+                "checkpoint: {} ({} pending tasks; continue with 'gentrius stand resume {}')",
+                ckpt_path.display(),
+                captured.len(),
+                ckpt_path.display()
+            )
+            .unwrap();
+            return Ok((r, None, extra));
+        }
+        frontier = Some(captured);
+    }
+}
+
+/// Resumes a checkpointed container run: `gentrius stand resume
+/// FILE.standckpt [--threads N] [--checkpoint-every SECS]`.
+fn cmd_stand_resume(a: &ParsedArgs) -> Result<String, CliError> {
+    let Some(path) = a
+        .positional
+        .get(2)
+        .map(|s| s.as_str())
+        .or_else(|| a.get("input"))
+    else {
+        return err(
+            "stand resume requires a checkpoint path: gentrius stand resume FILE.standckpt \
+             [--threads N] [--checkpoint-every SECS]",
+        );
+    };
+    let ck = Checkpoint::read(Path::new(path)).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let (taxa, problem, config, tasks) = restore_checkpoint(&ck)?;
+    let threads: usize = a
+        .get_parsed("threads", ck.threads.max(1))
+        .map_err(|e| CliError(e.to_string()))?;
+    let threads = threads.max(1);
+    let ckpt_every: f64 = a
+        .get_parsed("checkpoint-every", 60.0f64)
+        .map_err(|e| CliError(e.to_string()))?;
+    if ckpt_every.is_nan() || ckpt_every <= 0.0 {
+        return err("--checkpoint-every: must be a positive number of seconds");
+    }
+    let emit_batch: usize = a
+        .get_parsed("emit-batch", 1usize)
+        .map_err(|e| CliError(e.to_string()))?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "resuming {path} -> {} ({} pending tasks, {} stand trees so far, epoch {})",
+        ck.output,
+        tasks.len(),
+        ck.stats.stand_trees,
+        ck.generation
+    )
+    .unwrap();
+    // Segments the interrupted epoch was writing when it died are not in
+    // the checkpoint and must not survive into the merge.
+    let keep: Vec<PathBuf> = ck.segments.iter().map(PathBuf::from).collect();
+    for s in &keep {
+        if !s.is_file() {
+            return err(format!(
+                "{}: segment referenced by the checkpoint is missing",
+                s.display()
+            ));
+        }
+    }
+    let removed = clean_stale_segments(&ck.output, &keep)?;
+    if removed > 0 {
+        writeln!(
+            out,
+            "note: removed {removed} stale segment file(s) from the interrupted epoch"
+        )
+        .unwrap();
+    }
+
+    let mut pcfg = ParallelConfig::with_threads(threads);
+    pcfg.adaptive_split = !a.has("no-adaptive-split");
+    pcfg.stop_poll_stride = a
+        .get_parsed("stop-poll-stride", pcfg.stop_poll_stride)
+        .map_err(|e| CliError(e.to_string()))?;
+    if a.has("coarse-flush") {
+        pcfg.flush = gentrius_parallel::FlushThresholds::coarse();
+    }
+    let (r, csum, extra) = run_stand_epochs(
+        &taxa,
+        &problem,
+        &config,
+        &pcfg,
+        &ck.output,
+        emit_batch,
+        ckpt_every,
+        EpochInit {
+            gen: ck.generation,
+            segments: keep,
+            base: ck.stats,
+            frontier: Some(tasks),
+        },
+    )?;
+    writeln!(out, "threads: {threads}").unwrap();
+    writeln!(out, "mapping: {}", config.mapping).unwrap();
+    writeln!(out, "stand trees: {}", r.stats.stand_trees).unwrap();
+    writeln!(out, "intermediate states: {}", r.stats.intermediate_states).unwrap();
+    writeln!(out, "dead ends: {}", r.stats.dead_ends).unwrap();
+    writeln!(out, "status: {}", stop_str(r.stop)).unwrap();
+    writeln!(out, "time: {:.3}s", r.elapsed.as_secs_f64()).unwrap();
+    out.push_str(&extra);
+    if let Some(csum) = csum {
+        writeln!(
+            out,
+            "wrote {} trees to {} ({} blocks, .stand container)",
+            csum.trees, ck.output, csum.blocks
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
 fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     let (taxa, problem) = load_problem(a)?;
     let config = config_from(a)?;
@@ -245,6 +700,24 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     let want_collect =
         legacy_output.is_some() || (a.has("print-trees") && container_output.is_none());
     let cap = if want_collect { max_collect } else { 0 };
+    let ckpt_every: Option<f64> = match a.get("checkpoint-every") {
+        None => None,
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| CliError(format!("--checkpoint-every: bad seconds '{v}'")))?;
+            if secs.is_nan() || secs <= 0.0 {
+                return err("--checkpoint-every: must be a positive number of seconds");
+            }
+            Some(secs)
+        }
+    };
+    if ckpt_every.is_some() && container_output.is_none() {
+        return err(
+            "--checkpoint-every requires --output FILE.stand (checkpoints append to a \
+             .stand container)",
+        );
+    }
 
     let mut out = String::new();
     writeln!(
@@ -255,11 +728,39 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     )
     .unwrap();
 
+    if let Some(path) = container_output {
+        // A previous crashed run may have left segment files (possibly
+        // from a higher thread count, so no index loop can name them all)
+        // and a checkpoint next to the output; a fresh run must not let
+        // either survive beside — or get merged into — its container.
+        let removed = clean_stale_segments(path, &[])?;
+        if removed > 0 {
+            writeln!(
+                out,
+                "note: removed {removed} stale segment file(s) from a previous run"
+            )
+            .unwrap();
+        }
+        let cp = ckpt_path_for(path);
+        if cp.is_file() {
+            std::fs::remove_file(&cp).map_err(|e| CliError(format!("{}: {e}", cp.display())))?;
+            writeln!(
+                out,
+                "note: removed stale checkpoint {} (this is a fresh run; use 'gentrius stand \
+                 resume' to continue a previous one)",
+                cp.display()
+            )
+            .unwrap();
+        }
+    }
+
     let metrics_path = a.get("metrics-json");
     let trace_path = a.get("trace-json");
     // The exports serialize a ParallelRunResult, so either flag routes the
-    // run through the parallel engine (which supports --threads 1).
-    let use_parallel = threads > 1 || metrics_path.is_some() || trace_path.is_some();
+    // run through the parallel engine (which supports --threads 1); so
+    // does checkpointing, whose frontier only exists in the engine.
+    let use_parallel =
+        threads > 1 || metrics_path.is_some() || trace_path.is_some() || ckpt_every.is_some();
 
     let mut export_lines = String::new();
     let (stats, stop, elapsed, mut newicks, sched, container_summary) = if !use_parallel {
@@ -292,29 +793,56 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
         // (cap 0) discards immediately, so buffering would add clones for
         // nothing.
         let (r, merged, csum) = if let Some(path) = container_output {
-            // One container segment per engine context (0 = the serial
-            // prefix, 1.. = workers), merged by raw block copy afterwards:
-            // workers never contend on one writer, and encoding runs off
-            // the per-state hot loop behind a BatchingSink.
-            let seg_path = |i: usize| PathBuf::from(format!("{path}.seg{i}"));
-            let (r, sinks) = run_parallel_with_sinks(&problem, &config, &pcfg, |i| {
-                BatchingSink::new(
-                    ContainerSink::create(&seg_path(i), &taxa),
-                    emit_batch.max(64),
-                )
-            })
-            .map_err(|e| CliError(e.to_string()))?;
-            let mut segs = Vec::new();
-            for (i, s) in sinks.into_iter().enumerate() {
-                let p = seg_path(i);
-                s.into_inner()
-                    .finish()
-                    .map_err(|e| CliError(format!("{}: {e}", p.display())))?;
-                segs.push(p);
+            if let Some(every) = ckpt_every {
+                let (r, csum, extra) = run_stand_epochs(
+                    &taxa,
+                    &problem,
+                    &config,
+                    &pcfg,
+                    path,
+                    emit_batch,
+                    every,
+                    EpochInit {
+                        gen: 0,
+                        segments: Vec::new(),
+                        base: RunStats::new(),
+                        frontier: None,
+                    },
+                )?;
+                export_lines.push_str(&extra);
+                (r, Vec::new(), csum)
+            } else {
+                // One container segment per engine context (0 = the serial
+                // prefix, 1.. = workers), merged by raw block copy
+                // afterwards: workers never contend on one writer, and
+                // encoding runs off the per-state hot loop behind a
+                // BatchingSink. The guard removes the segments if finish
+                // or merge fails; otherwise the merge consumed them.
+                let seg_path = |i: usize| PathBuf::from(format!("{path}.seg{i}"));
+                let mut guard = SegGuard::new();
+                for i in 0..=pcfg.threads {
+                    guard.track(seg_path(i));
+                }
+                let (r, sinks) = run_parallel_with_sinks(&problem, &config, &pcfg, |i| {
+                    BatchingSink::new(
+                        ContainerSink::create(&seg_path(i), &taxa),
+                        emit_batch.max(64),
+                    )
+                })
+                .map_err(|e| CliError(e.to_string()))?;
+                let mut segs = Vec::new();
+                for (i, s) in sinks.into_iter().enumerate() {
+                    let p = seg_path(i);
+                    s.into_inner()
+                        .finish()
+                        .map_err(|e| CliError(format!("{}: {e}", p.display())))?;
+                    segs.push(p);
+                }
+                let summary = merge_segments(Path::new(path), &taxa, &segs)
+                    .map_err(|e| CliError(format!("{path}: {e}")))?;
+                guard.disarm();
+                (r, Vec::new(), Some(summary))
             }
-            let summary = merge_segments(Path::new(path), &taxa, &segs)
-                .map_err(|e| CliError(format!("{path}: {e}")))?;
-            (r, Vec::new(), Some(summary))
         } else if want_collect && emit_batch > 1 {
             let (r, sinks) = run_parallel_with_sinks(&problem, &config, &pcfg, |_| {
                 BatchingSink::new(CollectNewick::with_cap(&taxa, cap), emit_batch)
@@ -393,6 +921,10 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
     out.push_str(&export_lines);
 
     if let Some(path) = container_output {
+        // A checkpointed run that hit the time limit has no merged
+        // container yet (only segments + the checkpoint), so there is
+        // nothing to summarize or read back.
+        let have_container = container_summary.is_some();
         if let Some(csum) = container_summary {
             writeln!(
                 out,
@@ -401,7 +933,7 @@ fn cmd_stand(a: &ParsedArgs) -> Result<String, CliError> {
             )
             .unwrap();
         }
-        if a.has("print-trees") {
+        if a.has("print-trees") && have_container {
             // Read back from the container instead of teeing into RAM
             // during the run; sorted so the printed set matches the
             // collect path's canonical order.
@@ -518,6 +1050,15 @@ fn cmd_stand_cat(a: &ParsedArgs) -> Result<String, CliError> {
     let count: u64 = a
         .get_parsed("count", u64::MAX)
         .map_err(|e| CliError(e.to_string()))?;
+    // `for_each_newick` treats an empty [from, from+count) range as a
+    // silent no-op, which is right for `--count 0` but would let a --from
+    // past the end masquerade as an empty container. Surface it instead.
+    let len = c.len();
+    if from > 0 && from >= len {
+        return err(format!(
+            "{path}: --from {from} is out of range (container holds {len} trees)"
+        ));
+    }
     let mut out = String::new();
     c.for_each_newick(from, from.saturating_add(count), |_, nwk| {
         out.push_str(nwk);
@@ -1471,6 +2012,276 @@ mod tests {
         let p = write_tmp("notacont.nwk", "((A,B),(C,D));\n");
         assert!(run_strs(&["stand", "cat", p.to_str().unwrap()]).is_err());
         assert!(run_strs(&["stand", "cat"]).is_err());
+    }
+
+    #[test]
+    fn stand_cat_from_past_end_is_a_typed_error() {
+        let p = write_tmp("catrange.nwk", "((A,B),(C,D));\n((C,D),(E,F));\n");
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        let cont = dir.join("catrange.stand");
+        let cpath = cont.to_str().unwrap();
+        run_strs(&["stand", "--trees", p.to_str().unwrap(), "--output", cpath]).unwrap();
+        let all = run_strs(&["stand", "cat", cpath]).unwrap();
+        let len = all.lines().count();
+        assert!(len > 0);
+
+        // --from one past the last tree (and far past it) is an error
+        // naming the range, not a silent empty page.
+        for from in [len, len + 100] {
+            let err = run_strs(&["stand", "cat", cpath, "--from", &from.to_string()])
+                .expect_err("out-of-range --from must fail");
+            assert!(err.0.contains("out of range"), "{err}");
+            assert!(err.0.contains(&format!("holds {len} trees")), "{err}");
+        }
+        // --count 0 and a --from at the boundary *via count* stay quiet
+        // successes: the requested page is genuinely empty.
+        assert_eq!(
+            run_strs(&["stand", "cat", cpath, "--count", "0"]).unwrap(),
+            ""
+        );
+        let last = run_strs(&["stand", "cat", cpath, "--from", &(len - 1).to_string()]).unwrap();
+        assert_eq!(last.lines().count(), 1);
+    }
+
+    #[test]
+    fn stand_container_precleans_stale_segments_and_checkpoint() {
+        let p = write_tmp("stale.nwk", "((A,B),(C,D));\n((C,D),(E,F));\n");
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        let cont = dir.join("stale.stand");
+        let cpath = cont.to_str().unwrap();
+        // Debris a crashed higher-thread-count run could leave behind:
+        // plain segments, generation-namespaced segments, a checkpoint.
+        let seg7 = dir.join("stale.stand.seg7");
+        let gseg = dir.join("stale.stand.g3.seg1");
+        let ckpt = dir.join("stale.standckpt");
+        std::fs::write(&seg7, b"junk").unwrap();
+        std::fs::write(&gseg, b"junk").unwrap();
+        std::fs::write(&ckpt, b"junk").unwrap();
+
+        let out = run_strs(&["stand", "--trees", p.to_str().unwrap(), "--output", cpath]).unwrap();
+        assert!(!seg7.exists(), "stale .seg7 survived the run");
+        assert!(!gseg.exists(), "stale .g3.seg1 survived the run");
+        assert!(!ckpt.exists(), "stale checkpoint survived a fresh run");
+        assert!(out.contains("removed 2 stale segment file(s)"), "{out}");
+        assert!(out.contains("removed stale checkpoint"), "{out}");
+        // The run itself still completes and writes the container.
+        assert!(out.contains(".stand container"), "{out}");
+    }
+
+    #[test]
+    fn failed_merge_leaves_no_segment_files() {
+        let p = write_tmp("segleak.nwk", "((A,B),(C,D));\n((A,E),(F,G));\n");
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        // A directory squatting on the output path makes the final
+        // merge_segments fail after every segment was written.
+        let cont = dir.join("segleak.stand");
+        let _ = std::fs::remove_file(&cont);
+        let _ = std::fs::remove_dir_all(&cont);
+        std::fs::create_dir_all(&cont).unwrap();
+        let cpath = cont.to_str().unwrap();
+        let err = run_strs(&[
+            "stand",
+            "--trees",
+            p.to_str().unwrap(),
+            "--threads",
+            "3",
+            "--output",
+            cpath,
+        ])
+        .expect_err("merging over a directory must fail");
+        assert!(err.0.contains("segleak.stand"), "{err}");
+        for i in 0..4 {
+            let seg = dir.join(format!("segleak.stand.seg{i}"));
+            assert!(!seg.exists(), "segment {i} leaked after a failed merge");
+        }
+        std::fs::remove_dir_all(&cont).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_every_validates_its_context() {
+        let p = write_tmp("ckflags.nwk", "((A,B),(C,D));\n");
+        let path = p.to_str().unwrap();
+        // Requires a container output.
+        let err = run_strs(&["stand", "--trees", path, "--checkpoint-every", "1"]).unwrap_err();
+        assert!(err.0.contains("--output FILE.stand"), "{err}");
+        // Requires a positive interval.
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        let cont = dir.join("ckflags.stand");
+        for bad in ["0", "-1", "bogus"] {
+            assert!(
+                run_strs(&[
+                    "stand",
+                    "--trees",
+                    path,
+                    "--output",
+                    cont.to_str().unwrap(),
+                    "--checkpoint-every",
+                    bad,
+                ])
+                .is_err(),
+                "--checkpoint-every {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_matches_clean_run_and_retires_sidecars() {
+        let p = write_tmp(
+            "ckdiff.nwk",
+            "((A,B),(C,D));\n((A,E),(F,G));\n((C,F),(H,I));\n",
+        );
+        let path = p.to_str().unwrap();
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        let clean = dir.join("ckdiff-clean.stand");
+        let ck = dir.join("ckdiff-ck.stand");
+        run_strs(&[
+            "stand",
+            "--trees",
+            path,
+            "--output",
+            clean.to_str().unwrap(),
+        ])
+        .unwrap();
+        // A 1 ms cadence forces many pause/checkpoint/re-inject cycles on
+        // this ~5000-tree instance.
+        let out = run_strs(&[
+            "stand",
+            "--trees",
+            path,
+            "--threads",
+            "2",
+            "--output",
+            ck.to_str().unwrap(),
+            "--checkpoint-every",
+            "0.001",
+        ])
+        .unwrap();
+        assert!(out.contains("complete enumeration"), "{out}");
+        // All sidecars retired on completion.
+        assert!(!dir.join("ckdiff-ck.standckpt").exists());
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("ckdiff-ck.stand.") && n.contains("seg"))
+            .collect();
+        assert!(leftovers.is_empty(), "segment files leaked: {leftovers:?}");
+
+        let sort_lines = |s: String| {
+            let mut v: Vec<String> = s.lines().map(str::to_string).collect();
+            v.sort();
+            v
+        };
+        let want = sort_lines(run_strs(&["stand", "cat", clean.to_str().unwrap()]).unwrap());
+        let got = sort_lines(run_strs(&["stand", "cat", ck.to_str().unwrap()]).unwrap());
+        assert!(!want.is_empty());
+        assert_eq!(got, want, "checkpointed container diverged from clean run");
+    }
+
+    #[test]
+    fn time_limited_run_writes_checkpoint_and_resume_completes() {
+        let p = write_tmp(
+            "cktime.nwk",
+            "((A,B),(C,D));\n((A,E),(F,G));\n((C,F),(H,I));\n((B,I),(E,J));\n",
+        );
+        let path = p.to_str().unwrap();
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        let cont = dir.join("cktime.stand");
+        let cpath = cont.to_str().unwrap();
+        let ckpt = dir.join("cktime.standckpt");
+        // Self-clean: a previous suite run legitimately leaves the
+        // completed container behind.
+        let _ = std::fs::remove_file(&cont);
+        let _ = std::fs::remove_file(&ckpt);
+        // ~0.11 s budget on a ~0.8 s (debug) instance: the time limit
+        // fires mid-run and the frontier lands in the checkpoint instead
+        // of being lost.
+        let out = run_strs(&[
+            "stand",
+            "--trees",
+            path,
+            "--threads",
+            "2",
+            "--output",
+            cpath,
+            "--checkpoint-every",
+            "10",
+            "--max-hours",
+            "0.00003",
+        ])
+        .unwrap();
+        assert!(out.contains("stopped: time limit"), "{out}");
+        assert!(out.contains("stand resume"), "{out}");
+        assert!(ckpt.exists(), "time-limited run left no checkpoint");
+        assert!(!cont.exists(), "container must not exist before the merge");
+
+        // Each resume re-enters with the stored budget; loop until the
+        // checkpoint is retired (bounded — a handful of budget slices plus
+        // monitor-tick slack). The retirement of the sidecar, not the
+        // status text, is the completion signal: a slice can hit the time
+        // limit at the exact moment the frontier drains empty, in which
+        // case the run is complete but still reports the limit.
+        let mut slices = 0;
+        while ckpt.exists() {
+            slices += 1;
+            assert!(slices <= 200, "resume never completed the enumeration");
+            let out = run_strs(&[
+                "stand",
+                "resume",
+                ckpt.to_str().unwrap(),
+                "--threads",
+                "2",
+                "--checkpoint-every",
+                "10",
+            ])
+            .unwrap();
+            assert!(out.contains("resuming"), "{out}");
+        }
+        assert!(slices >= 1, "first resume slice never ran");
+        assert!(!ckpt.exists(), "checkpoint must be retired on completion");
+        assert!(cont.exists());
+
+        // The stitched-together container equals a clean run's.
+        let clean = dir.join("cktime-clean.stand");
+        run_strs(&[
+            "stand",
+            "--trees",
+            path,
+            "--threads",
+            "2",
+            "--output",
+            clean.to_str().unwrap(),
+        ])
+        .unwrap();
+        let sort_lines = |s: String| {
+            let mut v: Vec<String> = s.lines().map(str::to_string).collect();
+            v.sort();
+            v
+        };
+        let want = sort_lines(run_strs(&["stand", "cat", clean.to_str().unwrap()]).unwrap());
+        let got = sort_lines(run_strs(&["stand", "cat", cpath]).unwrap());
+        assert_eq!(got.len(), want.len(), "tree counts diverged");
+        assert_eq!(got, want, "resumed container diverged from clean run");
+    }
+
+    #[test]
+    fn stand_resume_rejects_missing_and_non_checkpoint_input() {
+        assert!(run_strs(&["stand", "resume"]).is_err());
+        assert!(run_strs(&["stand", "resume", "/no/such/file.standckpt"]).is_err());
+        // A .stand container is not a checkpoint: magic mismatch, typed.
+        let p = write_tmp("notack.nwk", "((A,B),(C,D));\n((C,D),(E,F));\n");
+        let dir = std::env::temp_dir().join("gentrius-cli-tests");
+        let cont = dir.join("notack.stand");
+        run_strs(&[
+            "stand",
+            "--trees",
+            p.to_str().unwrap(),
+            "--output",
+            cont.to_str().unwrap(),
+        ])
+        .unwrap();
+        let err = run_strs(&["stand", "resume", cont.to_str().unwrap()]).unwrap_err();
+        assert!(!err.0.is_empty());
     }
 
     #[test]

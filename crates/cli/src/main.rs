@@ -1,12 +1,28 @@
+use std::io::{ErrorKind, Write};
 use std::process::ExitCode;
+
+/// Writes the command output to stdout, treating a broken pipe as a clean
+/// exit: `gentrius stand cat FILE.stand | head -1` closes our pipe after
+/// one line, and dying with an EPIPE panic (the old `print!` path) turns
+/// that everyday idiom into a spurious failure. Other I/O errors are real
+/// and keep failing loudly.
+fn emit(out: &str) -> ExitCode {
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    match w.write_all(out.as_bytes()).and_then(|()| w.flush()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.kind() == ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: stdout: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match gentrius_cli::run(&args) {
-        Ok(out) => {
-            print!("{out}");
-            ExitCode::SUCCESS
-        }
+        Ok(out) => emit(&out),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

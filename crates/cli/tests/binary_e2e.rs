@@ -130,6 +130,135 @@ fn error_paths_exit_nonzero() {
     assert!(!out.status.success());
 }
 
+/// `stand cat FILE.stand | head -1` must exit 0: head closes the pipe
+/// after one line and the resulting EPIPE is an everyday shell idiom,
+/// not an error. The container is large enough (>64 KiB of newick) that
+/// the write genuinely hits a closed pipe.
+#[cfg(unix)]
+#[test]
+fn stand_cat_piped_into_head_exits_zero() {
+    let trees = tmp("epipe.nwk");
+    std::fs::write(&trees, "((A,B),(C,D));\n((A,E),(F,G));\n((C,F),(H,I));\n").unwrap();
+    let cont = tmp("epipe.stand");
+    run_ok(&[
+        "stand",
+        "--trees",
+        trees.to_str().unwrap(),
+        "--output",
+        cont.to_str().unwrap(),
+    ]);
+    assert!(
+        std::fs::metadata(&cont).unwrap().len() > 0,
+        "container written"
+    );
+    // pipefail makes head's partner's exit code the pipeline's verdict.
+    let out = Command::new("bash")
+        .arg("-c")
+        .arg(format!(
+            "set -o pipefail; {} stand cat {} | head -1",
+            env!("CARGO_BIN_EXE_gentrius"),
+            cont.to_str().unwrap()
+        ))
+        .output()
+        .expect("bash runs");
+    assert!(
+        out.status.success(),
+        "pipeline failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+    assert!(stdout.trim_end().ends_with(';'), "{stdout}");
+}
+
+/// Kill/resume across a real process boundary: SIGKILL a checkpointed
+/// run mid-flight, then `stand resume` until the checkpoint retires and
+/// compare the stitched container against an uninterrupted run's.
+#[cfg(unix)]
+#[test]
+fn sigkill_mid_run_then_resume_matches_clean_run() {
+    let trees = tmp("kill.nwk");
+    // ~0.8 s (debug) with container output: long enough to kill at
+    // ~0.3 s, short enough that resuming completes quickly.
+    std::fs::write(
+        &trees,
+        "((A,B),(C,D));\n((A,E),(F,G));\n((C,F),(H,I));\n((B,I),(E,J));\n",
+    )
+    .unwrap();
+    let clean = tmp("kill-clean.stand");
+    run_ok(&[
+        "stand",
+        "--trees",
+        trees.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--output",
+        clean.to_str().unwrap(),
+    ]);
+
+    let cont = tmp("kill.stand");
+    let ckpt = tmp("kill.standckpt");
+    let _ = std::fs::remove_file(&cont);
+    let _ = std::fs::remove_file(&ckpt);
+    let mut child = gentrius()
+        .args([
+            "stand",
+            "--trees",
+            trees.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--output",
+            cont.to_str().unwrap(),
+            "--checkpoint-every",
+            "0.05",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn checkpointed run");
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    // Child::kill is SIGKILL on unix — no drop guards, no atexit, the
+    // hard-crash case the checkpoint format exists for.
+    let finished_early = child.try_wait().expect("try_wait").is_some();
+    child.kill().ok();
+    child.wait().expect("reap child");
+
+    if !finished_early {
+        assert!(
+            ckpt.exists(),
+            "a killed checkpointed run must leave its checkpoint behind"
+        );
+        let mut slices = 0;
+        while ckpt.exists() {
+            slices += 1;
+            assert!(slices <= 100, "resume never completed the enumeration");
+            let out = run_ok(&["stand", "resume", ckpt.to_str().unwrap(), "--threads", "2"]);
+            assert!(out.contains("resuming"), "{out}");
+        }
+    }
+    // Either way the finished container must equal the clean run's stand
+    // set (resume path when the kill landed mid-run, direct completion in
+    // the unlikely early-finish race).
+    let sort_lines = |s: String| {
+        let mut v: Vec<&str> = s.lines().collect();
+        v.sort_unstable();
+        v.join("\n")
+    };
+    let want = sort_lines(run_ok(&["stand", "cat", clean.to_str().unwrap()]));
+    let got = sort_lines(run_ok(&["stand", "cat", cont.to_str().unwrap()]));
+    assert!(!want.is_empty());
+    assert_eq!(got, want, "resumed container diverged from the clean run");
+    // No sidecar debris after completion.
+    let dir = cont.parent().unwrap();
+    let debris: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("kill.stand.") && n.contains("seg"))
+        .collect();
+    assert!(debris.is_empty(), "segment debris left behind: {debris:?}");
+}
+
 #[test]
 fn induced_pipes_into_stand() {
     let sp = tmp("species.nwk");

@@ -231,6 +231,42 @@ impl<'p> Explorer<'p> {
         self.root_complete = false;
     }
 
+    /// Drains the un-explored frontier into task descriptors and unwinds
+    /// every frame (checkpoint support): each frame with pending branches
+    /// becomes one `(state snapshot, taxon, pending branches)` triple —
+    /// the snapshot is taken in that frame's own context, so resuming it
+    /// with [`Explorer::resume_task`] explores exactly the branches the
+    /// frame had left. The union of the descriptors is precisely the work
+    /// this explorer had not done, so a paused run's counters and stand
+    /// set stay exact across a checkpoint/resume cycle.
+    ///
+    /// Frames are drained top-down (deepest context first); afterwards the
+    /// explorer is `finished()` and back at its base state, like after
+    /// [`Explorer::abort_frames`]. A pending `root_complete` (the root
+    /// state was already a complete tree whose synthetic emission has not
+    /// happened yet) becomes a descriptor with an empty branch set; the
+    /// resume side detects the complete snapshot and re-emits it.
+    pub fn drain_frontier(&mut self) -> Vec<(crate::state::StateSnapshot, TaxonId, Vec<EdgeId>)> {
+        let mut out = Vec::new();
+        if self.root_complete {
+            self.root_complete = false;
+            out.push((self.state.snapshot(), TaxonId(0), Vec::new()));
+        }
+        while let Some(f) = self.stack.pop() {
+            if f.pending() > 0 {
+                out.push((
+                    self.state.snapshot(),
+                    f.taxon,
+                    f.branches[f.cursor..].to_vec(),
+                ));
+            }
+            if let Some(step) = &f.step {
+                self.state.undo(step);
+            }
+        }
+        out
+    }
+
     /// Returns branches previously taken by [`Explorer::split_top`] to the
     /// top frame (used when the task queue raced to full after the split).
     /// The branches are re-inserted at the cursor, restoring the original
@@ -536,6 +572,70 @@ mod tests {
             assert_eq!(ex.top().unwrap().branches, snapshot);
             assert_eq!(ex.top().unwrap().cursor, cursor);
         }
+    }
+
+    #[test]
+    fn drain_frontier_covers_exactly_the_remaining_work() {
+        // Stop the exploration after k steps for every k, drain the
+        // frontier, finish each descriptor independently, and check the
+        // partial counts plus the descriptor counts always reproduce the
+        // uninterrupted run exactly — the checkpoint/resume exactness
+        // contract.
+        let (_, p) = setup(&["((A,B),(C,D));", "((A,E),(F,G));"]);
+        let full = {
+            let state = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
+            let mut ex = Explorer::new_root(state);
+            run_to_end(&mut ex)
+        };
+        let mut saw_mid_drain = false;
+        for k in 0..200 {
+            let state = SearchState::new(&p, 0, &TaxonOrderRule::Dynamic).unwrap();
+            let fp = state.agile.arena_fingerprint();
+            let mut ex = Explorer::new_root(state);
+            let mut sink = CountOnly;
+            let (mut trees, mut states, mut dead) = (0u64, 0u64, 0u64);
+            let mut finished_early = false;
+            for _ in 0..k {
+                match ex.step(&mut sink) {
+                    StepEvent::Entered => states += 1,
+                    StepEvent::StandTree => trees += 1,
+                    StepEvent::DeadEnd => {
+                        states += 1;
+                        dead += 1;
+                    }
+                    StepEvent::Backtracked => {}
+                    StepEvent::Finished => {
+                        finished_early = true;
+                        break;
+                    }
+                }
+            }
+            let frontier = ex.drain_frontier();
+            if !frontier.is_empty() {
+                saw_mid_drain = true;
+            }
+            assert!(ex.finished(), "drain leaves the explorer idle");
+            assert_eq!(
+                ex.state().agile.arena_fingerprint(),
+                fp,
+                "drain unwound every applied step"
+            );
+            for (snap, taxon, branches) in frontier {
+                let resumed = SearchState::resume(&p, snap);
+                assert!(!branches.is_empty() || resumed.is_complete());
+                let mut rex = Explorer::new_idle(resumed);
+                rex.resume_task(taxon, branches);
+                let (t, s, d) = run_to_end(&mut rex);
+                trees += t;
+                states += s;
+                dead += d;
+            }
+            assert_eq!((trees, states, dead), full, "k = {k}");
+            if finished_early {
+                break;
+            }
+        }
+        assert!(saw_mid_drain, "the sweep must hit a non-empty frontier");
     }
 
     #[test]

@@ -90,6 +90,104 @@ impl StateSnapshot {
     pub fn remaining_count(&self) -> usize {
         self.remaining.len()
     }
+
+    /// The agile tree of this snapshot (for serialization).
+    pub fn agile(&self) -> &Tree {
+        &self.agile
+    }
+
+    /// The remaining taxa in selection order (for serialization).
+    pub fn remaining(&self) -> &[TaxonId] {
+        &self.remaining
+    }
+
+    /// One-byte wire code of the order engine (see
+    /// [`StateSnapshot::from_parts`] for the mapping).
+    pub fn order_code(&self) -> u8 {
+        match self.order {
+            OrderEngine::Static => 0,
+            OrderEngine::Dynamic(DynamicTie::SmallestId) => 1,
+            OrderEngine::Dynamic(DynamicTie::MostConstraints) => 2,
+        }
+    }
+
+    /// The [`MappingMode`] whose engine backs this snapshot.
+    pub fn mapping_mode(&self) -> MappingMode {
+        match self.engine {
+            MapsEngine::Recompute => MappingMode::Recompute,
+            MapsEngine::Incremental(_) => MappingMode::Incremental,
+            MapsEngine::EdgeIndexed(_) => MappingMode::EdgeIndexed,
+        }
+    }
+
+    /// Rebuilds a snapshot from its serialized parts, constructing the
+    /// projection engine *fresh* from `(problem, agile)` — the engines are
+    /// deterministic functions of the problem and the current agile tree
+    /// (their constructors recompute every map from scratch), so checkpoint
+    /// files never serialize kernel internals. `order_code` is the wire
+    /// byte from [`StateSnapshot::order_code`]: 0 = static, 1 = dynamic
+    /// with smallest-id tie-break, 2 = dynamic with most-constraints
+    /// tie-break.
+    ///
+    /// The parts cross process boundaries through checkpoint files, so they
+    /// are validated as hostile input: the universe must match the problem,
+    /// the remaining taxa must be exactly the taxa missing from the agile
+    /// tree, and the agile tree must be binary.
+    pub fn from_parts(
+        problem: &StandProblem,
+        agile: Tree,
+        remaining: Vec<TaxonId>,
+        order_code: u8,
+        mapping: MappingMode,
+    ) -> Result<StateSnapshot, String> {
+        let order = match order_code {
+            0 => OrderEngine::Static,
+            1 => OrderEngine::Dynamic(DynamicTie::SmallestId),
+            2 => OrderEngine::Dynamic(DynamicTie::MostConstraints),
+            other => return Err(format!("unknown order-engine code {other}")),
+        };
+        if agile.universe() != problem.universe() {
+            return Err(format!(
+                "agile tree universe {} does not match the problem's {}",
+                agile.universe(),
+                problem.universe()
+            ));
+        }
+        if !agile.is_binary_unrooted() {
+            return Err("agile tree is not binary unrooted".into());
+        }
+        let mut missing = problem.all_taxa().difference(agile.taxa());
+        for &t in &remaining {
+            if !missing.contains(t.index()) {
+                return Err(format!(
+                    "remaining taxon {} is already in the agile tree or repeated",
+                    t.0
+                ));
+            }
+            missing.remove(t.index());
+        }
+        if missing.count() != 0 {
+            return Err(format!(
+                "{} missing taxa absent from the remaining list",
+                missing.count()
+            ));
+        }
+        let engine = match mapping {
+            MappingMode::Recompute => MapsEngine::Recompute,
+            MappingMode::Incremental => {
+                MapsEngine::Incremental(IncrementalMaps::new(problem, &agile))
+            }
+            MappingMode::EdgeIndexed => {
+                MapsEngine::EdgeIndexed(Box::new(EdgeIndexedMaps::new(problem, &agile)))
+            }
+        };
+        Ok(StateSnapshot {
+            agile,
+            remaining,
+            order,
+            engine,
+        })
+    }
 }
 
 impl Clone for StateSnapshot {

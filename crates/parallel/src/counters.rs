@@ -108,6 +108,28 @@ impl GlobalCounters {
         }
     }
 
+    /// Counters seeded from a previous epoch's totals, for resumed runs.
+    ///
+    /// A resumed run must evaluate the stopping rules against *cumulative*
+    /// progress — a `--max-trees 1000` run checkpointed at 600 trees has
+    /// 400 left, not 1000 — so the three counters start at the checkpoint's
+    /// totals and [`GlobalCounters::snapshot`] keeps reporting cumulative
+    /// figures. The wall clock for rule 3 still starts now: elapsed time
+    /// before the checkpoint was already accounted for by the epoch that
+    /// wrote it. (Checkpoint-aware callers rebase `max_time` themselves if
+    /// they want a cumulative wall-clock budget.)
+    pub fn with_base(rules: StoppingRules, base: RunStats) -> Self {
+        GlobalCounters {
+            stand_trees: AtomicU64::new(base.stand_trees),
+            intermediate_states: AtomicU64::new(base.intermediate_states),
+            dead_ends: AtomicU64::new(base.dead_ends),
+            stop: AtomicBool::new(false),
+            cause: AtomicU8::new(CAUSE_NONE),
+            rules,
+            started: Instant::now(),
+        }
+    }
+
     /// True once any stopping rule has fired (polled by every worker).
     ///
     /// Acquire, pairing with the Release store in

@@ -195,6 +195,22 @@ impl ParallelRunResult {
     }
 }
 
+/// A frontier to resume from: the pending task descriptors of a previous
+/// epoch plus the cumulative counters it had reached. Fed to
+/// [`run_parallel_epoch`], which skips the serial prefix and initial split
+/// (that work is *inside* the descriptors) and seeds the global counters
+/// so the stopping rules fire against cumulative totals.
+pub struct ResumeFrontier {
+    /// The pending work, exactly as captured by a previous epoch. A task
+    /// with an **empty** branch list is the synthetic complete-state
+    /// descriptor (its snapshot is a finished stand tree that was counted
+    /// as pending, not emitted); workers re-emit it via the root-complete
+    /// path.
+    pub tasks: Vec<Task>,
+    /// Cumulative counters over all previous epochs.
+    pub base: RunStats,
+}
+
 /// Counts the stand in parallel (no topology output).
 pub fn run_parallel(
     problem: &StandProblem,
@@ -218,6 +234,43 @@ where
     S: StandSink + Send,
     F: Fn(usize) -> S,
 {
+    let (r, sinks, _frontier) = run_parallel_epoch(problem, config, pcfg, make_sink, None, false)?;
+    Ok((r, sinks))
+}
+
+/// Runs **one epoch** of the parallel engine — the checkpoint-aware entry.
+///
+/// Identical to [`run_parallel_with_sinks`] plus two capabilities:
+///
+/// * `resume` — start from a previous epoch's [`ResumeFrontier`] instead
+///   of the serial prefix + initial split: the descriptors are injected
+///   directly and the global counters are seeded with the frontier's
+///   cumulative base, so the reported stats (and the stopping rules) are
+///   cumulative across epochs. Wall-clock budgets are **not** rebased —
+///   callers chaining epochs subtract elapsed time from `max_time`
+///   themselves.
+/// * `capture_frontier` — when the epoch stops early (checkpoint pause
+///   via [`MonitorConfig::checkpoint_every`], or any stopping rule), the
+///   un-done work is returned as the third tuple element: each worker
+///   drains its in-progress explorer into descriptors and the pool's
+///   queues are drained after the join. An empty frontier means the
+///   search space is exhausted. With `capture_frontier: false` early
+///   stops discard the frontier (the pre-checkpoint behaviour).
+///
+/// A paused epoch reports `stop: None` but a non-empty frontier; callers
+/// distinguish "complete" from "paused" by the frontier, not the cause.
+pub fn run_parallel_epoch<S, F>(
+    problem: &StandProblem,
+    config: &GentriusConfig,
+    pcfg: &ParallelConfig,
+    make_sink: F,
+    resume: Option<ResumeFrontier>,
+    capture_frontier: bool,
+) -> Result<(ParallelRunResult, Vec<S>, Vec<Task>), ProblemError>
+where
+    S: StandSink + Send,
+    F: Fn(usize) -> S,
+{
     assert!(pcfg.threads >= 1, "need at least one worker thread");
     let initial = problem.initial_tree_index(&config.initial_tree)?;
     // Surface order-rule problems before any thread is spawned (workers
@@ -225,11 +278,13 @@ where
     SearchState::new(problem, initial, &config.taxon_order).map_err(ProblemError::BadTaxonOrder)?;
     let started = Instant::now();
 
-    // Root invariant check (same as the serial driver).
+    // Root invariant check (same as the serial driver). A resumed frontier
+    // already passed it in the epoch that captured it — and carries real
+    // pending work regardless, so it must not be short-circuited.
     let agile0 = &problem.constraints()[initial];
     let mut sinks = Vec::new();
     let mut prefix_sink = make_sink(0);
-    if problem.constraints().iter().any(|c| !compatible(agile0, c)) {
+    if resume.is_none() && problem.constraints().iter().any(|c| !compatible(agile0, c)) {
         sinks.push(prefix_sink);
         return Ok((
             ParallelRunResult {
@@ -245,10 +300,15 @@ where
                 monitor: MonitorReport::default(),
             },
             sinks,
+            Vec::new(),
         ));
     }
 
-    let global = GlobalCounters::new(config.stopping.clone());
+    let (resume_tasks, base_stats) = match resume {
+        Some(f) => (Some(f.tasks), f.base),
+        None => (None, RunStats::new()),
+    };
+    let global = GlobalCounters::with_base(config.stopping.clone(), base_stats);
     // The pool exists for the whole run (even though workers only spawn in
     // phase 3) so the monitor can wake parked threads and sample scheduler
     // state from its very first tick.
@@ -257,12 +317,14 @@ where
     let pool = pool;
     let monitor_shared = pcfg.monitor.as_ref().map(MonitorShared::new);
 
+    let checkpoint_every = pcfg.monitor.as_ref().and_then(|m| m.checkpoint_every);
+
     // One scope holds the monitor and (later) the workers. Every return
     // path below must call `finish` on the monitor before the scope
     // closes, or the scope would wait on a supervisor that never quits.
-    let (result, returned_sinks) = std::thread::scope(|scope| {
+    let (result, returned_sinks, frontier) = std::thread::scope(|scope| {
         if let Some(shared) = &monitor_shared {
-            spawn_monitor(scope, shared, &global, &pool, started);
+            spawn_monitor(scope, shared, &global, &pool, started, checkpoint_every);
         }
         // If anything below unwinds (a worker panic propagating through
         // `join().expect`), the monitor must still be told to quit, or the
@@ -283,87 +345,115 @@ where
             None => MonitorReport::default(),
         };
 
-        // --------------------------------------------------------------
-        // Phase 1 — serial prefix: identical across all threads (the
-        // paper has every thread redo it; we run it once on the main
-        // thread and count it once, so totals match the serial run
-        // exactly). The monitor already supervises this phase: a
-        // wall-clock limit expiring mid-prefix stops it within a tick.
-        // --------------------------------------------------------------
-        let state = new_state(problem, initial, config);
-        let mut prefix_ex = Explorer::new_root(state);
-        let mut prefix_local = LocalCounters::new(&global, pcfg.flush);
-        loop {
-            if global.stopped() {
-                break;
+        let prefix_stats = if let Some(tasks) = resume_tasks {
+            // ----------------------------------------------------------
+            // Resume — the frontier descriptors *are* the remaining
+            // search space; the serial prefix and the initial split were
+            // already performed by the epoch that captured them. Inject
+            // everything and go straight to the thread pool.
+            // ----------------------------------------------------------
+            for task in tasks {
+                pool.inject(task);
             }
-            if prefix_ex.finished() {
-                break;
+            RunStats::new()
+        } else {
+            // ----------------------------------------------------------
+            // Phase 1 — serial prefix: identical across all threads (the
+            // paper has every thread redo it; we run it once on the main
+            // thread and count it once, so totals match the serial run
+            // exactly). The monitor already supervises this phase: a
+            // wall-clock limit expiring mid-prefix stops it within a
+            // tick, and a checkpoint pause ends it via `pool.is_done()`.
+            // ----------------------------------------------------------
+            let state = new_state(problem, initial, config);
+            let mut prefix_ex = Explorer::new_root(state);
+            let mut prefix_local = LocalCounters::new(&global, pcfg.flush);
+            loop {
+                if global.stopped() || pool.is_done() {
+                    break;
+                }
+                if prefix_ex.finished() {
+                    break;
+                }
+                if prefix_ex.top().map(|f| f.pending()).unwrap_or(0) >= 2 {
+                    break; // reached the initial-split state I_0
+                }
+                count_event(prefix_ex.step(&mut prefix_sink), &mut prefix_local);
             }
-            if prefix_ex.top().map(|f| f.pending()).unwrap_or(0) >= 2 {
-                break; // reached the initial-split state I_0
+            let prefix_stats = prefix_local.totals();
+            prefix_local.flush();
+            drop(prefix_local);
+
+            if prefix_ex.finished() || global.stopped() || pool.is_done() {
+                // The whole search (or the stopping budget, or a
+                // checkpoint pause) fit in the prefix.
+                let frontier = if capture_frontier && !prefix_ex.finished() {
+                    prefix_ex
+                        .drain_frontier()
+                        .into_iter()
+                        .map(|(snap, taxon, branches)| Task::new(snap, taxon, branches, 0))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let monitor = finish_monitor();
+                sinks.push(prefix_sink);
+                let stats = global.snapshot();
+                return (
+                    ParallelRunResult {
+                        stats,
+                        stop: global.stop_cause(),
+                        elapsed: started.elapsed(),
+                        threads: pcfg.threads,
+                        initial_tree: initial,
+                        prefix: prefix_stats,
+                        stolen_tasks: 0,
+                        scheduler: EngineReport::empty(pcfg.threads),
+                        workers: vec![WorkerReport::default(); pcfg.threads],
+                        monitor,
+                    },
+                    sinks,
+                    frontier,
+                );
             }
-            count_event(prefix_ex.step(&mut prefix_sink), &mut prefix_local);
-        }
-        let prefix_stats = prefix_local.totals();
-        prefix_local.flush();
-        drop(prefix_local);
 
-        if prefix_ex.finished() || global.stopped() {
-            // The whole search (or the stopping budget) fit in the prefix.
-            let monitor = finish_monitor();
-            sinks.push(prefix_sink);
-            let stats = global.snapshot();
-            return (
-                ParallelRunResult {
-                    stats,
-                    stop: global.stop_cause(),
-                    elapsed: started.elapsed(),
-                    threads: pcfg.threads,
-                    initial_tree: initial,
-                    prefix: prefix_stats,
-                    stolen_tasks: 0,
-                    scheduler: EngineReport::empty(pcfg.threads),
-                    workers: vec![WorkerReport::default(); pcfg.threads],
-                    monitor,
-                },
-                sinks,
-            );
-        }
+            // ----------------------------------------------------------
+            // Phase 2 — initial split: distribute the admissible branches
+            // of I_0's next taxon over the threads as uniformly as
+            // possible (Fig. 2a; with fewer branches than threads the
+            // surplus threads start parked and are fed by work stealing,
+            // the queue-based equivalent of Fig. 2b).
+            // ----------------------------------------------------------
+            let split_frame = prefix_ex.top().expect("I_0 has a frame");
+            let split_taxon = split_frame.taxon;
+            let split_branches: Vec<EdgeId> = split_frame.branches[split_frame.cursor..].to_vec();
+            // One snapshot of the I_0 state serves every chunk; workers
+            // resume it directly instead of replaying the prefix path per
+            // task. Every frame below the top is exhausted (the phase-1
+            // loop breaks the moment a frame has ≥2 pending), so the
+            // snapshot + split branches cover the remaining search space
+            // exactly.
+            let split_depth = prefix_ex.applied_depth();
+            let split_snapshot = prefix_ex.state().snapshot();
+            drop(prefix_ex);
 
-        // --------------------------------------------------------------
-        // Phase 2 — initial split: distribute the admissible branches of
-        // I_0's next taxon over the threads as uniformly as possible
-        // (Fig. 2a; with fewer branches than threads the surplus threads
-        // start parked and are fed by work stealing, the queue-based
-        // equivalent of Fig. 2b).
-        // --------------------------------------------------------------
-        let split_frame = prefix_ex.top().expect("I_0 has a frame");
-        let split_taxon = split_frame.taxon;
-        let split_branches: Vec<EdgeId> = split_frame.branches[split_frame.cursor..].to_vec();
-        // One snapshot of the I_0 state serves every chunk; workers resume
-        // it directly instead of replaying the prefix path per task. Every
-        // frame below the top is exhausted (the phase-1 loop breaks the
-        // moment a frame has ≥2 pending), so the snapshot + split branches
-        // cover the remaining search space exactly.
-        let split_depth = prefix_ex.applied_depth();
-        let split_snapshot = prefix_ex.state().snapshot();
-        drop(prefix_ex);
-
-        let chunks = partition_branches(&split_branches, pcfg.threads);
-        // The initial chunks go through the global injector: any worker
-        // may pick one up, surplus workers park until splits reach their
-        // deques. (If the monitor already shut the pool down, workers see
-        // `done` and exit without touching the injected tasks.)
-        for branches in chunks {
-            pool.inject(Task::new(
-                split_snapshot.clone(),
-                split_taxon,
-                branches,
-                split_depth,
-            ));
-        }
-        drop(split_snapshot);
+            let chunks = partition_branches(&split_branches, pcfg.threads);
+            // The initial chunks go through the global injector: any
+            // worker may pick one up, surplus workers park until splits
+            // reach their deques. (If the monitor already shut the pool
+            // down, workers see `done` and exit without touching the
+            // injected tasks.)
+            for branches in chunks {
+                pool.inject(Task::new(
+                    split_snapshot.clone(),
+                    split_taxon,
+                    branches,
+                    split_depth,
+                ));
+            }
+            drop(split_snapshot);
+            prefix_stats
+        };
 
         // --------------------------------------------------------------
         // Phase 3 — thread pool with per-worker steal deques.
@@ -373,7 +463,7 @@ where
         // Workers get their own (inner) scope so the per-run borrows stay
         // local; the monitor in the outer scope keeps supervising them
         // throughout.
-        let results: Vec<(WorkerReport, S)> = std::thread::scope(|wscope| {
+        let results: Vec<(WorkerReport, S, Vec<Task>)> = std::thread::scope(|wscope| {
             let mut handles = Vec::with_capacity(pcfg.threads);
             for (tid, sink_slot) in worker_sinks.iter_mut().enumerate() {
                 let sink = sink_slot.take().expect("sink prepared per worker");
@@ -381,7 +471,15 @@ where
                 let global = &global;
                 let started_at = started;
                 handles.push(wscope.spawn(move || {
-                    worker_loop(problem, pcfg, pool.worker(tid), global, sink, started_at)
+                    worker_loop(
+                        problem,
+                        pcfg,
+                        pool.worker(tid),
+                        global,
+                        sink,
+                        started_at,
+                        capture_frontier,
+                    )
                 }));
             }
             handles
@@ -393,11 +491,19 @@ where
 
         let sched_counts = pool.scheduler_counts();
         let mut workers = Vec::with_capacity(pcfg.threads);
+        let mut frontier = Vec::new();
         sinks.push(prefix_sink);
-        for (tid, (mut report, sink)) in results.into_iter().enumerate() {
+        for (tid, (mut report, sink, drained)) in results.into_iter().enumerate() {
             report.sched = sched_counts[tid];
             workers.push(report);
             sinks.push(sink);
+            frontier.extend(drained);
+        }
+        if capture_frontier {
+            // The workers have joined, so the queues are quiescent: every
+            // task still sitting in a deque or the injector is untouched
+            // work and joins the frontier verbatim.
+            frontier.extend(pool.drain_tasks());
         }
 
         (
@@ -418,10 +524,11 @@ where
                 monitor,
             },
             sinks,
+            frontier,
         )
     });
 
-    Ok((result, returned_sinks))
+    Ok((result, returned_sinks, frontier))
 }
 
 fn new_state<'p>(
@@ -495,7 +602,8 @@ fn worker_loop<S: StandSink>(
     global: &GlobalCounters,
     mut sink: S,
     started: Instant,
-) -> (WorkerReport, S) {
+    capture: bool,
+) -> (WorkerReport, S, Vec<Task>) {
     // If this worker panics (a bug, not a control path), make sure the
     // rest of the pool is released instead of parking forever.
     struct PanicGuard<'a>(&'a TaskPool);
@@ -511,6 +619,7 @@ fn worker_loop<S: StandSink>(
     let mut local = LocalCounters::new(global, pcfg.flush);
     let mut tasks_executed = 0usize;
     let mut spans: Vec<TaskSpan> = Vec::new();
+    let mut frontier: Vec<Task> = Vec::new();
     let stride = pcfg.stop_poll_stride.max(1);
 
     // Initial chunks arrive through the pool's global injector; everything
@@ -522,8 +631,17 @@ fn worker_loop<S: StandSink>(
         let span_start = pcfg.trace.then(|| started.elapsed().as_secs_f64());
         let snapshot_depth = task.depth;
         let state = SearchState::resume(problem, task.snapshot);
-        let mut ex = Explorer::new_idle(state);
-        ex.resume_task(task.taxon, task.branches);
+        let mut ex = if task.branches.is_empty() {
+            // The synthetic complete-state descriptor (a paused epoch's
+            // root-complete marker): the snapshot *is* a stand tree that
+            // was captured before being emitted. `new_root` re-arms the
+            // root-complete path so the next step emits it exactly once.
+            Explorer::new_root(state)
+        } else {
+            let mut ex = Explorer::new_idle(state);
+            ex.resume_task(task.taxon, task.branches);
+            ex
+        };
         // The received frame itself may be splittable (Fig. 2b's group
         // separation happens via the scheduler).
         maybe_submit(
@@ -537,7 +655,9 @@ fn worker_loop<S: StandSink>(
             until_poll -= 1;
             if until_poll == 0 {
                 until_poll = stride;
-                if global.stopped() {
+                // `is_done` catches a checkpoint pause, which quiesces the
+                // pool without raising the global stop (no rule fired).
+                if global.stopped() || worker.pool().is_done() {
                     break;
                 }
             }
@@ -562,7 +682,20 @@ fn worker_loop<S: StandSink>(
                 snapshot_depth,
             });
         }
-        if global.stopped() {
+        if global.stopped() || worker.pool().is_done() {
+            if capture {
+                // Turn whatever this task had left into descriptors so a
+                // checkpoint can carry it (a no-op if the explorer just
+                // finished). Counters stay exact: drained work was never
+                // counted, resumed work will be.
+                frontier.extend(
+                    ex.drain_frontier()
+                        .into_iter()
+                        .map(|(snap, taxon, branches)| {
+                            Task::new(snap, taxon, branches, snapshot_depth)
+                        }),
+                );
+            }
             worker.task_done();
             worker.pool().shutdown();
             break;
@@ -580,6 +713,7 @@ fn worker_loop<S: StandSink>(
             spans,
         },
         sink,
+        frontier,
     )
 }
 

@@ -93,8 +93,8 @@ pub mod task;
 pub use counters::{FlushThresholds, GlobalCounters, LocalCounters};
 pub use deque::{Steal, StealDeque};
 pub use engine::{
-    run_parallel, run_parallel_with_sinks, EngineReport, ParallelConfig, ParallelRunResult,
-    TaskSpan, WorkerReport,
+    run_parallel, run_parallel_epoch, run_parallel_with_sinks, EngineReport, ParallelConfig,
+    ParallelRunResult, ResumeFrontier, TaskSpan, WorkerReport,
 };
 pub use obs::{Heartbeat, MonitorConfig, MonitorReport};
 pub use pool::{SchedulerCounts, TaskPool, WorkerHandle};

@@ -39,6 +39,12 @@ pub struct MonitorConfig {
     /// Ring capacity for heartbeat snapshots; once full, the oldest
     /// sample is dropped for each new one (the drop count is reported).
     pub heartbeat_capacity: usize,
+    /// Checkpoint cadence: once this much wall-clock time has elapsed
+    /// since engine start, the monitor requests a cooperative pause
+    /// ([`TaskPool::request_pause`]) so the epoch ends with its frontier
+    /// intact and the caller can write a `.standckpt`. `None` disables
+    /// the trigger (the epoch runs to completion or a stopping rule).
+    pub checkpoint_every: Option<Duration>,
 }
 
 impl Default for MonitorConfig {
@@ -46,6 +52,7 @@ impl Default for MonitorConfig {
         MonitorConfig {
             tick: Duration::from_millis(50),
             heartbeat_capacity: 512,
+            checkpoint_every: None,
         }
     }
 }
@@ -219,10 +226,12 @@ pub fn spawn_monitor<'scope, 'env: 'scope>(
     global: &'env GlobalCounters,
     pool: &'env TaskPool,
     started: Instant,
+    checkpoint_every: Option<Duration>,
 ) {
     scope.spawn(move || {
         let mut prev_steals = 0u64;
         let mut prev_executed = 0u64;
+        let mut pause_raised = false;
         let mut st = shared.state.lock().unwrap();
         loop {
             if st.quit {
@@ -231,6 +240,15 @@ pub fn spawn_monitor<'scope, 'env: 'scope>(
             }
             st.ticks += 1;
             enforce_time_limit(global, pool);
+            // The checkpoint trigger: once the epoch's wall-clock budget is
+            // spent, quiesce the workers cooperatively. Raised at most once
+            // per epoch — after the pause the pool is shutting down anyway.
+            if let Some(every) = checkpoint_every {
+                if !pause_raised && started.elapsed() >= every {
+                    pause_raised = true;
+                    pool.request_pause();
+                }
+            }
             adapt_split_gate(pool, &mut prev_steals, &mut prev_executed);
             push_heartbeat(&mut st, global, pool, started);
             let (guard, _timeout) = shared.cv.wait_timeout(st, shared.tick).unwrap();
@@ -323,6 +341,7 @@ mod tests {
         let shared = MonitorShared::new(&MonitorConfig {
             tick: Duration::from_millis(1),
             heartbeat_capacity: 4,
+            checkpoint_every: None,
         });
         let t0 = Instant::now();
         {
@@ -348,10 +367,11 @@ mod tests {
         let shared = MonitorShared::new(&MonitorConfig {
             tick: Duration::from_millis(2),
             heartbeat_capacity: 64,
+            checkpoint_every: None,
         });
         let t0 = Instant::now();
         let report = std::thread::scope(|scope| {
-            spawn_monitor(scope, &shared, &g, &p, t0);
+            spawn_monitor(scope, &shared, &g, &p, t0, None);
             // A parked worker never flushes counters; only the monitor can
             // release it once the 5 ms budget runs out.
             let got = p.worker(1).next_task();

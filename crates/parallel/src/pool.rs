@@ -125,6 +125,12 @@ pub struct TaskPool {
     /// Whether the adaptive gate is consulted at all. Plain bool: set once
     /// via [`TaskPool::set_adaptive`] before the pool is shared.
     adaptive: bool,
+    /// Cooperative pause request (checkpoint quiesce). Distinguishes "stop
+    /// to checkpoint, the frontier is live" from a plain [`TaskPool::shutdown`]
+    /// ("stop, the frontier is garbage"): workers that observe a raised
+    /// pause drain their in-progress explorer into task descriptors instead
+    /// of dropping it.
+    pause: AtomicBool,
 }
 
 /// Initial per-deque ring-buffer capacity. Deliberately small and
@@ -183,6 +189,7 @@ impl TaskPool {
             injected: AtomicUsize::new(0),
             split_gate: AtomicBool::new(true),
             adaptive: false,
+            pause: AtomicBool::new(false),
         }
     }
 
@@ -276,6 +283,56 @@ impl TaskPool {
         self.done.store(true, Ordering::Release);
         let _guard = self.park.lock().unwrap();
         self.cv.notify_all();
+    }
+
+    /// Requests a checkpoint pause: raises the pause flag, then shuts the
+    /// pool down through the ordinary stop machinery. Workers observing
+    /// the stop consult [`TaskPool::pause_requested`] to decide whether
+    /// their in-progress frontier is worth draining.
+    pub fn request_pause(&self) {
+        // ordering: Release — published before the `done` store in
+        // `shutdown()`, pairing with the Acquire loads in `is_done` /
+        // `pause_requested`: any worker that exits because it saw the
+        // shutdown is guaranteed to also see the pause flag.
+        self.pause.store(true, Ordering::Release);
+        self.shutdown();
+    }
+
+    /// True once [`TaskPool::request_pause`] has been called.
+    pub fn pause_requested(&self) -> bool {
+        // ordering: Acquire — pairs with the Release store in
+        // `request_pause`; see there.
+        self.pause.load(Ordering::Acquire)
+    }
+
+    /// Drains every task still queued (injector + all deques) after the
+    /// worker threads have exited. Quiescence is the caller's contract:
+    /// this is only sound once the workers are joined, because the deque
+    /// steal end is then free of races and the drained set is exactly the
+    /// untouched remainder. Used by the checkpoint path to turn queued
+    /// work into durable descriptors.
+    pub fn drain_tasks(&self) -> Vec<Task> {
+        let mut out = Vec::new();
+        {
+            let mut q = self.injector.lock().unwrap();
+            out.extend(q.drain(..));
+            // ordering: SeqCst — keep the lock-free mirror honest (see
+            // `inject`), in case diagnostics read it after the drain.
+            self.injector_len.store(0, Ordering::SeqCst);
+        }
+        for d in &self.deques {
+            loop {
+                match d.steal() {
+                    Steal::Success(t) => out.push(t),
+                    // Retry is only reachable under owner/thief races;
+                    // post-join there are none, but loop anyway so the
+                    // contract does not depend on that reasoning.
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+        out
     }
 
     /// Total tasks ever submitted through worker deques (excludes the

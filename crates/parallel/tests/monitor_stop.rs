@@ -76,6 +76,7 @@ fn heartbeats_sample_per_worker_progress() {
     pcfg.monitor = Some(MonitorConfig {
         tick: Duration::from_millis(5),
         heartbeat_capacity: 1024,
+        checkpoint_every: None,
     });
     let r = run_parallel(&blowup_problem(), &time_only(limit), &pcfg).unwrap();
     assert_eq!(r.stop, Some(StopCause::TimeLimit));

@@ -113,6 +113,88 @@ impl fmt::Display for TreeError {
 
 impl std::error::Error for TreeError {}
 
+/// One node slot of an [`ArenaDump`] (dead slots have empty adjacency and
+/// no taxon).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DumpNode {
+    /// Whether the slot holds a live node.
+    pub alive: bool,
+    /// The labelling taxon id, for live leaves.
+    pub taxon: Option<u32>,
+    /// Incident edge ids in adjacency order.
+    pub adj: Vec<u32>,
+}
+
+/// One edge slot of an [`ArenaDump`] (dead slots keep their stale
+/// endpoints; `alloc_edge` overwrites the whole slot on reuse, so
+/// they are never read).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DumpEdge {
+    /// Whether the slot holds a live edge.
+    pub alive: bool,
+    /// First endpoint node id.
+    pub a: u32,
+    /// Second endpoint node id.
+    pub b: u32,
+}
+
+/// A plain-data image of a [`Tree`] arena — every slot plus the free lists
+/// — produced by [`Tree::dump_arena`] and restored (with validation) by
+/// [`Tree::from_arena_dump`]. The image preserves node/edge *ids* and the
+/// future allocation order, so a restored tree is behaviourally identical
+/// to the original ([`Tree::arena_fingerprint`] matches).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArenaDump {
+    /// The taxon universe size.
+    pub universe: usize,
+    /// Node slots, dense by id.
+    pub nodes: Vec<DumpNode>,
+    /// Edge slots, dense by id.
+    pub edges: Vec<DumpEdge>,
+    /// Dead node ids in LIFO pop order (last pushed first).
+    pub free_nodes: Vec<u32>,
+    /// Dead edge ids in LIFO pop order (last pushed first).
+    pub free_edges: Vec<u32>,
+}
+
+/// Checks that `free` enumerates exactly the dead slots of an arena of
+/// `len` slots, each once (`live(i)` reports slot liveness).
+fn check_free_list(
+    kind: &str,
+    free: &[u32],
+    len: usize,
+    live: impl Fn(usize) -> bool,
+) -> Result<(), TreeError> {
+    let mut seen = vec![false; len];
+    for &id in free {
+        let i = id as usize;
+        if i >= len {
+            return Err(TreeError::Inconsistent(format!(
+                "free {kind} id {id} out of range"
+            )));
+        }
+        if live(i) {
+            return Err(TreeError::Inconsistent(format!(
+                "free {kind} list contains live slot {id}"
+            )));
+        }
+        if seen[i] {
+            return Err(TreeError::Inconsistent(format!(
+                "free {kind} list repeats slot {id}"
+            )));
+        }
+        seen[i] = true;
+    }
+    for (i, &s) in seen.iter().enumerate() {
+        if !s && !live(i) {
+            return Err(TreeError::Inconsistent(format!(
+                "dead {kind} slot {i} missing from the free list"
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// An unrooted tree over a fixed taxon universe.
 #[derive(Clone, Debug)]
 pub struct Tree {
@@ -611,6 +693,121 @@ impl Tree {
         })
     }
 
+    // ------------------------------------------------------------------
+    // Arena serialization (checkpoint support)
+    // ------------------------------------------------------------------
+
+    /// Captures the full arena as plain data: every slot (live *and* dead)
+    /// plus both free lists in pop order. Unlike a Newick round-trip, which
+    /// renumbers nodes and edges, restoring a dump with
+    /// [`Tree::from_arena_dump`] reproduces the arena id-for-id — the
+    /// property checkpointed search tasks rely on, since their recorded
+    /// branch [`EdgeId`]s are arena indices.
+    pub fn dump_arena(&self) -> ArenaDump {
+        ArenaDump {
+            universe: self.universe,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| DumpNode {
+                    alive: n.alive,
+                    taxon: n.taxon.map(|t| t.0),
+                    adj: n.adj.iter().map(|e| e.0).collect(),
+                })
+                .collect(),
+            edges: self
+                .edges
+                .iter()
+                .map(|e| DumpEdge {
+                    alive: e.alive,
+                    a: e.a.0,
+                    b: e.b.0,
+                })
+                .collect(),
+            free_nodes: self.free_nodes.iter().map(|n| n.0).collect(),
+            free_edges: self.free_edges.iter().map(|e| e.0).collect(),
+        }
+    }
+
+    /// Rebuilds a tree from an [`ArenaDump`], verifying the dump is
+    /// internally consistent before trusting it (dumps cross process
+    /// boundaries through checkpoint files, so they are hostile input):
+    /// free lists must enumerate exactly the dead slots, dead nodes must
+    /// have empty adjacency (the reuse invariant `alloc_node`
+    /// debug-asserts), taxa must be unique and within the universe, and the
+    /// live structure must pass [`Tree::validate`].
+    pub fn from_arena_dump(dump: &ArenaDump) -> Result<Tree, TreeError> {
+        let bad = |msg: String| TreeError::Inconsistent(msg);
+        if dump.nodes.len() > u32::MAX as usize || dump.edges.len() > u32::MAX as usize {
+            return Err(bad("arena dump exceeds u32 id space".into()));
+        }
+        let mut leaf_of: Vec<Option<NodeId>> = vec![None; dump.universe];
+        let mut taxa = BitSet::new(dump.universe);
+        let mut nodes = Vec::with_capacity(dump.nodes.len());
+        let mut n_nodes = 0usize;
+        for (i, n) in dump.nodes.iter().enumerate() {
+            if n.alive {
+                n_nodes += 1;
+                if let Some(t) = n.taxon {
+                    if t as usize >= dump.universe {
+                        return Err(bad(format!("node {i}: taxon {t} outside universe")));
+                    }
+                    if leaf_of[t as usize].is_some() {
+                        return Err(TreeError::BadLabels(format!("taxon {t} labels two nodes")));
+                    }
+                    leaf_of[t as usize] = Some(NodeId(i as u32));
+                    taxa.insert(t as usize);
+                }
+            } else if !n.adj.is_empty() {
+                return Err(bad(format!("dead node {i} has a non-empty adjacency list")));
+            } else if n.taxon.is_some() {
+                return Err(bad(format!("dead node {i} carries a taxon")));
+            }
+            nodes.push(Node {
+                alive: n.alive,
+                taxon: if n.alive { n.taxon.map(TaxonId) } else { None },
+                adj: n.adj.iter().map(|&e| EdgeId(e)).collect(),
+            });
+        }
+        let mut edges = Vec::with_capacity(dump.edges.len());
+        let mut n_edges = 0usize;
+        for e in &dump.edges {
+            if e.alive {
+                n_edges += 1;
+                if e.a as usize >= dump.nodes.len() || e.b as usize >= dump.nodes.len() {
+                    return Err(bad("edge endpoint outside the node arena".into()));
+                }
+            }
+            edges.push(Edge {
+                alive: e.alive,
+                a: NodeId(e.a),
+                b: NodeId(e.b),
+            });
+        }
+        // The free lists must enumerate exactly the dead slots, each once:
+        // a live id on a free list would be resurrected by the next alloc,
+        // and a dead slot missing from the lists would leak forever.
+        check_free_list("node", &dump.free_nodes, dump.nodes.len(), |i| {
+            dump.nodes[i].alive
+        })?;
+        check_free_list("edge", &dump.free_edges, dump.edges.len(), |i| {
+            dump.edges[i].alive
+        })?;
+        let tree = Tree {
+            universe: dump.universe,
+            nodes,
+            edges,
+            free_nodes: dump.free_nodes.iter().map(|&n| NodeId(n)).collect(),
+            free_edges: dump.free_edges.iter().map(|&e| EdgeId(e)).collect(),
+            leaf_of,
+            taxa,
+            n_nodes,
+            n_edges,
+        };
+        tree.validate()?;
+        Ok(tree)
+    }
+
     /// A behavioural fingerprint of the arena: the live structure (ids,
     /// labels, adjacency order) plus the *future allocation order* (the
     /// LIFO free lists in pop order, then the next fresh ids). Two arenas
@@ -781,6 +978,84 @@ mod tests {
             tree.validate(),
             Err(TreeError::NotATree(_)) | Err(TreeError::BadLabels(_))
         ));
+    }
+
+    #[test]
+    fn arena_dump_roundtrip_preserves_fingerprint() {
+        // Build a tree with dead slots: insert, remove, insert elsewhere,
+        // so free lists are non-trivial.
+        let mut tree = Tree::three_leaf(16, t(0), t(1), t(2));
+        let e0 = tree.edges().next().unwrap();
+        let i1 = tree.insert_leaf_on_edge(t(3), e0);
+        let i2 = tree.insert_leaf_on_edge(t(4), i1.pendant);
+        tree.remove_insertion(&i2);
+        let i3 = tree.insert_leaf_on_edge(t(5), i1.far_half);
+        tree.remove_insertion(&i3);
+        let dump = tree.dump_arena();
+        let restored = Tree::from_arena_dump(&dump).unwrap();
+        assert_eq!(restored.arena_fingerprint(), tree.arena_fingerprint());
+        assert_eq!(restored.dump_arena(), dump, "dump is a fixed point");
+        // Behavioural identity: the same future edit yields the same ids.
+        let ia = tree.insert_leaf_on_edge(t(6), i1.pendant);
+        let mut restored = restored;
+        let ib = restored.insert_leaf_on_edge(t(6), i1.pendant);
+        assert_eq!(ia, ib);
+        assert_eq!(restored.arena_fingerprint(), tree.arena_fingerprint());
+    }
+
+    #[test]
+    fn arena_dump_rejects_corruption() {
+        let mut tree = Tree::three_leaf(8, t(0), t(1), t(2));
+        let e = tree.edges().next().unwrap();
+        let ins = tree.insert_leaf_on_edge(t(3), e);
+        tree.remove_insertion(&ins);
+        let good = tree.dump_arena();
+        assert!(Tree::from_arena_dump(&good).is_ok());
+
+        // Free list omits a dead slot.
+        let mut d = good.clone();
+        d.free_nodes.pop();
+        assert!(Tree::from_arena_dump(&d).is_err());
+        // Free list names a live slot.
+        let mut d = good.clone();
+        d.free_nodes.push(0);
+        assert!(Tree::from_arena_dump(&d).is_err());
+        // Duplicate free id.
+        let mut d = good.clone();
+        let dup = d.free_edges[0];
+        d.free_edges.push(dup);
+        assert!(Tree::from_arena_dump(&d).is_err());
+        // Out-of-range free id.
+        let mut d = good.clone();
+        d.free_edges[0] = 999;
+        assert!(Tree::from_arena_dump(&d).is_err());
+        // Duplicate taxon.
+        let mut d = good.clone();
+        for n in d.nodes.iter_mut().filter(|n| n.alive && n.taxon == Some(1)) {
+            n.taxon = Some(0);
+        }
+        assert!(Tree::from_arena_dump(&d).is_err());
+        // Taxon outside the universe.
+        let mut d = good.clone();
+        for n in d.nodes.iter_mut().filter(|n| n.taxon == Some(2)) {
+            n.taxon = Some(99);
+        }
+        assert!(Tree::from_arena_dump(&d).is_err());
+        // Dead node with adjacency.
+        let mut d = good.clone();
+        let dead = d.free_nodes[0] as usize;
+        d.nodes[dead].adj.push(0);
+        assert!(Tree::from_arena_dump(&d).is_err());
+        // Edge endpoint out of range.
+        let mut d = good.clone();
+        let live_edge = d.edges.iter().position(|e| e.alive).unwrap();
+        d.edges[live_edge].a = 999;
+        assert!(Tree::from_arena_dump(&d).is_err());
+        // Disconnected live structure (drop one edge, keep counts stale).
+        let mut d = good.clone();
+        d.edges[live_edge].alive = false;
+        d.free_edges.insert(0, live_edge as u32);
+        assert!(Tree::from_arena_dump(&d).is_err());
     }
 
     #[test]

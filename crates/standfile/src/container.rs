@@ -534,10 +534,18 @@ impl Container {
                 len: self.total,
             });
         }
-        let block = self
-            .index
-            .partition_point(|b| b.first + b.trees <= tree)
-            .min(self.index.len().saturating_sub(1));
+        // `tree < total` and an honest footer guarantee a covering block,
+        // so running off the index means the footer's block ranges do not
+        // cover the advertised tree count: a corrupt file, not a caller
+        // error — surface it as such instead of clamping to the last block
+        // and silently serving the wrong tree.
+        let block = self.index.partition_point(|b| b.first + b.trees <= tree);
+        if block >= self.index.len() {
+            return Err(format_err(
+                0,
+                format!("tree {tree} not covered by the block index (corrupt footer?)"),
+            ));
+        }
         let within = (tree - self.index[block].first) as usize;
         Ok((block, within))
     }

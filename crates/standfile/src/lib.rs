@@ -23,10 +23,12 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod container;
 pub mod sink;
 mod varint;
 
+pub use ckpt::{Checkpoint, CkptTask};
 pub use container::{
     merge_segments, Container, ContainerSummary, ContainerWriter, DEFAULT_BLOCK_CAPACITY,
 };

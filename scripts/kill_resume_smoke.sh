@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Kill/resume smoke: SIGKILL a checkpointed `gentrius stand` run mid-
+# flight, resume it from the .standckpt sidecar until the enumeration
+# completes, and require the stitched container to hold exactly the same
+# stand set as an uninterrupted run. This is the cross-process durability
+# gate — the in-process differential lives in tests/checkpoint_resume.rs.
+#
+# Usage: scripts/kill_resume_smoke.sh [BINARY]
+#   BINARY defaults to target/release/gentrius (built if missing).
+set -euo pipefail
+
+BIN="${1:-target/release/gentrius}"
+if [[ ! -x "$BIN" ]]; then
+  echo "building $BIN"
+  cargo build --release -p gentrius-cli
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/gentrius-kill-smoke.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+# A blow-up instance: ~480k stand trees, a couple of seconds of release
+# work — plenty of room for a 100 ms checkpoint cadence to fire several
+# times before the SIGKILL lands.
+cat > "$WORK/trees.nwk" <<'EOF'
+((A,B),(C,D));
+((A,E),(F,G));
+((C,F),(H,I));
+((B,H),(J,K));
+((D,G),(I,K));
+EOF
+
+echo "== clean reference run =="
+"$BIN" stand --trees "$WORK/trees.nwk" --threads 2 --output "$WORK/clean.stand"
+
+echo "== checkpointed run, SIGKILL mid-flight =="
+"$BIN" stand --trees "$WORK/trees.nwk" --threads 2 \
+  --output "$WORK/kill.stand" --checkpoint-every 0.1 &
+PID=$!
+sleep 0.6
+if kill -9 "$PID" 2>/dev/null; then
+  echo "sent SIGKILL to $PID"
+else
+  echo "run finished before the kill landed (machine too fast?)" >&2
+  wait "$PID" || true
+fi
+wait "$PID" || true
+
+CKPT="$WORK/kill.standckpt"
+if [[ -f "$CKPT" ]]; then
+  echo "== resuming from $CKPT =="
+  slices=0
+  while [[ -f "$CKPT" ]]; do
+    slices=$((slices + 1))
+    if (( slices > 50 )); then
+      echo "FAIL: resume did not converge after $slices slices" >&2
+      exit 1
+    fi
+    "$BIN" stand resume "$CKPT" --threads 2
+  done
+  echo "resume converged after $slices slice(s)"
+elif [[ ! -f "$WORK/kill.stand" ]]; then
+  echo "FAIL: killed run left neither a checkpoint nor a container" >&2
+  exit 1
+fi
+
+echo "== comparing stand sets =="
+"$BIN" stand cat "$WORK/clean.stand" | sort > "$WORK/clean.txt"
+"$BIN" stand cat "$WORK/kill.stand" | sort > "$WORK/kill.txt"
+if ! cmp -s "$WORK/clean.txt" "$WORK/kill.txt"; then
+  echo "FAIL: resumed stand set diverges from the clean run" >&2
+  diff "$WORK/clean.txt" "$WORK/kill.txt" | head -20 >&2
+  exit 1
+fi
+
+leftovers="$(find "$WORK" -name 'kill.stand.*seg*' -o -name '*.standckpt*' | wc -l)"
+if (( leftovers != 0 )); then
+  echo "FAIL: $leftovers sidecar file(s) survived completion" >&2
+  find "$WORK" -name 'kill.stand.*seg*' -o -name '*.standckpt*' >&2
+  exit 1
+fi
+
+echo "PASS: $(wc -l < "$WORK/clean.txt") trees, byte-identical after kill/resume"

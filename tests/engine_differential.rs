@@ -305,6 +305,7 @@ fn deque_churn_profile_stays_exact_and_exercises_grow() {
             pcfg.monitor = Some(MonitorConfig {
                 tick: std::time::Duration::from_millis(1),
                 heartbeat_capacity: 4096,
+                checkpoint_every: None,
             });
             let (par, sinks) = run_parallel_with_sinks(&p, &config, &pcfg, |_| {
                 CollectNewick::with_cap(&d.taxa, COLLECT_CAP)
