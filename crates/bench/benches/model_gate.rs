@@ -1,0 +1,133 @@
+//! Model gate — Galton–Watson predictions vs measured behavior (BENCH_10).
+//!
+//! For every class of the adversarial zoo, fits a GW offspring model from
+//! a budget-capped profiling run, predicts total stand trees /
+//! intermediate states / dead ends and the speedup at 2/4/8 threads, then
+//! measures the same quantities with the virtual-time simulator and gates
+//! on divergence beyond the fitted confidence band (counts) or the
+//! [`SCALING_BAND`] factor (scaling). Writes the full comparison to
+//! `BENCH_10.json` (override the path with `BENCH10_OUT`) *before* the
+//! gate asserts, so a regression still leaves the numbers behind.
+
+use gentrius_bench::banner;
+use gentrius_bench::model_gate::{
+    gate_passes, run_model_gate, zoo_classes, MeasureConfig, SCALING_BAND,
+};
+use gentrius_parallel::obs::json::{self, JsonWriter};
+
+fn main() {
+    banner(
+        "MODEL-GATE",
+        "GW workload model vs measured counts and scaling (Figs. 5-7 shapes)",
+        "every zoo class inside its fitted count band; measured speedups \
+         within the scaling band of the GW scheduler's prediction",
+    );
+
+    let classes = zoo_classes();
+    let results = run_model_gate(&classes, &MeasureConfig::default());
+
+    println!(
+        "{:<20} {:>6} {:>11} {:>11} {:>6} {:>6}",
+        "class", "depth", "pred", "measured", "band", "ok"
+    );
+    for r in &results {
+        println!(
+            "{:<20} {:>6} {:>11.0} {:>11} {:>6.2} {:>6}",
+            r.key,
+            r.depth,
+            r.predicted.stand_trees,
+            r.measured_trees,
+            r.predicted.band,
+            if r.counts_ok { "ok" } else { "FAIL" }
+        );
+        for t in &r.threads {
+            println!(
+                "{:<20} {:>6} {:>11.2} {:>11} {:>6.2} {:>6}",
+                format!("  speedup x{}", t.threads),
+                "",
+                t.predicted_speedup,
+                format!("{:.2}", t.measured_speedup),
+                SCALING_BAND,
+                if t.ok { "ok" } else { "FAIL" }
+            );
+        }
+    }
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema").string("gentrius-model-gate-bench");
+    w.key("version").u64(1);
+    w.key("issue").u64(10);
+    w.key("scaling_band").f64(SCALING_BAND);
+    w.key("classes").begin_array();
+    for r in &results {
+        w.begin_object();
+        w.key("key").string(r.key);
+        w.key("depth").u64(r.depth as u64);
+        w.key("profile_events").u64(r.profile_events);
+        w.key("profile_truncated").bool(r.profile_truncated);
+        w.key("predicted").begin_object();
+        w.key("stand_trees").f64(r.predicted.stand_trees);
+        w.key("intermediate_states")
+            .f64(r.predicted.intermediate_states);
+        w.key("dead_ends").f64(r.predicted.dead_ends);
+        w.key("band").f64(r.predicted.band);
+        w.end_object();
+        w.key("measured").begin_object();
+        w.key("stand_trees").u64(r.measured_trees);
+        w.key("intermediate_states").u64(r.measured_states);
+        w.key("dead_ends").u64(r.measured_dead_ends);
+        w.key("serial_makespan").u64(r.serial_makespan);
+        w.end_object();
+        w.key("counts_ok").bool(r.counts_ok);
+        w.key("scaling").begin_array();
+        for t in &r.threads {
+            w.begin_object();
+            w.key("threads").u64(t.threads as u64);
+            w.key("predicted_speedup").f64(t.predicted_speedup);
+            w.key("measured_speedup").f64(t.measured_speedup);
+            w.key("events_per_tick").f64(t.events_per_tick);
+            w.key("ok").bool(t.ok);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("pass").bool(r.pass());
+        w.end_object();
+    }
+    w.end_array();
+    w.key("pass").bool(gate_passes(&results));
+    w.end_object();
+
+    let doc = w.finish();
+    json::validate(&doc).expect("emitted document must be valid JSON");
+    let out = std::env::var("BENCH10_OUT").unwrap_or_else(|_| "BENCH_10.json".to_string());
+    std::fs::write(&out, doc + "\n").expect("write BENCH_10.json");
+    println!("\nwrote model-gate comparison to {out}");
+
+    // Gate — after the JSON hits disk.
+    for r in &results {
+        assert!(
+            r.counts_ok,
+            "{}: measured counts (trees {}, states {}, dead ends {}) fell \
+             outside the GW band ({:.2}x around trees {:.0}, states {:.0}, \
+             dead ends {:.0})",
+            r.key,
+            r.measured_trees,
+            r.measured_states,
+            r.measured_dead_ends,
+            r.predicted.band,
+            r.predicted.stand_trees,
+            r.predicted.intermediate_states,
+            r.predicted.dead_ends
+        );
+        for t in &r.threads {
+            assert!(
+                t.ok,
+                "{} x{}: measured speedup {:.2} diverged from the GW \
+                 scheduler's {:.2} beyond the {SCALING_BAND}x band",
+                r.key, t.threads, t.measured_speedup, t.predicted_speedup
+            );
+        }
+    }
+    println!("model gate passed on all {} classes", results.len());
+}

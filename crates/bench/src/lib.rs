@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod model_gate;
+
 use gentrius_core::{GentriusConfig, StoppingRules};
 use gentrius_datagen::Dataset;
 use gentrius_sim::{simulate, SimConfig, SimResult, Summary};

@@ -1,0 +1,247 @@
+//! Model-vs-measured regression gating (the BENCH_10 phase).
+//!
+//! For each instance class of the adversarial zoo, a cheap budget-capped
+//! profiling run fits a Galton–Watson model ([`gentrius_sim::gw`]) whose
+//! predictions — expected event counts and expected scaling per thread
+//! count — are compared against what the virtual-time simulator actually
+//! measures on the real engine policy. A regression on *any* class shows
+//! up as divergence beyond the fitted band, instead of tripping (or
+//! sliding under) a hand-picked raw threshold.
+//!
+//! The measurement side is deliberately degradable
+//! ([`MeasureConfig`]): switching stealing off or clamping the task
+//! queue to zero capacity reproduces a scheduler regression, and the
+//! gate must fail — `tests/model_gate_degraded.rs` pins that.
+
+use gentrius_core::GentriusConfig;
+use gentrius_datagen::adversarial::{grove_showcase, unbalanced_showcase};
+use gentrius_datagen::scenario::{deadend_blowup, heuristics_showcase, plateau_with_chunks};
+use gentrius_datagen::Dataset;
+use gentrius_sim::gw::{profile_search, CountPrediction, GwModel};
+use gentrius_sim::{simulate, CostModel, SimConfig};
+
+/// Thread counts of the scaling comparison.
+pub const GATE_THREADS: [usize; 3] = [2, 4, 8];
+
+/// Multiplicative band of the scaling comparison: the measured speedup
+/// must stay within `[predicted / band, predicted * band]`. The abstract
+/// GW scheduler is a simplification of the engine (no queue-capacity
+/// gate, shallowest-first steals), so the band is loose — but a scheduler
+/// regression (stealing off, zero-capacity queue) collapses measured
+/// scaling to ~1x, far outside it.
+pub const SCALING_BAND: f64 = 1.75;
+
+/// One instance class of the gate.
+pub struct ClassSpec {
+    /// Stable key written to `BENCH_10.json`.
+    pub key: &'static str,
+    /// The instance.
+    pub dataset: Dataset,
+    /// Run configuration (must enumerate completely for exact totals).
+    pub config: GentriusConfig,
+    /// Event budget of the profiling run.
+    pub profile_budget: u64,
+}
+
+/// The degradable measurement knobs (healthy by default). The degraded
+/// variants model real scheduler regressions.
+#[derive(Clone, Debug)]
+pub struct MeasureConfig {
+    /// Work stealing enabled.
+    pub stealing: bool,
+    /// Task-queue capacity override (`Some(0)` disables task creation).
+    pub queue_capacity: Option<usize>,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            stealing: true,
+            queue_capacity: None,
+        }
+    }
+}
+
+/// Per-thread-count comparison cell.
+#[derive(Clone, Debug)]
+pub struct ThreadResult {
+    /// Worker count.
+    pub threads: usize,
+    /// GW-scheduler predicted speedup over serial.
+    pub predicted_speedup: f64,
+    /// Virtual-time measured speedup over serial.
+    pub measured_speedup: f64,
+    /// Measured events per virtual tick (trees + intermediate states).
+    pub events_per_tick: f64,
+    /// Within [`SCALING_BAND`] of the prediction.
+    pub ok: bool,
+}
+
+/// Per-class gate outcome.
+pub struct ClassResult {
+    /// Class key.
+    pub key: &'static str,
+    /// Insertion positions (missing taxa).
+    pub depth: usize,
+    /// Events the profile consumed.
+    pub profile_events: u64,
+    /// Whether the profile was budget-truncated.
+    pub profile_truncated: bool,
+    /// GW count predictions with their fitted band.
+    pub predicted: CountPrediction,
+    /// Measured totals from the complete serial enumeration.
+    pub measured_trees: u64,
+    /// Measured intermediate states.
+    pub measured_states: u64,
+    /// Measured dead ends.
+    pub measured_dead_ends: u64,
+    /// Serial virtual makespan.
+    pub serial_makespan: u64,
+    /// Counts within the fitted band.
+    pub counts_ok: bool,
+    /// Scaling comparison per thread count.
+    pub threads: Vec<ThreadResult>,
+}
+
+impl ClassResult {
+    /// True when every comparison of this class is inside its band.
+    pub fn pass(&self) -> bool {
+        self.counts_ok && self.threads.iter().all(|t| t.ok)
+    }
+}
+
+/// The default zoo classes of the gate — both crafted caterpillar
+/// plateaus, the randomized deep-unbalanced plateau, the heuristics
+/// showcase, the dead-end blow-up and the Grove-like empirical showcase.
+/// All enumerate completely under the exhaustive config (the true blow-up
+/// instances are excluded on purpose: exact-count gating needs complete
+/// totals).
+pub fn zoo_classes() -> Vec<ClassSpec> {
+    let exhaustive = GentriusConfig::exhaustive;
+    vec![
+        ClassSpec {
+            key: "plateau-craft-3",
+            dataset: plateau_with_chunks(3),
+            config: exhaustive(),
+            profile_budget: 30_000,
+        },
+        ClassSpec {
+            key: "plateau-craft-5",
+            dataset: plateau_with_chunks(5),
+            config: exhaustive(),
+            profile_budget: 30_000,
+        },
+        ClassSpec {
+            key: "simulated-heuristics",
+            dataset: heuristics_showcase(),
+            config: exhaustive(),
+            profile_budget: 30_000,
+        },
+        ClassSpec {
+            key: "unbalanced-plateau",
+            dataset: unbalanced_showcase(),
+            config: exhaustive(),
+            profile_budget: 30_000,
+        },
+        ClassSpec {
+            key: "deadend-blowup",
+            dataset: deadend_blowup(),
+            config: exhaustive(),
+            profile_budget: 60_000,
+        },
+        ClassSpec {
+            key: "grove-empirical",
+            dataset: grove_showcase(),
+            config: exhaustive(),
+            profile_budget: 30_000,
+        },
+    ]
+}
+
+/// Checks `measured` against `predicted` under a multiplicative `band`.
+fn within_band(measured: f64, predicted: f64, band: f64) -> bool {
+    if predicted <= 0.0 {
+        return measured <= 0.5; // degenerate: nothing predicted, ~nothing measured
+    }
+    let ratio = (measured.max(1e-9)) / predicted;
+    ratio <= band && ratio >= 1.0 / band
+}
+
+/// Runs the model-gate phase: profile → fit → predict → measure →
+/// compare, per class. The `measure` knobs only affect the measurement
+/// side (the degraded-config tests rely on that).
+pub fn run_model_gate(classes: &[ClassSpec], measure: &MeasureConfig) -> Vec<ClassResult> {
+    classes
+        .iter()
+        .map(|class| {
+            let p = class.dataset.problem().expect("zoo class must be valid");
+            let profile = profile_search(&p, &class.config, class.profile_budget)
+                .expect("profiling run failed");
+            let model = GwModel::fit(&profile);
+            let predicted = model.predict_counts();
+
+            let sim_config = |threads: usize| {
+                let mut sc = SimConfig::with_threads(threads);
+                sc.cost = CostModel::ideal();
+                sc.stealing = measure.stealing;
+                if measure.queue_capacity.is_some() {
+                    sc.queue_capacity = measure.queue_capacity;
+                }
+                sc
+            };
+            let serial = simulate(&p, &class.config, &sim_config(1)).expect("serial sim");
+            assert!(
+                serial.complete(),
+                "{}: gate classes must enumerate completely",
+                class.key
+            );
+            let counts_ok = within_band(
+                serial.stats.stand_trees as f64,
+                predicted.stand_trees,
+                predicted.band,
+            ) && within_band(
+                serial.stats.intermediate_states as f64,
+                predicted.intermediate_states,
+                predicted.band,
+            ) && within_band(
+                serial.stats.dead_ends as f64,
+                predicted.dead_ends,
+                predicted.band,
+            );
+            let events = serial.stats.stand_trees + serial.stats.intermediate_states;
+            let threads = GATE_THREADS
+                .iter()
+                .map(|&t| {
+                    let par = simulate(&p, &class.config, &sim_config(t)).expect("parallel sim");
+                    let predicted_speedup = model.predict_speedup(t);
+                    let measured_speedup = par.speedup_vs(&serial);
+                    ThreadResult {
+                        threads: t,
+                        predicted_speedup,
+                        measured_speedup,
+                        events_per_tick: events as f64 / par.makespan.max(1) as f64,
+                        ok: within_band(measured_speedup, predicted_speedup, SCALING_BAND),
+                    }
+                })
+                .collect();
+            ClassResult {
+                key: class.key,
+                depth: model.depth,
+                profile_events: profile.events,
+                profile_truncated: profile.truncated,
+                predicted,
+                measured_trees: serial.stats.stand_trees,
+                measured_states: serial.stats.intermediate_states,
+                measured_dead_ends: serial.stats.dead_ends,
+                serial_makespan: serial.makespan,
+                counts_ok,
+                threads,
+            }
+        })
+        .collect()
+}
+
+/// True when every class passed every comparison.
+pub fn gate_passes(results: &[ClassResult]) -> bool {
+    results.iter().all(|r| r.pass())
+}

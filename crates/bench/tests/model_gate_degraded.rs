@@ -1,0 +1,66 @@
+//! The model gate must actually gate: a healthy measurement passes at
+//! HEAD, and an intentionally-degraded scheduler configuration (static
+//! initial split only — no task creation, no stealing) diverges from the
+//! GW model's scaling prediction and fails. This is the non-zero-exit
+//! demonstration required of `BENCH_10`: the bench binary asserts on
+//! exactly the `gate_passes` verdict tested here.
+
+use gentrius_bench::model_gate::{gate_passes, run_model_gate, zoo_classes, MeasureConfig};
+
+/// Fast subset of the zoo (the degraded run simulates each class at four
+/// thread counts; the dead-end blow-up is left to the bench binary).
+fn fast_classes() -> Vec<gentrius_bench::model_gate::ClassSpec> {
+    zoo_classes()
+        .into_iter()
+        .filter(|c| matches!(c.key, "simulated-heuristics" | "grove-empirical"))
+        .collect()
+}
+
+#[test]
+fn healthy_measurement_passes_the_gate() {
+    let classes = fast_classes();
+    assert_eq!(classes.len(), 2, "expected both fast classes in the zoo");
+    let results = run_model_gate(&classes, &MeasureConfig::default());
+    for r in &results {
+        assert!(
+            r.pass(),
+            "{}: healthy config failed (counts_ok={}, scaling={:?})",
+            r.key,
+            r.counts_ok,
+            r.threads
+                .iter()
+                .map(|t| (t.threads, t.predicted_speedup, t.measured_speedup))
+                .collect::<Vec<_>>()
+        );
+    }
+    assert!(gate_passes(&results));
+}
+
+#[test]
+fn degraded_scheduler_fails_the_gate() {
+    let degraded = MeasureConfig {
+        stealing: false,
+        queue_capacity: Some(0),
+    };
+    let results = run_model_gate(&fast_classes(), &degraded);
+    // Counts are still exact (the degradation is a scheduling regression,
+    // not an enumeration bug) ...
+    for r in &results {
+        assert!(r.counts_ok, "{}: counts should survive degradation", r.key);
+    }
+    // ... but the measured scaling collapses out of the band on at least
+    // one class/thread-count cell, so the gate trips.
+    assert!(
+        !gate_passes(&results),
+        "degraded scheduler was not caught: {:?}",
+        results
+            .iter()
+            .flat_map(|r| r.threads.iter().map(|t| (
+                r.key,
+                t.threads,
+                t.predicted_speedup,
+                t.measured_speedup
+            )))
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,573 @@
+//! Adversarial instance families beyond the crafted caterpillar blow-up
+//! and the dead-end trap (ROADMAP item 4: the instance zoo).
+//!
+//! Three seeded families, each a pure function of `(params, seed, index)`
+//! so any zoo member regenerates byte-identically in isolation:
+//!
+//! * [`unbalanced_dataset`] — **deep unbalanced workflow trees** (the
+//!   Fig. 5a plateau class): a randomized caterpillar spine, a forced
+//!   pinned chain explored in the serial prefix, one split taxon
+//!   sandwiched into a narrow admissible region (the unstealable-chunk
+//!   count), and a small free fan at the very bottom where the §III-A
+//!   rule forbids task creation. Speedups plateau near the sandwiched
+//!   region width regardless of thread count.
+//! * [`interaction_dataset`] — **stopping-rule-interaction instances**
+//!   (the Fig. 5b super-linearity class): a desert/garden presence–
+//!   absence matrix whose first loci pin a dead-end-rich region early in
+//!   the DFS order while later blocky loci keep a tree-dense region.
+//!   Under the class state budget ([`interaction_stopping`]) the serial
+//!   run burns its budget in the desert; the parallel descent reaches
+//!   the garden sooner — adapted speedups beyond the thread count.
+//! * [`grove_dataset`] — **Grove-like empirical sweeps** (the paper's §V
+//!   distributions): Yule-shaped species trees, the RAxML-Grove
+//!   missingness mixture (68% of datasets with missing data, 19% above
+//!   30%), and *clade-correlated* blocky coverage — each locus covers a
+//!   clade read off the species tree itself rather than a contiguous
+//!   window of the taxon order.
+//!
+//! Pre-searched showcase indices (re-pin with the `zoo_scan` bin if the
+//! workspace RNG stream changes) give the bench and the differential
+//! harness known-good members of each class.
+
+use crate::dataset::Dataset;
+use gentrius_core::StoppingRules;
+use phylo::bitset::BitSet;
+use phylo::generate::{random_tree_on_n, ShapeModel};
+use phylo::pam::Pam;
+use phylo::taxa::{TaxonId, TaxonSet};
+use phylo::tree::{EdgeId, Tree};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The master seed of the pre-searched zoo showcases below.
+pub const ZOO_SEED: u64 = 20260808;
+
+// ---------------------------------------------------------------------------
+// Family 1: deep unbalanced workflow trees (Fig. 5a plateau class)
+// ---------------------------------------------------------------------------
+
+/// Parameters of the unbalanced-workflow family.
+#[derive(Clone, Debug)]
+pub struct UnbalancedParams {
+    /// Inclusive range of caterpillar-spine lengths.
+    pub spine: (usize, usize),
+    /// Inclusive range of the far-quartet anchor offset `a` (≥3); the
+    /// sandwiched split region spans `2a-3` edges — the number of
+    /// unstealable chunks the plateau saturates at.
+    pub anchor: (usize, usize),
+    /// Inclusive range of forced-chain lengths (serial-prefix depth).
+    pub pinned: (usize, usize),
+    /// Inclusive range of free-fan *pairs* at the bottom (each pair is two
+    /// everywhere-admissible taxa; 1 pair sits below the §III-A cut-off).
+    pub tail_pairs: (usize, usize),
+}
+
+impl UnbalancedParams {
+    /// The zoo defaults: plateaus between ~2x and ~6x, spines deep enough
+    /// that the per-chunk work dwarfs the prefix.
+    pub fn zoo() -> Self {
+        UnbalancedParams {
+            spine: (21, 31),
+            anchor: (3, 6),
+            pinned: (3, 6),
+            tail_pairs: (1, 1),
+        }
+    }
+}
+
+/// Generates unbalanced-workflow instance `unbalanced-<index>`
+/// deterministically from `(params, seed, index)`.
+pub fn unbalanced_dataset(params: &UnbalancedParams, seed: u64, index: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
+    let m = rng.gen_range(params.spine.0..=params.spine.1).max(10);
+    let anchor = rng.gen_range(params.anchor.0..=params.anchor.1).clamp(3, 6);
+    // Chain pins sit on pendant edges spaced by 3 starting past the split
+    // region; clamp the chain to what the spine can host.
+    let first_pin = anchor + 3;
+    let k_max = if m > first_pin + 2 {
+        (m - first_pin - 2) / 3
+    } else {
+        0
+    };
+    let k = rng
+        .gen_range(params.pinned.0..=params.pinned.1)
+        .min(k_max)
+        .max(1);
+    let pairs = rng
+        .gen_range(params.tail_pairs.0..=params.tail_pairs.1)
+        .max(1);
+
+    let n = m + k + 1 + 2 * pairs;
+    let mut taxa = TaxonSet::new();
+    for i in 0..m {
+        taxa.intern(&format!("c{i}"));
+    }
+    for i in 1..=k {
+        taxa.intern(&format!("z{i}"));
+    }
+    taxa.intern("y");
+    for i in 1..=2 * pairs {
+        taxa.intern(&format!("f{i}"));
+    }
+    let c = |i: usize| TaxonId(i as u32);
+    let z = |i: usize| TaxonId((m + i - 1) as u32);
+    let y = TaxonId((m + k) as u32);
+    let f = |i: usize| TaxonId((m + k + i) as u32);
+
+    // Caterpillar (((c0,c1),c2),c3)... on all c's: the agile tree.
+    let mut caterpillar = Tree::three_leaf(n, c(0), c(1), c(2));
+    for i in 3..m {
+        let prev = caterpillar.leaf(c(i - 1)).expect("leaf exists");
+        let e = caterpillar.adjacent_edges(prev)[0];
+        caterpillar.insert_leaf_on_edge(c(i), e);
+    }
+    let quartet = |a: TaxonId, b: TaxonId, d: TaxonId, e: TaxonId| {
+        let mut t = Tree::three_leaf(n, a, b, d);
+        let leaf_d = t.leaf(d).expect("leaf exists");
+        let edge = t.adjacent_edges(leaf_d)[0];
+        t.insert_leaf_on_edge(e, edge);
+        t
+    };
+
+    let mut constraints = vec![caterpillar];
+    // Forced chain: z_i pinned to one pendant edge each, spaced out so the
+    // pins never interact with y's split region.
+    for i in 1..=k {
+        let j = first_pin + 3 * (i - 1);
+        constraints.push(quartet(z(i), c(j), c(j - 1), c(j + 1)));
+    }
+    // The split taxon y: two quartets sandwiching a bounded region at the
+    // bottom of the caterpillar (same mechanism as the crafted plateau —
+    // the far quartet anchored at (c_a, c_{a+1}) leaves a (2a-3)-edge
+    // admissible intersection, so anchors 3..=6 give 3/5/7/9 chunks).
+    constraints.push(quartet(y, c(2), c(0), c(1)));
+    constraints.push(quartet(y, c(2), c(anchor), c(anchor + 1)));
+    // Free fan pairs: each shares one spine taxon, so both fan taxa stay
+    // admissible everywhere and are inserted last — below the §III-A
+    // cut-off for a single pair.
+    for i in 0..pairs {
+        constraints.push(Tree::three_leaf(n, f(2 * i + 1), f(2 * i + 2), c(0)));
+    }
+
+    Dataset {
+        name: format!("unbalanced-{index}"),
+        taxa,
+        species_tree: None,
+        pam: None,
+        constraints,
+    }
+}
+
+/// Pre-searched index of the unbalanced-workflow showcase: a deep
+/// instance whose 16-thread ideal-machine speedup saturates within ±1 of
+/// its 8-thread speedup (the Fig. 5a plateau shape). Re-pin with
+/// `zoo_scan`.
+pub const UNBALANCED_INDEX: u64 = 3;
+
+/// The unbalanced-workflow showcase instance.
+pub fn unbalanced_showcase() -> Dataset {
+    unbalanced_dataset(&UnbalancedParams::zoo(), ZOO_SEED, UNBALANCED_INDEX)
+}
+
+// ---------------------------------------------------------------------------
+// Family 2: stopping-rule-interaction instances (Fig. 5b class)
+// ---------------------------------------------------------------------------
+
+/// Parameters of the stopping-rule-interaction family.
+#[derive(Clone, Debug)]
+pub struct InteractionParams {
+    /// Inclusive range of taxon counts.
+    pub taxa: (usize, usize),
+    /// Inclusive range of locus counts.
+    pub loci: (usize, usize),
+    /// Fraction of the taxon range the narrow desert windows concentrate
+    /// in (the dead-end-rich region).
+    pub desert_frac: (f64, f64),
+    /// Missing-data fraction of the narrow desert loci.
+    pub desert_missing: (f64, f64),
+    /// The class state budget: the stopping rule the interaction is
+    /// defined against (Fig. 5b is a statement about truncated runs).
+    pub state_budget: u64,
+}
+
+impl InteractionParams {
+    /// The zoo defaults: a scaled version of the paper's 10M-state short
+    /// analyses (§IV-D) sized for laptop benches.
+    pub fn zoo() -> Self {
+        InteractionParams {
+            taxa: (22, 34),
+            loci: (6, 9),
+            desert_frac: (0.4, 0.6),
+            desert_missing: (0.55, 0.7),
+            state_budget: 50_000,
+        }
+    }
+}
+
+/// The class stopping rules: unlimited trees, the parameterized state
+/// budget (rule 2 dominates, exactly the Fig. 5b setup).
+pub fn interaction_stopping(params: &InteractionParams) -> StoppingRules {
+    StoppingRules::counts(1_000_000_000, params.state_budget)
+}
+
+/// Generates stopping-rule-interaction instance `interaction-<index>`
+/// deterministically. The PAM has bimodal clustered coverage: narrow
+/// "desert" windows (high missingness, conflicting, concentrated in one
+/// stretch of the taxon range) piled on top of wide "garden" windows
+/// placed anywhere. Taxa under the desert pile carry many mutually
+/// overlapping narrow constraints — dead-end-rich search regions — while
+/// the rest of the range stays tree-dense. Under the class budget the
+/// serial DFS can burn its whole state budget in a desert subtree that a
+/// parallel descent escapes by splitting.
+pub fn interaction_dataset(params: &InteractionParams, seed: u64, index: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ index.wrapping_mul(0xE703_7ED1_A0B4_28DB));
+    let n = rng.gen_range(params.taxa.0..=params.taxa.1);
+    let m = rng.gen_range(params.loci.0..=params.loci.1).max(4);
+    let desert_frac = rng.gen_range(params.desert_frac.0..=params.desert_frac.1);
+    let desert_missing = rng.gen_range(params.desert_missing.0..=params.desert_missing.1);
+    let n_desert = ((n as f64 * desert_frac) as usize).clamp(4, n - 4);
+
+    let taxa = TaxonSet::with_synthetic(n);
+    let tree = random_tree_on_n(n, ShapeModel::Uniform, &mut rng);
+    let mut pam = Pam::new(n, m);
+    let m_desert = (m / 2).max(2);
+    for l in 0..m {
+        let (cover, start) = if l < m_desert {
+            // Narrow windows concentrated in the desert stretch.
+            let cover = ((1.0 - desert_missing) * n as f64).round().max(4.0) as usize;
+            (cover, rng.gen_range(0..n_desert))
+        } else {
+            // Wider windows placed anywhere (garden backbone), in the
+            // dead-end-prone clustered regime of the crafted trap.
+            let miss = rng.gen_range(0.45..0.6);
+            let cover = ((1.0 - miss) * n as f64).round().max(4.0) as usize;
+            (cover, rng.gen_range(0..n))
+        };
+        for j in 0..cover.min(n) {
+            pam.set(TaxonId(((start + j) % n) as u32), l, true);
+        }
+        // Noise: flip ~10% of entries, as in the clustered regime.
+        for _ in 0..n / 10 {
+            let t = TaxonId(rng.gen_range(0..n as u32));
+            pam.set(t, l, rng.gen::<bool>());
+        }
+    }
+    repair(&mut pam, &mut rng);
+    let constraints = pam.induced_subtrees(&tree);
+    Dataset {
+        name: format!("interaction-{index}"),
+        taxa,
+        species_tree: Some(tree),
+        pam: Some(pam),
+        constraints,
+    }
+}
+
+/// Pre-searched index of the interaction showcase: under the class budget
+/// the serial run stops on the state limit and the 2-thread adapted
+/// speedup exceeds 2.2x. Re-pin with `zoo_scan`.
+pub const INTERACTION_INDEX: u64 = 149;
+
+/// The interaction showcase instance with its class stopping rules.
+pub fn interaction_showcase() -> (Dataset, StoppingRules) {
+    let params = InteractionParams::zoo();
+    let d = interaction_dataset(&params, ZOO_SEED, INTERACTION_INDEX);
+    (d, interaction_stopping(&params))
+}
+
+// ---------------------------------------------------------------------------
+// Family 3: Grove-like empirical sweeps (§V distributions)
+// ---------------------------------------------------------------------------
+
+/// Parameters of the Grove-like family.
+#[derive(Clone, Debug)]
+pub struct GroveParams {
+    /// Log-uniform taxon-count range.
+    pub taxa: (usize, usize),
+    /// Inclusive range of locus counts.
+    pub loci: (usize, usize),
+    /// Fraction of datasets with any missing data (RAxML Grove: 0.68).
+    pub frac_with_missing: f64,
+    /// Fraction of datasets with >30% missing (RAxML Grove: 0.19).
+    pub frac_heavy_missing: f64,
+}
+
+impl GroveParams {
+    /// Grove-shaped defaults at laptop scale.
+    pub fn zoo() -> Self {
+        GroveParams {
+            taxa: (10, 30),
+            loci: (4, 9),
+            frac_with_missing: 0.68,
+            frac_heavy_missing: 0.19,
+        }
+    }
+}
+
+/// Taxa on the far side of `edge` seen from `from` (the clade cut off by
+/// the edge) — a small directed traversal over the unrooted tree.
+fn clade_taxa(tree: &Tree, edge: EdgeId, from: phylo::tree::NodeId) -> BitSet {
+    let mut out = BitSet::new(tree.universe());
+    let start = tree.opposite(edge, from);
+    let mut stack = vec![(start, edge)];
+    while let Some((node, via)) = stack.pop() {
+        if let Some(t) = tree.taxon(node) {
+            out.insert(t.index());
+        }
+        for &e in tree.adjacent_edges(node) {
+            if e != via {
+                stack.push((tree.opposite(e, node), e));
+            }
+        }
+    }
+    out
+}
+
+/// Generates Grove-like instance `grove-<index>` deterministically: a
+/// Yule species tree, the Grove missingness mixture, and per-locus
+/// coverage equal to a *clade* of the species tree (whichever sampled
+/// clade best matches the target coverage) plus light noise — blocky,
+/// clade-correlated PAMs rather than contiguous windows.
+pub fn grove_dataset(params: &GroveParams, seed: u64, index: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ index.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    let (lo, hi) = params.taxa;
+    let n = (lo as f64 * (hi as f64 / lo as f64).powf(rng.gen::<f64>())).round() as usize;
+    let n = n.clamp(lo, hi).max(8);
+    let m = rng.gen_range(params.loci.0..=params.loci.1).max(3);
+
+    // Dataset-level missingness mixture per the Grove fractions.
+    let u: f64 = rng.gen();
+    let missing = if u >= params.frac_with_missing {
+        0.0
+    } else if u < params.frac_heavy_missing {
+        rng.gen_range(0.3..0.55)
+    } else {
+        rng.gen_range(0.05..0.3)
+    };
+
+    let taxa = TaxonSet::with_synthetic(n);
+    let tree = random_tree_on_n(n, ShapeModel::Yule, &mut rng);
+    let mut pam = Pam::new(n, m);
+    let edges: Vec<EdgeId> = tree.edges().collect();
+    let target = (((1.0 - missing) * n as f64).round() as usize).clamp(4, n);
+    for l in 0..m {
+        if missing == 0.0 {
+            for t in 0..n {
+                pam.set(TaxonId(t as u32), l, true);
+            }
+            continue;
+        }
+        // Sample a handful of clades; keep the one whose size is closest
+        // to the per-locus coverage target (jittered around the dataset
+        // missingness so loci differ).
+        let locus_target =
+            ((target as f64 * rng.gen_range(0.75..1.25)).round() as usize).clamp(4, n);
+        let mut best: Option<BitSet> = None;
+        for _ in 0..6 {
+            let e = edges[rng.gen_range(0..edges.len())];
+            let (a, b) = tree.endpoints(e);
+            let side = if rng.gen::<bool>() { a } else { b };
+            let clade = clade_taxa(&tree, e, side);
+            let better = match &best {
+                None => true,
+                Some(cur) => {
+                    (clade.count() as i64 - locus_target as i64).abs()
+                        < (cur.count() as i64 - locus_target as i64).abs()
+                }
+            };
+            if better {
+                best = Some(clade);
+            }
+        }
+        let clade = best.expect("sampled at least one clade");
+        for t in clade.iter() {
+            pam.set(TaxonId(t as u32), l, true);
+        }
+        // Light uniform noise (~5% of entries) so the blocks are not
+        // perfectly clean — real supermatrices never are.
+        for _ in 0..n / 20 + 1 {
+            let t = TaxonId(rng.gen_range(0..n as u32));
+            pam.set(t, l, rng.gen::<bool>());
+        }
+    }
+    repair(&mut pam, &mut rng);
+    let constraints = pam.induced_subtrees(&tree);
+    Dataset {
+        name: format!("grove-{index}"),
+        taxa,
+        species_tree: Some(tree),
+        pam: Some(pam),
+        constraints,
+    }
+}
+
+/// Pre-searched index of the Grove showcase: a fully enumerable instance
+/// with a non-trivial stand and clade-blocky coverage. Re-pin with
+/// `zoo_scan`.
+pub const GROVE_INDEX: u64 = 188;
+
+/// The Grove-like showcase instance.
+pub fn grove_showcase() -> Dataset {
+    grove_dataset(&GroveParams::zoo(), ZOO_SEED, GROVE_INDEX)
+}
+
+/// Ensures every locus has ≥4 taxa and every taxon ≥1 locus (same repair
+/// contract as the simulated generator).
+fn repair(pam: &mut Pam, rng: &mut ChaCha8Rng) {
+    let n = pam.universe();
+    let m = pam.loci();
+    for l in 0..m {
+        while pam.column(l).count() < 4 {
+            let t = TaxonId(rng.gen_range(0..n as u32));
+            pam.set(t, l, true);
+        }
+    }
+    let covered = pam.covered_taxa();
+    for t in 0..n {
+        if !covered.contains(t) {
+            let l = rng.gen_range(0..m);
+            pam.set(TaxonId(t as u32), l, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gentrius_core::GentriusConfig;
+    use gentrius_sim::{simulate, CostModel, SimConfig};
+
+    #[test]
+    fn families_are_deterministic_and_valid() {
+        for i in 0..6 {
+            let a = unbalanced_dataset(&UnbalancedParams::zoo(), 5, i);
+            let b = unbalanced_dataset(&UnbalancedParams::zoo(), 5, i);
+            assert_eq!(a.to_text(), b.to_text());
+            a.problem().unwrap();
+            let a = interaction_dataset(&InteractionParams::zoo(), 5, i);
+            let b = interaction_dataset(&InteractionParams::zoo(), 5, i);
+            assert_eq!(a.to_text(), b.to_text());
+            a.problem().unwrap();
+            a.pam.as_ref().unwrap().validate_for_inference().unwrap();
+            let a = grove_dataset(&GroveParams::zoo(), 5, i);
+            let b = grove_dataset(&GroveParams::zoo(), 5, i);
+            assert_eq!(a.to_text(), b.to_text());
+            a.problem().unwrap();
+            a.pam.as_ref().unwrap().validate_for_inference().unwrap();
+        }
+    }
+
+    #[test]
+    fn unbalanced_showcase_plateaus() {
+        let d = unbalanced_showcase();
+        let p = d.problem().unwrap();
+        let cfg = GentriusConfig::exhaustive();
+        let sp = |t: usize| {
+            let mut sc = SimConfig::with_threads(t);
+            sc.cost = CostModel::ideal();
+            simulate(&p, &cfg, &sc).unwrap()
+        };
+        let s1 = sp(1);
+        assert!(s1.complete());
+        assert!(s1.makespan > 3_000, "too small: {}", s1.makespan);
+        let sp8 = sp(8).speedup_vs(&s1);
+        let sp16 = sp(16).speedup_vs(&s1);
+        assert!(sp8 >= 1.8, "plateau too low: {sp8:.2}");
+        assert!(sp8 <= 7.0, "no plateau: sp8={sp8:.2}");
+        assert!(
+            (sp16 - sp8).abs() < 1.0,
+            "still scaling: sp8={sp8:.2} sp16={sp16:.2}"
+        );
+    }
+
+    #[test]
+    fn interaction_showcase_is_superlinear_under_budget() {
+        let (d, stopping) = interaction_showcase();
+        let p = d.problem().unwrap();
+        let cfg = GentriusConfig {
+            stopping,
+            ..GentriusConfig::default()
+        };
+        let serial = simulate(&p, &cfg, &SimConfig::with_threads(1)).unwrap();
+        assert!(!serial.complete(), "serial run must hit the state budget");
+        let par = simulate(&p, &cfg, &SimConfig::with_threads(2)).unwrap();
+        let asp = par.adapted_speedup_vs(&serial);
+        assert!(asp > 2.2, "adapted speedup too low: {asp:.2}");
+    }
+
+    #[test]
+    fn grove_mixture_matches_fractions_and_blocks_are_clades() {
+        let params = GroveParams::zoo();
+        let total = 150u64;
+        let mut with_missing = 0usize;
+        let mut heavy = 0usize;
+        for i in 0..total {
+            let d = grove_dataset(&params, 11, i);
+            let f = d.missing_fraction();
+            if f > 0.01 {
+                with_missing += 1;
+            }
+            if f > 0.3 {
+                heavy += 1;
+            }
+        }
+        let fw = with_missing as f64 / total as f64;
+        let fh = heavy as f64 / total as f64;
+        assert!((0.5..=0.85).contains(&fw), "with-missing fraction {fw}");
+        assert!((0.06..=0.35).contains(&fh), "heavy-missing fraction {fh}");
+    }
+
+    #[test]
+    fn grove_coverage_is_clade_correlated() {
+        // For datasets with real missingness, locus columns must be close
+        // (by symmetric difference) to some clade of the species tree —
+        // closer than the best contiguous taxon-order window, on average.
+        let params = GroveParams::zoo();
+        let mut clade_better_or_equal = 0usize;
+        let mut measured = 0usize;
+        for i in 0..40 {
+            let d = grove_dataset(&params, 13, i);
+            let f = d.missing_fraction();
+            if !(0.1..=0.6).contains(&f) {
+                continue;
+            }
+            let tree = d.species_tree.as_ref().unwrap();
+            let pam = d.pam.as_ref().unwrap();
+            let n = pam.universe();
+            for col in pam.columns() {
+                if col.count() == n || col.count() < 4 {
+                    continue;
+                }
+                let best_clade = tree
+                    .edges()
+                    .flat_map(|e| {
+                        let (a, b) = tree.endpoints(e);
+                        [(e, a), (e, b)]
+                    })
+                    .map(|(e, side)| {
+                        let clade = clade_taxa(tree, e, side);
+                        col.difference(&clade).count() + clade.difference(col).count()
+                    })
+                    .min()
+                    .unwrap();
+                let best_window = (0..n)
+                    .map(|start| {
+                        let w = BitSet::from_iter(n, (0..col.count()).map(|j| (start + j) % n));
+                        col.difference(&w).count() + w.difference(col).count()
+                    })
+                    .min()
+                    .unwrap();
+                measured += 1;
+                if best_clade <= best_window {
+                    clade_better_or_equal += 1;
+                }
+            }
+        }
+        assert!(measured >= 20, "too few informative columns: {measured}");
+        assert!(
+            clade_better_or_equal * 10 >= measured * 7,
+            "clade fit beat window fit on only {clade_better_or_equal}/{measured} columns"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerates the committed seed entries of `tests/corpus/` — the three
+//! adversarial-zoo showcases in the dataset v1 text format. The corpus
+//! otherwise only grows: `datagen fuzz` appends minimized failures, and
+//! `tests/fuzz_corpus.rs` replays every entry forever.
+//!
+//! ```text
+//! cargo run --release -p gentrius-datagen --bin corpus_seed -- [DIR]
+//! ```
+
+use gentrius_core::StoppingRules;
+use gentrius_datagen::adversarial::{
+    grove_showcase, interaction_dataset, unbalanced_showcase, InteractionParams, ZOO_SEED,
+};
+use gentrius_datagen::fuzz::{conformance_check, Conformance};
+use gentrius_datagen::Dataset;
+use std::path::PathBuf;
+
+/// First fuzz-sized interaction instance whose full enumeration fits the
+/// replay budget (the full-size `interaction_showcase` is a blow-up by
+/// design, so it cannot be exact-identity-checked and lives in the bench
+/// classes instead).
+fn small_interaction(stopping: &StoppingRules) -> Dataset {
+    let ip = InteractionParams {
+        taxa: (10, 14),
+        loci: (4, 6),
+        ..InteractionParams::zoo()
+    };
+    for i in 0.. {
+        let d = interaction_dataset(&ip, ZOO_SEED, i);
+        if matches!(conformance_check(&d, stopping, &[2, 4]), Conformance::Ok) {
+            return d;
+        }
+    }
+    unreachable!("some index conforms")
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("tests/corpus"));
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    // Same budget/thread matrix as `FuzzConfig::new` and the replay test.
+    let stopping = StoppingRules::counts(40_000, 150_000);
+    let seeds = [
+        unbalanced_showcase(),
+        small_interaction(&stopping),
+        grove_showcase(),
+    ];
+    for d in seeds {
+        match conformance_check(&d, &stopping, &[2, 4]) {
+            Conformance::Ok => {}
+            other => panic!("{}: seed entry must conform, got {other:?}", d.name),
+        }
+        let path = dir.join(format!("{}.dataset", d.name));
+        d.save(&path).expect("write corpus entry");
+        println!("wrote {}", path.display());
+    }
+}

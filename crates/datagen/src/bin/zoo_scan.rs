@@ -1,0 +1,135 @@
+//! Maintenance tool: scans the adversarial-zoo families and reports
+//! which indices satisfy their showcase properties, so the pinned
+//! `*_INDEX` constants in `adversarial.rs` can be re-searched whenever
+//! the workspace RNG stream or the generators change.
+//!
+//! ```text
+//! cargo run --release -p gentrius-datagen --bin zoo_scan -- [family] [start] [budget]
+//! ```
+//!
+//! `family` is `unbalanced`, `interaction`, `grove` or `all`.
+
+use gentrius_core::{run_serial, CountOnly, GentriusConfig};
+use gentrius_datagen::adversarial::{
+    grove_dataset, interaction_dataset, interaction_stopping, unbalanced_dataset, GroveParams,
+    InteractionParams, UnbalancedParams, ZOO_SEED,
+};
+use gentrius_sim::{simulate, CostModel, SimConfig};
+
+fn scan_unbalanced(start: u64, budget: u64) {
+    println!("-- unbalanced (want: complete, t1>3000, 1.8<=sp8<=7, |sp16-sp8|<1)");
+    let params = UnbalancedParams::zoo();
+    let cfg = GentriusConfig::exhaustive();
+    for i in start..start + budget {
+        let d = unbalanced_dataset(&params, ZOO_SEED, i);
+        let Ok(p) = d.problem() else { continue };
+        let sim = |t: usize| {
+            let mut sc = SimConfig::with_threads(t);
+            sc.cost = CostModel::ideal();
+            simulate(&p, &cfg, &sc).unwrap()
+        };
+        let s1 = sim(1);
+        if !s1.complete() || s1.makespan <= 3_000 {
+            continue;
+        }
+        let sp8 = sim(8).speedup_vs(&s1);
+        let sp16 = sim(16).speedup_vs(&s1);
+        let ok = (1.8..=7.0).contains(&sp8) && (sp16 - sp8).abs() < 1.0;
+        println!(
+            "i={i:4} n={:3} t1={:8} sp8={sp8:5.2} sp16={sp16:5.2} {}",
+            d.num_taxa(),
+            s1.makespan,
+            if ok { "OK" } else { "" }
+        );
+    }
+}
+
+fn scan_interaction(start: u64, budget: u64) {
+    println!("-- interaction (want: serial truncated by budget, ASP2 > 2.2)");
+    let params = InteractionParams::zoo();
+    let cfg = GentriusConfig {
+        stopping: interaction_stopping(&params),
+        ..GentriusConfig::default()
+    };
+    for i in start..start + budget {
+        let d = interaction_dataset(&params, ZOO_SEED, i);
+        let Ok(p) = d.problem() else { continue };
+        let s1 = simulate(&p, &cfg, &SimConfig::with_threads(1)).unwrap();
+        if s1.complete() {
+            println!(
+                "i={i:4} n={:3} complete (st={} states={})",
+                d.num_taxa(),
+                s1.stats.stand_trees,
+                s1.stats.intermediate_states
+            );
+            continue; // must hit the state budget serially
+        }
+        let s2 = simulate(&p, &cfg, &SimConfig::with_threads(2)).unwrap();
+        let asp = s2.adapted_speedup_vs(&s1);
+        println!(
+            "i={i:4} n={:3} st1={:6} st2={:6} asp2={asp:6.2} {}",
+            d.num_taxa(),
+            s1.stats.stand_trees,
+            s2.stats.stand_trees,
+            if asp > 2.2 { "OK" } else { "" }
+        );
+    }
+}
+
+fn scan_grove(start: u64, budget: u64) {
+    println!("-- grove (want: valid PAM, complete enumeration, 10..40000 stand trees, missing>0)");
+    let params = GroveParams::zoo();
+    let cfg = GentriusConfig {
+        stopping: gentrius_core::StoppingRules::counts(200_000, 400_000),
+        ..GentriusConfig::default()
+    };
+    for i in start..start + budget {
+        let d = grove_dataset(&params, ZOO_SEED, i);
+        if d.pam
+            .as_ref()
+            .is_none_or(|p| p.validate_for_inference().is_err())
+        {
+            continue;
+        }
+        let Ok(p) = d.problem() else { continue };
+        let Ok(r) = run_serial(&p, &cfg, &mut CountOnly) else {
+            continue;
+        };
+        let ok = r.complete()
+            && (10..=40_000).contains(&r.stats.stand_trees)
+            && d.missing_fraction() > 0.05;
+        println!(
+            "i={i:4} n={:3} m={} miss={:4.2} trees={:7} states={:8} dead={:6} {} {}",
+            d.num_taxa(),
+            d.num_loci(),
+            d.missing_fraction(),
+            r.stats.stand_trees,
+            r.stats.intermediate_states,
+            r.stats.dead_ends,
+            if r.complete() {
+                "complete"
+            } else {
+                "truncated"
+            },
+            if ok { "OK" } else { "" }
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let family = args.get(1).cloned().unwrap_or_else(|| "all".into());
+    let start: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let budget: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(24);
+    match family.as_str() {
+        "unbalanced" => scan_unbalanced(start, budget),
+        "interaction" => scan_interaction(start, budget),
+        "grove" => scan_grove(start, budget),
+        _ => {
+            scan_unbalanced(start, budget);
+            scan_interaction(start, budget);
+            scan_grove(start, budget);
+        }
+    }
+    println!("scan done");
+}

@@ -21,11 +21,17 @@
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod dataset;
 pub mod empirical;
+pub mod fuzz;
 pub mod scenario;
 pub mod simulated;
 
+pub use adversarial::{
+    grove_dataset, interaction_dataset, unbalanced_dataset, GroveParams, InteractionParams,
+    UnbalancedParams,
+};
 pub use dataset::Dataset;
 pub use empirical::{empirical_dataset, EmpiricalParams};
 pub use simulated::{sample_pam, simulated_dataset, MissingPattern, SimulatedParams};

@@ -33,10 +33,12 @@
 
 pub mod cost;
 pub mod engine;
+pub mod gw;
 pub mod metrics;
 pub mod trace;
 
 pub use cost::CostModel;
 pub use engine::{simulate, SimConfig, SimResult};
+pub use gw::{profile_search, CountPrediction, GwModel, SearchProfile};
 pub use metrics::Summary;
 pub use trace::{Segment, Timeline};

@@ -429,6 +429,98 @@ fn steal_heavy_snapshot_handoff_stays_exact_across_modes() {
     );
 }
 
+/// One instance per adversarial-zoo family (the deep-unbalanced plateau,
+/// a fuzz-sized stopping-rule-interaction instance, and the Grove-like
+/// clade-blocky empirical instance), each run through the full 3-mode ×
+/// {serial, 2, 4 threads} conformance matrix: identical counters,
+/// identical canonical stand sets, and the dead-end invariant on every
+/// exposed snapshot. The showcase-scale interaction instance cannot
+/// appear here (its complete enumeration is a blow-up by design); its
+/// fuzz-sized sibling exercises the same bimodal desert/garden geometry.
+#[test]
+fn adversarial_zoo_families_stay_exact_across_modes_and_threads() {
+    use gentrius_datagen::adversarial::{
+        grove_showcase, interaction_dataset, unbalanced_showcase, InteractionParams, ZOO_SEED,
+    };
+    const MODES: [MappingMode; 3] = [
+        MappingMode::Recompute,
+        MappingMode::Incremental,
+        MappingMode::EdgeIndexed,
+    ];
+    let small_interaction = interaction_dataset(
+        &InteractionParams {
+            taxa: (10, 14),
+            loci: (4, 6),
+            ..InteractionParams::zoo()
+        },
+        ZOO_SEED,
+        0,
+    );
+    for d in [unbalanced_showcase(), small_interaction, grove_showcase()] {
+        let p = d.problem().expect("zoo instance is valid");
+        let oracle_cfg = GentriusConfig {
+            mapping: MappingMode::Recompute,
+            ..bounded_config()
+        };
+        let mut oracle_sink = CollectNewick::with_cap(&d.taxa, COLLECT_CAP);
+        let oracle = run_serial(&p, &oracle_cfg, &mut oracle_sink).expect("oracle");
+        assert!(
+            oracle.complete(),
+            "{}: zoo conformance instance must fully enumerate",
+            d.name
+        );
+        assert_dead_end_invariant(&oracle.stats, &format!("{} oracle", d.name));
+        let oracle_set = canonical_stand_set([oracle_sink.out]);
+        for mode in MODES {
+            let config = GentriusConfig {
+                mapping: mode,
+                ..bounded_config()
+            };
+            if mode != MappingMode::Recompute {
+                let mut sink = CollectNewick::with_cap(&d.taxa, COLLECT_CAP);
+                let serial = run_serial(&p, &config, &mut sink).expect("serial");
+                assert_eq!(
+                    serial.stats, oracle.stats,
+                    "{} {mode} serial: counters diverged",
+                    d.name
+                );
+                assert_eq!(
+                    canonical_stand_set([sink.out]),
+                    oracle_set,
+                    "{} {mode} serial: stand set diverged",
+                    d.name
+                );
+            }
+            for threads in [2usize, 4] {
+                let (par, sinks) = run_parallel_with_sinks(
+                    &p,
+                    &config,
+                    &ParallelConfig::with_threads(threads),
+                    |_| CollectNewick::with_cap(&d.taxa, COLLECT_CAP),
+                )
+                .expect("parallel");
+                assert!(
+                    par.complete(),
+                    "{} {mode} threads={threads}: spurious stop",
+                    d.name
+                );
+                assert_eq!(
+                    par.stats, oracle.stats,
+                    "{} {mode} threads={threads}: counters diverged",
+                    d.name
+                );
+                assert_run_invariants(&par, &format!("{} {mode} threads={threads}", d.name));
+                assert_eq!(
+                    canonical_stand_set(sinks.into_iter().map(|s| s.out)),
+                    oracle_set,
+                    "{} {mode} threads={threads}: stand set diverged",
+                    d.name
+                );
+            }
+        }
+    }
+}
+
 /// The first instance in the sweep whose complete enumeration crosses both
 /// thresholds, so shrunken limits are guaranteed to fire.
 fn limit_tripping_instance(min_trees: u64, min_states: u64) -> (Dataset, u64, u64) {

@@ -1,0 +1,132 @@
+//! Property-based tests for the adversarial instance zoo, the mutation
+//! fuzzer and the Galton–Watson workload model.
+//!
+//! Three contracts, each over randomized `(params, seed, index)` draws:
+//!
+//! 1. every zoo family is a *pure function* of `(params, seed, index)` —
+//!    regenerating an instance yields byte-identical text;
+//! 2. every applicable fuzz mutant stays well-formed — it parses back
+//!    from its own text, keeps the taxon universe, and every constraint
+//!    is a binary unrooted tree over known taxa;
+//! 3. fitting the GW model is deterministic — identical profiles in,
+//!    bit-identical predictions out.
+
+use gentrius_core::GentriusConfig;
+use gentrius_datagen::fuzz::{base_dataset, mutate};
+use gentrius_datagen::{
+    grove_dataset, interaction_dataset, unbalanced_dataset, GroveParams, InteractionParams,
+    UnbalancedParams,
+};
+use gentrius_sim::gw::profile_search;
+use gentrius_sim::GwModel;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The per-iteration RNG stream of `run_fuzz`, reproduced here so the
+/// property covers the exact mutants the fuzzer would draw.
+fn fuzz_iteration_rng(seed: u64, i: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn zoo_families_regenerate_byte_identically(
+        seed in 0u64..1_000_000,
+        index in 0u64..500,
+    ) {
+        let pairs = [
+            unbalanced_dataset(&UnbalancedParams::zoo(), seed, index).to_text(),
+            unbalanced_dataset(&UnbalancedParams::zoo(), seed, index).to_text(),
+            interaction_dataset(&InteractionParams::zoo(), seed, index).to_text(),
+            interaction_dataset(&InteractionParams::zoo(), seed, index).to_text(),
+            grove_dataset(&GroveParams::zoo(), seed, index).to_text(),
+            grove_dataset(&GroveParams::zoo(), seed, index).to_text(),
+        ];
+        for pair in pairs.chunks(2) {
+            prop_assert_eq!(&pair[0], &pair[1], "regeneration is not byte-identical");
+        }
+        // Distinct indices draw distinct instances (the streams are
+        // index-keyed, not a shared sequence).
+        let other = unbalanced_dataset(&UnbalancedParams::zoo(), seed, index + 1).to_text();
+        prop_assert!(pairs[0] != other, "index does not key the stream");
+    }
+
+    #[test]
+    fn fuzz_mutants_stay_well_formed(
+        seed in 0u64..1_000_000,
+        i in 0u64..64,
+    ) {
+        let base = base_dataset(seed, i);
+        let mut rng = fuzz_iteration_rng(seed, i);
+        let Some(mutant) = mutate(&base, &mut rng) else {
+            return Ok(()); // no applicable mutation for this draw
+        };
+        // The taxon universe survives mutation (mutants may add taxa to
+        // constraints only from the existing universe).
+        prop_assert_eq!(mutant.taxa.len(), base.taxa.len());
+        // Every constraint is a well-formed tree over known taxa.
+        for t in &mutant.constraints {
+            prop_assert!(t.is_binary_unrooted(), "mutant constraint not binary unrooted");
+            for taxon in t.taxa().iter() {
+                prop_assert!(taxon < mutant.taxa.len(), "constraint names unknown taxon");
+            }
+        }
+        // The text round trip preserves the instance shape (the parser
+        // re-numbers taxa by appearance order, so identity is checked at
+        // the label level and via the canonical fixed point below).
+        let text = mutant.to_text();
+        let back = gentrius_datagen::Dataset::from_text(&text)
+            .expect("mutant text must parse");
+        // The parsed universe only contains taxa some constraint mentions
+        // (a dropped leaf may orphan its taxon), never new ones.
+        prop_assert!(back.taxa.len() <= mutant.taxa.len());
+        prop_assert_eq!(back.constraints.len(), mutant.constraints.len());
+        for (a, b) in mutant.constraints.iter().zip(&back.constraints) {
+            prop_assert_eq!(a.leaf_count(), b.leaf_count(), "round trip changed a tree size");
+            prop_assert!(b.is_binary_unrooted(), "round trip broke a constraint");
+        }
+        // Re-serialization stays parseable (full canonical convergence is
+        // not promised: the parser numbers taxa by appearance order, and
+        // serialization order depends on the numbering).
+        let again = gentrius_datagen::Dataset::from_text(&back.to_text())
+            .expect("re-serialized mutant text must parse");
+        prop_assert_eq!(again.constraints.len(), mutant.constraints.len());
+        // And the mutation itself is deterministic per (seed, i).
+        let again = mutate(&base, &mut fuzz_iteration_rng(seed, i)).expect("same draw applies");
+        prop_assert_eq!(mutant.to_text(), again.to_text(), "mutation not deterministic");
+    }
+
+    #[test]
+    fn gw_fit_is_deterministic(
+        seed in 0u64..1_000_000,
+        index in 0u64..200,
+        budget in 200u64..5_000,
+    ) {
+        let d = grove_dataset(&GroveParams::zoo(), seed, index);
+        let Ok(p) = d.problem() else {
+            return Ok(()); // family guarantees validity; belt-and-braces
+        };
+        let cfg = GentriusConfig::exhaustive();
+        let a = profile_search(&p, &cfg, budget).expect("profile");
+        let b = profile_search(&p, &cfg, budget).expect("profile");
+        prop_assert_eq!(&a, &b, "profiling is not deterministic");
+        let ma = GwModel::fit(&a);
+        let mb = GwModel::fit(&b);
+        let pa = ma.predict_counts();
+        let pb = mb.predict_counts();
+        prop_assert_eq!(pa.stand_trees.to_bits(), pb.stand_trees.to_bits());
+        prop_assert_eq!(pa.intermediate_states.to_bits(), pb.intermediate_states.to_bits());
+        prop_assert_eq!(pa.dead_ends.to_bits(), pb.dead_ends.to_bits());
+        prop_assert_eq!(pa.band.to_bits(), pb.band.to_bits());
+        for t in [2usize, 4, 8] {
+            prop_assert_eq!(
+                ma.predict_speedup(t).to_bits(),
+                mb.predict_speedup(t).to_bits(),
+                "speedup prediction not deterministic at {} threads", t
+            );
+        }
+    }
+}
